@@ -1,0 +1,56 @@
+// Latent-layer ablation: where to split MobileNetV1 (the paper picks conv
+// layer 21 of 27). Earlier splits give bigger latents (more replay memory,
+// more trainable compute); later splits shrink the buffer but leave the head
+// too small to adapt. Prints accuracy, per-sample latent size and head
+// training MACs per split point.
+//
+//   ./bench_ablation_latent_layer [--quick] [--runs N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace cham;
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+
+  metrics::TablePrinter t({"Latent layer", "Latent KiB", "Head MMACs",
+                           "Acc_all (%)"},
+                          {13, 11, 11, 18});
+  std::printf("=== Latent-layer split ablation (CORe50, Chameleon Ml=100)"
+              " ===\n");
+  t.print_header();
+
+  for (int64_t layer : {13, 17, 21, 25}) {
+    metrics::ExperimentConfig cfg = metrics::core50_experiment();
+    bench::apply_flags(cfg, flags);
+    cfg.model.latent_conv_layer = layer;
+
+    metrics::Experiment exp(cfg);
+    core::ChameleonConfig cc;
+    cc.lt_capacity = 100;
+
+    metrics::RunningStat acc;
+    int64_t head_macs = 0;
+    for (int64_t run = 0; run < flags.runs; ++run) {
+      data::StreamConfig sc = cfg.stream;
+      sc.seed = cfg.stream.seed + static_cast<uint64_t>(run) * 1000003;
+      data::DomainIncrementalStream stream(cfg.data, sc);
+      exp.warm_latents(stream);
+      core::ChameleonLearner learner(exp.env(), cc,
+                                     static_cast<uint64_t>(run) + 1);
+      exp.run(learner, stream);
+      acc.add(exp.evaluate(learner).acc_all);
+      head_macs = learner.g_fwd_macs();
+    }
+    t.print_row({std::to_string(layer) + "/27",
+                 metrics::TablePrinter::fmt(
+                     exp.latent_shape().numel() * 4.0 / 1024.0, 1),
+                 metrics::TablePrinter::fmt(head_macs / 1e6, 2),
+                 metrics::TablePrinter::mean_std(acc.mean(), acc.stddev())});
+    std::fflush(stdout);
+  }
+  std::printf("\nPaper Sec. IV-A: layer 21 balances accuracy against replay"
+              " size and training cost.\n");
+  return 0;
+}

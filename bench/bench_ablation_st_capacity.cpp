@@ -1,0 +1,61 @@
+// Short-term store capacity ablation: accuracy vs the on-chip budget.
+//
+// Table III shows the ZCU102 fits at most ~10 paper-scale latents of ST
+// next to the weight/activation buffers; this bench asks what accuracy that
+// constraint costs by sweeping M_s — connecting the accuracy story (Table
+// I) to the resource story (Table III) through one knob.
+//
+//   ./bench_ablation_st_capacity [--quick] [--runs N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hw/fpga_model.h"
+
+using namespace cham;
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  bench::apply_flags(cfg, flags);
+  metrics::Experiment exp(cfg);
+
+  std::printf("=== ST capacity ablation (Chameleon, Ml=100) ===\n");
+  metrics::TablePrinter t({"Ms", "ST KiB", "BRAM % (32KiB lat.)",
+                           "Acc_all (%)"},
+                          {5, 8, 20, 18});
+  t.print_header();
+
+  for (int64_t ms : {2, 5, 10, 20, 40}) {
+    core::ChameleonConfig cc;
+    cc.st_capacity = ms;
+    cc.lt_capacity = 100;
+
+    metrics::RunningStat acc;
+    double st_kib = 0;
+    for (int64_t run = 0; run < flags.runs; ++run) {
+      data::StreamConfig sc = cfg.stream;
+      sc.seed = cfg.stream.seed + static_cast<uint64_t>(run) * 1000003;
+      data::DomainIncrementalStream stream(cfg.data, sc);
+      exp.warm_latents(stream);
+      core::ChameleonLearner learner(exp.env(), cc,
+                                     static_cast<uint64_t>(run) + 1);
+      exp.run(learner, stream);
+      acc.add(exp.evaluate(learner).acc_all);
+      st_kib = learner.st_bytes() / 1024.0;
+    }
+    // FPGA feasibility at paper-scale latents (32 KiB each).
+    hw::FpgaAcceleratorConfig fc;
+    fc.st_replay_buffer_kib = ms * 32;
+    const auto res = hw::estimate_fpga_resources(fc);
+    t.print_row({std::to_string(ms), metrics::TablePrinter::fmt(st_kib, 1),
+                 metrics::TablePrinter::fmt(res.bram_pct, 1) +
+                     (res.fits ? "" : " (!)"),
+                 metrics::TablePrinter::mean_std(acc.mean(), acc.stddev())});
+    std::fflush(stdout);
+  }
+  std::printf("\n(!) = exceeds the ZCU102's BRAM at paper-scale latents: the"
+              " paper's Ms=10 is the\nlargest deployable short-term store,"
+              " and the accuracy column shows the penalty of\ngoing"
+              " smaller.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// User-preference skew ablation: how much of Chameleon's edge over a
+// unified reservoir buffer comes from the user-centric stream?
+//
+// Sweeps the stream's preference weight (1 = uniform user, higher = the
+// paper's personalised regime where 5 classes dominate) and reports both
+// learners' Acc_all plus Chameleon's accuracy on the preferred slice. The
+// class-balanced long-term store is exactly the mechanism that should
+// separate the two as skew grows.
+//
+//   ./bench_ablation_user_skew [--quick] [--runs N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace cham;
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+  metrics::ExperimentConfig base = metrics::core50_experiment();
+  bench::apply_flags(base, flags);
+  metrics::Experiment exp(base);
+
+  std::printf("=== User-skew ablation (buffer 100 each) ===\n");
+  metrics::TablePrinter t({"Pref weight", "Chameleon", "Latent Replay",
+                           "Cham preferred-slice"},
+                          {12, 16, 16, 20});
+  t.print_header();
+
+  for (float w : {1.0f, 4.0f, 8.0f, 12.0f, 20.0f}) {
+    metrics::ExperimentConfig cfg = base;
+    cfg.stream.preference_weight = w;
+
+    metrics::RunningStat cham_acc, lr_acc, pref_acc;
+    for (int64_t run = 0; run < flags.runs; ++run) {
+      data::StreamConfig sc = cfg.stream;
+      sc.seed = cfg.stream.seed + static_cast<uint64_t>(run) * 1000003;
+      data::DomainIncrementalStream stream(cfg.data, sc);
+      exp.warm_latents(stream);
+
+      core::ChameleonConfig cc;
+      cc.lt_capacity = 100;
+      core::ChameleonLearner cham(exp.env(), cc,
+                                  static_cast<uint64_t>(run) + 1);
+      exp.run(cham, stream);
+      const auto keys = data::all_test_keys(cfg.data);
+      const auto rep = metrics::evaluate(
+          cham, keys, stream.preferred_by_domain().back());
+      cham_acc.add(rep.acc_all);
+      pref_acc.add(rep.acc_preferred);
+
+      baselines::LatentReplayLearner lr(exp.env(), 100,
+                                        static_cast<uint64_t>(run) + 1);
+      exp.run(lr, stream);
+      lr_acc.add(exp.evaluate(lr).acc_all);
+    }
+    t.print_row({metrics::TablePrinter::fmt(w, 0),
+                 metrics::TablePrinter::fmt(cham_acc.mean(), 2),
+                 metrics::TablePrinter::fmt(lr_acc.mean(), 2),
+                 metrics::TablePrinter::fmt(pref_acc.mean(), 2)});
+    std::fflush(stdout);
+  }
+  std::printf("\nAs skew grows, the reservoir buffer fills with preferred-"
+              "class duplicates while the\nclass-balanced LT protects the"
+              " tail — Chameleon's Acc_all margin should widen.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared plumbing for the table/figure reproduction binaries: learner
+// construction by name, flag parsing, and run-cell aggregation.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/regularization_methods.h"
+#include "baselines/replay_methods.h"
+#include "baselines/simple_methods.h"
+#include "baselines/slda.h"
+#include "core/chameleon.h"
+#include "metrics/experiment.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace cham::bench {
+
+struct Flags {
+  int64_t runs = 2;       // seeds per cell (paper uses 10)
+  bool quick = false;     // shrink datasets for smoke runs
+  int64_t instances = 0;  // override train instances per (class, domain)
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) f.quick = true;
+      if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc)
+        f.runs = std::atol(argv[++i]);
+      if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc)
+        f.instances = std::atol(argv[++i]);
+    }
+    return f;
+  }
+};
+
+// Applies --quick / --instances to an experiment configuration.
+inline void apply_flags(metrics::ExperimentConfig& cfg, const Flags& f) {
+  if (f.quick) {
+    cfg.data.num_classes = std::min<int64_t>(cfg.data.num_classes, 10);
+    cfg.data.num_domains = std::min<int64_t>(cfg.data.num_domains, 4);
+    cfg.data.train_instances = 4;
+    cfg.pretrain_epochs = 4;
+    cfg.pretrain_num_classes = 20;
+  }
+  if (f.instances > 0) cfg.data.train_instances = f.instances;
+  cfg.model.num_classes = cfg.data.num_classes;
+}
+
+// Builds one learner instance by row name; buffer_size is ignored by
+// non-replay methods. Chameleon's buffer_size sets the long-term capacity
+// (its short-term store stays at the paper's 10 samples).
+inline std::unique_ptr<core::ContinualLearner> make_learner(
+    const std::string& name, core::LearnerEnv env, int64_t buffer_size,
+    uint64_t seed) {
+  if (name == "Finetuning")
+    return std::make_unique<baselines::FinetuneLearner>(env, seed);
+  if (name == "JOINT")
+    return std::make_unique<baselines::JointLearner>(env, seed);
+  if (name == "EWC++")
+    return std::make_unique<baselines::EwcPlusPlusLearner>(env, seed);
+  if (name == "LwF")
+    return std::make_unique<baselines::LwfLearner>(env, seed);
+  if (name == "SLDA")
+    return std::make_unique<baselines::SldaLearner>(env, seed);
+  if (name == "GSS")
+    return std::make_unique<baselines::GssLearner>(env, buffer_size, seed);
+  if (name == "ER")
+    return std::make_unique<baselines::ErLearner>(env, buffer_size, seed);
+  if (name == "DER")
+    return std::make_unique<baselines::DerLearner>(env, buffer_size, seed);
+  if (name == "Latent Replay")
+    return std::make_unique<baselines::LatentReplayLearner>(env, buffer_size,
+                                                            seed);
+  if (name == "Chameleon") {
+    core::ChameleonConfig cc;
+    cc.lt_capacity = buffer_size;
+    return std::make_unique<core::ChameleonLearner>(env, cc, seed);
+  }
+  std::fprintf(stderr, "unknown learner: %s\n", name.c_str());
+  std::abort();
+}
+
+// Runs one (method, buffer) cell for `runs` seeds; returns Acc_all stats.
+inline metrics::RunningStat run_cell(
+    metrics::Experiment& exp, const metrics::ExperimentConfig& cfg,
+    const std::string& method, int64_t buffer_size, int64_t runs,
+    core::OpStats* stats_out = nullptr) {
+  metrics::RunningStat acc;
+  for (int64_t run = 0; run < runs; ++run) {
+    data::StreamConfig sc = cfg.stream;
+    sc.seed = cfg.stream.seed + static_cast<uint64_t>(run) * 1000003;
+    data::DomainIncrementalStream stream(cfg.data, sc);
+    exp.warm_latents(stream);
+    auto learner = make_learner(method, exp.env(), buffer_size,
+                                static_cast<uint64_t>(run) + 1);
+    exp.run(*learner, stream);
+    acc.add(exp.evaluate(*learner).acc_all);
+    if (stats_out && run == 0) *stats_out = learner->stats();
+  }
+  return acc;
+}
+
+}  // namespace cham::bench

@@ -1,0 +1,68 @@
+// Reproduces Figure 2: final accuracy vs replay-memory budget (MB) on the
+// CORe50-like benchmark, one series per method. The x-axis is each method's
+// actual memory overhead for a given sample count, so methods with heavier
+// per-sample storage (GSS > ER/DER > latent methods) shift right — the
+// paper's core memory-efficiency argument.
+//
+//   ./bench_fig2_accuracy_vs_memory [--runs N] [--quick]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "metrics/ascii_chart.h"
+
+using namespace cham;
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  bench::apply_flags(cfg, flags);
+
+  std::printf("=== Figure 2: accuracy vs replay memory budget (CORe50) ===\n");
+  metrics::Experiment exp(cfg);
+
+  struct Series {
+    std::string method;
+    std::vector<int64_t> sizes;
+    int64_t runs;
+  };
+  const std::vector<Series> series = {
+      {"Finetuning", {0}, flags.runs},
+      {"ER", {100, 200, 500, 1500}, std::min<int64_t>(2, flags.runs)},
+      {"DER", {100, 200, 500, 1500}, std::min<int64_t>(2, flags.runs)},
+      {"GSS", {100, 200, 500}, std::min<int64_t>(2, flags.runs)},
+      {"Latent Replay", {100, 200, 500, 1500}, flags.runs},
+      {"Chameleon", {100, 200, 500, 1500}, flags.runs},
+  };
+
+  metrics::TablePrinter table({"Method", "Samples", "Memory (MB)",
+                               "Acc_all (%)"},
+                              {16, 9, 12, 14});
+  table.print_header();
+  metrics::AsciiChart chart(60, 16, /*log_x=*/true);
+  const char markers[] = {'f', 'E', 'D', 'G', 'L', 'C'};
+  size_t series_idx = 0;
+  for (const auto& s : series) {
+    metrics::ChartSeries cs;
+    cs.name = s.method;
+    cs.marker = markers[series_idx++ % sizeof(markers)];
+    for (int64_t size : s.sizes) {
+      auto probe = bench::make_learner(s.method, exp.env(), size, 1);
+      const double mb = replay::bytes_to_mb(probe->memory_overhead_bytes());
+      probe.reset();
+      auto acc = bench::run_cell(exp, cfg, s.method, size, s.runs);
+      table.print_row({s.method, std::to_string(size),
+                       metrics::TablePrinter::fmt(mb, 2),
+                       metrics::TablePrinter::fmt(acc.mean(), 2)});
+      cs.x.push_back(std::max(mb, 0.01));
+      cs.y.push_back(acc.mean());
+      std::fflush(stdout);
+    }
+    chart.add(std::move(cs));
+  }
+  std::printf("\n%s", chart.render("replay memory (MB)", "Acc_all (%)").c_str());
+  std::printf(
+      "\nPaper reference (Fig. 2): Chameleon reaches its plateau with ~0.3 MB"
+      " on-chip memory\nwhile ER/DER need tens of MB to approach it and"
+      " finetuning stays near chance.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the compute kernels that dominate
+// training time: GEMM, im2col convolution, depthwise convolution, softmax,
+// and the Eq. 4/6 sampling math.
+#include <benchmark/benchmark.h>
+
+#include "nn/layers.h"
+#include "quant/quantize.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  ops::fill_normal(a, rng, 0, 1);
+  ops::fill_normal(b, rng, 0, 1);
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmHeadShapes(benchmark::State& state) {
+  // The pointwise conv of the trainable head: (out_c x in_c) @ (in_c x pix).
+  const int64_t out_c = 256, in_c = 256, pix = 4;
+  Rng rng(2);
+  Tensor w({out_c, in_c}), col({in_c, pix}), out({out_c, pix});
+  ops::fill_normal(w, rng, 0, 1);
+  ops::fill_normal(col, rng, 0, 1);
+  for (auto _ : state) {
+    gemm(out_c, pix, in_c, 1.0f, w.data(), col.data(), 0.0f, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out_c * in_c * pix);
+}
+BENCHMARK(BM_GemmHeadShapes);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(16, 32, 16, 16, 3, 1, 1, false, rng);
+  Tensor x({1, 16, 16, 16});
+  ops::fill_normal(x, rng, 0, 1);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs_per_sample());
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_DepthwiseForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::DepthwiseConv2d conv(64, 8, 8, 3, 1, 1, rng);
+  Tensor x({1, 64, 8, 8});
+  ops::fill_normal(x, rng, 0, 1);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs_per_sample());
+}
+BENCHMARK(BM_DepthwiseForward);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeometry g{32, 16, 16, 3, 1, 1};
+  Rng rng(5);
+  Tensor img({32, 16, 16});
+  ops::fill_normal(img, rng, 0, 1);
+  Tensor col({g.col_rows(), g.col_cols()});
+  for (auto _ : state) {
+    im2col(img.data(), g, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(6);
+  Tensor logits({rows, 50});
+  ops::fill_normal(logits, rng, 0, 2);
+  for (auto _ : state) {
+    Tensor p = ops::softmax(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(1)->Arg(32);
+
+void BM_KlDivergence(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> p(50), q(50);
+  double sp = 0, sq = 0;
+  for (int i = 0; i < 50; ++i) {
+    p[i] = rng.uniform_f(0.01f, 1.0f);
+    q[i] = rng.uniform_f(0.01f, 1.0f);
+    sp += p[i];
+    sq += q[i];
+  }
+  for (int i = 0; i < 50; ++i) {
+    p[i] /= sp;
+    q[i] /= sq;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::kl_divergence(p, q));
+  }
+}
+BENCHMARK(BM_KlDivergence);
+
+// Latent encode/decode throughput: runs once per buffered sample, so it
+// must be negligible next to a training step.
+void BM_QuantEncodeLatent(benchmark::State& state) {
+  const auto precision = static_cast<quant::Precision>(state.range(0));
+  Rng rng(8);
+  Tensor latent({1, 256, 2, 2});
+  ops::fill_uniform(latent, rng, 0.0f, 6.0f);
+  for (auto _ : state) {
+    auto enc = quant::encode(latent, precision);
+    benchmark::DoNotOptimize(enc.bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * latent.numel() * 4);
+}
+BENCHMARK(BM_QuantEncodeLatent)
+    ->Arg(int(quant::Precision::kFp16))
+    ->Arg(int(quant::Precision::kBfp8))
+    ->Arg(int(quant::Precision::kInt8));
+
+void BM_QuantRoundTrip(benchmark::State& state) {
+  Rng rng(9);
+  Tensor latent({1, 256, 2, 2});
+  ops::fill_uniform(latent, rng, 0.0f, 6.0f);
+  for (auto _ : state) {
+    Tensor back = quant::decode(quant::encode(latent, quant::Precision::kFp16));
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_QuantRoundTrip);
+
+}  // namespace
+}  // namespace cham
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Reproduces Table I: Acc_all (mean ± std) and memory overhead for every
+// method on the OpenLORIS-like and CORe50-like benchmarks, across replay
+// buffer sizes {100, 200, 500, 1500} (Chameleon: M_s = 10 fixed, M_l swept).
+//
+//   ./bench_table1_accuracy [--runs N] [--quick] [--instances K]
+//
+// Defaults are sized for a single core; the paper's protocol (10 runs, full
+// CORe50/OpenLORIS) is the same code with bigger knobs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "metrics/csv.h"
+
+using namespace cham;
+
+namespace {
+
+struct Row {
+  std::string method;
+  std::vector<int64_t> buffer_sizes;  // empty = no buffer column
+  int64_t runs_override = 0;          // 0 = use global
+};
+
+void run_dataset(const char* title, metrics::ExperimentConfig cfg,
+                 const bench::Flags& flags) {
+  bench::apply_flags(cfg, flags);
+  std::printf("\n=== Table I (%s): %lld classes x %lld domains, %lld runs "
+              "per cell ===\n",
+              title, (long long)cfg.data.num_classes,
+              (long long)cfg.data.num_domains, (long long)flags.runs);
+
+  metrics::Experiment exp(cfg);
+
+  const std::vector<Row> rows = {
+      {"JOINT", {}, 1},
+      {"Finetuning", {}, 0},
+      {"EWC++", {}, 0},
+      {"LwF", {}, 0},
+      {"SLDA", {}, 0},
+      {"GSS", {100, 200, 500, 1500}, 1},
+      {"ER", {100, 200, 500, 1500}, 1},
+      {"DER", {100, 200, 500, 1500}, 1},
+      {"Latent Replay", {100, 200, 500, 1500}, 0},
+      {"Chameleon", {100, 200, 500, 1500}, 0},
+  };
+
+  metrics::TablePrinter table({"Method", "Buffer", "Memory (MB)",
+                               "Acc_all (%)"},
+                              {22, 10, 14, 20});
+  table.print_header();
+  metrics::CsvWriter csv(
+      {"method", "buffer", "memory_mb", "acc_mean", "acc_std", "runs"});
+
+  for (const Row& row : rows) {
+    const int64_t runs =
+        row.runs_override > 0 ? std::min(row.runs_override, flags.runs)
+                              : flags.runs;
+    const std::vector<int64_t> sizes =
+        row.buffer_sizes.empty() ? std::vector<int64_t>{0} : row.buffer_sizes;
+    for (int64_t size : sizes) {
+      // Probe memory overhead from a fresh instance (independent of run).
+      auto probe = bench::make_learner(row.method, exp.env(), size, 1);
+      const double mb =
+          replay::bytes_to_mb(probe->memory_overhead_bytes());
+      probe.reset();
+
+      auto acc = bench::run_cell(exp, cfg, row.method, size, runs);
+      std::string label = row.method;
+      if (row.method == "Chameleon") {
+        label += " (Ms=10)";
+      }
+      table.print_row({label, size > 0 ? std::to_string(size) : "-",
+                       size > 0 || mb > 0 ? metrics::TablePrinter::fmt(mb, 2)
+                                          : "-",
+                       metrics::TablePrinter::mean_std(acc.mean(),
+                                                       acc.stddev())});
+      csv.append_row({row.method, std::to_string(size),
+                      metrics::TablePrinter::fmt(mb, 3),
+                      metrics::TablePrinter::fmt(acc.mean(), 3),
+                      metrics::TablePrinter::fmt(acc.stddev(), 3),
+                      std::to_string(runs)});
+      std::fflush(stdout);
+    }
+  }
+  const std::string csv_path =
+      std::string("table1_") + cfg.data.name + ".csv";
+  if (csv.write(csv_path)) {
+    std::printf("(machine-readable copy: %s)\n", csv_path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::Flags::parse(argc, argv);
+  run_dataset("OpenLORIS", metrics::openloris_experiment(), flags);
+  run_dataset("CORe50", metrics::core50_experiment(), flags);
+  std::printf(
+      "\nPaper reference (Table I): Chameleon matches/beats Latent Replay at"
+      " every buffer size\nwith only 0.3 MB on-chip, and approaches JOINT;"
+      " ER/DER degrade at small buffers;\nGSS pays ~10x memory; EWC++/LwF"
+      " collapse under domain shift.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces Table II: per-image training latency and energy for
+// Latent Replay, SLDA and Chameleon on the three edge-device models
+// (Jetson Nano, ZCU102 FPGA, EdgeTPU systolic simulator).
+//
+// Each method runs functionally over a batch-size-1 stream (the paper's
+// FPGA operating point: "batch size of one and ten replay elements per
+// incoming input"); its OpStats trace (MACs, on-/off-chip replay bytes,
+// dense-linalg FLOPs) is then costed on every device profile.
+//
+//   ./bench_table2_edge_devices [--quick]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hw/device.h"
+#include "hw/fpga_model.h"
+
+using namespace cham;
+
+namespace {
+
+// Off-chip DMA transactions per image: per-sample random access for the
+// unified Latent Replay buffer, one burst every h batches for Chameleon's
+// long-term store, one covariance-row update for SLDA.
+double transactions_per_image(const std::string& method) {
+  if (method == "Latent Replay") return 11.0;  // 10 loads + 1 store
+  if (method == "Chameleon") return 0.2;       // burst LT access every h=10
+  if (method == "SLDA") return 1.0;
+  return 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  bench::apply_flags(cfg, flags);
+  if (!flags.quick) {
+    // Cost profiling does not need the full pool: a shorter, representative
+    // stream keeps the bench fast while the per-image averages converge.
+    cfg.data.train_instances = 2;
+  }
+  cfg.stream.batch_size = 1;  // Table II operating point
+  cfg.model.num_classes = cfg.data.num_classes;
+
+  metrics::Experiment exp(cfg);
+
+  const std::vector<hw::DeviceProfile> devices = {
+      hw::jetson_nano(), hw::zcu102_fpga(), hw::edgetpu()};
+  const std::vector<std::string> methods = {"Latent Replay", "SLDA",
+                                            "Chameleon"};
+
+  std::printf("=== Table II: latency / energy per image on edge devices ===\n");
+  std::printf("(Latent Replay buffer 1500 — the paper's 48 MB row; Chameleon"
+              " Ms=10, Ml=100)\n\n");
+
+  metrics::TablePrinter table(
+      {"Method", "Memory (MB)", "Device", "Latency (ms)", "Energy (J)",
+       "Mem share"},
+      {16, 12, 14, 13, 12, 9});
+  table.print_header();
+
+  std::vector<std::vector<double>> latencies(methods.size());
+  std::vector<core::OpStats> traces(methods.size());
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    const std::string& method = methods[mi];
+    const int64_t buffer = method == "Latent Replay" ? 1500 : 100;
+    core::OpStats stats;
+    bench::run_cell(exp, cfg, method, buffer, /*runs=*/1, &stats);
+    traces[mi] = stats;
+
+    auto probe = bench::make_learner(method, exp.env(), buffer, 1);
+    const double mb = replay::bytes_to_mb(probe->memory_overhead_bytes());
+
+    for (const auto& dev : devices) {
+      const auto cost =
+          hw::estimate_cost(stats, dev, transactions_per_image(method));
+      latencies[mi].push_back(cost.latency_ms);
+      table.print_row(
+          {method, metrics::TablePrinter::fmt(mb, 2), dev.name,
+           metrics::TablePrinter::fmt(cost.latency_ms, 3),
+           metrics::TablePrinter::fmt(cost.energy_j, 4),
+           metrics::TablePrinter::fmt(cost.mem_fraction * 100, 0) + "%"});
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\nSpeedups of Chameleon (paper: 3.5x/2.1x Jetson, 6.75x FPGA,"
+              " 11.7x EdgeTPU):\n");
+  const char* dev_names[] = {"Jetson Nano", "ZCU102 FPGA", "EdgeTPU"};
+  for (size_t d = 0; d < 3; ++d) {
+    std::printf("  %-12s vs Latent Replay: %5.2fx   vs SLDA: %5.2fx\n",
+                dev_names[d], latencies[0][d] / latencies[2][d],
+                latencies[1][d] / latencies[2][d]);
+  }
+
+  // Paper-scale projection: the paper's MobileNetV1 (width 1.0, 128x128
+  // input) produces 32 KiB latents, 16x ours, so the data-movement share of
+  // every replay method grows accordingly. Rescale the replay traffic of
+  // each trace and re-cost the FPGA rows — this is the operating point of
+  // the paper's 6.75x claim.
+  {
+    const double scale =
+        32.0 * 1024.0 /
+        static_cast<double>(exp.latent_shape().numel() * 4 + 4);
+    std::vector<double> fpga_ms;
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      core::OpStats s = traces[mi];
+      s.onchip_bytes *= scale;
+      s.offchip_bytes *= scale;
+      fpga_ms.push_back(hw::estimate_cost(s, hw::zcu102_fpga(),
+                                          transactions_per_image(methods[mi]))
+                            .latency_ms);
+    }
+    std::printf("\nZCU102 projected to paper-scale 32 KiB latents:"
+                " Chameleon %.2fx vs Latent Replay, %.2fx vs SLDA\n",
+                fpga_ms[0] / fpga_ms[2], fpga_ms[1] / fpga_ms[2]);
+  }
+
+  // FPGA context for the latency rows: the accelerator design point.
+  const auto res = hw::estimate_fpga_resources({});
+  std::printf("\nZCU102 accelerator: %lldx%lld fp16 array @ %.0f MHz, "
+              "%lld DSP / %lld BRAM / %lld LUT\n",
+              (long long)hw::FpgaAcceleratorConfig{}.pe_rows,
+              (long long)hw::FpgaAcceleratorConfig{}.pe_cols,
+              hw::FpgaAcceleratorConfig{}.freq_mhz, (long long)res.dsp,
+              (long long)res.bram, (long long)res.luts);
+  return 0;
+}

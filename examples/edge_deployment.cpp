@@ -1,0 +1,67 @@
+// Edge-deployment planning: estimate, before deploying, what a continual-
+// learning configuration costs on each target device.
+//
+// Runs Chameleon briefly to collect its operation trace, then sweeps the
+// long-term buffer size and prints per-image latency/energy on the Jetson
+// Nano, ZCU102 FPGA and EdgeTPU device models, plus whether the short-term
+// store still fits the FPGA's BRAM. This is the workflow a system designer
+// would use to size the dual buffers for a new device.
+//
+//   ./build/examples/edge_deployment
+#include <cstdio>
+
+#include "core/chameleon.h"
+#include "hw/device.h"
+#include "hw/fpga_model.h"
+#include "metrics/experiment.h"
+
+using namespace cham;
+
+int main() {
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  cfg.data.num_classes = 10;
+  cfg.data.num_domains = 3;
+  cfg.data.train_instances = 4;
+  cfg.pretrain_num_classes = 20;
+  cfg.pretrain_epochs = 4;
+  cfg.stream.batch_size = 1;  // the on-device operating point
+
+  std::printf("Profiling Chameleon trace (pretraining if uncached)...\n\n");
+  metrics::Experiment exp(cfg);
+  data::DomainIncrementalStream stream(cfg.data, cfg.stream);
+  exp.warm_latents(stream);
+
+  const std::vector<hw::DeviceProfile> devices = {
+      hw::jetson_nano(), hw::zcu102_fpga(), hw::edgetpu()};
+
+  std::printf("%-8s %-10s | %-22s | %-22s | %-22s\n", "LT size", "ST KiB",
+              "Jetson ms / J", "ZCU102 ms / J", "EdgeTPU ms / J");
+  for (int64_t lt : {50, 100, 500}) {
+    core::ChameleonConfig cc;
+    cc.lt_capacity = lt;
+    core::ChameleonLearner learner(exp.env(), cc, 1);
+    exp.run(learner, stream);
+
+    const double st_kib = learner.st_bytes() / 1024.0;
+    std::printf("%-8lld %-10.1f |", (long long)lt, st_kib);
+    for (const auto& dev : devices) {
+      const auto cost = hw::estimate_cost(learner.stats(), dev, 0.2);
+      std::printf(" %8.3f / %-11.4f |", cost.latency_ms, cost.energy_j);
+    }
+    std::printf("\n");
+  }
+
+  // FPGA feasibility of the on-chip short-term store at paper-scale latents.
+  std::printf("\nFPGA BRAM feasibility (paper-scale 32 KiB latents):\n");
+  for (int64_t st_samples : {5, 10, 20}) {
+    hw::FpgaAcceleratorConfig fc;
+    fc.st_replay_buffer_kib = st_samples * 32;
+    const auto res = hw::estimate_fpga_resources(fc);
+    std::printf("  Ms = %-3lld -> BRAM %5.1f%%  %s\n", (long long)st_samples,
+                res.bram_pct, res.fits ? "fits" : "DOES NOT FIT");
+  }
+  std::printf("\nTakeaway: LT size moves only off-chip DRAM traffic (rare"
+              " bursts), so latency is\nflat in LT; the ST store is the"
+              " on-chip resource that must be sized to the device.\n");
+  return 0;
+}

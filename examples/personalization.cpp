@@ -1,0 +1,76 @@
+// Personalization scenario: a user whose interests DRIFT mid-stream.
+//
+// The stream over-samples 5 "preferred" classes (8x) and switches the
+// preferred set halfway through the domains. The example shows how
+// Chameleon's learning-window recalibration (paper Sec. III-B step 1)
+// tracks the drift, and compares accuracy on the preferred classes against
+// a preference-agnostic Latent Replay baseline.
+//
+//   ./build/examples/personalization
+#include <cstdio>
+#include <set>
+
+#include "baselines/replay_methods.h"
+#include "core/chameleon.h"
+#include "metrics/experiment.h"
+
+using namespace cham;
+
+int main() {
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  cfg.data.num_classes = 20;
+  cfg.data.num_domains = 6;
+  cfg.data.train_instances = 6;
+  cfg.pretrain_num_classes = 40;
+  cfg.pretrain_epochs = 6;
+  cfg.stream.preference_weight = 8.0f;
+  cfg.stream.drift_preferences = true;
+
+  std::printf("Setting up (pretraining backbone if uncached)...\n");
+  metrics::Experiment exp(cfg);
+  data::DomainIncrementalStream stream(cfg.data, cfg.stream);
+  exp.warm_latents(stream);
+
+  const auto& early_pref = stream.preferred_by_domain().front();
+  const auto& late_pref = stream.preferred_by_domain().back();
+  auto show = [](const char* tag, const std::vector<int64_t>& v) {
+    std::printf("%s", tag);
+    for (int64_t c : v) std::printf(" %lld", (long long)c);
+    std::printf("\n");
+  };
+  show("User preferences, first half :", early_pref);
+  show("User preferences, second half:", late_pref);
+
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 60;
+  cc.learning_window = 120;
+  core::ChameleonLearner cham(exp.env(), cc, 1);
+  exp.run(cham, stream);
+
+  baselines::LatentReplayLearner lr(exp.env(), 70, 1);  // same total budget
+  exp.run(lr, stream);
+
+  show("Chameleon's tracked preferences at stream end:",
+       cham.preferences().preferred_classes());
+  const std::set<int64_t> tracked(
+      cham.preferences().preferred_classes().begin(),
+      cham.preferences().preferred_classes().end());
+  int64_t overlap = 0;
+  for (int64_t c : late_pref) overlap += tracked.count(c);
+  std::printf("Overlap with the drifted (current) preference set: "
+              "%lld / %zu\n\n",
+              (long long)overlap, late_pref.size());
+
+  const auto test_keys = data::all_test_keys(cfg.data);
+  const auto cham_acc = metrics::evaluate(cham, test_keys, late_pref);
+  const auto lr_acc = metrics::evaluate(lr, test_keys, late_pref);
+  std::printf("%-22s %-12s %-12s\n", "", "Acc_all", "Acc_preferred");
+  std::printf("%-22s %-12.2f %-12.2f\n", "Chameleon", cham_acc.acc_all,
+              cham_acc.acc_preferred);
+  std::printf("%-22s %-12.2f %-12.2f\n", "Latent Replay", lr_acc.acc_all,
+              lr_acc.acc_preferred);
+  std::printf("\nChameleon's user-aware short-term store should lift the"
+              " preferred-class slice\nwhile the class-balanced long-term"
+              " store protects Acc_all.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Streaming monitor: watch forgetting happen, domain by domain.
+//
+// Trains Chameleon and naive finetuning side by side, evaluating every
+// domain's test split after each training domain, then prints the accuracy
+// matrix, Backward Transfer (BWT) and worst-case forgetting for both — the
+// per-domain view behind the paper's single Acc_all number.
+//
+//   ./build/examples/streaming_monitor
+#include <cstdio>
+
+#include "baselines/simple_methods.h"
+#include "core/chameleon.h"
+#include "metrics/experiment.h"
+#include "metrics/forgetting.h"
+
+using namespace cham;
+
+namespace {
+
+void print_matrix(const char* name,
+                  const metrics::ForgettingTracker& tracker) {
+  std::printf("\n%s accuracy matrix (rows: after domain i; cols: domain j"
+              " test split):\n      ",
+              name);
+  const auto& m = tracker.matrix();
+  for (size_t j = 0; j < m.front().size(); ++j) {
+    std::printf("  D%-3zu", j);
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < m.size(); ++i) {
+    std::printf("  T%-3zu", i);
+    for (double v : m[i]) std::printf(" %5.1f", v);
+    std::printf("\n");
+  }
+  std::printf("  final avg %.2f%%   BWT %+.2f   max forgetting %.2f\n",
+              tracker.final_average(), tracker.backward_transfer(),
+              tracker.max_forgetting());
+}
+
+}  // namespace
+
+int main() {
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  cfg.data.num_classes = 10;
+  cfg.data.num_domains = 5;
+  cfg.data.train_instances = 6;
+  cfg.pretrain_num_classes = 20;
+  cfg.pretrain_epochs = 5;
+  // Short demo stream: a gentler step size keeps the full-network
+  // finetuning baseline in its learn-then-forget regime instead of
+  // diverging outright.
+  cfg.learner_lr = 0.025f;
+
+  std::printf("Setting up (pretraining backbone if uncached)...\n");
+  metrics::Experiment exp(cfg);
+  data::DomainIncrementalStream stream(cfg.data, cfg.stream);
+  exp.warm_latents(stream);
+
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 50;
+  cc.learning_window = 100;
+  core::ChameleonLearner cham(exp.env(), cc, 1);
+  baselines::FinetuneLearner finetune(exp.env(), 1);
+
+  metrics::ForgettingTracker cham_track(cfg.data);
+  metrics::ForgettingTracker ft_track(cfg.data);
+
+  int64_t current_domain = 0;
+  for (int64_t i = 0; i < stream.num_batches(); ++i) {
+    const auto& batch = stream.batch(i);
+    if (batch.domain != current_domain) {
+      cham_track.record_after_domain(cham, current_domain);
+      ft_track.record_after_domain(finetune, current_domain);
+      std::printf("  finished domain %lld\n", (long long)current_domain);
+      current_domain = batch.domain;
+    }
+    cham.observe(batch);
+    finetune.observe(batch);
+  }
+  cham_track.record_after_domain(cham, current_domain);
+  ft_track.record_after_domain(finetune, current_domain);
+
+  print_matrix("Chameleon", cham_track);
+  print_matrix("Finetuning", ft_track);
+  std::printf("\nThe diagonal is always strong (just-trained); Chameleon's"
+              " columns stay high after\nthe stream moves on, finetuning's"
+              " decay — that difference is the BWT gap.\n");
+  return 0;
+}

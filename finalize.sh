@@ -1,0 +1,14 @@
+#!/bin/bash
+# Appends the extension ablations to bench_output.txt and regenerates
+# test_output.txt with the full (grown) test suite.
+cd /root/repo
+{
+  echo "===== build/bench/bench_ablation_precision ====="
+  ./build/bench/bench_ablation_precision
+  echo "===== build/bench/bench_ablation_st_capacity ====="
+  ./build/bench/bench_ablation_st_capacity
+  echo "===== build/bench/bench_ablation_user_skew ====="
+  ./build/bench/bench_ablation_user_skew
+} >> bench_output.txt 2>&1
+ctest --test-dir build 2>&1 | tee test_output.txt > /dev/null
+echo FINALIZE_DONE >> bench_output.txt

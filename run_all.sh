@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates test_output.txt and bench_output.txt (every table/figure).
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b ====="
+    "$b"
+  fi
+done 2>&1 | tee /root/repo/bench_output.txt
+echo ALL_DONE >> /root/repo/bench_output.txt

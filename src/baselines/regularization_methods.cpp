@@ -1,0 +1,105 @@
+#include "baselines/regularization_methods.h"
+
+#include "nn/mobilenet.h"
+
+namespace cham::baselines {
+
+// ------------------------------------------------------------------ EWC++
+
+EwcPlusPlusLearner::EwcPlusPlusLearner(const core::LearnerEnv& env,
+                                       uint64_t seed, float lambda,
+                                       float fisher_decay,
+                                       int64_t anchor_period)
+    : FullNetLearner(env, seed),
+      lambda_(lambda),
+      fisher_decay_(fisher_decay),
+      anchor_period_(anchor_period) {
+  for (nn::Param* p : net_->params()) {
+    fisher_.emplace_back(p->value.shape());
+    anchor_.push_back(p->value);
+  }
+}
+
+void EwcPlusPlusLearner::snapshot_anchor() {
+  auto params = net_->params();
+  for (size_t i = 0; i < params.size(); ++i) anchor_[i] = params[i]->value;
+}
+
+void EwcPlusPlusLearner::observe(const data::Batch& batch) {
+  ++step_;
+  const Tensor x = data::synthesize_batch(*env_.data_cfg, batch.keys);
+
+  opt_.zero_grad();
+  Tensor logits = net_->forward(x, /*train=*/true);
+  auto ce = nn::softmax_cross_entropy(logits, batch.labels);
+  net_->backward(ce.grad);
+  charge_net(static_cast<int64_t>(batch.keys.size()));
+
+  // Online Fisher update from the task gradients, then the quadratic
+  // anchor penalty added on top.
+  auto params = net_->params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Param* p = params[i];
+    Tensor& f = fisher_[i];
+    const Tensor& a = anchor_[i];
+    for (int64_t j = 0; j < p->numel(); ++j) {
+      const float g = p->grad[j];
+      f[j] = fisher_decay_ * f[j] + (1.0f - fisher_decay_) * g * g;
+      p->grad[j] += lambda_ * f[j] * (p->value[j] - a[j]);
+    }
+  }
+  opt_.step();
+  charge_weight_traffic();
+  // Fisher + anchor live in DRAM and are touched every step.
+  stats_.offchip_bytes += static_cast<double>(net_params()) * 8.0;
+
+  if (step_ % anchor_period_ == 0) snapshot_anchor();
+  stats_.images += static_cast<int64_t>(batch.keys.size());
+}
+
+// -------------------------------------------------------------------- LwF
+
+LwfLearner::LwfLearner(const core::LearnerEnv& env, uint64_t seed,
+                       float distill_weight, float temperature,
+                       int64_t teacher_period)
+    : FullNetLearner(env, seed),
+      distill_weight_(distill_weight),
+      temperature_(temperature),
+      teacher_period_(teacher_period) {}
+
+void LwfLearner::snapshot_teacher() {
+  teacher_ = env_.full_net_factory();
+  nn::copy_params(*net_, *teacher_);
+}
+
+void LwfLearner::observe(const data::Batch& batch) {
+  ++step_;
+  const Tensor x = data::synthesize_batch(*env_.data_cfg, batch.keys);
+
+  opt_.zero_grad();
+  Tensor logits = net_->forward(x, /*train=*/true);
+  auto ce = nn::softmax_cross_entropy(logits, batch.labels);
+  Tensor total_grad = ce.grad;
+  if (teacher_) {
+    const Tensor teacher_logits = teacher_->forward(x, /*train=*/false);
+    auto kd = nn::kl_distillation(logits, teacher_logits, temperature_);
+    kd.grad *= distill_weight_;
+    total_grad += kd.grad;
+    // Teacher forward counts as extra compute.
+    stats_.f_fwd_macs += static_cast<double>(
+        net_fwd_macs_ * static_cast<int64_t>(batch.keys.size()));
+  }
+  net_->backward(total_grad);
+  charge_net(static_cast<int64_t>(batch.keys.size()));
+  opt_.step();
+  charge_weight_traffic();
+  // Teacher parameters stream from DRAM when distilling.
+  if (teacher_) {
+    stats_.offchip_bytes += static_cast<double>(net_params()) * 4.0;
+  }
+
+  if (step_ % teacher_period_ == 0) snapshot_teacher();
+  stats_.images += static_cast<int64_t>(batch.keys.size());
+}
+
+}  // namespace cham::baselines

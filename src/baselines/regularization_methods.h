@@ -1,0 +1,65 @@
+// Regularisation baselines (no replay buffer) from the paper's Table I.
+// Both train the FULL network, which is why their Table I overheads are
+// parameter-sized (~13 MB / 12.5 MB at the paper's model scale).
+//
+// EwcPlusPlusLearner (online EWC, Chaudhry et al. 2018): maintains an
+// exponential moving average of the squared gradients (online Fisher
+// diagonal) and anchors the parameters with a quadratic penalty
+// lambda/2 * sum_i F_i (theta_i - theta*_i)^2. The anchor theta* is
+// refreshed periodically (the online stand-in for task boundaries, which a
+// Domain-IL stream does not announce).
+//
+// LwfLearner (Learning without Forgetting, Li & Hoiem 2018): periodically
+// snapshots the network as a frozen teacher and adds a KL-distillation term
+// between teacher and student predictions on the incoming batch.
+#pragma once
+
+#include "core/full_net_learner.h"
+#include "replay/memory_accounting.h"
+
+namespace cham::baselines {
+
+class EwcPlusPlusLearner : public core::FullNetLearner {
+ public:
+  EwcPlusPlusLearner(const core::LearnerEnv& env, uint64_t seed,
+                     float lambda = 50.0f, float fisher_decay = 0.95f,
+                     int64_t anchor_period = 30);
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "EWC++"; }
+  int64_t memory_overhead_bytes() const override {
+    return replay::ewc_overhead_bytes(net_params());
+  }
+
+ private:
+  void snapshot_anchor();
+
+  float lambda_, fisher_decay_;
+  int64_t anchor_period_;
+  int64_t step_ = 0;
+  std::vector<Tensor> fisher_;   // per-param EMA of grad^2
+  std::vector<Tensor> anchor_;   // theta*
+};
+
+class LwfLearner : public core::FullNetLearner {
+ public:
+  LwfLearner(const core::LearnerEnv& env, uint64_t seed,
+             float distill_weight = 1.0f, float temperature = 2.0f,
+             int64_t teacher_period = 30);
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "LwF"; }
+  int64_t memory_overhead_bytes() const override {
+    return replay::lwf_overhead_bytes(net_params());
+  }
+
+ private:
+  void snapshot_teacher();
+
+  float distill_weight_, temperature_;
+  int64_t teacher_period_;
+  int64_t step_ = 0;
+  std::unique_ptr<nn::Sequential> teacher_;
+};
+
+}  // namespace cham::baselines

@@ -1,0 +1,147 @@
+// Single-buffer replay baselines from the paper's Table I.
+//
+// ER, DER and GSS follow their original papers and train the FULL network on
+// raw images — which is exactly why their buffers are image-sized (plus
+// logits for DER, plus gradients for GSS) and why they forget more under
+// domain shift than latent methods with a frozen backbone.
+//
+// ErLearner (Experience Replay, Chaudhry et al. 2019): reservoir buffer of
+// raw images; each step trains on the incoming batch plus a random replay
+// minibatch.
+//
+// DerLearner (Dark Experience Replay, Buzzega et al. 2020): like ER but the
+// buffer also stores the network's logits at insertion time; replayed
+// samples are trained with an MSE term against those stored logits.
+//
+// GssLearner (Gradient-based Sample Selection, Aljundi et al. 2019): greedy
+// variant. Buffer entries carry last-layer gradient factors; an incoming
+// sample is scored by its maximum cosine similarity to a random buffer
+// subset and replaces a similarity-weighted victim when it is more diverse.
+// The gradient storage is what gives GSS its ~10x memory overhead.
+//
+// LatentReplayLearner (Pellegrini et al. 2020): frozen backbone, single
+// unified buffer of latent activations with reservoir insertion; replay
+// minibatch every step. All buffer traffic is off-chip (the buffer exceeds
+// on-chip SRAM) — the cost Chameleon's ST/LT split removes.
+#pragma once
+
+#include "core/full_net_learner.h"
+#include "core/head_learner.h"
+#include "replay/buffer.h"
+#include "replay/memory_accounting.h"
+
+namespace cham::baselines {
+
+class ErLearner : public core::FullNetLearner {
+ public:
+  ErLearner(const core::LearnerEnv& env, int64_t buffer_size, uint64_t seed,
+            int64_t replay_minibatch = 10)
+      : FullNetLearner(env, seed),
+        buffer_(buffer_size),
+        replay_minibatch_(replay_minibatch) {}
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "ER"; }
+  int64_t memory_overhead_bytes() const override {
+    return buffer_.capacity() *
+           replay::er_sample_bytes(3, env_.data_cfg->image_hw);
+  }
+  const replay::ReplayBuffer& buffer() const { return buffer_; }
+
+ private:
+  replay::ReplayBuffer buffer_;
+  int64_t replay_minibatch_;
+};
+
+class DerLearner : public core::FullNetLearner {
+ public:
+  DerLearner(const core::LearnerEnv& env, int64_t buffer_size, uint64_t seed,
+             float alpha = 0.2f, int64_t replay_minibatch = 10)
+      : FullNetLearner(env, seed),
+        buffer_(buffer_size),
+        alpha_(alpha),
+        replay_minibatch_(replay_minibatch) {}
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "DER"; }
+  int64_t memory_overhead_bytes() const override {
+    return buffer_.capacity() *
+           replay::der_sample_bytes(3, env_.data_cfg->image_hw,
+                                    env_.data_cfg->num_classes);
+  }
+  const replay::ReplayBuffer& buffer() const { return buffer_; }
+
+ private:
+  replay::ReplayBuffer buffer_;
+  float alpha_;
+  int64_t replay_minibatch_;
+};
+
+class GssLearner : public core::FullNetLearner {
+ public:
+  GssLearner(const core::LearnerEnv& env, int64_t buffer_size, uint64_t seed,
+             int64_t replay_minibatch = 10, int64_t similarity_subset = 10)
+      : FullNetLearner(env, seed),
+        capacity_(buffer_size),
+        replay_minibatch_(replay_minibatch),
+        similarity_subset_(similarity_subset) {}
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "GSS"; }
+  int64_t memory_overhead_bytes() const override {
+    // GSS stores a gradient vector per sample (paper: "up to 10x more
+    // memory overhead for the same number of replay samples"). We account
+    // the final-layer gradient (classes x pooled features + bias).
+    const int64_t feat_dim = final_feature_dim();
+    const int64_t grad_dim =
+        env_.data_cfg->num_classes * feat_dim + env_.data_cfg->num_classes;
+    return capacity_ *
+           replay::gss_sample_bytes(3, env_.data_cfg->image_hw, grad_dim);
+  }
+  int64_t buffer_size() const { return static_cast<int64_t>(items_.size()); }
+
+ private:
+  struct GssItem {
+    replay::ReplaySample sample;
+    // The last-layer weight gradient factorises as (p - y) ⊗ h; storing the
+    // two factors gives exact cosine similarities at a fraction of the
+    // compute (cos(a⊗b, c⊗d) = cos(a,c) * cos(b,d)).
+    std::vector<float> grad_class;    // p - onehot(y)
+    std::vector<float> grad_feature;  // final pooled feature h
+    double score = 0.1;               // running max-similarity score
+  };
+
+  int64_t final_feature_dim() const;
+  GssItem make_item(const data::ImageKey& key, int64_t label);
+  static double cosine(std::span<const float> a, std::span<const float> b);
+  double max_similarity(const GssItem& item,
+                        const std::vector<int64_t>& subset) const;
+
+  int64_t capacity_;
+  int64_t replay_minibatch_;
+  int64_t similarity_subset_;
+  std::vector<GssItem> items_;
+};
+
+class LatentReplayLearner : public core::HeadLearner {
+ public:
+  LatentReplayLearner(const core::LearnerEnv& env, int64_t buffer_size,
+                      uint64_t seed, int64_t replay_minibatch = 10)
+      : HeadLearner(env, seed),
+        buffer_(buffer_size),
+        replay_minibatch_(replay_minibatch) {}
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "Latent Replay"; }
+  int64_t memory_overhead_bytes() const override {
+    return buffer_.capacity() *
+           replay::latent_sample_bytes(env_.latent_shape.numel());
+  }
+  const replay::ReplayBuffer& buffer() const { return buffer_; }
+
+ private:
+  replay::ReplayBuffer buffer_;
+  int64_t replay_minibatch_;
+};
+
+}  // namespace cham::baselines

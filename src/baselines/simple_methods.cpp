@@ -1,0 +1,49 @@
+#include "baselines/simple_methods.h"
+
+namespace cham::baselines {
+
+void FinetuneLearner::observe(const data::Batch& batch) {
+  const Tensor x = data::synthesize_batch(*env_.data_cfg, batch.keys);
+  train_step(x, batch.labels);
+  charge_weight_traffic();
+  stats_.images += static_cast<int64_t>(batch.keys.size());
+}
+
+void JointLearner::observe(const data::Batch& batch) {
+  seen_keys_.insert(seen_keys_.end(), batch.keys.begin(), batch.keys.end());
+  seen_labels_.insert(seen_labels_.end(), batch.labels.begin(),
+                      batch.labels.end());
+  stats_.images += static_cast<int64_t>(batch.keys.size());
+  dirty_ = true;
+}
+
+void JointLearner::fit() {
+  const int64_t n = static_cast<int64_t>(seen_keys_.size());
+  if (n == 0) return;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  for (int64_t epoch = 0; epoch < epochs_; ++epoch) {
+    rng_.shuffle(order);
+    for (int64_t start = 0; start < n; start += batch_size_) {
+      const int64_t end = std::min(start + batch_size_, n);
+      std::vector<data::ImageKey> chunk;
+      std::vector<int64_t> labels;
+      for (int64_t i = start; i < end; ++i) {
+        const int64_t j = order[static_cast<size_t>(i)];
+        chunk.push_back(seen_keys_[static_cast<size_t>(j)]);
+        labels.push_back(seen_labels_[static_cast<size_t>(j)]);
+      }
+      const Tensor x = data::synthesize_batch(*env_.data_cfg, chunk);
+      train_step(x, labels);
+    }
+  }
+  dirty_ = false;
+}
+
+std::vector<int64_t> JointLearner::predict(
+    const std::vector<data::ImageKey>& keys) {
+  if (dirty_) fit();
+  return FullNetLearner::predict(keys);
+}
+
+}  // namespace cham::baselines

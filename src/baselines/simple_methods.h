@@ -1,0 +1,47 @@
+// Naive lower / upper bounds from the paper's Table I. Both train the FULL
+// network (the traditional protocol): Finetuning is the single-epoch
+// catastrophic-forgetting lower bound, JOINT the 4-epoch offline upper
+// bound (paper Sec. IV-A).
+#pragma once
+
+#include "core/full_net_learner.h"
+
+namespace cham::baselines {
+
+class FinetuneLearner : public core::FullNetLearner {
+ public:
+  FinetuneLearner(const core::LearnerEnv& env, uint64_t seed)
+      : FullNetLearner(env, seed) {}
+
+  void observe(const data::Batch& batch) override;
+  std::string name() const override { return "Finetuning"; }
+  int64_t memory_overhead_bytes() const override { return 0; }
+};
+
+class JointLearner : public core::FullNetLearner {
+ public:
+  JointLearner(const core::LearnerEnv& env, uint64_t seed, int64_t epochs = 4,
+               int64_t batch_size = 16)
+      : FullNetLearner(env, seed), epochs_(epochs), batch_size_(batch_size) {
+    // Offline multi-epoch training is stable at a lower step size than the
+    // single-pass online setting; the upper bound gets its own tuned lr.
+    opt_.set_lr(env.lr * 0.4f);
+  }
+
+  void observe(const data::Batch& batch) override;
+  std::vector<int64_t> predict(
+      const std::vector<data::ImageKey>& keys) override;
+  std::string name() const override { return "JOINT"; }
+  // Joint training stores the entire dataset; reported as "—" in the paper.
+  int64_t memory_overhead_bytes() const override { return 0; }
+
+ private:
+  void fit();
+
+  int64_t epochs_, batch_size_;
+  std::vector<data::ImageKey> seen_keys_;
+  std::vector<int64_t> seen_labels_;
+  bool dirty_ = false;
+};
+
+}  // namespace cham::baselines

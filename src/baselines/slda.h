@@ -1,0 +1,54 @@
+// Deep Streaming Linear Discriminant Analysis (Hayes & Kanan, CVPRW 2020).
+//
+// A non-parametric online classifier over pooled backbone features: running
+// per-class means, a shared streaming covariance with shrinkage, and a
+// precision matrix obtained by (pseudo-)inverting the covariance. The paper
+// highlights that this inverse is O(d^3) and is what makes SLDA slow on edge
+// devices despite its small memory footprint — that cost is charged to
+// `extra_flops` for the Table II device models.
+#pragma once
+
+#include "core/learner.h"
+#include "linalg/linalg.h"
+#include "replay/memory_accounting.h"
+#include "tensor/ops.h"
+
+namespace cham::baselines {
+
+class SldaLearner : public core::ContinualLearner {
+ public:
+  SldaLearner(const core::LearnerEnv& env, uint64_t seed,
+              float shrinkage = 1e-2f);
+
+  void observe(const data::Batch& batch) override;
+  std::vector<int64_t> predict(
+      const std::vector<data::ImageKey>& keys) override;
+  std::string name() const override { return "SLDA"; }
+  int64_t memory_overhead_bytes() const override {
+    return replay::slda_overhead_bytes(dim_, env_.data_cfg->num_classes);
+  }
+
+  const Tensor& class_mean(int64_t c) const {
+    return means_[static_cast<size_t>(c)];
+  }
+  int64_t class_count(int64_t c) const {
+    return counts_[static_cast<size_t>(c)];
+  }
+
+ private:
+  // Pooled feature (GAP over the latent's spatial dims) of one image.
+  Tensor feature(const data::ImageKey& key);
+  void refresh_precision();
+
+  core::LearnerEnv env_;
+  int64_t dim_;
+  float shrinkage_;
+  std::vector<Tensor> means_;     // per class, dim_
+  std::vector<int64_t> counts_;   // per class
+  Tensor cov_;                    // dim_ x dim_, shared
+  int64_t total_count_ = 0;
+  Tensor precision_;              // cached inverse
+  bool precision_dirty_ = true;
+};
+
+}  // namespace cham::baselines

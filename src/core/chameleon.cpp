@@ -1,0 +1,161 @@
+#include "core/chameleon.h"
+
+namespace cham::core {
+namespace {
+
+StSamplingConfig effective_sampling(const ChameleonConfig& cfg) {
+  StSamplingConfig s = cfg.st_sampling;
+  if (!cfg.use_user_affinity) s.alpha = 0.0f;
+  if (!cfg.use_uncertainty) s.beta = 0.0f;
+  // Both terms disabled degenerates to uniform selection; Eq. 4 handles the
+  // all-zero case by falling back to uniform in ShortTermMemory::update.
+  return s;
+}
+
+}  // namespace
+
+ChameleonLearner::ChameleonLearner(const LearnerEnv& env,
+                                   const ChameleonConfig& cfg, uint64_t seed)
+    : HeadLearner(env, seed),
+      cfg_(cfg),
+      prefs_(env.data_cfg->num_classes, cfg.top_k, cfg.learning_window,
+             cfg.rho),
+      st_(cfg.st_capacity, effective_sampling(cfg)),
+      lt_(cfg.lt_capacity, env.data_cfg->num_classes) {}
+
+void ChameleonLearner::observe(const data::Batch& batch) {
+  ++step_;
+  const int64_t bsz = static_cast<int64_t>(batch.keys.size());
+  const int64_t latent_sz =
+      replay::latent_sample_bytes(env_.latent_shape.numel());
+
+  // [line 3] running per-class statistics.
+  for (int64_t label : batch.labels) prefs_.update(label);
+
+  // [line 4] latent extraction for the incoming batch.
+  std::vector<const Tensor*> latents;
+  latents.reserve(static_cast<size_t>(bsz));
+  for (const auto& key : batch.keys) {
+    latents.push_back(&env_.latents->latent(key));
+  }
+  charge_f(bsz);
+
+  // [lines 5-7] training set: every update "sweeps through the complete
+  // short-term memory" — the incoming batch is concatenated with the full
+  // ST store, plus an LT minibatch every h batches (iterative mini-batch
+  // concatenation scheme). One weight update per batch (Algorithm 1 line 7).
+  // ST reads come from on-chip SRAM, LT reads from off-chip DRAM.
+  std::vector<const Tensor*> train_latents = latents;
+  std::vector<int64_t> train_labels = batch.labels;
+  for (int64_t i = 0; i < st_.size(); ++i) {
+    const auto& s = st_.buffer().item(i);
+    train_latents.push_back(&s.latent);
+    train_labels.push_back(s.label);
+  }
+  stats_.onchip_bytes += static_cast<double>(st_.size() * latent_sz);
+
+  const bool lt_cycle = (step_ % cfg_.lt_period_h) == 0;
+  if (lt_cycle && lt_.size() > 0) {
+    // One off-chip burst: h batches' worth of LT replay fetched at once.
+    staged_lt_.clear();
+    staged_pos_ = 0;
+    for (const auto* s :
+         lt_.sample(cfg_.lt_period_h * cfg_.lt_replay_per_batch, rng_)) {
+      staged_lt_.push_back(*s);
+    }
+    stats_.offchip_bytes += static_cast<double>(
+        static_cast<int64_t>(staged_lt_.size()) * latent_sz);
+  }
+  // Consume the staged burst iteratively, lt_replay_per_batch per batch.
+  const size_t take = std::min(
+      staged_lt_.size() - staged_pos_,
+      static_cast<size_t>(cfg_.lt_replay_per_batch));
+  for (size_t i = 0; i < take; ++i) {
+    const auto& s = staged_lt_[staged_pos_ + i];
+    train_latents.push_back(&s.latent);
+    train_labels.push_back(s.label);
+  }
+  staged_pos_ += take;
+
+  const Tensor z = data::stack_latents(train_latents);
+  const Tensor logits = train_step(z, train_labels);
+  charge_weight_traffic();
+
+  // The incoming samples' logits (first bsz rows) feed the Eq. 3 scores.
+  Tensor batch_logits({bsz, logits.dim(1)});
+  std::copy(logits.data(), logits.data() + bsz * logits.dim(1),
+            batch_logits.data());
+  std::vector<replay::ReplaySample> candidates(static_cast<size_t>(bsz));
+  for (int64_t i = 0; i < bsz; ++i) {
+    auto& c = candidates[static_cast<size_t>(i)];
+    c.key = batch.keys[static_cast<size_t>(i)];
+    c.label = batch.labels[static_cast<size_t>(i)];
+    // Latents pass through the configured storage precision on their way
+    // into the buffer (identity for fp32).
+    if (cfg_.buffer_precision == quant::Precision::kFp32) {
+      c.latent = *latents[static_cast<size_t>(i)];
+    } else {
+      c.latent = quant::decode(quant::encode(*latents[static_cast<size_t>(i)],
+                                             cfg_.buffer_precision));
+    }
+  }
+  st_.update(candidates, batch_logits, prefs_, rng_);
+  stats_.onchip_bytes += static_cast<double>(latent_sz);  // one ST write
+
+  // [lines 12-14] LT update from ST every h batches.
+  if (lt_cycle && st_.size() > 0) {
+    std::vector<replay::ReplaySample> st_samples;
+    st_samples.reserve(static_cast<size_t>(st_.size()));
+    for (int64_t i = 0; i < st_.size(); ++i) {
+      st_samples.push_back(st_.buffer().item(i));
+    }
+    stats_.onchip_bytes +=
+        static_cast<double>(st_.size() * latent_sz);  // ST reads
+
+    if (cfg_.use_prototype_selection) {
+      auto predict = [this](const Tensor& latent) {
+        const Tensor lg = eval_logits(latent);
+        return cham::ops::softmax_row(lg.row(0));
+      };
+      // Prototype formation reads each involved class's LT entries.
+      const int64_t updated = lt_.update_from(st_samples, predict, rng_);
+      stats_.offchip_bytes +=
+          static_cast<double>(updated * lt_.per_class_quota() * latent_sz);
+      stats_.offchip_bytes += static_cast<double>(updated * latent_sz);
+    } else {
+      // Ablation: promote one random ST sample per present class.
+      std::unordered_map<int64_t, std::vector<const replay::ReplaySample*>>
+          by_class;
+      for (const auto& s : st_samples) by_class[s.label].push_back(&s);
+      for (auto& [cls, cands] : by_class) {
+        (void)cls;
+        const auto* pick = cands[static_cast<size_t>(
+            rng_.uniform_int(static_cast<int64_t>(cands.size())))];
+        lt_.insert(*pick, rng_);
+        stats_.offchip_bytes += static_cast<double>(latent_sz);
+      }
+    }
+  }
+
+  stats_.images += bsz;
+}
+
+int64_t ChameleonLearner::st_bytes() const {
+  return st_.capacity() *
+         (quant::storage_bytes(cfg_.buffer_precision,
+                               env_.latent_shape.numel()) +
+          replay::kBytesPerLabel);
+}
+
+int64_t ChameleonLearner::lt_bytes() const {
+  return lt_.capacity() *
+         (quant::storage_bytes(cfg_.buffer_precision,
+                               env_.latent_shape.numel()) +
+          replay::kBytesPerLabel);
+}
+
+int64_t ChameleonLearner::memory_overhead_bytes() const {
+  return st_bytes() + lt_bytes();
+}
+
+}  // namespace cham::core

@@ -1,0 +1,82 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+
+#include "nn/model_io.h"
+#include "replay/serialize.h"
+
+namespace cham::core {
+namespace {
+
+constexpr uint32_t kMagic = 0x4348434B;  // "CHCK"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return is.good();
+}
+
+}  // namespace
+
+bool save_checkpoint(const ChameleonLearner& learner,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+
+  // Head parameters via a temporary side file would double I/O; reuse the
+  // model_io layout inline by serialising to the same stream.
+  auto& mutable_learner = const_cast<ChameleonLearner&>(learner);
+  {
+    // model_io works on files; write the head to <path>.head alongside.
+    if (!nn::save_params(mutable_learner.head(), path + ".head")) {
+      return false;
+    }
+  }
+
+  // Short-term store.
+  if (!replay::save_buffer(learner.short_term().buffer(), os)) return false;
+
+  // Long-term store: flat sample list (class ids are inside the samples).
+  const auto lt = learner.long_term().all_samples();
+  write_pod(os, static_cast<int64_t>(lt.size()));
+  for (const auto& s : lt) {
+    if (!replay::save_sample(s, os)) return false;
+  }
+  return os.good();
+}
+
+bool load_checkpoint(ChameleonLearner& learner, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  uint32_t magic = 0, version = 0;
+  if (!read_pod(is, magic) || magic != kMagic) return false;
+  if (!read_pod(is, version) || version != kVersion) return false;
+
+  if (!nn::load_params(learner.head(), path + ".head")) return false;
+
+  if (!replay::load_buffer(learner.mutable_short_term().buffer(), is)) {
+    return false;
+  }
+
+  int64_t lt_count = 0;
+  if (!read_pod(is, lt_count) || lt_count < 0) return false;
+  auto& lt = learner.mutable_long_term();
+  lt.clear();
+  Rng restore_rng(0xC0FFEE);  // below-quota inserts never hit the rng path
+  for (int64_t i = 0; i < lt_count; ++i) {
+    replay::ReplaySample s;
+    if (!replay::load_sample(s, is)) return false;
+    lt.insert(s, restore_rng);
+  }
+  return true;
+}
+
+}  // namespace cham::core

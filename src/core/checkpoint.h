@@ -1,0 +1,26 @@
+// Full learner-state checkpointing for on-device deployment.
+//
+// A power-cycled edge device must resume continual learning without losing
+// what its replay stores protect. A Chameleon checkpoint is small: the head
+// parameters (the backbone is a fixed artifact of the firmware image), the
+// short-term and long-term store contents, and the preference statistics'
+// observable state (the preferred set re-forms within one learning window,
+// so only the buffers and weights need persisting).
+#pragma once
+
+#include <string>
+
+#include "core/chameleon.h"
+
+namespace cham::core {
+
+// Saves head parameters + both replay stores. Returns false on I/O error.
+bool save_checkpoint(const ChameleonLearner& learner,
+                     const std::string& path);
+
+// Restores into a learner constructed with the SAME configuration and
+// environment. Returns false on mismatch or I/O error (learner untouched
+// on magic/version mismatch, best-effort on payload mismatch).
+bool load_checkpoint(ChameleonLearner& learner, const std::string& path);
+
+}  // namespace cham::core

@@ -1,0 +1,101 @@
+// Base class for baselines that train the ENTIRE network online — the
+// protocol of the original ER/DER/GSS/EWC++/LwF papers (and the reason their
+// Table I memory overheads are parameter- or image-sized). Unlike
+// HeadLearner these methods cannot share the frozen-backbone latent cache:
+// their backbone drifts, so every forward runs the full pipeline on raw
+// images.
+#pragma once
+
+#include "core/learner.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/mobilenet.h"
+#include "nn/sgd.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham::core {
+
+class FullNetLearner : public ContinualLearner {
+ public:
+  FullNetLearner(const LearnerEnv& env, uint64_t seed)
+      : env_(env),
+        rng_(seed),
+        net_(env.full_net_factory()),
+        opt_(net_->params(), env.lr),
+        net_fwd_macs_(net_->macs_per_sample()),
+        param_count_(count_params()) {
+    // Fresh task classifier, seeded by the learner seed so identical seeds
+    // give bit-identical runs.
+    Rng head_rng(seed * 0x9E3779B97F4A7C15ull + 0xC1A55);
+    nn::reinit_classifier(*net_, head_rng);
+  }
+
+  std::vector<int64_t> predict(
+      const std::vector<data::ImageKey>& keys) override {
+    std::vector<int64_t> out;
+    out.reserve(keys.size());
+    constexpr int64_t kEvalBatch = 32;
+    for (size_t start = 0; start < keys.size();
+         start += static_cast<size_t>(kEvalBatch)) {
+      const size_t end =
+          std::min(keys.size(), start + static_cast<size_t>(kEvalBatch));
+      std::vector<data::ImageKey> chunk(keys.begin() + static_cast<int64_t>(start),
+                                        keys.begin() + static_cast<int64_t>(end));
+      const Tensor x = data::synthesize_batch(*env_.data_cfg, chunk);
+      const Tensor logits = net_->forward(x, /*train=*/false);
+      for (int64_t i = 0; i < logits.dim(0); ++i) {
+        out.push_back(cham::ops::argmax(logits.row(i)));
+      }
+    }
+    return out;
+  }
+
+  nn::Sequential& net() { return *net_; }
+  int64_t net_params() const { return param_count_; }
+
+ protected:
+  // One SGD step of cross-entropy on a raw-image batch; returns the logits.
+  Tensor train_step(const Tensor& images, std::span<const int64_t> labels) {
+    opt_.zero_grad();
+    Tensor logits = net_->forward(images, /*train=*/true);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    net_->backward(loss.grad);
+    opt_.step();
+    charge_net(images.dim(0));
+    return logits;
+  }
+
+  Tensor eval_logits(const Tensor& images) {
+    stats_.f_fwd_macs +=
+        static_cast<double>(net_fwd_macs_ * images.dim(0));
+    return net_->forward(images, /*train=*/false);
+  }
+
+  void charge_net(int64_t samples) {
+    // Forward booked against the backbone counter (it includes the head),
+    // backward against the training counter; the device cost models only
+    // consume the totals.
+    stats_.f_fwd_macs += static_cast<double>(net_fwd_macs_ * samples);
+    stats_.g_bwd_macs += static_cast<double>(2 * net_fwd_macs_ * samples);
+  }
+  void charge_weight_traffic() {
+    stats_.weight_bytes += static_cast<double>(param_count_) * 4.0;
+  }
+
+  LearnerEnv env_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> net_;
+  nn::Sgd opt_;
+  int64_t net_fwd_macs_;
+  int64_t param_count_;
+
+ private:
+  int64_t count_params() {
+    int64_t n = 0;
+    for (nn::Param* p : net_->params()) n += p->numel();
+    return n;
+  }
+};
+
+}  // namespace cham::core

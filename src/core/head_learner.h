@@ -1,0 +1,95 @@
+// Base class for learners that train a MobileNet head g over frozen latents.
+// Owns the head, the optimiser, prediction, and the MAC/byte accounting
+// helpers shared by Chameleon and the replay baselines.
+#pragma once
+
+#include "core/learner.h"
+#include "nn/loss.h"
+#include "nn/mobilenet.h"
+#include "nn/sgd.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham::core {
+
+class HeadLearner : public ContinualLearner {
+ public:
+  HeadLearner(const LearnerEnv& env, uint64_t seed)
+      : env_(env),
+        rng_(seed),
+        g_(env.head_factory()),
+        opt_(g_->params(), env.lr),
+        g_fwd_macs_(g_->macs_per_sample()),
+        head_param_count_(count_params()) {
+    // Fresh task classifier, seeded by the learner seed so identical seeds
+    // give bit-identical runs.
+    Rng head_rng(seed * 0x9E3779B97F4A7C15ull + 0xC1A55);
+    nn::reinit_classifier(*g_, head_rng);
+  }
+
+  std::vector<int64_t> predict(
+      const std::vector<data::ImageKey>& keys) override {
+    std::vector<int64_t> out;
+    out.reserve(keys.size());
+    for (const auto& key : keys) {
+      const Tensor& z = env_.latents->latent(key);
+      const Tensor logits = g_->forward(z, /*train=*/false);
+      out.push_back(cham::ops::argmax(logits.row(0)));
+    }
+    return out;
+  }
+
+  nn::Sequential& head() { return *g_; }
+  int64_t head_params() const { return head_param_count_; }
+  int64_t g_fwd_macs() const { return g_fwd_macs_; }
+
+ protected:
+  // One SGD step of cross-entropy on a latent batch; returns the logits
+  // computed during the forward pass (train mode). Also charges g MACs.
+  Tensor train_step(const Tensor& latent_batch,
+                    std::span<const int64_t> labels) {
+    opt_.zero_grad();
+    Tensor logits = g_->forward(latent_batch, /*train=*/true);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    g_->backward(loss.grad);
+    opt_.step();
+    charge_g(latent_batch.dim(0));
+    return logits;
+  }
+
+  // Eval-mode logits for a single latent (1xCxHxW), charging forward MACs.
+  Tensor eval_logits(const Tensor& latent) {
+    stats_.g_fwd_macs += static_cast<double>(g_fwd_macs_);
+    return g_->forward(latent, /*train=*/false);
+  }
+
+  // Accounting helpers -----------------------------------------------------
+  void charge_g(int64_t samples) {
+    stats_.g_fwd_macs += static_cast<double>(g_fwd_macs_ * samples);
+    // Backward computes both weight grads and input grads: ~2x forward.
+    stats_.g_bwd_macs += static_cast<double>(2 * g_fwd_macs_ * samples);
+  }
+  void charge_f(int64_t samples) {
+    stats_.f_fwd_macs += static_cast<double>(env_.f_fwd_macs * samples);
+  }
+  void charge_weight_traffic() {
+    // One read of the head parameters per optimisation step.
+    stats_.weight_bytes += static_cast<double>(head_param_count_) * 4.0;
+  }
+
+  LearnerEnv env_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> g_;
+  nn::Sgd opt_;
+  int64_t g_fwd_macs_;
+  int64_t head_param_count_;
+
+ private:
+  int64_t count_params() {
+    int64_t n = 0;
+    for (nn::Param* p : g_->params()) n += p->numel();
+    return n;
+  }
+};
+
+}  // namespace cham::core

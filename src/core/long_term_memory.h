@@ -1,0 +1,150 @@
+// Long-term (off-chip) replay store with class-prototype-based acquisition
+// (paper Sec. III-D, Eqs. 5-6).
+//
+// The store is class-balanced: each class owns capacity/num_classes slots.
+// Every h batches, for each class c present in the short-term store, the
+// class prototype P_c (Eq. 5: mean latent of c's LT entries) is formed and
+// the ST sample with the largest
+//     S_j = tanh( KL( p(y|st_j) || p(y|P_c) ) )                    (Eq. 6)
+// — the sample whose predictive distribution disagrees most with its class
+// prototype, i.e. the most diverse/contrastive one — replaces a uniformly
+// random same-class LT entry (Algorithm 1, lines 12-14).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "replay/sample.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham::core {
+
+class LongTermMemory {
+ public:
+  // `predict_probs` maps a latent (1xCxHxW) to softmax probabilities under
+  // the current head; supplied by the learner that owns g.
+  using PredictFn = std::function<std::vector<float>(const Tensor&)>;
+
+  LongTermMemory(int64_t capacity, int64_t num_classes)
+      : capacity_(capacity),
+        num_classes_(num_classes),
+        per_class_quota_(std::max<int64_t>(1, capacity / num_classes)),
+        slots_(static_cast<size_t>(num_classes)) {}
+
+  int64_t capacity() const { return capacity_; }
+  int64_t per_class_quota() const { return per_class_quota_; }
+  int64_t size() const {
+    int64_t n = 0;
+    for (const auto& v : slots_) n += static_cast<int64_t>(v.size());
+    return n;
+  }
+  int64_t class_count(int64_t c) const {
+    return static_cast<int64_t>(slots_[static_cast<size_t>(c)].size());
+  }
+  const std::vector<replay::ReplaySample>& class_slots(int64_t c) const {
+    return slots_[static_cast<size_t>(c)];
+  }
+
+  // Eq. 5: mean latent of class c's stored entries. Empty optional if the
+  // class has no entries yet.
+  std::optional<Tensor> prototype(int64_t c) const {
+    const auto& v = slots_[static_cast<size_t>(c)];
+    if (v.empty()) return std::nullopt;
+    Tensor proto(v.front().latent.shape());
+    for (const auto& s : v) proto += s.latent;
+    proto *= 1.0f / static_cast<float>(v.size());
+    return proto;
+  }
+
+  // Eq. 6 score for one candidate against its class prototype.
+  static double prototype_divergence(std::span<const float> cand_probs,
+                                     std::span<const float> proto_probs) {
+    return std::tanh(cham::ops::kl_divergence(cand_probs, proto_probs));
+  }
+
+  // One LT update from the short-term store contents: greedily pick the
+  // max-S_j ST sample per class and insert it (Algorithm 1 lines 12-14).
+  // Returns the number of classes updated.
+  int64_t update_from(const std::vector<replay::ReplaySample>& st_samples,
+                      const PredictFn& predict_probs, Rng& rng) {
+    // Group ST candidates by class.
+    std::unordered_map<int64_t, std::vector<const replay::ReplaySample*>>
+        by_class;
+    for (const auto& s : st_samples) by_class[s.label].push_back(&s);
+
+    int64_t updated = 0;
+    for (auto& [cls, candidates] : by_class) {
+      const replay::ReplaySample* best = candidates.front();
+      if (auto proto = prototype(cls); proto && candidates.size() > 1) {
+        const auto proto_probs = predict_probs(*proto);
+        double best_s = -1;
+        for (const auto* cand : candidates) {
+          const auto cand_probs = predict_probs(cand->latent);
+          const double s = prototype_divergence(cand_probs, proto_probs);
+          if (s > best_s) {
+            best_s = s;
+            best = cand;
+          }
+        }
+      } else if (candidates.size() > 1) {
+        // No prototype yet: any candidate is equally informative.
+        best = candidates[static_cast<size_t>(
+            rng.uniform_int(static_cast<int64_t>(candidates.size())))];
+      }
+      insert(*best, rng);
+      ++updated;
+    }
+    return updated;
+  }
+
+  // Class-balanced insertion: fill the class quota first, then replace a
+  // uniformly random same-class entry.
+  void insert(const replay::ReplaySample& sample, Rng& rng) {
+    auto& v = slots_[static_cast<size_t>(sample.label)];
+    if (static_cast<int64_t>(v.size()) < per_class_quota_) {
+      v.push_back(sample);
+    } else {
+      v[static_cast<size_t>(
+          rng.uniform_int(static_cast<int64_t>(v.size())))] = sample;
+    }
+  }
+
+  // All stored entries (checkpointing; order: by class, then slot).
+  std::vector<replay::ReplaySample> all_samples() const {
+    std::vector<replay::ReplaySample> out;
+    out.reserve(static_cast<size_t>(size()));
+    for (const auto& v : slots_) {
+      for (const auto& s : v) out.push_back(s);
+    }
+    return out;
+  }
+
+  void clear() {
+    for (auto& v : slots_) v.clear();
+  }
+
+  // Uniformly random minibatch across all stored entries.
+  std::vector<const replay::ReplaySample*> sample(int64_t k, Rng& rng) const {
+    std::vector<const replay::ReplaySample*> all;
+    all.reserve(static_cast<size_t>(size()));
+    for (const auto& v : slots_) {
+      for (const auto& s : v) all.push_back(&s);
+    }
+    if (all.empty()) return {};
+    const auto idx = rng.sample_without_replacement(
+        static_cast<int64_t>(all.size()),
+        std::min<int64_t>(k, static_cast<int64_t>(all.size())));
+    std::vector<const replay::ReplaySample*> out;
+    out.reserve(idx.size());
+    for (int64_t i : idx) out.push_back(all[static_cast<size_t>(i)]);
+    return out;
+  }
+
+ private:
+  int64_t capacity_, num_classes_, per_class_quota_;
+  std::vector<std::vector<replay::ReplaySample>> slots_;  // per class
+};
+
+}  // namespace cham::core

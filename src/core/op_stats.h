@@ -1,0 +1,50 @@
+// Hardware-relevant operation counters accumulated by every learner.
+//
+// The learners run functionally on the host; these counters record what the
+// same algorithm would do on a device per processed image — MACs through the
+// backbone f and head g, bytes moved to/from the on-chip replay store vs the
+// off-chip DRAM, and any extra dense-linear-algebra FLOPs (SLDA's
+// pseudo-inverse). The hardware cost models (src/hw) turn an OpStats into
+// per-image latency and energy for each device profile.
+#pragma once
+
+#include <cstdint>
+
+namespace cham::core {
+
+struct OpStats {
+  int64_t images = 0;  // stream images processed
+
+  // Multiply-accumulates.
+  double f_fwd_macs = 0;   // frozen backbone forward
+  double g_fwd_macs = 0;   // head forward
+  double g_bwd_macs = 0;   // head backward (weight + input grads)
+  double extra_flops = 0;  // e.g. SLDA covariance update + pseudo-inverse
+
+  // Replay-buffer traffic in bytes (reads + writes).
+  double onchip_bytes = 0;   // short-term store (SRAM-resident)
+  double offchip_bytes = 0;  // long-term store / unified buffer (DRAM)
+
+  // Weight traffic per step is identical across methods (paper Sec. IV-C);
+  // modelled as off-chip reads of the head parameters once per training step.
+  double weight_bytes = 0;
+
+  OpStats& operator+=(const OpStats& o) {
+    images += o.images;
+    f_fwd_macs += o.f_fwd_macs;
+    g_fwd_macs += o.g_fwd_macs;
+    g_bwd_macs += o.g_bwd_macs;
+    extra_flops += o.extra_flops;
+    onchip_bytes += o.onchip_bytes;
+    offchip_bytes += o.offchip_bytes;
+    weight_bytes += o.weight_bytes;
+    return *this;
+  }
+
+  // Per-image averages (guarding empty runs).
+  double per_image(double total) const {
+    return images > 0 ? total / static_cast<double>(images) : 0.0;
+  }
+};
+
+}  // namespace cham::core

@@ -1,0 +1,110 @@
+// User-preference estimation (paper Sec. III-B step 1 and Eq. 2).
+//
+// Tracks running per-class sample counts n_c. Every `learning_window`
+// samples the top-k most frequent classes of the window become the preferred
+// set and the allocation factor
+//     Delta_k = n_k^rho / (n_k + n_{N-k})^rho            (Eq. 2)
+// is recomputed, where n_k is the average window frequency of the preferred
+// classes and n_{N-k} the average over the rest. rho in (0, 1] controls how
+// aggressively acquisition favours preferred classes; rho = 0 treats all
+// classes equally.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cham::core {
+
+class PreferenceTracker {
+ public:
+  PreferenceTracker(int64_t num_classes, int64_t top_k,
+                    int64_t learning_window, float rho)
+      : num_classes_(num_classes),
+        top_k_(std::min(top_k, num_classes)),
+        learning_window_(learning_window),
+        rho_(rho),
+        window_counts_(static_cast<size_t>(num_classes), 0),
+        total_counts_(static_cast<size_t>(num_classes), 0),
+        preferred_(static_cast<size_t>(num_classes), false) {}
+
+  // Record one observed label; recalibrates when the window fills.
+  void update(int64_t label) {
+    ++window_counts_[static_cast<size_t>(label)];
+    ++total_counts_[static_cast<size_t>(label)];
+    if (++window_seen_ >= learning_window_) recalibrate();
+  }
+
+  bool is_preferred(int64_t cls) const {
+    return preferred_[static_cast<size_t>(cls)];
+  }
+  double delta_k() const { return delta_k_; }
+  // Per-class allocation weight used in Eq. 4: Delta_k for preferred
+  // classes, (1 - Delta_k) for the rest.
+  double delta(int64_t cls) const {
+    return is_preferred(cls) ? delta_k_ : 1.0 - delta_k_;
+  }
+
+  std::vector<int64_t> preferred_classes() const {
+    std::vector<int64_t> out;
+    for (int64_t c = 0; c < num_classes_; ++c) {
+      if (preferred_[static_cast<size_t>(c)]) out.push_back(c);
+    }
+    return out;
+  }
+
+  int64_t recalibrations() const { return recalibrations_; }
+  int64_t samples_seen() const { return samples_seen_total_; }
+
+ private:
+  void recalibrate() {
+    samples_seen_total_ += window_seen_;
+    ++recalibrations_;
+    // Rank classes by window frequency; ties broken by class id for
+    // determinism.
+    std::vector<int64_t> order(static_cast<size_t>(num_classes_));
+    for (int64_t c = 0; c < num_classes_; ++c)
+      order[static_cast<size_t>(c)] = c;
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return window_counts_[static_cast<size_t>(a)] >
+             window_counts_[static_cast<size_t>(b)];
+    });
+    std::fill(preferred_.begin(), preferred_.end(), false);
+    double pref_sum = 0, other_sum = 0;
+    for (int64_t i = 0; i < num_classes_; ++i) {
+      const int64_t c = order[static_cast<size_t>(i)];
+      const double n = window_counts_[static_cast<size_t>(c)];
+      if (i < top_k_) {
+        preferred_[static_cast<size_t>(c)] = true;
+        pref_sum += n;
+      } else {
+        other_sum += n;
+      }
+    }
+    const double n_k = pref_sum / static_cast<double>(top_k_);
+    const double n_rest =
+        num_classes_ > top_k_
+            ? other_sum / static_cast<double>(num_classes_ - top_k_)
+            : 0.0;
+    // Eq. 2. With rho = 0 this is exactly 1 (all classes equally favoured,
+    // delta(c) == 1 - delta(c) only when delta_k == 0.5, so clamp below).
+    const double denom = n_k + n_rest;
+    delta_k_ = denom > 0 ? std::pow(n_k, rho_) / std::pow(denom, rho_) : 0.5;
+    // Keep the factor a usable probability weight.
+    delta_k_ = std::clamp(delta_k_, 0.05, 0.95);
+    std::fill(window_counts_.begin(), window_counts_.end(), int64_t{0});
+    window_seen_ = 0;
+  }
+
+  int64_t num_classes_, top_k_, learning_window_;
+  float rho_;
+  std::vector<int64_t> window_counts_, total_counts_;
+  std::vector<bool> preferred_;
+  int64_t window_seen_ = 0;
+  int64_t samples_seen_total_ = 0;
+  int64_t recalibrations_ = 0;
+  double delta_k_ = 0.5;  // neutral until the first window completes
+};
+
+}  // namespace cham::core

@@ -1,0 +1,76 @@
+// Task-free domain-shift detector (extension; the paper's streams never
+// announce domain boundaries, so methods like EWC++/LwF that conceptually
+// want boundaries must guess — this detector provides a principled guess).
+//
+// Tracks an exponential moving average and variance of a per-batch signal
+// (typically the mean uncertainty U_i of Eq. 3, or the training loss). A
+// boundary is flagged when the short-window mean deviates from the
+// long-window mean by more than `threshold_sigmas` standard deviations, with
+// a refractory period to avoid re-triggering inside one transition.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cham::core {
+
+class ShiftDetector {
+ public:
+  struct Config {
+    double fast_alpha = 0.3;    // short-window EMA coefficient
+    double slow_alpha = 0.02;   // long-window EMA coefficient
+    double threshold_sigmas = 3.0;
+    int64_t warmup = 10;        // batches before detection can fire
+    int64_t refractory = 10;    // batches to stay silent after a detection
+  };
+
+  ShiftDetector() : cfg_() {}
+  explicit ShiftDetector(const Config& cfg) : cfg_(cfg) {}
+
+  // Feeds one per-batch signal value; returns true when a domain boundary
+  // is detected at this step.
+  bool update(double signal) {
+    ++step_;
+    if (step_ == 1) {
+      fast_ = slow_ = signal;
+      var_ = 0;
+      return false;
+    }
+    // Noise is estimated from the residual against the FAST mean: the fast
+    // window re-adapts within a few steps of a shift, so the variance spikes
+    // only briefly while |fast - slow| stays elevated for ~1/slow_alpha
+    // steps — that separation is what makes the test fire.
+    const double residual = signal - fast_;
+    fast_ += cfg_.fast_alpha * residual;
+    slow_ += cfg_.slow_alpha * (signal - slow_);
+    var_ = (1 - cfg_.slow_alpha) * var_ +
+           cfg_.slow_alpha * residual * residual;
+
+    if (step_ <= cfg_.warmup || step_ - last_detection_ <= cfg_.refractory) {
+      return false;
+    }
+    const double sigma = std::sqrt(std::max(var_, 1e-12));
+    if (std::abs(fast_ - slow_) > cfg_.threshold_sigmas * sigma) {
+      last_detection_ = step_;
+      ++detections_;
+      // Re-anchor the long-term statistics on the new regime.
+      slow_ = fast_;
+      var_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  int64_t detections() const { return detections_; }
+  double fast_mean() const { return fast_; }
+  double slow_mean() const { return slow_; }
+
+ private:
+  Config cfg_;
+  double fast_ = 0, slow_ = 0, var_ = 0;
+  int64_t step_ = 0;
+  int64_t last_detection_ = -1000000;
+  int64_t detections_ = 0;
+};
+
+}  // namespace cham::core

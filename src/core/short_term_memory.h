@@ -1,0 +1,93 @@
+// Short-term (on-chip) replay store with user-aware uncertainty sampling
+// (paper Sec. III-C, Eqs. 3-4).
+//
+// Once per incoming batch, ONE element is selected with probability
+//   p_i  ∝  alpha * Delta_i / Z_batch  +  beta * U_i^{-1}          (Eq. 4)
+// where Delta_i is the preference allocation weight (Eq. 2), Z_batch the
+// batch normaliser of those weights, and U_i = |o(x_i)_{y_i}| the true-class
+// logit magnitude (Eq. 3 with one-hot y): low |logit| means the sample sits
+// near the decision boundary and should be rehearsed, hence the inverse.
+// The selected element replaces a uniformly random ST slot (Algorithm 1,
+// lines 8-10).
+#pragma once
+
+#include <span>
+
+#include "core/preference_tracker.h"
+#include "replay/buffer.h"
+
+namespace cham::core {
+
+struct StSamplingConfig {
+  float alpha = 1.0f;  // weight of the user-affinity term
+  float beta = 1.0f;   // weight of the uncertainty term
+};
+
+class ShortTermMemory {
+ public:
+  ShortTermMemory(int64_t capacity, StSamplingConfig cfg)
+      : buffer_(capacity), cfg_(cfg) {}
+
+  // Eq. 3: per-sample uncertainty scores from logits (N x C) and labels.
+  static std::vector<double> uncertainty_scores(
+      const Tensor& logits, std::span<const int64_t> labels) {
+    std::vector<double> u(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      u[i] = std::abs(
+          logits.at(static_cast<int64_t>(i), labels[i]));
+    }
+    return u;
+  }
+
+  // Eq. 4 selection probabilities over the incoming batch.
+  std::vector<double> selection_probabilities(
+      std::span<const int64_t> labels, std::span<const double> uncertainty,
+      const PreferenceTracker& prefs) const {
+    const size_t n = labels.size();
+    double z_batch = 0;
+    for (size_t i = 0; i < n; ++i) z_batch += prefs.delta(labels[i]);
+    if (z_batch <= 0) z_batch = 1.0;
+
+    constexpr double kEps = 1e-6;
+    std::vector<double> p(n);
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double affinity = prefs.delta(labels[i]) / z_batch;
+      const double inv_u = 1.0 / (uncertainty[i] + kEps);
+      p[i] = cfg_.alpha * affinity + cfg_.beta * inv_u;
+      total += p[i];
+    }
+    if (total > 0) {
+      for (double& v : p) v /= total;
+    } else {
+      std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
+    }
+    return p;
+  }
+
+  // Full update for one incoming batch: select one element by Eq. 4 and
+  // replace a random ST slot. Returns the index selected from the batch.
+  int64_t update(const std::vector<replay::ReplaySample>& batch,
+                 const Tensor& logits, const PreferenceTracker& prefs,
+                 Rng& rng) {
+    std::vector<int64_t> labels(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) labels[i] = batch[i].label;
+    const auto u = uncertainty_scores(logits, labels);
+    const auto p = selection_probabilities(labels, u, prefs);
+    int64_t pick = rng.sample_weighted(p);
+    if (pick < 0) pick = rng.uniform_int(static_cast<int64_t>(batch.size()));
+    buffer_.random_replace_add(batch[static_cast<size_t>(pick)], rng);
+    return pick;
+  }
+
+  const replay::ReplayBuffer& buffer() const { return buffer_; }
+  replay::ReplayBuffer& buffer() { return buffer_; }
+  int64_t size() const { return buffer_.size(); }
+  int64_t capacity() const { return buffer_.capacity(); }
+
+ private:
+  replay::ReplayBuffer buffer_;
+  StSamplingConfig cfg_;
+};
+
+}  // namespace cham::core

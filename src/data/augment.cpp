@@ -1,0 +1,97 @@
+#include "data/augment.h"
+
+#include <algorithm>
+
+namespace cham::data {
+namespace {
+
+// CHW geometry helper (accepts rank-3 CHW or rank-4 with leading 1).
+struct Chw {
+  int64_t c, h, w, offset;
+};
+
+Chw geometry(const Tensor& t) {
+  if (t.rank() == 3) return {t.dim(0), t.dim(1), t.dim(2), 0};
+  assert(t.rank() == 4 && t.dim(0) == 1);
+  return {t.dim(1), t.dim(2), t.dim(3), 0};
+}
+
+}  // namespace
+
+Tensor hflip(const Tensor& chw) {
+  const Chw g = geometry(chw);
+  Tensor out(chw.shape());
+  for (int64_t c = 0; c < g.c; ++c) {
+    for (int64_t y = 0; y < g.h; ++y) {
+      const float* src = chw.data() + (c * g.h + y) * g.w;
+      float* dst = out.data() + (c * g.h + y) * g.w;
+      for (int64_t x = 0; x < g.w; ++x) dst[x] = src[g.w - 1 - x];
+    }
+  }
+  return out;
+}
+
+Tensor shift(const Tensor& chw, int64_t dx, int64_t dy) {
+  const Chw g = geometry(chw);
+  Tensor out(chw.shape());
+  for (int64_t c = 0; c < g.c; ++c) {
+    for (int64_t y = 0; y < g.h; ++y) {
+      const int64_t sy = std::clamp<int64_t>(y - dy, 0, g.h - 1);
+      const float* src = chw.data() + (c * g.h + sy) * g.w;
+      float* dst = out.data() + (c * g.h + y) * g.w;
+      for (int64_t x = 0; x < g.w; ++x) {
+        const int64_t sx = std::clamp<int64_t>(x - dx, 0, g.w - 1);
+        dst[x] = src[sx];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor color_jitter(const Tensor& chw, float brightness, float contrast) {
+  Tensor out = chw;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const float v = 0.5f + contrast * (out[i] - 0.5f);
+    out[i] = std::clamp(v * brightness, 0.0f, 1.0f);
+  }
+  return out;
+}
+
+Tensor augment(const Tensor& chw, const AugmentConfig& cfg, Rng& rng) {
+  Tensor img = chw;
+  if (cfg.hflip && rng.bernoulli(0.5)) img = hflip(img);
+  if (cfg.max_shift_px > 0) {
+    const int64_t dx =
+        rng.uniform_int(2 * cfg.max_shift_px + 1) - cfg.max_shift_px;
+    const int64_t dy =
+        rng.uniform_int(2 * cfg.max_shift_px + 1) - cfg.max_shift_px;
+    if (dx != 0 || dy != 0) img = shift(img, dx, dy);
+  }
+  if (cfg.brightness > 0 || cfg.contrast > 0) {
+    img = color_jitter(img,
+                       1.0f + rng.uniform_f(-cfg.brightness, cfg.brightness),
+                       1.0f + rng.uniform_f(-cfg.contrast, cfg.contrast));
+  }
+  if (cfg.noise_sigma > 0) {
+    for (int64_t i = 0; i < img.numel(); ++i) {
+      img[i] = std::clamp(img[i] + rng.normal_f(0.0f, cfg.noise_sigma),
+                          0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+Tensor augment_batch(const Tensor& nchw, const AugmentConfig& cfg, Rng& rng) {
+  assert(nchw.rank() == 4);
+  Tensor out(nchw.shape());
+  const int64_t per = nchw.numel() / nchw.dim(0);
+  for (int64_t n = 0; n < nchw.dim(0); ++n) {
+    Tensor img({nchw.dim(1), nchw.dim(2), nchw.dim(3)});
+    std::copy(nchw.data() + n * per, nchw.data() + (n + 1) * per, img.data());
+    const Tensor aug = augment(img, cfg, rng);
+    std::copy(aug.data(), aug.data() + per, out.data() + n * per);
+  }
+  return out;
+}
+
+}  // namespace cham::data

@@ -1,0 +1,40 @@
+// Train-time image augmentations for the pretraining path.
+//
+// The backbone's domain robustness (DESIGN.md §6) comes from seeing varied
+// appearances during pretraining; these augmentations widen that variation
+// beyond the generator's own domain set: horizontal flip, random shift with
+// edge padding, brightness/contrast jitter, and additive noise. All take an
+// explicit Rng (reproducible) and operate on CHW or NCHW float images in
+// [0, 1].
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cham::data {
+
+struct AugmentConfig {
+  bool hflip = true;
+  int64_t max_shift_px = 2;
+  float brightness = 0.15f;  // multiplicative jitter range +-
+  float contrast = 0.15f;
+  float noise_sigma = 0.01f;
+};
+
+// Horizontal flip of a CHW image (in place variant returns a copy here for
+// value-semantic composition).
+Tensor hflip(const Tensor& chw);
+
+// Integer translation with clamp-to-edge padding.
+Tensor shift(const Tensor& chw, int64_t dx, int64_t dy);
+
+// value' = clamp(0.5 + contrast * (value - 0.5)) * brightness.
+Tensor color_jitter(const Tensor& chw, float brightness, float contrast);
+
+// Applies the configured random augmentations to one CHW image.
+Tensor augment(const Tensor& chw, const AugmentConfig& cfg, Rng& rng);
+
+// Applies `augment` independently to every image of an NCHW batch.
+Tensor augment_batch(const Tensor& nchw, const AugmentConfig& cfg, Rng& rng);
+
+}  // namespace cham::data

@@ -1,0 +1,204 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cham::data {
+namespace {
+
+constexpr double kTau = 6.28318530717958648;
+
+// Class appearance: a handful of soft blobs plus an oriented grating, all
+// drawn from a class-seeded RNG so every class has a stable identity.
+struct Blob {
+  float cx, cy, sigma, r, g, b, amp;
+};
+
+struct ClassPattern {
+  Blob blobs[4];
+  float grating_freq, grating_angle, grating_amp;
+  float base_r, base_g, base_b;
+};
+
+ClassPattern make_class_pattern(const DatasetConfig& cfg, int32_t class_id) {
+  Rng rng(cfg.seed * 0x9E3779B1ull + 0x1000003 * uint64_t(class_id) + 7);
+  ClassPattern p;
+  for (Blob& blob : p.blobs) {
+    blob.cx = rng.uniform_f(0.2f, 0.8f);
+    blob.cy = rng.uniform_f(0.2f, 0.8f);
+    blob.sigma = rng.uniform_f(0.08f, 0.22f);
+    blob.r = rng.uniform_f(0.0f, 1.0f);
+    blob.g = rng.uniform_f(0.0f, 1.0f);
+    blob.b = rng.uniform_f(0.0f, 1.0f);
+    blob.amp = rng.uniform_f(0.5f, 1.0f);
+  }
+  p.grating_freq = rng.uniform_f(2.0f, 6.0f);
+  p.grating_angle = rng.uniform_f(0.0f, float(kTau));
+  p.grating_amp = rng.uniform_f(0.1f, 0.3f);
+  p.base_r = rng.uniform_f(0.1f, 0.4f);
+  p.base_g = rng.uniform_f(0.1f, 0.4f);
+  p.base_b = rng.uniform_f(0.1f, 0.4f);
+  return p;
+}
+
+// Domain appearance: lighting, colour cast, background texture phase and
+// a global translation — the CORe50 "session" analogue.
+struct DomainTransform {
+  float brightness;         // multiplicative
+  float cast_r, cast_g, cast_b;
+  float bg_amp, bg_fx, bg_fy, bg_phase;
+  float shift_x, shift_y;   // in pixels (fraction of hw)
+  float contrast;
+};
+
+DomainTransform make_domain_transform(const DatasetConfig& cfg,
+                                      int32_t domain_id) {
+  Rng rng(cfg.seed * 0x85EBCA6Bull + 0x7FEF7 * uint64_t(domain_id) + 13);
+  const float s = cfg.domain_shift;
+  DomainTransform d;
+  d.brightness = 1.0f + s * rng.uniform_f(-0.35f, 0.35f);
+  d.cast_r = 1.0f + s * rng.uniform_f(-0.25f, 0.25f);
+  d.cast_g = 1.0f + s * rng.uniform_f(-0.25f, 0.25f);
+  d.cast_b = 1.0f + s * rng.uniform_f(-0.25f, 0.25f);
+  d.bg_amp = s * rng.uniform_f(0.10f, 0.30f);
+  d.bg_fx = rng.uniform_f(1.0f, 4.0f);
+  d.bg_fy = rng.uniform_f(1.0f, 4.0f);
+  d.bg_phase = rng.uniform_f(0.0f, float(kTau));
+  d.shift_x = s * rng.uniform_f(-0.12f, 0.12f);
+  d.shift_y = s * rng.uniform_f(-0.12f, 0.12f);
+  d.contrast = 1.0f + s * rng.uniform_f(-0.2f, 0.2f);
+  return d;
+}
+
+}  // namespace
+
+DatasetConfig core50_config() {
+  DatasetConfig cfg;
+  cfg.name = "core50";
+  cfg.num_classes = 50;
+  cfg.num_domains = 11;
+  cfg.domain_shift = 0.8f;
+  cfg.train_instances = 3;
+  cfg.test_instances = 2;
+  cfg.seed = 0xC0DE50;
+  return cfg;
+}
+
+DatasetConfig openloris_config() {
+  DatasetConfig cfg;
+  cfg.name = "openloris";
+  cfg.num_classes = 69;
+  cfg.num_domains = 12;
+  // Smoother domain transitions + more data per class (paper Sec. IV-B).
+  cfg.domain_shift = 0.45f;
+  cfg.train_instances = 3;
+  cfg.test_instances = 1;
+  cfg.seed = 0x10FC15;
+  return cfg;
+}
+
+Tensor synthesize_image(const DatasetConfig& cfg, const ImageKey& key) {
+  const int64_t hw = cfg.image_hw;
+  const ClassPattern cp = make_class_pattern(cfg, key.class_id);
+  const DomainTransform dt = make_domain_transform(cfg, key.domain_id);
+
+  // Per-instance jitter (different for train vs test instances).
+  Rng jrng(cfg.seed * 0xC2B2AE35ull + key.packed() * 0x27D4EB2Full + 29);
+  const float jx = cfg.instance_noise * jrng.uniform_f(-0.08f, 0.08f);
+  const float jy = cfg.instance_noise * jrng.uniform_f(-0.08f, 0.08f);
+  const float jamp = 1.0f + cfg.instance_noise * jrng.uniform_f(-0.25f, 0.25f);
+  const float noise_sigma = 0.02f + 0.05f * cfg.instance_noise;
+
+  Tensor img({3, hw, hw});
+  const float ca = std::cos(cp.grating_angle), sa = std::sin(cp.grating_angle);
+  for (int64_t y = 0; y < hw; ++y) {
+    for (int64_t x = 0; x < hw; ++x) {
+      // Object-space coordinates with domain + instance translation.
+      const float u = float(x) / hw - dt.shift_x - jx;
+      const float v = float(y) / hw - dt.shift_y - jy;
+
+      // Background texture (domain identity).
+      const float bg =
+          dt.bg_amp * std::sin(float(kTau) * (dt.bg_fx * u + dt.bg_fy * v) +
+                               dt.bg_phase);
+
+      // Class grating.
+      const float grat =
+          cp.grating_amp *
+          std::sin(float(kTau) * cp.grating_freq * (ca * u + sa * v));
+
+      float r = cp.base_r + bg + grat;
+      float g = cp.base_g + bg + grat;
+      float b = cp.base_b + bg + grat;
+
+      for (const Blob& blob : cp.blobs) {
+        const float dx = u - blob.cx, dy = v - blob.cy;
+        const float w =
+            jamp * blob.amp *
+            std::exp(-(dx * dx + dy * dy) / (2.0f * blob.sigma * blob.sigma));
+        r += w * blob.r;
+        g += w * blob.g;
+        b += w * blob.b;
+      }
+
+      // Domain lighting: contrast about mid-grey, colour cast, brightness.
+      auto light = [&](float c, float cast) {
+        c = 0.5f + dt.contrast * (c - 0.5f);
+        return c * dt.brightness * cast;
+      };
+      r = light(r, dt.cast_r);
+      g = light(g, dt.cast_g);
+      b = light(b, dt.cast_b);
+
+      // Sensor noise.
+      r += jrng.normal_f(0.0f, noise_sigma);
+      g += jrng.normal_f(0.0f, noise_sigma);
+      b += jrng.normal_f(0.0f, noise_sigma);
+
+      img[(0 * hw + y) * hw + x] = std::clamp(r, 0.0f, 1.0f);
+      img[(1 * hw + y) * hw + x] = std::clamp(g, 0.0f, 1.0f);
+      img[(2 * hw + y) * hw + x] = std::clamp(b, 0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+Tensor synthesize_batch(const DatasetConfig& cfg,
+                        const std::vector<ImageKey>& keys) {
+  const int64_t hw = cfg.image_hw;
+  Tensor batch({static_cast<int64_t>(keys.size()), 3, hw, hw});
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Tensor img = synthesize_image(cfg, keys[i]);
+    std::copy(img.data(), img.data() + img.numel(),
+              batch.data() + static_cast<int64_t>(i) * img.numel());
+  }
+  return batch;
+}
+
+std::vector<ImageKey> all_test_keys(const DatasetConfig& cfg) {
+  std::vector<ImageKey> keys;
+  keys.reserve(static_cast<size_t>(cfg.num_classes * cfg.num_domains *
+                                   cfg.test_instances));
+  for (int32_t c = 0; c < cfg.num_classes; ++c) {
+    for (int32_t d = 0; d < cfg.num_domains; ++d) {
+      for (int32_t i = 0; i < cfg.test_instances; ++i) {
+        keys.push_back({c, d, i, /*test=*/true});
+      }
+    }
+  }
+  return keys;
+}
+
+std::vector<ImageKey> train_keys_for_domain(const DatasetConfig& cfg,
+                                            int64_t domain) {
+  std::vector<ImageKey> keys;
+  keys.reserve(static_cast<size_t>(cfg.num_classes * cfg.train_instances));
+  for (int32_t c = 0; c < cfg.num_classes; ++c) {
+    for (int32_t i = 0; i < cfg.train_instances; ++i) {
+      keys.push_back({c, static_cast<int32_t>(domain), i, /*test=*/false});
+    }
+  }
+  return keys;
+}
+
+}  // namespace cham::data

@@ -1,0 +1,56 @@
+#include "data/latent_cache.h"
+
+#include <algorithm>
+
+namespace cham::data {
+
+const Tensor& LatentCache::latent(const ImageKey& key) {
+  const uint64_t k = key.packed();
+  auto it = cache_.find(k);
+  if (it != cache_.end()) return it->second;
+  const Tensor img = synthesize_batch(cfg_, {key});
+  Tensor z = f_.forward(img, /*train=*/false);
+  auto [ins, ok] = cache_.emplace(k, std::move(z));
+  (void)ok;
+  return ins->second;
+}
+
+void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
+  std::vector<ImageKey> missing;
+  for (const ImageKey& key : keys) {
+    if (!cache_.contains(key.packed())) missing.push_back(key);
+  }
+  for (size_t start = 0; start < missing.size();
+       start += static_cast<size_t>(batch)) {
+    const size_t end =
+        std::min(missing.size(), start + static_cast<size_t>(batch));
+    std::vector<ImageKey> chunk(missing.begin() + static_cast<int64_t>(start),
+                                missing.begin() + static_cast<int64_t>(end));
+    const Tensor imgs = synthesize_batch(cfg_, chunk);
+    const Tensor z = f_.forward(imgs, /*train=*/false);
+    const int64_t per = z.numel() / z.dim(0);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Tensor zi(Shape{{1, z.dim(1), z.dim(2), z.dim(3)}});
+      std::copy(z.data() + static_cast<int64_t>(i) * per,
+                z.data() + static_cast<int64_t>(i + 1) * per, zi.data());
+      cache_.emplace(chunk[i].packed(), std::move(zi));
+    }
+  }
+}
+
+Tensor stack_latents(const std::vector<const Tensor*>& latents) {
+  assert(!latents.empty());
+  const Tensor& first = *latents.front();
+  assert(first.rank() == 4 && first.dim(0) == 1);
+  Tensor out({static_cast<int64_t>(latents.size()), first.dim(1),
+              first.dim(2), first.dim(3)});
+  const int64_t per = first.numel();
+  for (size_t i = 0; i < latents.size(); ++i) {
+    assert(latents[i]->shape() == first.shape());
+    std::copy(latents[i]->data(), latents[i]->data() + per,
+              out.data() + static_cast<int64_t>(i) * per);
+  }
+  return out;
+}
+
+}  // namespace cham::data

@@ -1,0 +1,101 @@
+// Online continual-learning streams.
+//
+// DomainIncrementalStream — the paper's evaluation setting (Domain-IL):
+// all classes, domains arriving in sequence.
+//
+// ClassIncrementalStream — the complementary Class-IL setting offered as an
+// extension: classes arrive in groups ("tasks") while every domain is mixed
+// within a task. Useful for studying Chameleon's class-balanced long-term
+// store when the class distribution itself is non-stationary.
+//
+// Domains arrive strictly in sequence (CORe50 "sessions"). Within a domain,
+// samples arrive in short temporally-correlated runs of one class (video
+// frames of one object), with the class of each run drawn from a
+// user-preference distribution: the k preferred classes are over-sampled by
+// `preference_weight`. The preferred set can drift mid-stream, exercising the
+// paper's learning-window recalibration.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace cham::data {
+
+struct StreamConfig {
+  int64_t batch_size = 10;     // paper setting
+  int64_t run_length = 5;      // consecutive frames per object "video"
+  // User preference model.
+  int64_t num_preferred = 5;   // paper: k = 5
+  float preference_weight = 12.0f;  // preferred classes dominate the stream
+  bool drift_preferences = true;   // switch preferred set halfway per run
+  uint64_t seed = 42;
+};
+
+struct Batch {
+  std::vector<ImageKey> keys;
+  std::vector<int64_t> labels;
+  int64_t domain = 0;
+};
+
+// Materialised stream: the full ordered list of batches for one experiment
+// run. Total length matches one pass over the training pool (paper: each
+// sample passes through the model only once); preferred classes appear more
+// often, others less, preserving the total sample count.
+class DomainIncrementalStream {
+ public:
+  DomainIncrementalStream(const DatasetConfig& data_cfg,
+                          const StreamConfig& stream_cfg);
+
+  int64_t num_batches() const { return static_cast<int64_t>(batches_.size()); }
+  const Batch& batch(int64_t i) const {
+    return batches_[static_cast<size_t>(i)];
+  }
+  const std::vector<Batch>& batches() const { return batches_; }
+
+  // Ground-truth preferred classes per domain (for evaluation of the
+  // preference tracker; the learners never see this).
+  const std::vector<std::vector<int64_t>>& preferred_by_domain() const {
+    return preferred_by_domain_;
+  }
+
+  int64_t total_samples() const { return total_samples_; }
+
+ private:
+  std::vector<Batch> batches_;
+  std::vector<std::vector<int64_t>> preferred_by_domain_;
+  int64_t total_samples_ = 0;
+};
+
+struct ClassIncrementalConfig {
+  int64_t classes_per_task = 10;
+  int64_t batch_size = 10;
+  int64_t run_length = 5;
+  uint64_t seed = 43;
+};
+
+// Classes arrive in disjoint groups; within a task, samples mix all domains
+// of the task's classes in temporally-correlated runs.
+class ClassIncrementalStream {
+ public:
+  ClassIncrementalStream(const DatasetConfig& data_cfg,
+                         const ClassIncrementalConfig& cfg);
+
+  int64_t num_batches() const { return static_cast<int64_t>(batches_.size()); }
+  const Batch& batch(int64_t i) const {
+    return batches_[static_cast<size_t>(i)];
+  }
+  const std::vector<Batch>& batches() const { return batches_; }
+  int64_t num_tasks() const { return num_tasks_; }
+  // Classes introduced by task t.
+  const std::vector<int64_t>& task_classes(int64_t t) const {
+    return task_classes_[static_cast<size_t>(t)];
+  }
+
+ private:
+  std::vector<Batch> batches_;
+  std::vector<std::vector<int64_t>> task_classes_;
+  int64_t num_tasks_ = 0;
+};
+
+}  // namespace cham::data

@@ -1,0 +1,79 @@
+// Edge-device profiles and the analytic latency/energy cost model that turns
+// a learner's OpStats trace into the paper's Table II numbers.
+//
+// latency/image = compute time (MACs at the device's achieved throughput,
+//                 plus poorly-parallel dense-linalg FLOPs at a degraded
+//                 throughput) and memory time (replay traffic over the
+//                 on-chip and off-chip ports). Devices that overlap compute
+//                 with DMA take max(compute, memory); the FPGA accelerator
+//                 (like the paper's, which attributes 44% of Latent Replay
+//                 latency to latent data movement) serialises them.
+// energy/image  = MAC energy + SRAM/DRAM traffic energy + static power x
+//                 latency.
+#pragma once
+
+#include <string>
+
+#include "core/op_stats.h"
+#include "hw/systolic.h"
+
+namespace cham::hw {
+
+struct DeviceProfile {
+  std::string name;
+
+  // Compute.
+  double mac_throughput = 1e9;     // achieved MAC/s for DNN kernels
+  double linalg_throughput = 1e8;  // achieved FLOP/s for dense solves
+                                   // (pivoting serialises; see systolic.h)
+
+  // Memory ports.
+  double dram_bw = 4e9;    // bytes/s usable for replay traffic
+  double sram_bw = 64e9;   // bytes/s on-chip
+
+  // Whether a replay buffer can live on-chip at all. The Jetson GPU cannot
+  // pin the L2 for this (paper Sec. IV-C), so its "on-chip" traffic is
+  // serviced by DRAM.
+  bool has_onchip_buffer = true;
+  int64_t onchip_capacity_bytes = 8 << 20;
+
+  // Energy.
+  double mac_pj = 1.5;
+  double sram_pj_per_byte = 5.0;
+  double dram_pj_per_byte = 325.0;
+  double static_power_w = 0.5;
+
+  // Compute/DMA overlap.
+  bool overlap_compute_mem = true;
+
+  // Per off-chip transaction overhead (DMA descriptor setup etc.); charged
+  // once per replayed sample.
+  double dma_setup_s = 0.0;
+};
+
+// The three devices of Table II.
+DeviceProfile jetson_nano();
+DeviceProfile zcu102_fpga();
+DeviceProfile edgetpu(const SystolicConfig& array = {});
+
+struct CostResult {
+  double latency_ms = 0;  // per image
+  double energy_j = 0;    // per image
+  double compute_ms = 0;
+  double memory_ms = 0;
+  double mem_fraction = 0;  // share of serialised latency in data movement
+  // Energy breakdown (sums to energy_j).
+  double compute_j = 0;  // MAC + dense-linalg switching energy
+  double memory_j = 0;   // SRAM + DRAM access energy
+  double static_j = 0;   // leakage/idle power x latency
+};
+
+// Per-image latency/energy for a learner trace on a device. The trace's
+// per-image averages are used, so run the learner over a representative
+// stream first. `offchip_transactions_per_image` models DMA setup cost
+// (defaults to bytes/typical-latent heuristics inside).
+CostResult estimate_cost(const core::OpStats& stats,
+                         const DeviceProfile& dev,
+                         double offchip_transactions_per_image = 0.0);
+
+}  // namespace cham::hw

@@ -1,0 +1,73 @@
+// Bank/row-aware DRAM timing model.
+//
+// The flat bytes/bandwidth figure in DeviceProfile hides the access-pattern
+// effect the paper's dual-buffer design exploits: per-sample RANDOM reads
+// from a large unified replay buffer hit closed rows (activate + CAS per
+// burst), while Chameleon's periodic LT fetch streams a contiguous block
+// (one activate, then back-to-back bursts). This model prices the two
+// patterns from first principles and is used to justify DeviceProfile's
+// effective-bandwidth and stall calibration (test_dram checks the paper's
+// 44%-of-latency data-movement regime is reachable).
+#pragma once
+
+#include <cstdint>
+
+namespace cham::hw {
+
+struct DramTiming {
+  // LPDDR4-style defaults, in nanoseconds.
+  double t_rcd = 18.0;   // activate -> column command
+  double t_cas = 18.0;   // column command -> data
+  double t_rp = 18.0;    // precharge
+  double burst_bytes = 32.0;   // bytes transferred per burst
+  double t_burst = 5.0;        // data transfer time per burst
+  int64_t row_bytes = 2048;    // row buffer size
+  double energy_activate_pj = 900.0;
+  double energy_burst_pj = 150.0;
+};
+
+struct DramAccessCost {
+  double time_ns = 0;
+  double energy_pj = 0;
+  int64_t activates = 0;
+  int64_t bursts = 0;
+};
+
+// A fully sequential (streaming) read/write of `bytes`: one activate per
+// row, pipelined bursts within the row.
+inline DramAccessCost stream_access(const DramTiming& t, int64_t bytes) {
+  DramAccessCost c;
+  if (bytes <= 0) return c;
+  c.bursts = static_cast<int64_t>(
+      (bytes + static_cast<int64_t>(t.burst_bytes) - 1) /
+      static_cast<int64_t>(t.burst_bytes));
+  c.activates = (bytes + t.row_bytes - 1) / t.row_bytes;
+  c.time_ns = static_cast<double>(c.activates) * (t.t_rcd + t.t_rp) +
+              t.t_cas + static_cast<double>(c.bursts) * t.t_burst;
+  c.energy_pj = static_cast<double>(c.activates) * t.energy_activate_pj +
+                static_cast<double>(c.bursts) * t.energy_burst_pj;
+  return c;
+}
+
+// `count` independent random reads of `object_bytes` each: every object
+// lands in a closed row (activate + precharge per object), no pipelining
+// across objects.
+inline DramAccessCost random_access(const DramTiming& t, int64_t count,
+                                    int64_t object_bytes) {
+  DramAccessCost c;
+  if (count <= 0 || object_bytes <= 0) return c;
+  const DramAccessCost one = stream_access(t, object_bytes);
+  c.time_ns = static_cast<double>(count) * (one.time_ns + t.t_rp);
+  c.energy_pj = static_cast<double>(count) * one.energy_pj;
+  c.activates = count * one.activates;
+  c.bursts = count * one.bursts;
+  return c;
+}
+
+// Effective bandwidth (bytes/s) of an access pattern.
+inline double effective_bandwidth(const DramAccessCost& c, int64_t bytes) {
+  return c.time_ns > 0 ? static_cast<double>(bytes) / (c.time_ns * 1e-9)
+                       : 0.0;
+}
+
+}  // namespace cham::hw

@@ -1,0 +1,28 @@
+// Technology energy constants (Horowitz, "Computing's energy problem",
+// ISSCC 2014 / the Stanford VLSI 45nm energy table the paper cites as [12]).
+//
+// All values in picojoules. These anchor the per-device energy models; each
+// DeviceProfile scales them for its own process/voltage point.
+#pragma once
+
+namespace cham::hw {
+
+// 45nm, 0.9V reference numbers.
+struct EnergyTable45nm {
+  // Arithmetic, per operation.
+  static constexpr double fp16_mac_pj = 1.50;   // 0.4 add + 1.1 mul
+  static constexpr double fp32_mac_pj = 4.60;   // 0.9 add + 3.7 mul
+  static constexpr double int8_mac_pj = 0.23;   // 0.03 add + 0.2 mul
+
+  // Memory, per 32-bit access.
+  static constexpr double sram_8kb_pj = 10.0;
+  static constexpr double sram_32kb_pj = 20.0;
+  static constexpr double sram_1mb_pj = 100.0;
+  static constexpr double dram_pj = 1300.0;     // LPDDR access + I/O
+
+  // Convenience per-byte figures.
+  static constexpr double sram_pj_per_byte = sram_32kb_pj / 4.0;
+  static constexpr double dram_pj_per_byte = dram_pj / 4.0;
+};
+
+}  // namespace cham::hw

@@ -1,0 +1,67 @@
+// FPGA resource model for the Chameleon training accelerator on the Xilinx
+// Zynq UltraScale+ ZCU102 (paper Sec. IV-C, Table III).
+//
+// The estimator maps an accelerator configuration — fp16 MAC array, on-chip
+// weight / activation / short-term-replay buffers, DMA engines — onto the
+// ZCU102's DSP48E2 slices, BRAM36 blocks and LUTs. The default configuration
+// is the design point of the paper's implementation (Vivado 2021.2,
+// 150 MHz): a 24x24 fp16 array with a 320 KB short-term replay store.
+#pragma once
+
+#include <cstdint>
+
+namespace cham::hw {
+
+struct FpgaAcceleratorConfig {
+  // Compute array.
+  int64_t pe_rows = 24;
+  int64_t pe_cols = 24;
+  int64_t dsp_per_mac = 2;  // fp16 multiply-add on DSP48E2 pairs
+
+  // On-chip buffers (KiB).
+  int64_t weight_buffer_kib = 1408;
+  int64_t activation_buffer_kib = 640;
+  int64_t st_replay_buffer_kib = 320;  // 10 latents of 32 KiB
+  int64_t misc_buffer_kib = 474;       // im2col line buffers, instructions
+
+  // Control / datapath LUT costs.
+  int64_t lut_per_pe = 250;       // accumulator align + operand regs
+  int64_t lut_control = 20000;    // scheduler, AXI-lite, loss unit
+  int64_t lut_dma = 5428;         // two AXI DMA engines
+  int64_t dsp_misc = 12;          // address generation, loss gradient
+  double freq_mhz = 150.0;
+};
+
+struct FpgaDevice {
+  int64_t dsp_available = 2520;
+  int64_t bram_available = 656;     // BRAM36 blocks
+  int64_t lut_available = 233707;  // paper Table III "Available" row
+};
+
+struct FpgaResources {
+  int64_t dsp = 0;
+  int64_t bram = 0;
+  int64_t luts = 0;
+  double dsp_pct = 0, bram_pct = 0, lut_pct = 0;
+  bool fits = false;
+};
+
+inline FpgaResources estimate_fpga_resources(
+    const FpgaAcceleratorConfig& cfg, const FpgaDevice& dev = {}) {
+  FpgaResources r;
+  r.dsp = cfg.pe_rows * cfg.pe_cols * cfg.dsp_per_mac + cfg.dsp_misc;
+  const int64_t total_kib = cfg.weight_buffer_kib + cfg.activation_buffer_kib +
+                            cfg.st_replay_buffer_kib + cfg.misc_buffer_kib;
+  // One BRAM36 block stores 36 Kib = 4.5 KiB.
+  r.bram = (total_kib * 2 + 8) / 9;  // ceil(total_kib / 4.5)
+  r.luts = cfg.pe_rows * cfg.pe_cols * cfg.lut_per_pe + cfg.lut_control +
+           cfg.lut_dma;
+  r.dsp_pct = 100.0 * static_cast<double>(r.dsp) / dev.dsp_available;
+  r.bram_pct = 100.0 * static_cast<double>(r.bram) / dev.bram_available;
+  r.lut_pct = 100.0 * static_cast<double>(r.luts) / dev.lut_available;
+  r.fits = r.dsp <= dev.dsp_available && r.bram <= dev.bram_available &&
+           r.luts <= dev.lut_available;
+  return r;
+}
+
+}  // namespace cham::hw

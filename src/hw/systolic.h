@@ -1,0 +1,105 @@
+// Weight-stationary systolic-array timing model (uSystolic-style, the
+// simulator the paper uses for its EdgeTPU results).
+//
+// A GEMM of M (batch/pixels) x K (reduction) x N (output features) is tiled
+// over an R x C physical array: K maps to rows, N to columns. Each tile pays
+// an R-cycle weight-fill, streams M activation vectors through the array,
+// and drains the C-deep output pipeline. Utilisation < 1 whenever K or N is
+// not a multiple of the array dimensions — exactly why small head layers and
+// dense linear algebra run poorly on big arrays.
+#pragma once
+
+#include <cstdint>
+
+namespace cham::hw {
+
+struct SystolicConfig {
+  int64_t rows = 64;        // PE rows (reduction dimension)
+  int64_t cols = 64;        // PE columns (output dimension)
+  double freq_hz = 400e6;   // paper: 400 MHz, (64,64) PE array
+};
+
+struct SystolicRun {
+  int64_t cycles = 0;
+  double macs = 0;
+  double utilization = 0;  // achieved MACs / (cycles * R * C)
+  double seconds(const SystolicConfig& cfg) const {
+    return static_cast<double>(cycles) / cfg.freq_hz;
+  }
+};
+
+class SystolicArraySim {
+ public:
+  explicit SystolicArraySim(SystolicConfig cfg) : cfg_(cfg) {}
+  const SystolicConfig& config() const { return cfg_; }
+
+  // Output-stationary dataflow: each PE accumulates one C element; tiles of
+  // (R x C) outputs stream K operand pairs. Fill/drain is K-long per tile
+  // (vs per-tile weight reload in weight-stationary), so OS wins when K is
+  // large relative to M and loses on tall-skinny problems — the classic
+  // dataflow trade-off (uSystolic's subject of study).
+  SystolicRun gemm_output_stationary(int64_t m, int64_t k, int64_t n) const {
+    SystolicRun run;
+    if (m <= 0 || k <= 0 || n <= 0) return run;
+    const int64_t tiles_m = ceil_div(m, cfg_.rows);
+    const int64_t tiles_n = ceil_div(n, cfg_.cols);
+    const int64_t per_tile = k + cfg_.rows + cfg_.cols;  // stream + drain
+    run.cycles = tiles_m * tiles_n * per_tile;
+    run.macs = static_cast<double>(m) * k * n;
+    run.utilization =
+        run.macs / (static_cast<double>(run.cycles) * cfg_.rows * cfg_.cols);
+    return run;
+  }
+
+  // Cycle count for one dense GEMM (M x K) @ (K x N), weight-stationary
+  // (the TPU/EdgeTPU dataflow; the default everywhere in this repo).
+  SystolicRun gemm(int64_t m, int64_t k, int64_t n) const {
+    SystolicRun run;
+    if (m <= 0 || k <= 0 || n <= 0) return run;
+    const int64_t tiles_k = ceil_div(k, cfg_.rows);
+    const int64_t tiles_n = ceil_div(n, cfg_.cols);
+    // Per tile: weight fill (rows), M activation waves, pipeline drain.
+    const int64_t per_tile = cfg_.rows + m + cfg_.cols;
+    run.cycles = tiles_k * tiles_n * per_tile;
+    run.macs = static_cast<double>(m) * k * n;
+    run.utilization =
+        run.macs / (static_cast<double>(run.cycles) * cfg_.rows * cfg_.cols);
+    return run;
+  }
+
+  // Sequential-dependency dense solve (Gauss-Jordan inverse of d x d):
+  // row eliminations are serial in d, each row op is a d x d rank-1 update
+  // that maps to a single array row pass. This is the O(d^3)-with-poor-
+  // parallelism behaviour that makes SLDA slow on the EdgeTPU (paper
+  // Sec. IV-C).
+  SystolicRun matrix_inverse(int64_t d) const {
+    SystolicRun run;
+    if (d <= 0) return run;
+    const int64_t tiles_n = ceil_div(d, cfg_.cols);
+    // d pivot steps; each updates d rows, a row is a tiled vector pass with
+    // pipeline fill, and pivot selection serialises between steps.
+    run.cycles = d * (d * tiles_n * (cfg_.cols + 1) + cfg_.rows);
+    run.macs = 2.0 * static_cast<double>(d) * d * d;
+    run.utilization =
+        run.macs / (static_cast<double>(run.cycles) * cfg_.rows * cfg_.cols);
+    return run;
+  }
+
+  SystolicRun accumulate(const SystolicRun& a, const SystolicRun& b) const {
+    SystolicRun out;
+    out.cycles = a.cycles + b.cycles;
+    out.macs = a.macs + b.macs;
+    out.utilization =
+        out.cycles > 0
+            ? out.macs / (static_cast<double>(out.cycles) * cfg_.rows *
+                          cfg_.cols)
+            : 0.0;
+    return out;
+  }
+
+ private:
+  static int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+  SystolicConfig cfg_;
+};
+
+}  // namespace cham::hw

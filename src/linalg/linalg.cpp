@@ -1,0 +1,176 @@
+#include "linalg/linalg.h"
+
+#include <cmath>
+#include <vector>
+
+namespace cham::linalg {
+namespace {
+constexpr double kPivotTol = 1e-12;
+}
+
+Tensor identity(int64_t n) {
+  Tensor eye({n, n});
+  for (int64_t i = 0; i < n; ++i) eye.at(i, i) = 1.0f;
+  return eye;
+}
+
+Tensor transpose(const Tensor& a) {
+  assert(a.rank() == 2);
+  Tensor t({a.dim(1), a.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+bool lu_solve(const Tensor& a, const Tensor& b, Tensor& x) {
+  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  const int64_t n = a.dim(0);
+  assert(b.numel() == n);
+
+  // Work in double for stability: these systems are tiny (latent dim ~512).
+  std::vector<double> m(static_cast<size_t>(n * n));
+  std::vector<double> rhs(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n * n; ++i) m[static_cast<size_t>(i)] = a[i];
+  for (int64_t i = 0; i < n; ++i) rhs[static_cast<size_t>(i)] = b[i];
+
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+
+  for (int64_t k = 0; k < n; ++k) {
+    int64_t piv = k;
+    double best = std::abs(m[static_cast<size_t>(k * n + k)]);
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(m[static_cast<size_t>(i * n + k)]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < kPivotTol) return false;
+    if (piv != k) {
+      for (int64_t j = 0; j < n; ++j)
+        std::swap(m[static_cast<size_t>(k * n + j)],
+                  m[static_cast<size_t>(piv * n + j)]);
+      std::swap(rhs[static_cast<size_t>(k)], rhs[static_cast<size_t>(piv)]);
+    }
+    const double pivot = m[static_cast<size_t>(k * n + k)];
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double f = m[static_cast<size_t>(i * n + k)] / pivot;
+      if (f == 0.0) continue;
+      m[static_cast<size_t>(i * n + k)] = 0.0;
+      for (int64_t j = k + 1; j < n; ++j)
+        m[static_cast<size_t>(i * n + j)] -= f * m[static_cast<size_t>(k * n + j)];
+      rhs[static_cast<size_t>(i)] -= f * rhs[static_cast<size_t>(k)];
+    }
+  }
+  // Back substitution.
+  std::vector<double> sol(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double acc = rhs[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j)
+      acc -= m[static_cast<size_t>(i * n + j)] * sol[static_cast<size_t>(j)];
+    sol[static_cast<size_t>(i)] = acc / m[static_cast<size_t>(i * n + i)];
+  }
+  x = Tensor(b.shape());
+  for (int64_t i = 0; i < n; ++i)
+    x[i] = static_cast<float>(sol[static_cast<size_t>(i)]);
+  return true;
+}
+
+bool inverse(const Tensor& a, Tensor& out) {
+  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  const int64_t n = a.dim(0);
+  std::vector<double> m(static_cast<size_t>(n * 2 * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j)
+      m[static_cast<size_t>(i * 2 * n + j)] = a.at(i, j);
+    m[static_cast<size_t>(i * 2 * n + n + i)] = 1.0;
+  }
+  for (int64_t k = 0; k < n; ++k) {
+    int64_t piv = k;
+    double best = std::abs(m[static_cast<size_t>(k * 2 * n + k)]);
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(m[static_cast<size_t>(i * 2 * n + k)]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < kPivotTol) return false;
+    if (piv != k) {
+      for (int64_t j = 0; j < 2 * n; ++j)
+        std::swap(m[static_cast<size_t>(k * 2 * n + j)],
+                  m[static_cast<size_t>(piv * 2 * n + j)]);
+    }
+    const double pivot = m[static_cast<size_t>(k * 2 * n + k)];
+    for (int64_t j = 0; j < 2 * n; ++j)
+      m[static_cast<size_t>(k * 2 * n + j)] /= pivot;
+    for (int64_t i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const double f = m[static_cast<size_t>(i * 2 * n + k)];
+      if (f == 0.0) continue;
+      for (int64_t j = 0; j < 2 * n; ++j)
+        m[static_cast<size_t>(i * 2 * n + j)] -=
+            f * m[static_cast<size_t>(k * 2 * n + j)];
+    }
+  }
+  out = Tensor({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j)
+      out.at(i, j) = static_cast<float>(m[static_cast<size_t>(i * 2 * n + n + j)]);
+  }
+  return true;
+}
+
+Tensor ridge_inverse(const Tensor& a, double lambda) {
+  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  const int64_t n = a.dim(0);
+  Tensor reg = a;
+  for (int64_t i = 0; i < n; ++i)
+    reg.at(i, i) += static_cast<float>(lambda);
+  Tensor inv;
+  if (!inverse(reg, inv)) {
+    // Extremely ill-conditioned input even after ridge: fall back to a
+    // heavier ridge. Guaranteed to terminate because diag dominance grows.
+    double l = std::max(lambda, 1e-6);
+    do {
+      l *= 10.0;
+      reg = a;
+      for (int64_t i = 0; i < n; ++i) reg.at(i, i) += static_cast<float>(l);
+    } while (!inverse(reg, inv) && l < 1e12);
+  }
+  return inv;
+}
+
+bool cholesky(const Tensor& a, Tensor& l) {
+  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  const int64_t n = a.dim(0);
+  l = Tensor({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double acc = a.at(i, j);
+      for (int64_t k = 0; k < j; ++k)
+        acc -= double(l.at(i, k)) * double(l.at(j, k));
+      if (i == j) {
+        if (acc <= 0) return false;
+        l.at(i, i) = static_cast<float>(std::sqrt(acc));
+      } else {
+        l.at(i, j) = static_cast<float>(acc / l.at(j, j));
+      }
+    }
+  }
+  return true;
+}
+
+double frobenius_diff(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  double acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace cham::linalg

@@ -1,0 +1,32 @@
+// Small dense linear algebra: just enough for streaming LDA (shrinkage
+// precision matrix) and diagnostics. Matrices are 2-D cham::Tensor.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace cham::linalg {
+
+Tensor identity(int64_t n);
+Tensor transpose(const Tensor& a);
+
+// Solves A x = b for square A via partial-pivot LU. Returns false if A is
+// numerically singular (pivot below tolerance); x is untouched in that case.
+bool lu_solve(const Tensor& a, const Tensor& b, Tensor& x);
+
+// Inverse of a square matrix via Gauss-Jordan with partial pivoting.
+// Returns false on singularity.
+bool inverse(const Tensor& a, Tensor& out);
+
+// Ridge-regularised (pseudo-)inverse: (A + lambda I)^-1 for symmetric A.
+// This is exactly the operation SLDA performs on its covariance estimate.
+// Always succeeds for lambda > 0 on a PSD input.
+Tensor ridge_inverse(const Tensor& a, double lambda);
+
+// Cholesky factorisation of a symmetric positive-definite matrix (lower
+// triangular L with A = L L^T). Returns false if A is not PD.
+bool cholesky(const Tensor& a, Tensor& l);
+
+// Frobenius norm of A - B.
+double frobenius_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace cham::linalg

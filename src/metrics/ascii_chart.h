@@ -1,0 +1,87 @@
+// Terminal scatter/line chart for the figure-reproducing benches: renders
+// multiple (x, y) series on a shared log-x grid so "accuracy vs memory"
+// plots read directly off the bench output, no plotting stack required.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cham::metrics {
+
+struct ChartSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiChart {
+ public:
+  AsciiChart(int width, int height, bool log_x = false)
+      : width_(width), height_(height), log_x_(log_x) {}
+
+  void add(ChartSeries series) { series_.push_back(std::move(series)); }
+
+  std::string render(const std::string& x_label,
+                     const std::string& y_label) const {
+    double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+    for (const auto& s : series_) {
+      for (size_t i = 0; i < s.x.size(); ++i) {
+        const double x = tx(s.x[i]);
+        x_lo = std::min(x_lo, x);
+        x_hi = std::max(x_hi, x);
+        y_lo = std::min(y_lo, s.y[i]);
+        y_hi = std::max(y_hi, s.y[i]);
+      }
+    }
+    if (x_hi <= x_lo) x_hi = x_lo + 1;
+    if (y_hi <= y_lo) y_hi = y_lo + 1;
+
+    std::vector<std::string> grid(
+        static_cast<size_t>(height_),
+        std::string(static_cast<size_t>(width_), ' '));
+    for (const auto& s : series_) {
+      for (size_t i = 0; i < s.x.size(); ++i) {
+        const int col = static_cast<int>(std::lround(
+            (tx(s.x[i]) - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+        const int row = static_cast<int>(std::lround(
+            (s.y[i] - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+        grid[static_cast<size_t>(height_ - 1 - row)]
+            [static_cast<size_t>(col)] = s.marker;
+      }
+    }
+
+    std::string out = y_label + "\n";
+    char buf[32];
+    for (int r = 0; r < height_; ++r) {
+      const double y =
+          y_hi - (y_hi - y_lo) * static_cast<double>(r) / (height_ - 1);
+      std::snprintf(buf, sizeof(buf), "%7.1f |", y);
+      out += buf;
+      out += grid[static_cast<size_t>(r)];
+      out += "\n";
+    }
+    out += "        +" + std::string(static_cast<size_t>(width_), '-') +
+           "  " + x_label + (log_x_ ? " (log scale)" : "") + "\n";
+    out += "  legend:";
+    for (const auto& s : series_) {
+      out += " [";
+      out += s.marker;
+      out += "] " + s.name;
+    }
+    out += "\n";
+    return out;
+  }
+
+ private:
+  double tx(double x) const {
+    return log_x_ ? std::log10(std::max(x, 1e-9)) : x;
+  }
+  int width_, height_;
+  bool log_x_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace cham::metrics

@@ -1,0 +1,72 @@
+// Minimal CSV writer so bench results can feed external plotting without
+// parsing the pretty-printed tables. RFC-4180-style quoting.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cham::metrics {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header) {
+    append_row(header);
+  }
+
+  void append_row(const std::vector<std::string>& cells) {
+    std::ostringstream line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) line << ",";
+      line << quote(cells[i]);
+    }
+    rows_.push_back(line.str());
+  }
+
+  void append_row(const std::vector<double>& values, int precision = 4) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+      std::ostringstream os;
+      os.precision(precision);
+      os << std::fixed << v;
+      cells.push_back(os.str());
+    }
+    append_row(cells);
+  }
+
+  std::string to_string() const {
+    std::string out;
+    for (const auto& r : rows_) {
+      out += r;
+      out += "\n";
+    }
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << to_string();
+    return f.good();
+  }
+
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  static std::string quote(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::string> rows_;
+};
+
+}  // namespace cham::metrics

@@ -1,0 +1,55 @@
+#include "metrics/evaluator.h"
+
+#include <algorithm>
+
+namespace cham::metrics {
+
+AccuracyReport evaluate(core::ContinualLearner& learner,
+                        const std::vector<data::ImageKey>& keys,
+                        std::span<const int64_t> preferred) {
+  AccuracyReport rep;
+  if (keys.empty()) return rep;
+  const auto preds = learner.predict(keys);
+
+  int64_t max_class = 0;
+  for (const auto& k : keys) max_class = std::max<int64_t>(max_class, k.class_id);
+  std::vector<int64_t> correct(static_cast<size_t>(max_class + 1), 0);
+  std::vector<int64_t> total(static_cast<size_t>(max_class + 1), 0);
+
+  int64_t hit = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int64_t y = keys[i].class_id;
+    ++total[static_cast<size_t>(y)];
+    if (preds[i] == y) {
+      ++hit;
+      ++correct[static_cast<size_t>(y)];
+    }
+  }
+  rep.acc_all = 100.0 * static_cast<double>(hit) /
+                static_cast<double>(keys.size());
+
+  rep.per_class.resize(total.size(), 0.0);
+  for (size_t c = 0; c < total.size(); ++c) {
+    rep.per_class[c] =
+        total[c] > 0 ? 100.0 * static_cast<double>(correct[c]) /
+                           static_cast<double>(total[c])
+                     : 0.0;
+  }
+
+  if (!preferred.empty()) {
+    int64_t phit = 0, ptotal = 0;
+    for (int64_t c : preferred) {
+      if (c <= max_class) {
+        phit += correct[static_cast<size_t>(c)];
+        ptotal += total[static_cast<size_t>(c)];
+      }
+    }
+    rep.acc_preferred =
+        ptotal > 0 ? 100.0 * static_cast<double>(phit) /
+                         static_cast<double>(ptotal)
+                   : 0.0;
+  }
+  return rep;
+}
+
+}  // namespace cham::metrics

@@ -1,0 +1,24 @@
+// Accuracy metrics: Acc_all (final accuracy over all classes and domains,
+// the paper's headline metric) plus per-class and preferred-class slices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/learner.h"
+
+namespace cham::metrics {
+
+struct AccuracyReport {
+  double acc_all = 0;            // paper's Acc_all, in percent
+  double acc_preferred = 0;      // accuracy restricted to preferred classes
+  std::vector<double> per_class; // percent per class
+};
+
+// Evaluates `learner` on `keys` with ground-truth labels taken from the key
+// class ids. `preferred` may be empty.
+AccuracyReport evaluate(core::ContinualLearner& learner,
+                        const std::vector<data::ImageKey>& keys,
+                        std::span<const int64_t> preferred = {});
+
+}  // namespace cham::metrics

@@ -1,0 +1,36 @@
+// Mean / standard deviation aggregation for multi-seed experiment cells
+// (the "mean ± std across ten runs" of Table I).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace cham::metrics {
+
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  // Sample standard deviation (n-1); 0 for fewer than two samples.
+  double stddev() const {
+    return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0, m2_ = 0;
+};
+
+inline RunningStat aggregate(const std::vector<double>& xs) {
+  RunningStat s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+}  // namespace cham::metrics

@@ -1,0 +1,54 @@
+// Minimal fixed-width ASCII table printer for the bench binaries, so every
+// reproduced table/figure prints rows directly comparable to the paper's.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cham::metrics {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths)
+      : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+  void print_header(std::ostream& os = std::cout) const {
+    print_row_impl(headers_, os);
+    std::string sep;
+    for (int w : widths_) sep += std::string(static_cast<size_t>(w), '-') + "-+-";
+    os << sep << "\n";
+  }
+
+  void print_row(const std::vector<std::string>& cells,
+                 std::ostream& os = std::cout) const {
+    print_row_impl(cells, os);
+  }
+
+  static std::string fmt(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string mean_std(double mean, double std, int precision = 2) {
+    return fmt(mean, precision) + " +/- " + fmt(std, precision);
+  }
+
+ private:
+  void print_row_impl(const std::vector<std::string>& cells,
+                      std::ostream& os) const {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      os << std::left << std::setw(widths_[i]) << cells[i] << " | ";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+}  // namespace cham::metrics

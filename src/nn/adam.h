@@ -1,0 +1,69 @@
+// Adam optimiser (Kingma & Ba, 2015) with decoupled weight decay (AdamW).
+//
+// The paper trains with SGD; Adam is provided for the pretraining path and
+// for downstream users who want faster head adaptation at small batch
+// sizes. Bias correction follows the original formulation.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cham::nn {
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f)
+      : params_(std::move(params)),
+        lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps),
+        weight_decay_(weight_decay) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Param* p : params_) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t steps() const { return t_; }
+
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+  void step() {
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+      Param* p = params_[i];
+      for (int64_t j = 0; j < p->numel(); ++j) {
+        const float g = p->grad[j];
+        float& m = m_[i][j];
+        float& v = v_[i][j];
+        m = beta1_ * m + (1.0f - beta1_) * g;
+        v = beta2_ * v + (1.0f - beta2_) * g * g;
+        const float mhat = m / bc1;
+        const float vhat = v / bc2;
+        float update = mhat / (std::sqrt(vhat) + eps_);
+        if (weight_decay_ > 0.0f) update += weight_decay_ * p->value[j];
+        p->value[j] -= lr_ * update;
+      }
+    }
+  }
+
+ private:
+  std::vector<Param*> params_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace cham::nn

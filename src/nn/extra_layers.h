@@ -1,0 +1,120 @@
+// Additional layers beyond the MobileNetV1 minimum: windowed max pooling
+// and inverted dropout. Available for custom heads built on the public API.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace cham::nn {
+
+// Max pooling over square windows, NCHW.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& x, bool train) override {
+    assert(x.rank() == 4);
+    const int64_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const int64_t oh = (h - kernel_) / stride_ + 1;
+    const int64_t ow = (w - kernel_) / stride_ + 1;
+    Tensor out({batch, ch, oh, ow});
+    if (train) {
+      cached_in_shape_ = x.shape();
+      argmax_.assign(static_cast<size_t>(out.numel()), 0);
+    }
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t c = 0; c < ch; ++c) {
+        const float* plane = x.data() + (n * ch + c) * h * w;
+        float* o = out.data() + (n * ch + c) * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t xo = 0; xo < ow; ++xo) {
+            float best = plane[(y * stride_) * w + xo * stride_];
+            int64_t best_idx = (y * stride_) * w + xo * stride_;
+            for (int64_t kh = 0; kh < kernel_; ++kh) {
+              for (int64_t kw = 0; kw < kernel_; ++kw) {
+                const int64_t idx =
+                    (y * stride_ + kh) * w + xo * stride_ + kw;
+                if (plane[idx] > best) {
+                  best = plane[idx];
+                  best_idx = idx;
+                }
+              }
+            }
+            o[y * ow + xo] = best;
+            if (train) {
+              argmax_[static_cast<size_t>(
+                  ((n * ch + c) * oh + y) * ow + xo)] =
+                  (n * ch + c) * h * w + best_idx;
+            }
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    assert(cached_in_shape_.rank() == 4);
+    Tensor grad_in(cached_in_shape_);
+    for (int64_t i = 0; i < grad_out.numel(); ++i) {
+      grad_in[argmax_[static_cast<size_t>(i)]] += grad_out[i];
+    }
+    return grad_in;
+  }
+
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  int64_t kernel_, stride_;
+  Shape cached_in_shape_;
+  std::vector<int64_t> argmax_;
+};
+
+// Inverted dropout: scales surviving activations by 1/(1-p) at train time,
+// identity at eval time.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {
+    assert(p >= 0.0f && p < 1.0f);
+  }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    if (!train || p_ == 0.0f) {
+      training_mask_valid_ = false;
+      return x;
+    }
+    mask_.assign(static_cast<size_t>(x.numel()), 0.0f);
+    const float keep_scale = 1.0f / (1.0f - p_);
+    Tensor out = x;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      if (!rng_.bernoulli(p_)) {
+        mask_[static_cast<size_t>(i)] = keep_scale;
+        out[i] *= keep_scale;
+      } else {
+        out[i] = 0.0f;
+      }
+    }
+    training_mask_valid_ = true;
+    return out;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    if (!training_mask_valid_) return grad_out;
+    Tensor grad_in = grad_out;
+    for (int64_t i = 0; i < grad_in.numel(); ++i) {
+      grad_in[i] *= mask_[static_cast<size_t>(i)];
+    }
+    return grad_in;
+  }
+
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  Rng rng_;
+  std::vector<float> mask_;
+  bool training_mask_valid_ = false;
+};
+
+}  // namespace cham::nn

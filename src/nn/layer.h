@@ -1,0 +1,63 @@
+// Layer abstraction: explicit forward/backward with cached activations.
+//
+// The framework is deliberately graph-free: MobileNetV1 is a straight
+// pipeline, so a Sequential of Layers with manual backward is simpler and
+// faster than tape-based autograd, and makes per-layer MAC/byte accounting
+// (needed by the hardware cost models) exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cham::nn {
+
+// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Shape shape) : value(shape), grad(shape) {}
+  void zero_grad() { grad.fill(0.0f); }
+  int64_t numel() const { return value.numel(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // x is NCHW (rank 4) or NxD (rank 2) depending on the layer.
+  // `train` selects batch-statistics / caching behaviour.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // grad_out has the shape of the last forward output; returns gradient with
+  // respect to the last forward input and accumulates parameter grads.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+  virtual std::string name() const = 0;
+
+  // Multiply-accumulate operations per sample (forward pass); 0 for
+  // activations/reshapes. Known statically because geometry is fixed at
+  // construction time.
+  virtual int64_t macs_per_sample() const { return 0; }
+
+  // Number of scalar parameters.
+  int64_t param_count() {
+    int64_t n = 0;
+    for (Param* p : params()) n += p->numel();
+    return n;
+  }
+
+  // True for layers that count toward MobileNetV1's "27 conv layers"
+  // numbering used by the paper's latent-layer index.
+  virtual bool is_conv_like() const { return false; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace cham::nn

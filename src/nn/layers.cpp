@@ -1,0 +1,400 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace cham::nn {
+namespace {
+
+// He-normal initialisation for convolution / linear weights.
+void he_init(Tensor& w, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0.0f, stddev);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int64_t in_c, int64_t out_c, int64_t in_h, int64_t in_w,
+               int64_t kernel, int64_t stride, int64_t pad, bool bias,
+               Rng& rng)
+    : geo_{in_c, in_h, in_w, kernel, stride, pad},
+      out_c_(out_c),
+      has_bias_(bias),
+      weight_(Shape{{out_c, in_c * kernel * kernel}}),
+      bias_(Shape{{out_c}}) {
+  he_init(weight_.value, in_c * kernel * kernel, rng);
+}
+
+int64_t Conv2d::macs_per_sample() const {
+  return out_c_ * geo_.col_rows() * geo_.col_cols();
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 4 && x.dim(1) == geo_.in_c && x.dim(2) == geo_.in_h &&
+         x.dim(3) == geo_.in_w);
+  if (train) cached_input_ = x;
+  const int64_t batch = x.dim(0);
+  const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  Tensor out({batch, out_c_, oh, ow});
+  Tensor col({geo_.col_rows(), geo_.col_cols()});
+  for (int64_t n = 0; n < batch; ++n) {
+    im2col(x.data() + n * geo_.in_c * geo_.in_h * geo_.in_w, geo_, col.data());
+    gemm(out_c_, geo_.col_cols(), geo_.col_rows(), 1.0f, weight_.value.data(),
+         col.data(), 0.0f, out.data() + n * out_c_ * oh * ow);
+  }
+  if (has_bias_) {
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t c = 0; c < out_c_; ++c) {
+        float* plane = out.data() + (n * out_c_ + c) * oh * ow;
+        const float b = bias_.value[c];
+        for (int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  assert(!cached_input_.empty() && "backward without train-mode forward");
+  const Tensor& x = cached_input_;
+  const int64_t batch = x.dim(0);
+  const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  const int64_t opix = oh * ow;
+  assert(grad_out.rank() == 4 && grad_out.dim(1) == out_c_);
+
+  Tensor grad_in(x.shape());
+  Tensor col({geo_.col_rows(), geo_.col_cols()});
+  Tensor gcol({geo_.col_rows(), geo_.col_cols()});
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* go = grad_out.data() + n * out_c_ * opix;
+    // dW += dY @ col^T  (out_c x opix) @ (opix x col_rows)
+    im2col(x.data() + n * geo_.in_c * geo_.in_h * geo_.in_w, geo_, col.data());
+    gemm_a_bt(out_c_, geo_.col_rows(), opix, 1.0f, go, col.data(), 1.0f,
+              weight_.grad.data());
+    // dcol = W^T @ dY  (col_rows x out_c) @ (out_c x opix)
+    gemm_at_b(geo_.col_rows(), opix, out_c_, 1.0f, weight_.value.data(), go,
+              0.0f, gcol.data());
+    col2im(gcol.data(), geo_,
+           grad_in.data() + n * geo_.in_c * geo_.in_h * geo_.in_w);
+    if (has_bias_) {
+      for (int64_t c = 0; c < out_c_; ++c) {
+        double acc = 0;
+        for (int64_t i = 0; i < opix; ++i) acc += go[c * opix + i];
+        bias_.grad[c] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+// ------------------------------------------------------- DepthwiseConv2d
+
+DepthwiseConv2d::DepthwiseConv2d(int64_t channels, int64_t in_h, int64_t in_w,
+                                 int64_t kernel, int64_t stride, int64_t pad,
+                                 Rng& rng)
+    : geo_{channels, in_h, in_w, kernel, stride, pad},
+      weight_(Shape{{channels, kernel * kernel}}) {
+  he_init(weight_.value, kernel * kernel, rng);
+}
+
+int64_t DepthwiseConv2d::macs_per_sample() const {
+  return geo_.in_c * geo_.kernel * geo_.kernel * geo_.col_cols();
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 4 && x.dim(1) == geo_.in_c);
+  if (train) cached_input_ = x;
+  const int64_t batch = x.dim(0);
+  const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  Tensor out({batch, geo_.in_c, oh, ow});
+  const int64_t k = geo_.kernel;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < geo_.in_c; ++c) {
+      const float* plane =
+          x.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+      const float* w = weight_.value.data() + c * k * k;
+      float* o = out.data() + (n * geo_.in_c + c) * oh * ow;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xo = 0; xo < ow; ++xo) {
+          double acc = 0;
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t iy = y * geo_.stride + kh - geo_.pad;
+            if (iy < 0 || iy >= geo_.in_h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t ix = xo * geo_.stride + kw - geo_.pad;
+              if (ix < 0 || ix >= geo_.in_w) continue;
+              acc += double(plane[iy * geo_.in_w + ix]) *
+                     double(w[kh * k + kw]);
+            }
+          }
+          o[y * ow + xo] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  assert(!cached_input_.empty());
+  const Tensor& x = cached_input_;
+  const int64_t batch = x.dim(0);
+  const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  const int64_t k = geo_.kernel;
+  Tensor grad_in(x.shape());
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < geo_.in_c; ++c) {
+      const float* plane =
+          x.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+      const float* go = grad_out.data() + (n * geo_.in_c + c) * oh * ow;
+      const float* w = weight_.value.data() + c * k * k;
+      float* gw = weight_.grad.data() + c * k * k;
+      float* gi = grad_in.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xo = 0; xo < ow; ++xo) {
+          const float g = go[y * ow + xo];
+          if (g == 0.0f) continue;
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t iy = y * geo_.stride + kh - geo_.pad;
+            if (iy < 0 || iy >= geo_.in_h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t ix = xo * geo_.stride + kw - geo_.pad;
+              if (ix < 0 || ix >= geo_.in_w) continue;
+              gw[kh * k + kw] += g * plane[iy * geo_.in_w + ix];
+              gi[iy * geo_.in_w + ix] += g * w[kh * k + kw];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ----------------------------------------------------------- BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Shape{{channels}}),
+      beta_(Shape{{channels}}),
+      running_mean_({channels}),
+      running_var_({channels}) {
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 4 && x.dim(1) == channels_);
+  const int64_t batch = x.dim(0), hw = x.dim(2) * x.dim(3);
+  const int64_t count = batch * hw;
+  cached_train_mode_ = train && track_stats_ && count > 1;
+
+  Tensor mean({channels_}), var({channels_});
+  if (cached_train_mode_) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      double m = 0;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* p = x.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) m += p[i];
+      }
+      m /= count;
+      double v = 0;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* p = x.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          const double d = p[i] - m;
+          v += d * d;
+        }
+      }
+      v /= count;
+      mean[c] = static_cast<float>(m);
+      var[c] = static_cast<float>(v);
+      running_mean_[c] =
+          (1 - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] = (1 - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Tensor out(x.shape());
+  cached_inv_std_ = Tensor({channels_});
+  if (train) cached_xhat_ = Tensor(x.shape());
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float inv_std = 1.0f / std::sqrt(var[c] + eps_);
+    cached_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c], b = beta_.value[c], mu = mean[c];
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* p = x.data() + (n * channels_ + c) * hw;
+      float* o = out.data() + (n * channels_ + c) * hw;
+      float* xh = train ? cached_xhat_.data() + (n * channels_ + c) * hw
+                        : nullptr;
+      for (int64_t i = 0; i < hw; ++i) {
+        const float xhat = (p[i] - mu) * inv_std;
+        if (xh) xh[i] = xhat;
+        o[i] = g * xhat + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  assert(!cached_xhat_.empty());
+  const int64_t batch = grad_out.dim(0), hw = grad_out.dim(2) * grad_out.dim(3);
+  const int64_t count = batch * hw;
+  Tensor grad_in(grad_out.shape());
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    double sum_g = 0, sum_gx = 0;
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* go = grad_out.data() + (n * channels_ + c) * hw;
+      const float* xh = cached_xhat_.data() + (n * channels_ + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        sum_g += go[i];
+        sum_gx += double(go[i]) * double(xh[i]);
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gx);
+    beta_.grad[c] += static_cast<float>(sum_g);
+
+    const float g = gamma_.value[c];
+    const float inv_std = cached_inv_std_[c];
+    if (cached_train_mode_) {
+      // Full batch-stat backward.
+      const float mean_g = static_cast<float>(sum_g / count);
+      const float mean_gx = static_cast<float>(sum_gx / count);
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* go = grad_out.data() + (n * channels_ + c) * hw;
+        const float* xh = cached_xhat_.data() + (n * channels_ + c) * hw;
+        float* gi = grad_in.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          gi[i] = g * inv_std * (go[i] - mean_g - xh[i] * mean_gx);
+        }
+      }
+    } else {
+      // Eval-mode normalisation is an affine map: exact gradient.
+      const float scale = g * inv_std;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* go = grad_out.data() + (n * channels_ + c) * hw;
+        float* gi = grad_in.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) gi[i] = scale * go[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (train) cached_input_ = x;
+  Tensor out = x;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    float v = out[i] > 0.0f ? out[i] : 0.0f;
+    if (clip_ > 0.0f && v > clip_) v = clip_;
+    out[i] = v;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  assert(!cached_input_.empty());
+  Tensor grad_in = grad_out;
+  for (int64_t i = 0; i < grad_in.numel(); ++i) {
+    const float x = cached_input_[i];
+    const bool pass = x > 0.0f && (clip_ <= 0.0f || x < clip_);
+    if (!pass) grad_in[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 4);
+  if (train) cached_in_shape_ = x.shape();
+  const int64_t batch = x.dim(0), ch = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor out({batch, ch});
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < ch; ++c) {
+      const float* p = x.data() + (n * ch + c) * hw;
+      double acc = 0;
+      for (int64_t i = 0; i < hw; ++i) acc += p[i];
+      out.at(n, c) = static_cast<float>(acc / hw);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  assert(cached_in_shape_.rank() == 4);
+  const int64_t batch = cached_in_shape_[0], ch = cached_in_shape_[1],
+                hw = cached_in_shape_[2] * cached_in_shape_[3];
+  Tensor grad_in(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < ch; ++c) {
+      const float g = grad_out.at(n, c) * inv;
+      float* p = grad_in.data() + (n * ch + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) p[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(Shape{{out_dim, in_dim}}),
+      bias_(Shape{{out_dim}}) {
+  he_init(weight_.value, in_dim, rng);
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 2 && x.dim(1) == in_dim_);
+  if (train) cached_input_ = x;
+  const int64_t batch = x.dim(0);
+  Tensor out({batch, out_dim_});
+  // out = x @ W^T + b
+  gemm_a_bt(batch, out_dim_, in_dim_, 1.0f, x.data(), weight_.value.data(),
+            0.0f, out.data());
+  for (int64_t n = 0; n < batch; ++n) {
+    float* o = out.data() + n * out_dim_;
+    for (int64_t j = 0; j < out_dim_; ++j) o[j] += bias_.value[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  assert(!cached_input_.empty());
+  const Tensor& x = cached_input_;
+  const int64_t batch = x.dim(0);
+  // dW += dY^T @ X  (out x batch) @ (batch x in)
+  gemm_at_b(out_dim_, in_dim_, batch, 1.0f, grad_out.data(), x.data(), 1.0f,
+            weight_.grad.data());
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* go = grad_out.data() + n * out_dim_;
+    for (int64_t j = 0; j < out_dim_; ++j) bias_.grad[j] += go[j];
+  }
+  // dX = dY @ W
+  Tensor grad_in({batch, in_dim_});
+  gemm(batch, in_dim_, out_dim_, 1.0f, grad_out.data(), weight_.value.data(),
+       0.0f, grad_in.data());
+  return grad_in;
+}
+
+}  // namespace cham::nn

@@ -1,0 +1,136 @@
+// Concrete layers for MobileNetV1-style CNNs: standard and depthwise
+// convolutions, batch normalisation, activations, pooling, linear.
+// All convolutions are square-kernel, NCHW, zero-padded.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace cham::nn {
+
+// Standard convolution lowered to GEMM via im2col (per sample).
+class Conv2d : public Layer {
+ public:
+  Conv2d(int64_t in_c, int64_t out_c, int64_t in_h, int64_t in_w,
+         int64_t kernel, int64_t stride, int64_t pad, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Conv2d"; }
+  int64_t macs_per_sample() const override;
+  bool is_conv_like() const override { return true; }
+
+  const ConvGeometry& geometry() const { return geo_; }
+  int64_t out_channels() const { return out_c_; }
+
+ private:
+  ConvGeometry geo_;
+  int64_t out_c_;
+  bool has_bias_;
+  Param weight_;  // out_c x (in_c*k*k)
+  Param bias_;    // out_c
+  Tensor cached_input_;
+};
+
+// Depthwise convolution: one k x k filter per channel.
+class DepthwiseConv2d : public Layer {
+ public:
+  DepthwiseConv2d(int64_t channels, int64_t in_h, int64_t in_w, int64_t kernel,
+                  int64_t stride, int64_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+  std::string name() const override { return "DepthwiseConv2d"; }
+  int64_t macs_per_sample() const override;
+  bool is_conv_like() const override { return true; }
+
+  const ConvGeometry& geometry() const { return geo_; }
+
+ private:
+  ConvGeometry geo_;  // in_c == channels
+  Param weight_;      // channels x k x k (stored flat channels x k*k)
+  Tensor cached_input_;
+};
+
+// Batch normalisation over channels of an NCHW tensor.
+//
+// During continual learning the framework runs BN in eval mode (running
+// statistics frozen after pretraining, affine gamma/beta still trainable) —
+// standard practice for batch-size-1 on-device training. Train mode computes
+// full batch statistics with the exact batch backward.
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(int64_t channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "BatchNorm2d"; }
+
+  // Freeze running statistics (used when the backbone is frozen).
+  void set_track_running_stats(bool track) { track_stats_ = track; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& mutable_running_mean() { return running_mean_; }
+  Tensor& mutable_running_var() { return running_var_; }
+
+ private:
+  int64_t channels_;
+  float momentum_, eps_;
+  bool track_stats_ = true;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Cached for backward.
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // per-channel
+  bool cached_train_mode_ = false;
+};
+
+class ReLU : public Layer {
+ public:
+  explicit ReLU(float clip = 0.0f) : clip_(clip) {}  // clip>0 => ReLU-N
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return clip_ > 0 ? "ReLU6" : "ReLU"; }
+
+ private:
+  float clip_;
+  Tensor cached_input_;
+};
+
+// Global average pooling: NCHW -> NxC.
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+// Fully connected layer on NxD inputs.
+class Linear : public Layer {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+  int64_t macs_per_sample() const override { return in_dim_ * out_dim_; }
+  bool is_conv_like() const override { return true; }  // counts as FC "layer"
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t in_dim_, out_dim_;
+  Param weight_;  // out x in
+  Param bias_;    // out
+  Tensor cached_input_;
+};
+
+}  // namespace cham::nn

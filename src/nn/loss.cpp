@@ -1,0 +1,90 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cham::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int64_t> labels) {
+  std::vector<float> ones(labels.size(), 1.0f);
+  return softmax_cross_entropy_weighted(logits, labels, ones);
+}
+
+LossResult softmax_cross_entropy_weighted(const Tensor& logits,
+                                          std::span<const int64_t> labels,
+                                          std::span<const float> weights) {
+  assert(logits.rank() == 2);
+  const int64_t batch = logits.dim(0), classes = logits.dim(1);
+  assert(static_cast<int64_t>(labels.size()) == batch);
+  assert(weights.size() == labels.size());
+
+  LossResult res;
+  res.grad = ops::softmax(logits);
+  double loss = 0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t n = 0; n < batch; ++n) {
+    const int64_t y = labels[static_cast<size_t>(n)];
+    assert(y >= 0 && y < classes);
+    const float w = weights[static_cast<size_t>(n)];
+    float* g = res.grad.data() + n * classes;
+    const double p = std::max(double(g[y]), 1e-12);
+    loss += -w * std::log(p);
+    g[y] -= 1.0f;
+    const float s = w * inv_batch;
+    for (int64_t c = 0; c < classes; ++c) g[c] *= s;
+  }
+  res.loss = static_cast<float>(loss / batch);
+  return res;
+}
+
+LossResult mse(const Tensor& logits, const Tensor& targets) {
+  assert(logits.shape() == targets.shape());
+  const int64_t n = logits.numel();
+  LossResult res;
+  res.grad = Tensor(logits.shape());
+  double loss = 0;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = logits[i] - targets[i];
+    loss += 0.5 * double(d) * double(d);
+    res.grad[i] = d * inv;
+  }
+  res.loss = static_cast<float>(loss / n);
+  return res;
+}
+
+LossResult kl_distillation(const Tensor& logits, const Tensor& teacher_logits,
+                           float temperature) {
+  assert(logits.shape() == teacher_logits.shape());
+  assert(logits.rank() == 2);
+  const int64_t batch = logits.dim(0), classes = logits.dim(1);
+  const float t = temperature;
+
+  Tensor scaled_s = ops::scale(logits, 1.0f / t);
+  Tensor scaled_t = ops::scale(teacher_logits, 1.0f / t);
+  Tensor ps = ops::softmax(scaled_s);
+  Tensor pt = ops::softmax(scaled_t);
+  Tensor log_ps = ops::log_softmax(scaled_s);
+  Tensor log_pt = ops::log_softmax(scaled_t);
+
+  LossResult res;
+  res.grad = Tensor(logits.shape());
+  double loss = 0;
+  // d/ds_j of KL(pt || ps) with s scaled by 1/T is (ps_j - pt_j)/T; the
+  // conventional T^2 factor restores gradient magnitude.
+  const float gscale = t / static_cast<float>(batch);  // T^2 * (1/T) / batch
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < classes; ++c) {
+      const int64_t i = n * classes + c;
+      loss += double(pt[i]) * (double(log_pt[i]) - double(log_ps[i]));
+      res.grad[i] = gscale * (ps[i] - pt[i]);
+    }
+  }
+  res.loss = static_cast<float>(loss * t * t / batch);
+  return res;
+}
+
+}  // namespace cham::nn

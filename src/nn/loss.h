@@ -1,0 +1,38 @@
+// Losses used by the paper's methods: softmax cross-entropy (all learners),
+// MSE on logits (DER's dark-knowledge term), and KL distillation (LwF).
+// Each returns the scalar loss and the gradient w.r.t. the logits, averaged
+// over the batch, so callers can feed the gradient straight into backward().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cham::nn {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // dLoss/dlogits, same shape as logits
+};
+
+// logits: NxC, labels: N entries in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int64_t> labels);
+
+// Per-sample weighted variant: weight[i] scales sample i's contribution
+// (weights are normalised by batch size, matching the unweighted form when
+// all weights are 1).
+LossResult softmax_cross_entropy_weighted(const Tensor& logits,
+                                          std::span<const int64_t> labels,
+                                          std::span<const float> weights);
+
+// 0.5 * mean squared error between logits and targets (same shape).
+LossResult mse(const Tensor& logits, const Tensor& targets);
+
+// Distillation: KL(softmax(targets/T) || softmax(logits/T)) * T^2, averaged
+// over the batch. Gradient w.r.t. logits.
+LossResult kl_distillation(const Tensor& logits, const Tensor& teacher_logits,
+                           float temperature);
+
+}  // namespace cham::nn

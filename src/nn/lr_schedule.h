@@ -1,0 +1,70 @@
+// Learning-rate schedules for the pretraining path: constant, step decay,
+// cosine annealing with warmup. Schedules are pure functions of the step
+// index, composable with either optimiser via set_lr().
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace cham::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr_at(int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Multiplies the rate by `gamma` every `period` steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base, int64_t period, float gamma)
+      : base_(base), period_(period), gamma_(gamma) {}
+  float lr_at(int64_t step) const override {
+    return base_ * std::pow(gamma_, static_cast<float>(step / period_));
+  }
+
+ private:
+  float base_;
+  int64_t period_;
+  float gamma_;
+};
+
+// Linear warmup to `base` over `warmup` steps, then cosine anneal to
+// `min_lr` at `total` steps (clamped beyond).
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float base, int64_t total, int64_t warmup = 0, float min_lr = 0.0f)
+      : base_(base), total_(total), warmup_(warmup), min_lr_(min_lr) {}
+
+  float lr_at(int64_t step) const override {
+    if (warmup_ > 0 && step < warmup_) {
+      return base_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    }
+    const int64_t s = std::min(step, total_);
+    const float progress =
+        total_ > warmup_
+            ? static_cast<float>(s - warmup_) /
+                  static_cast<float>(total_ - warmup_)
+            : 1.0f;
+    return min_lr_ + 0.5f * (base_ - min_lr_) *
+                         (1.0f + std::cos(3.14159265358979f * progress));
+  }
+
+ private:
+  float base_;
+  int64_t total_, warmup_;
+  float min_lr_;
+};
+
+}  // namespace cham::nn

@@ -1,0 +1,163 @@
+#include "nn/mobilenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cham::nn {
+namespace {
+
+int64_t scaled(int64_t channels, float width_mult) {
+  return std::max<int64_t>(
+      8, static_cast<int64_t>(std::round(channels * width_mult)));
+}
+
+struct BlockSpec {
+  int64_t out_channels;
+  int64_t stride;
+};
+
+// The 13 depthwise-separable blocks of MobileNetV1 (base channel counts).
+constexpr BlockSpec kBlocks[] = {
+    {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+    {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+    {512, 1}, {1024, 2}, {1024, 1},
+};
+
+}  // namespace
+
+MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
+  MobileNetV1 m;
+  m.config = cfg;
+  m.net = std::make_unique<Sequential>();
+  auto& net = *m.net;
+
+  int64_t h = cfg.input_hw, w = cfg.input_hw;
+  int64_t in_c = cfg.input_channels;
+
+  auto end_unit = [&](int64_t out_c) {
+    m.unit_end.push_back(net.size());
+    m.unit_out_shape.push_back(Shape{{out_c, h, w}});
+  };
+
+  // Conv layer 1: standard 3x3 stride-2 convolution.
+  const int64_t c1 = scaled(32, cfg.width_mult);
+  net.add(std::make_unique<Conv2d>(in_c, c1, h, w, 3, 2, 1, /*bias=*/false,
+                                   rng));
+  h = (h + 2 * 1 - 3) / 2 + 1;
+  w = h;
+  net.add(std::make_unique<BatchNorm2d>(c1, cfg.bn_momentum));
+  net.add(std::make_unique<ReLU>(6.0f));
+  end_unit(c1);
+  in_c = c1;
+
+  // Conv layers 2..27: 13 (depthwise, pointwise) pairs.
+  for (const BlockSpec& b : kBlocks) {
+    // Depthwise.
+    net.add(std::make_unique<DepthwiseConv2d>(in_c, h, w, 3, b.stride, 1, rng));
+    h = (h + 2 * 1 - 3) / b.stride + 1;
+    w = h;
+    net.add(std::make_unique<BatchNorm2d>(in_c, cfg.bn_momentum));
+    net.add(std::make_unique<ReLU>(6.0f));
+    end_unit(in_c);
+    // Pointwise.
+    const int64_t out_c = scaled(b.out_channels, cfg.width_mult);
+    net.add(std::make_unique<Conv2d>(in_c, out_c, h, w, 1, 1, 0,
+                                     /*bias=*/false, rng));
+    net.add(std::make_unique<BatchNorm2d>(out_c, cfg.bn_momentum));
+    net.add(std::make_unique<ReLU>(6.0f));
+    end_unit(out_c);
+    in_c = out_c;
+  }
+
+  // Classifier.
+  net.add(std::make_unique<GlobalAvgPool>());
+  net.add(std::make_unique<Linear>(in_c, cfg.num_classes, rng));
+
+  return m;
+}
+
+SplitModel split_at_conv_layer(MobileNetV1&& model, int64_t conv_layer) {
+  assert(conv_layer >= 1 && conv_layer < model.conv_layer_count());
+  SplitModel out;
+  const int64_t cut =
+      model.unit_end[static_cast<size_t>(conv_layer - 1)];
+  const int64_t total = model.net->size();
+  out.g = model.net->slice(cut, total);
+  out.f = std::move(model.net);
+  out.latent_shape = model.shape_after(conv_layer);
+  out.latent_dim = out.latent_shape.numel();
+  return out;
+}
+
+void freeze_batchnorm_stats(Sequential& net) {
+  for (int64_t i = 0; i < net.size(); ++i) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&net.layer(i))) {
+      bn->set_track_running_stats(false);
+    }
+  }
+}
+
+namespace {
+
+void copy_params_impl(const Sequential& src, Sequential& dst,
+                      bool skip_classifier) {
+  auto& src_mut = const_cast<Sequential&>(src);
+  auto sp = src_mut.params();
+  auto dp = dst.params();
+  assert(sp.size() == dp.size());
+  for (size_t i = 0; i < sp.size(); ++i) {
+    if (sp[i]->value.shape() != dp[i]->value.shape()) {
+      assert(skip_classifier && "architecture mismatch outside classifier");
+      continue;
+    }
+    (void)skip_classifier;
+    dp[i]->value = sp[i]->value;
+  }
+  // Running BN statistics are not Params; copy them explicitly.
+  int64_t si = 0, di = 0;
+  while (si < src_mut.size() && di < dst.size()) {
+    auto* sbn = dynamic_cast<BatchNorm2d*>(&src_mut.layer(si));
+    auto* dbn = dynamic_cast<BatchNorm2d*>(&dst.layer(di));
+    if (sbn && dbn) {
+      dbn->mutable_running_mean() = sbn->running_mean();
+      dbn->mutable_running_var() = sbn->running_var();
+      ++si;
+      ++di;
+    } else if (!sbn) {
+      ++si;
+    } else {
+      ++di;
+    }
+  }
+}
+
+}  // namespace
+
+void copy_params(const Sequential& src, Sequential& dst) {
+  copy_params_impl(src, dst, /*skip_classifier=*/false);
+}
+
+void copy_params_except_classifier(const Sequential& src, Sequential& dst) {
+  copy_params_impl(src, dst, /*skip_classifier=*/true);
+}
+
+void reinit_classifier(Sequential& net, Rng& rng) {
+  for (int64_t i = net.size() - 1; i >= 0; --i) {
+    if (auto* fc = dynamic_cast<Linear*>(&net.layer(i))) {
+      for (Param* p : fc->params()) {
+        if (p->value.rank() == 2) {
+          const float stddev =
+              std::sqrt(2.0f / static_cast<float>(fc->in_dim()));
+          for (int64_t j = 0; j < p->numel(); ++j) {
+            p->value[j] = rng.normal_f(0.0f, stddev);
+          }
+        } else {
+          p->value.fill(0.0f);
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace cham::nn

@@ -1,0 +1,77 @@
+// MobileNetV1 builder (Howard et al., 2017) with width multiplier, plus the
+// latent split used by Latent Replay and Chameleon.
+//
+// The paper counts 27 "layers": the initial full convolution, 13 depthwise /
+// pointwise pairs (26), and chooses conv layer 21 (the pointwise convolution
+// of block 10) as the latent layer. We reproduce that numbering exactly:
+// conv-like layer k (1-based) maps to a (conv, bn, relu) unit in the
+// Sequential, and split_at_conv_layer(21) returns the frozen feature
+// extractor f (units 1..21) and trainable head g (units 22..27 + pool + FC).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace cham::nn {
+
+struct MobileNetConfig {
+  int64_t input_hw = 32;       // square input resolution
+  int64_t input_channels = 3;
+  float width_mult = 0.5f;     // alpha
+  int64_t num_classes = 50;
+  float bn_momentum = 0.1f;
+
+  // Paper setting: layer 21 of 27.
+  int64_t latent_conv_layer = 21;
+};
+
+// A built network plus the bookkeeping needed to split it at a conv layer.
+struct MobileNetV1 {
+  MobileNetConfig config;
+  std::unique_ptr<Sequential> net;
+  // unit_end[k] = index (exclusive) in `net` of the last sub-layer of
+  // conv-like layer k+1; unit_end.size() == 27 for the standard net.
+  std::vector<int64_t> unit_end;
+  // Output activation shape (C, H, W) after each conv-like unit.
+  std::vector<Shape> unit_out_shape;
+
+  int64_t conv_layer_count() const {
+    return static_cast<int64_t>(unit_end.size());
+  }
+  // Latent activation shape (C,H,W) after conv layer `k` (1-based).
+  const Shape& shape_after(int64_t k) const {
+    return unit_out_shape[static_cast<size_t>(k - 1)];
+  }
+};
+
+MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng);
+
+// Destructively splits `model.net` after conv-like layer `conv_layer`.
+struct SplitModel {
+  std::unique_ptr<Sequential> f;  // frozen feature extractor
+  std::unique_ptr<Sequential> g;  // trainable head (ends in the classifier)
+  Shape latent_shape;             // C,H,W of f's output per sample
+  int64_t latent_dim = 0;         // flattened size
+};
+SplitModel split_at_conv_layer(MobileNetV1&& model, int64_t conv_layer);
+
+// Freezes BatchNorm running statistics in a pipeline (on-device CL practice:
+// normalisation statistics stay at their pretrained values; affine params
+// still train).
+void freeze_batchnorm_stats(Sequential& net);
+
+// Deep-copies parameter values from `src` into `dst` (same architecture).
+void copy_params(const Sequential& src, Sequential& dst);
+
+// Same, but skips the final Linear classifier — used to transfer a backbone
+// pretrained with a different class count (the ImageNet-to-task swap).
+void copy_params_except_classifier(const Sequential& src, Sequential& dst);
+
+// He-reinitialises the final Linear classifier (weights) and zeroes its
+// bias — the "swap the pretrained classifier for the task head" step.
+void reinit_classifier(Sequential& net, Rng& rng);
+
+}  // namespace cham::nn

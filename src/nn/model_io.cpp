@@ -1,0 +1,65 @@
+#include "nn/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace cham::nn {
+namespace {
+
+constexpr uint64_t kMagic = 0x4348414D4E4E3031ull;  // "CHAMNN01"
+
+// Collects every tensor that must round-trip: parameter values plus BN
+// running statistics, in pipeline order.
+std::vector<Tensor*> state_tensors(Sequential& net) {
+  std::vector<Tensor*> out;
+  for (int64_t i = 0; i < net.size(); ++i) {
+    Layer& l = net.layer(i);
+    for (Param* p : l.params()) out.push_back(&p->value);
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) {
+      out.push_back(&bn->mutable_running_mean());
+      out.push_back(&bn->mutable_running_var());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool save_params(const Sequential& net, const std::string& path) {
+  auto tensors = state_tensors(const_cast<Sequential&>(net));
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const uint64_t count = tensors.size();
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (Tensor* t : tensors) {
+    const uint64_t n = static_cast<uint64_t>(t->numel());
+    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    f.write(reinterpret_cast<const char*>(t->data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  return f.good();
+}
+
+bool load_params(Sequential& net, const std::string& path) {
+  auto tensors = state_tensors(net);
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  uint64_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (magic != kMagic || count != tensors.size()) return false;
+  for (Tensor* t : tensors) {
+    uint64_t n = 0;
+    f.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (n != static_cast<uint64_t>(t->numel())) return false;
+    f.read(reinterpret_cast<char*>(t->data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  return f.good();
+}
+
+}  // namespace cham::nn

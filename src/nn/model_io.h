@@ -1,0 +1,16 @@
+// Binary parameter serialisation. Used to cache the pretrained backbone so
+// every benchmark does not repeat pretraining. The format stores Param
+// tensors in pipeline order plus BatchNorm running statistics.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace cham::nn {
+
+// Returns false on I/O failure or architecture mismatch.
+bool save_params(const Sequential& net, const std::string& path);
+bool load_params(Sequential& net, const std::string& path);
+
+}  // namespace cham::nn

@@ -1,0 +1,107 @@
+// A compact residual CNN (ResNet-style) as a second backbone, demonstrating
+// that the continual-learning stack is not MobileNetV1-specific.
+//
+// The graph-free Sequential pipeline handles skip connections through a
+// composite ResidualBlock layer: it owns the two-conv main path and an
+// optional 1x1 projection shortcut, sums them, and routes gradients through
+// both paths in backward().
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace cham::nn {
+
+// y = relu( main(x) + shortcut(x) ); main = conv-bn-relu-conv-bn,
+// shortcut = identity or 1x1 stride-matched projection conv-bn.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int64_t in_c, int64_t out_c, int64_t in_h, int64_t in_w,
+                int64_t stride, Rng& rng)
+      : projected_(stride != 1 || in_c != out_c) {
+    main_.add(std::make_unique<Conv2d>(in_c, out_c, in_h, in_w, 3, stride, 1,
+                                       false, rng));
+    const int64_t oh = (in_h + 2 - 3) / stride + 1;
+    main_.add(std::make_unique<BatchNorm2d>(out_c));
+    main_.add(std::make_unique<ReLU>());
+    main_.add(std::make_unique<Conv2d>(out_c, out_c, oh, oh, 3, 1, 1, false,
+                                       rng));
+    main_.add(std::make_unique<BatchNorm2d>(out_c));
+    if (projected_) {
+      shortcut_.add(std::make_unique<Conv2d>(in_c, out_c, in_h, in_w, 1,
+                                             stride, 0, false, rng));
+      shortcut_.add(std::make_unique<BatchNorm2d>(out_c));
+    }
+  }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    Tensor main_out = main_.forward(x, train);
+    Tensor shortcut_out = projected_ ? shortcut_.forward(x, train) : x;
+    main_out += shortcut_out;
+    return relu_.forward(main_out, train);
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    const Tensor g = relu_.backward(grad_out);
+    Tensor grad_in = main_.backward(g);
+    if (projected_) {
+      grad_in += shortcut_.backward(g);
+    } else {
+      grad_in += g;  // identity shortcut passes the gradient through
+    }
+    return grad_in;
+  }
+
+  std::vector<Param*> params() override {
+    std::vector<Param*> out = main_.params();
+    for (Param* p : shortcut_.params()) out.push_back(p);
+    return out;
+  }
+
+  std::string name() const override { return "ResidualBlock"; }
+  int64_t macs_per_sample() const override {
+    return main_.macs_per_sample() + shortcut_.macs_per_sample();
+  }
+  bool is_conv_like() const override { return true; }
+
+ private:
+  bool projected_;
+  Sequential main_;
+  Sequential shortcut_;
+  ReLU relu_;
+};
+
+struct ResNetConfig {
+  int64_t input_hw = 32;
+  int64_t base_channels = 16;
+  int64_t blocks_per_stage = 2;  // 3 stages (16, 32, 64 ch): ResNet-(6n+2)
+  int64_t num_classes = 10;
+};
+
+// Builds stem + 3 residual stages + pool + classifier.
+inline std::unique_ptr<Sequential> build_resnet(const ResNetConfig& cfg,
+                                                Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  int64_t hw = cfg.input_hw;
+  int64_t ch = cfg.base_channels;
+  net->add(std::make_unique<Conv2d>(3, ch, hw, hw, 3, 1, 1, false, rng));
+  net->add(std::make_unique<BatchNorm2d>(ch));
+  net->add(std::make_unique<ReLU>());
+  for (int64_t stage = 0; stage < 3; ++stage) {
+    const int64_t out_c = cfg.base_channels << stage;
+    for (int64_t b = 0; b < cfg.blocks_per_stage; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->add(std::make_unique<ResidualBlock>(ch, out_c, hw, hw, stride,
+                                               rng));
+      if (stride == 2) hw = (hw + 2 - 3) / 2 + 1;
+      ch = out_c;
+    }
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(ch, cfg.num_classes, rng));
+  return net;
+}
+
+}  // namespace cham::nn

@@ -1,0 +1,78 @@
+// Sequential container: the whole network (and each half after the latent
+// split) is a straight pipeline of layers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cham::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    Tensor cur = x;
+    for (auto& l : layers_) cur = l->forward(cur, train);
+    return cur;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor cur = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      cur = (*it)->backward(cur);
+    }
+    return cur;
+  }
+
+  std::vector<Param*> params() override {
+    std::vector<Param*> out;
+    for (auto& l : layers_) {
+      for (Param* p : l->params()) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::string name() const override { return "Sequential"; }
+
+  int64_t macs_per_sample() const override {
+    int64_t total = 0;
+    for (const auto& l : layers_) total += l->macs_per_sample();
+    return total;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(layers_.size()); }
+  Layer& layer(int64_t i) { return *layers_[static_cast<size_t>(i)]; }
+  const Layer& layer(int64_t i) const { return *layers_[static_cast<size_t>(i)]; }
+
+  // Moves all layers of `other` to the end of this pipeline (used to
+  // re-join a split network).
+  void append(Sequential&& other) {
+    for (auto& l : other.layers_) layers_.push_back(std::move(l));
+    other.layers_.clear();
+  }
+
+  // Moves layers [begin, end) into a new Sequential; this container keeps
+  // the rest. Used to split a network at the latent layer.
+  std::unique_ptr<Sequential> slice(int64_t begin, int64_t end) {
+    auto out = std::make_unique<Sequential>();
+    for (int64_t i = begin; i < end; ++i) {
+      out->add(std::move(layers_[static_cast<size_t>(i)]));
+    }
+    layers_.erase(layers_.begin() + begin, layers_.begin() + end);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace cham::nn

@@ -1,0 +1,54 @@
+// SGD with momentum and weight decay, matching the paper's optimiser
+// (SGD, lr = 0.001).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cham::nn {
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f)
+      : params_(std::move(params)),
+        lr_(lr),
+        momentum_(momentum),
+        weight_decay_(weight_decay) {
+    if (momentum_ > 0.0f) {
+      velocities_.reserve(params_.size());
+      for (Param* p : params_) velocities_.emplace_back(p->value.shape());
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+  void step() {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      Param* p = params_[i];
+      for (int64_t j = 0; j < p->numel(); ++j) {
+        float g = p->grad[j];
+        if (weight_decay_ > 0.0f) g += weight_decay_ * p->value[j];
+        if (momentum_ > 0.0f) {
+          float& v = velocities_[i][j];
+          v = momentum_ * v + g;
+          g = v;
+        }
+        p->value[j] -= lr_ * g;
+      }
+    }
+  }
+
+ private:
+  std::vector<Param*> params_;
+  float lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocities_;
+};
+
+}  // namespace cham::nn

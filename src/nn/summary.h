@@ -1,0 +1,40 @@
+// Human-readable pipeline summary: one row per layer with parameter count
+// and per-sample MACs — the torchsummary-style view users expect when
+// sizing a model for a device.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace cham::nn {
+
+inline std::string summarize(Sequential& net, const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << "  #   layer              params      MACs/sample\n";
+  int64_t total_params = 0, total_macs = 0;
+  for (int64_t i = 0; i < net.size(); ++i) {
+    Layer& l = net.layer(i);
+    const int64_t params = l.param_count();
+    const int64_t macs = l.macs_per_sample();
+    total_params += params;
+    total_macs += macs;
+    char row[96];
+    std::snprintf(row, sizeof(row), "  %-3lld %-18s %-11lld %lld\n",
+                  static_cast<long long>(i), l.name().c_str(),
+                  static_cast<long long>(params),
+                  static_cast<long long>(macs));
+    os << row;
+  }
+  char footer[96];
+  std::snprintf(footer, sizeof(footer),
+                "  total: %lld params, %.2f MMACs/sample\n",
+                static_cast<long long>(total_params),
+                static_cast<double>(total_macs) / 1e6);
+  os << footer;
+  return os.str();
+}
+
+}  // namespace cham::nn

@@ -1,0 +1,281 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace cham::quant {
+namespace {
+
+constexpr int64_t kBfpBlockSize = 16;
+
+uint32_t float_bits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ fp16
+
+uint16_t fp32_to_fp16_bits(float value) {
+  const uint32_t bits = float_bits(value);
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xFF) - 127;
+  uint32_t mantissa = bits & 0x7FFFFFu;
+
+  if (exponent == 128) {  // inf / NaN
+    return static_cast<uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0u));
+  }
+  if (exponent > 15) {  // overflow -> inf
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (exponent >= -14) {  // normal range
+    // Round mantissa from 23 to 10 bits, round-to-nearest-even.
+    uint32_t m = mantissa >> 13;
+    const uint32_t rest = mantissa & 0x1FFFu;
+    if (rest > 0x1000u || (rest == 0x1000u && (m & 1u))) ++m;
+    uint32_t e = static_cast<uint32_t>(exponent + 15);
+    if (m == 0x400u) {  // mantissa rounded up into the next exponent
+      m = 0;
+      ++e;
+      if (e >= 31) return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+    return static_cast<uint16_t>(sign | (e << 10) | m);
+  }
+  if (exponent >= -24) {  // denormal half
+    mantissa |= 0x800000u;  // implicit leading 1
+    const int shift = -exponent - 14 + 13;
+    uint32_t m = mantissa >> shift;
+    const uint32_t rest = mantissa & ((1u << shift) - 1);
+    const uint32_t half = 1u << (shift - 1);
+    if (rest > half || (rest == half && (m & 1u))) ++m;
+    return static_cast<uint16_t>(sign | m);
+  }
+  return static_cast<uint16_t>(sign);  // underflow -> signed zero
+}
+
+float fp16_bits_to_fp32(uint16_t bits) {
+  const uint32_t sign = (uint32_t(bits) & 0x8000u) << 16;
+  const uint32_t exponent = (bits >> 10) & 0x1Fu;
+  const uint32_t mantissa = bits & 0x3FFu;
+
+  if (exponent == 0x1F) {  // inf / NaN
+    return bits_float(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_float(sign);  // signed zero
+    // Denormal: value = mantissa * 2^-24.
+    const float magnitude = static_cast<float>(mantissa) * 0x1.0p-24f;
+    return sign ? -magnitude : magnitude;
+  }
+  return bits_float(sign | ((exponent + 112) << 23) | (mantissa << 13));
+}
+
+// ------------------------------------------------------------------ int8
+
+Int8Params choose_int8_params(std::span<const float> values) {
+  float lo = values.empty() ? 0.0f : values[0];
+  float hi = lo;
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Always include zero so that zero stays exact.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  Int8Params p;
+  const float range = hi - lo;
+  p.scale = range > 0 ? range / 255.0f : 1.0f;
+  p.zero_point =
+      static_cast<int32_t>(std::lround(-128.0 - lo / p.scale));
+  p.zero_point = std::clamp(p.zero_point, -128, 127);
+  return p;
+}
+
+int8_t quantize_int8(float value, const Int8Params& p) {
+  const long q = std::lround(value / p.scale) + p.zero_point;
+  return static_cast<int8_t>(std::clamp<long>(q, -128, 127));
+}
+
+float dequantize_int8(int8_t q, const Int8Params& p) {
+  return p.scale * static_cast<float>(int32_t(q) - p.zero_point);
+}
+
+// ------------------------------------------------------------------- BFP
+
+BfpBlock bfp_encode(std::span<const float> values, int mantissa_bits) {
+  BfpBlock block;
+  block.mantissas.resize(values.size());
+  float max_abs = 0;
+  for (float v : values) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0) {
+    block.shared_exponent = 0;
+    return block;
+  }
+  // Shared exponent so the largest magnitude uses the full mantissa range.
+  int exp = 0;
+  std::frexp(max_abs, &exp);  // max_abs = m * 2^exp, m in [0.5, 1)
+  const int mant_max = (1 << (mantissa_bits - 1)) - 1;  // e.g. 127
+  block.shared_exponent = static_cast<int8_t>(
+      std::clamp(exp - (mantissa_bits - 1), -128, 127));
+  const float scale = std::ldexp(1.0f, -block.shared_exponent);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const long m = std::lround(values[i] * scale);
+    block.mantissas[i] = static_cast<int8_t>(
+        std::clamp<long>(m, -mant_max - 1, mant_max));
+  }
+  return block;
+}
+
+void bfp_decode(const BfpBlock& block, int mantissa_bits,
+                std::span<float> out) {
+  (void)mantissa_bits;
+  const float scale = std::ldexp(1.0f, block.shared_exponent);
+  for (size_t i = 0; i < out.size() && i < block.mantissas.size(); ++i) {
+    out[i] = static_cast<float>(block.mantissas[i]) * scale;
+  }
+}
+
+// --------------------------------------------------------------- codecs
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kFp16: return "fp16";
+    case Precision::kBfp8: return "bfp8";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+int64_t storage_bytes(Precision p, int64_t numel) {
+  switch (p) {
+    case Precision::kFp32:
+      return numel * 4;
+    case Precision::kFp16:
+      return numel * 2;
+    case Precision::kBfp8: {
+      const int64_t blocks = (numel + kBfpBlockSize - 1) / kBfpBlockSize;
+      return numel + blocks;  // one mantissa byte each + exponent per block
+    }
+    case Precision::kInt8:
+      return numel + static_cast<int64_t>(sizeof(float) + sizeof(int32_t));
+  }
+  return numel * 4;
+}
+
+EncodedTensor encode(const Tensor& t, Precision p) {
+  EncodedTensor e;
+  e.precision = p;
+  e.shape = t.shape();
+  const int64_t n = t.numel();
+  switch (p) {
+    case Precision::kFp32: {
+      e.bytes.resize(static_cast<size_t>(n * 4));
+      std::memcpy(e.bytes.data(), t.data(), static_cast<size_t>(n * 4));
+      break;
+    }
+    case Precision::kFp16: {
+      e.bytes.resize(static_cast<size_t>(n * 2));
+      auto* out = reinterpret_cast<uint16_t*>(e.bytes.data());
+      for (int64_t i = 0; i < n; ++i) out[i] = fp32_to_fp16_bits(t[i]);
+      break;
+    }
+    case Precision::kBfp8: {
+      const int64_t blocks = (n + kBfpBlockSize - 1) / kBfpBlockSize;
+      e.bytes.resize(static_cast<size_t>(n + blocks));
+      size_t pos = 0;
+      for (int64_t b = 0; b < blocks; ++b) {
+        const int64_t start = b * kBfpBlockSize;
+        const int64_t len = std::min<int64_t>(kBfpBlockSize, n - start);
+        const BfpBlock block = bfp_encode(
+            std::span<const float>(t.data() + start,
+                                   static_cast<size_t>(len)),
+            8);
+        e.bytes[pos++] = static_cast<uint8_t>(block.shared_exponent);
+        for (int64_t i = 0; i < len; ++i) {
+          e.bytes[pos++] = static_cast<uint8_t>(block.mantissas[
+              static_cast<size_t>(i)]);
+        }
+      }
+      break;
+    }
+    case Precision::kInt8: {
+      const Int8Params params =
+          choose_int8_params({t.data(), static_cast<size_t>(n)});
+      e.bytes.resize(static_cast<size_t>(n) + sizeof(float) +
+                     sizeof(int32_t));
+      std::memcpy(e.bytes.data(), &params.scale, sizeof(float));
+      std::memcpy(e.bytes.data() + sizeof(float), &params.zero_point,
+                  sizeof(int32_t));
+      auto* out = reinterpret_cast<int8_t*>(e.bytes.data() + sizeof(float) +
+                                            sizeof(int32_t));
+      for (int64_t i = 0; i < n; ++i) out[i] = quantize_int8(t[i], params);
+      break;
+    }
+  }
+  return e;
+}
+
+Tensor decode(const EncodedTensor& e) {
+  Tensor t(e.shape);
+  const int64_t n = t.numel();
+  switch (e.precision) {
+    case Precision::kFp32: {
+      std::memcpy(t.data(), e.bytes.data(), static_cast<size_t>(n * 4));
+      break;
+    }
+    case Precision::kFp16: {
+      const auto* in = reinterpret_cast<const uint16_t*>(e.bytes.data());
+      for (int64_t i = 0; i < n; ++i) t[i] = fp16_bits_to_fp32(in[i]);
+      break;
+    }
+    case Precision::kBfp8: {
+      size_t pos = 0;
+      for (int64_t start = 0; start < n; start += kBfpBlockSize) {
+        const int64_t len = std::min<int64_t>(kBfpBlockSize, n - start);
+        BfpBlock block;
+        block.shared_exponent = static_cast<int8_t>(e.bytes[pos++]);
+        block.mantissas.resize(static_cast<size_t>(len));
+        for (int64_t i = 0; i < len; ++i) {
+          block.mantissas[static_cast<size_t>(i)] =
+              static_cast<int8_t>(e.bytes[pos++]);
+        }
+        bfp_decode(block, 8,
+                   std::span<float>(t.data() + start,
+                                    static_cast<size_t>(len)));
+      }
+      break;
+    }
+    case Precision::kInt8: {
+      Int8Params params;
+      std::memcpy(&params.scale, e.bytes.data(), sizeof(float));
+      std::memcpy(&params.zero_point, e.bytes.data() + sizeof(float),
+                  sizeof(int32_t));
+      const auto* in = reinterpret_cast<const int8_t*>(
+          e.bytes.data() + sizeof(float) + sizeof(int32_t));
+      for (int64_t i = 0; i < n; ++i) t[i] = dequantize_int8(in[i], params);
+      break;
+    }
+  }
+  return t;
+}
+
+double round_trip_error(const Tensor& t, Precision p) {
+  const Tensor back = decode(encode(t, p));
+  double m = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    m = std::max(m, std::abs(double(t[i]) - double(back[i])));
+  }
+  return m;
+}
+
+}  // namespace cham::quant

@@ -1,0 +1,76 @@
+// Fixed-capacity replay buffer with the two insertion policies used across
+// the baselines: reservoir sampling (ER/DER) and random replacement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replay/sample.h"
+#include "tensor/rng.h"
+
+namespace cham::replay {
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(int64_t capacity) : capacity_(capacity) {}
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+  bool full() const { return size() >= capacity_; }
+  int64_t seen() const { return seen_; }
+
+  const ReplaySample& item(int64_t i) const {
+    return items_[static_cast<size_t>(i)];
+  }
+  ReplaySample& item(int64_t i) { return items_[static_cast<size_t>(i)]; }
+  const std::vector<ReplaySample>& items() const { return items_; }
+
+  // Classic reservoir sampling: keeps a uniform subsample of the stream.
+  // Returns the slot written, or -1 if the sample was dropped.
+  int64_t reservoir_add(ReplaySample sample, Rng& rng) {
+    ++seen_;
+    if (!full()) {
+      items_.push_back(std::move(sample));
+      return size() - 1;
+    }
+    const int64_t j = rng.uniform_int(seen_);
+    if (j < capacity_) {
+      items_[static_cast<size_t>(j)] = std::move(sample);
+      return j;
+    }
+    return -1;
+  }
+
+  // Appends while not full, then overwrites a uniformly random slot.
+  int64_t random_replace_add(ReplaySample sample, Rng& rng) {
+    ++seen_;
+    if (!full()) {
+      items_.push_back(std::move(sample));
+      return size() - 1;
+    }
+    const int64_t j = rng.uniform_int(capacity_);
+    items_[static_cast<size_t>(j)] = std::move(sample);
+    return j;
+  }
+
+  // Indices of up to k distinct samples drawn uniformly at random.
+  std::vector<int64_t> sample_indices(int64_t k, Rng& rng) const {
+    return rng.sample_without_replacement(size(), std::min(k, size()));
+  }
+
+  void clear() {
+    items_.clear();
+    seen_ = 0;
+  }
+
+  // Restores the reservoir counter after deserialisation so future
+  // insertion probabilities continue from the checkpointed stream position.
+  void set_seen(int64_t seen) { seen_ = seen; }
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<ReplaySample> items_;
+};
+
+}  // namespace cham::replay

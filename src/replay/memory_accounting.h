@@ -1,0 +1,69 @@
+// Replay-memory accounting (Table I "Memory Overhead" column).
+//
+// Different methods pay different bytes for the *same* number of replay
+// samples — the core observation behind Figure 2 and Table I:
+//   ER  : raw image + label
+//   DER : raw image + label + stored logits
+//   GSS : raw image + label + gradient vector (~10x, paper Sec. IV-B)
+//   Latent Replay / Chameleon : latent activation + label
+//   EWC++ : two extra parameter-sized tensors (Fisher diag + anchor)
+//   LwF  : one frozen teacher copy of the trainable head
+//   SLDA : class means + shared covariance over the pooled latent dim
+#pragma once
+
+#include <cstdint>
+
+namespace cham::replay {
+
+constexpr int64_t kBytesPerFloat = 4;
+constexpr int64_t kBytesPerLabel = 4;
+
+inline int64_t raw_image_bytes(int64_t channels, int64_t hw) {
+  return channels * hw * hw * kBytesPerFloat;
+}
+
+inline int64_t latent_bytes(int64_t latent_numel) {
+  return latent_numel * kBytesPerFloat;
+}
+
+inline int64_t logits_bytes(int64_t num_classes) {
+  return num_classes * kBytesPerFloat;
+}
+
+inline int64_t er_sample_bytes(int64_t channels, int64_t hw) {
+  return raw_image_bytes(channels, hw) + kBytesPerLabel;
+}
+
+inline int64_t der_sample_bytes(int64_t channels, int64_t hw,
+                                int64_t num_classes) {
+  return er_sample_bytes(channels, hw) + logits_bytes(num_classes);
+}
+
+inline int64_t gss_sample_bytes(int64_t channels, int64_t hw,
+                                int64_t grad_dim) {
+  return er_sample_bytes(channels, hw) + grad_dim * kBytesPerFloat;
+}
+
+inline int64_t latent_sample_bytes(int64_t latent_numel) {
+  return latent_bytes(latent_numel) + kBytesPerLabel;
+}
+
+inline int64_t ewc_overhead_bytes(int64_t param_count) {
+  return 2 * param_count * kBytesPerFloat;  // Fisher diagonal + anchor
+}
+
+inline int64_t lwf_overhead_bytes(int64_t param_count) {
+  return param_count * kBytesPerFloat;  // frozen teacher head
+}
+
+inline int64_t slda_overhead_bytes(int64_t feature_dim, int64_t num_classes) {
+  // class means + shared covariance + cached precision matrix
+  return (num_classes * feature_dim + 2 * feature_dim * feature_dim) *
+         kBytesPerFloat;
+}
+
+inline double bytes_to_mb(int64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace cham::replay

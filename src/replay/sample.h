@@ -1,0 +1,23 @@
+// The unit stored in every replay buffer.
+//
+// Latent-storing methods (Latent Replay, Chameleon) keep the latent tensor;
+// raw-image methods (ER, DER, GSS) keep only the ImageKey — the image is
+// deterministic from the key, and the hardware cost model charges them the
+// raw-image bytes and the backbone recompute that a real device would pay.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace cham::replay {
+
+struct ReplaySample {
+  data::ImageKey key;
+  int64_t label = 0;
+  Tensor latent;  // 1 x C x H x W; empty for raw-image methods
+  Tensor logits;  // stored network response (DER); empty otherwise
+};
+
+}  // namespace cham::replay

@@ -1,0 +1,128 @@
+#include "replay/serialize.h"
+
+#include <fstream>
+#include <vector>
+
+namespace cham::replay {
+namespace {
+
+constexpr uint32_t kMagic = 0x43524250;  // "CRBP"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return is.good();
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  const uint32_t rank = static_cast<uint32_t>(t.rank());
+  write_pod(os, rank);
+  for (int64_t d = 0; d < t.rank(); ++d) {
+    write_pod(os, static_cast<int64_t>(t.dim(d)));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+bool read_tensor(std::istream& is, Tensor& t) {
+  uint32_t rank = 0;
+  if (!read_pod(is, rank) || rank > 8) return false;
+  std::vector<int64_t> dims(rank);
+  int64_t numel = 1;
+  for (auto& d : dims) {
+    if (!read_pod(is, d) || d < 0 || d > (int64_t{1} << 32)) return false;
+    numel *= d;
+  }
+  if (numel < 0 || numel > (int64_t{1} << 32)) return false;
+  t = Tensor(Shape(std::move(dims)));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  return is.good();
+}
+
+}  // namespace
+
+bool save_sample(const ReplaySample& sample, std::ostream& os) {
+  write_pod(os, sample.key.class_id);
+  write_pod(os, sample.key.domain_id);
+  write_pod(os, sample.key.instance_id);
+  write_pod(os, static_cast<uint8_t>(sample.key.test));
+  write_pod(os, sample.label);
+  // Note: a default Tensor has rank-0 shape with numel() == 1 (empty
+  // product) but no storage — empty() is the authoritative check.
+  const uint8_t has_latent = !sample.latent.empty();
+  const uint8_t has_logits = !sample.logits.empty();
+  write_pod(os, has_latent);
+  write_pod(os, has_logits);
+  if (has_latent) write_tensor(os, sample.latent);
+  if (has_logits) write_tensor(os, sample.logits);
+  return os.good();
+}
+
+bool load_sample(ReplaySample& sample, std::istream& is) {
+  uint8_t test = 0, has_latent = 0, has_logits = 0;
+  if (!read_pod(is, sample.key.class_id)) return false;
+  if (!read_pod(is, sample.key.domain_id)) return false;
+  if (!read_pod(is, sample.key.instance_id)) return false;
+  if (!read_pod(is, test)) return false;
+  sample.key.test = test != 0;
+  if (!read_pod(is, sample.label)) return false;
+  if (!read_pod(is, has_latent)) return false;
+  if (!read_pod(is, has_logits)) return false;
+  if (has_latent && !read_tensor(is, sample.latent)) return false;
+  if (has_logits && !read_tensor(is, sample.logits)) return false;
+  return true;
+}
+
+bool save_buffer(const ReplayBuffer& buffer, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<int64_t>(buffer.capacity()));
+  write_pod(os, static_cast<int64_t>(buffer.seen()));
+  write_pod(os, static_cast<int64_t>(buffer.size()));
+  for (int64_t i = 0; i < buffer.size(); ++i) {
+    if (!save_sample(buffer.item(i), os)) return false;
+  }
+  return os.good();
+}
+
+bool load_buffer(ReplayBuffer& buffer, std::istream& is) {
+  uint32_t magic = 0, version = 0;
+  int64_t capacity = 0, seen = 0, count = 0;
+  if (!read_pod(is, magic) || magic != kMagic) return false;
+  if (!read_pod(is, version) || version != kVersion) return false;
+  if (!read_pod(is, capacity) || capacity <= 0) return false;
+  if (!read_pod(is, seen) || seen < 0) return false;
+  if (!read_pod(is, count) || count < 0 || count > capacity) return false;
+
+  ReplayBuffer loaded(capacity);
+  Rng fill_rng(0);  // buffer below capacity: appends, rng unused
+  for (int64_t i = 0; i < count; ++i) {
+    ReplaySample s;
+    if (!load_sample(s, is)) return false;
+    loaded.random_replace_add(std::move(s), fill_rng);
+  }
+  // Restore the reservoir counter so future insertion probabilities are
+  // correct: replay the seen count.
+  buffer = std::move(loaded);
+  buffer.set_seen(seen);
+  return true;
+}
+
+bool save_buffer_file(const ReplayBuffer& buffer, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  return f && save_buffer(buffer, f);
+}
+
+bool load_buffer_file(ReplayBuffer& buffer, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return f && load_buffer(buffer, f);
+}
+
+}  // namespace cham::replay

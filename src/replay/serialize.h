@@ -1,0 +1,34 @@
+// Replay-state serialisation: persist the dual memories across device
+// reboots. An edge deployment that loses its replay buffers on power-cycle
+// re-forgets everything the buffers protected, so checkpointing the stores
+// (tiny: KBs to a few MB) is part of making the paper's system practical.
+//
+// Binary format: magic/version header, sample count, then per sample the
+// key, label, latent shape + payload and optional logits payload.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "replay/buffer.h"
+
+namespace cham::replay {
+
+// Streams. Return false on malformed input or I/O failure; on failure the
+// buffer is left in a valid (possibly partially loaded, then cleared)
+// state.
+bool save_buffer(const ReplayBuffer& buffer, std::ostream& os);
+bool load_buffer(ReplayBuffer& buffer, std::istream& is);
+
+// File convenience wrappers.
+bool save_buffer_file(const ReplayBuffer& buffer, const std::string& path);
+bool load_buffer_file(ReplayBuffer& buffer, const std::string& path);
+
+// Single samples (shared by the buffer functions; exposed for the
+// long-term store, which manages its own per-class slots).
+bool save_sample(const ReplaySample& sample, std::ostream& os);
+bool load_sample(ReplaySample& sample, std::istream& is);
+
+}  // namespace cham::replay

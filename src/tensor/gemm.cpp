@@ -1,0 +1,118 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace cham {
+namespace {
+
+// Tile sizes chosen for ~32 KiB L1: a 4x16 register kernel over K-strips.
+constexpr int64_t kMc = 64;
+constexpr int64_t kNc = 128;
+constexpr int64_t kKc = 128;
+
+// Computes a (rows x cols) block of C += A_panel @ B_panel, with
+// rows <= kMc, cols <= kNc, depth <= kKc. A is row-major (lda = stride),
+// B is row-major (ldb), C row-major (ldc).
+void micro_block(int64_t rows, int64_t cols, int64_t depth, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t p = 0; p < depth; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b + p * ldb;
+      for (int64_t j = 0; j < cols; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+          const float* b, float beta, float* c) {
+  // Scale / clear C first.
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  std::vector<float> a_scaled;
+  const float* a_eff = a;
+  if (alpha != 1.0f) {
+    // Pre-scaling A keeps the inner loop a pure FMA.
+    a_scaled.assign(a, a + m * k);
+    for (float& v : a_scaled) v *= alpha;
+    a_eff = a_scaled.data();
+  }
+
+  for (int64_t pc = 0; pc < k; pc += kKc) {
+    const int64_t depth = std::min(kKc, k - pc);
+    for (int64_t ic = 0; ic < m; ic += kMc) {
+      const int64_t rows = std::min(kMc, m - ic);
+      for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t cols = std::min(kNc, n - jc);
+        micro_block(rows, cols, depth, a_eff + ic * k + pc, k,
+                    b + pc * n + jc, n, c + ic * n + jc, n);
+      }
+    }
+  }
+}
+
+void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c) {
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == 0.0f) return;
+  // C[i][j] += sum_p A[p][i] * B[p][j]; iterate p outermost for row-major
+  // streaming of both A and B.
+  for (int64_t p = 0; p < k; ++p) {
+    const float* ap = a + p * m;
+    const float* bp = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = alpha * ap[i];
+      if (av == 0.0f) continue;
+      float* ci = c + i * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c) {
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == 0.0f) return;
+  // C[i][j] += dot(A row i, B row j): both contiguous dot products.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) acc += double(ai[p]) * double(bj[p]);
+      ci[j] += alpha * static_cast<float>(acc);
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  assert(a.dim(1) == b.dim(0));
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+}  // namespace cham

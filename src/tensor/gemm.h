@@ -1,0 +1,28 @@
+// Blocked single-precision GEMM and the matrix primitives the NN layers need.
+//
+// C (MxN) = alpha * A (MxK) @ B (KxN) + beta * C. Row-major, contiguous.
+// A register-blocked micro-kernel with K-panel packing gives a few GFLOP/s on
+// one core, enough for the 32x32 MobileNet workloads in this repo.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace cham {
+
+void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+          const float* b, float beta, float* c);
+
+// C (MxN) += A^T (A is KxM) @ B (KxN). Used by backward passes.
+void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c);
+
+// C (MxN) += A (MxK) @ B^T (B is NxK). Used by backward passes.
+void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c);
+
+// Convenience wrappers on Tensors (2-D only, shapes asserted).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace cham

@@ -1,0 +1,53 @@
+#include "tensor/im2col.h"
+
+namespace cham {
+
+void im2col(const float* img, const ConvGeometry& g, float* col) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = img + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* out = col + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            for (int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t ix = x * g.stride + kw - g.pad;
+            out[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& g, float* img) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = img + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* in = col + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + iy * g.in_w;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t ix = x * g.stride + kw - g.pad;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cham

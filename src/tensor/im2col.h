@@ -1,0 +1,30 @@
+// im2col / col2im for NCHW convolution lowered to GEMM.
+#pragma once
+
+#include <cstdint>
+
+namespace cham {
+
+struct ConvGeometry {
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t pad = 1;
+
+  int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  // Rows of the column matrix: one per (c, kh, kw).
+  int64_t col_rows() const { return in_c * kernel * kernel; }
+  // Cols of the column matrix: one per output pixel.
+  int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+// Expands one image (C x H x W, contiguous) into `col` of shape
+// col_rows() x col_cols(). Out-of-bounds taps are zero.
+void im2col(const float* img, const ConvGeometry& g, float* col);
+
+// Transposed scatter: accumulates the column matrix back into an image
+// gradient (must be pre-zeroed by the caller).
+void col2im(const float* col, const ConvGeometry& g, float* img);
+
+}  // namespace cham

@@ -1,0 +1,212 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cham::ops {
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  Tensor out = a;
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  assert(a.numel() > 0);
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max(const Tensor& a) {
+  assert(a.numel() > 0);
+  float m = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+int64_t argmax(std::span<const float> v) {
+  assert(!v.empty());
+  int64_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[static_cast<size_t>(best)]) best = static_cast<int64_t>(i);
+  }
+  return best;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * double(b[i]);
+  return static_cast<float>(acc);
+}
+
+float sq_norm(const Tensor& a) {
+  double acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += double(a[i]) * double(a[i]);
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(sq_norm(a)); }
+
+std::vector<float> softmax_row(std::span<const float> logits) {
+  std::vector<float> out(logits.size());
+  float m = logits[0];
+  for (float v : logits) m = std::max(m, v);
+  double z = 0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    z += out[i];
+  }
+  const float inv = static_cast<float>(1.0 / z);
+  for (float& v : out) v *= inv;
+  return out;
+}
+
+Tensor softmax(const Tensor& logits) {
+  const bool is2d = logits.rank() == 2;
+  const int64_t rows = is2d ? logits.dim(0) : 1;
+  const int64_t cols = is2d ? logits.dim(1) : logits.numel();
+  Tensor out(logits.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float m = in[0];
+    for (int64_t c = 1; c < cols; ++c) m = std::max(m, in[c]);
+    double z = 0;
+    for (int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - m);
+      z += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax(const Tensor& logits) {
+  const bool is2d = logits.rank() == 2;
+  const int64_t rows = is2d ? logits.dim(0) : 1;
+  const int64_t cols = is2d ? logits.dim(1) : logits.numel();
+  Tensor out(logits.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float m = in[0];
+    for (int64_t c = 1; c < cols; ++c) m = std::max(m, in[c]);
+    double z = 0;
+    for (int64_t c = 0; c < cols; ++c) z += std::exp(in[c] - m);
+    const float logz = m + static_cast<float>(std::log(z));
+    for (int64_t c = 0; c < cols; ++c) o[c] = in[c] - logz;
+  }
+  return out;
+}
+
+double kl_divergence(std::span<const float> p, std::span<const float> q) {
+  assert(p.size() == q.size());
+  constexpr double kEps = 1e-8;
+  double kl = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = std::max(double(p[i]), 0.0);
+    if (pi <= 0) continue;
+    const double qi = std::max(double(q[i]), kEps);
+    kl += pi * std::log(pi / qi);
+  }
+  return std::max(kl, 0.0);
+}
+
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal_f(mean, stddev);
+}
+
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  double m = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(double(a[i]) - double(b[i])));
+  }
+  return m;
+}
+
+Tensor concat0(const std::vector<const Tensor*>& parts) {
+  assert(!parts.empty());
+  const Shape& first = parts.front()->shape();
+  int64_t lead = 0;
+  for (const Tensor* p : parts) {
+    assert(p->rank() == first.rank());
+    for (int64_t d = 1; d < first.rank(); ++d) {
+      assert(p->shape()[d] == first[d]);
+    }
+    lead += p->dim(0);
+  }
+  std::vector<int64_t> dims = first.dims();
+  dims[0] = lead;
+  Tensor out{Shape(std::move(dims))};
+  int64_t offset = 0;
+  for (const Tensor* p : parts) {
+    std::copy(p->data(), p->data() + p->numel(), out.data() + offset);
+    offset += p->numel();
+  }
+  return out;
+}
+
+Tensor slice0(const Tensor& t, int64_t begin, int64_t end) {
+  assert(begin >= 0 && begin <= end && end <= t.dim(0));
+  const int64_t per = t.numel() / t.dim(0);
+  std::vector<int64_t> dims = t.shape().dims();
+  dims[0] = end - begin;
+  Tensor out{Shape(std::move(dims))};
+  std::copy(t.data() + begin * per, t.data() + end * per, out.data());
+  return out;
+}
+
+Tensor transpose2d(const Tensor& t) {
+  assert(t.rank() == 2);
+  Tensor out({t.dim(1), t.dim(0)});
+  for (int64_t i = 0; i < t.dim(0); ++i) {
+    for (int64_t j = 0; j < t.dim(1); ++j) out.at(j, i) = t.at(i, j);
+  }
+  return out;
+}
+
+std::vector<int64_t> topk_indices(std::span<const float> v, int64_t k) {
+  std::vector<int64_t> idx(v.size());
+  for (size_t i = 0; i < v.size(); ++i) idx[i] = static_cast<int64_t>(i);
+  const int64_t kk = std::min<int64_t>(k, static_cast<int64_t>(v.size()));
+  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                    [&](int64_t a, int64_t b) {
+                      return v[static_cast<size_t>(a)] >
+                             v[static_cast<size_t>(b)];
+                    });
+  idx.resize(static_cast<size_t>(kk));
+  return idx;
+}
+
+}  // namespace cham::ops

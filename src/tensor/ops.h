@@ -1,0 +1,60 @@
+// Elementwise, reduction and activation operations on Tensors.
+//
+// Free functions keep the Tensor class small; everything here is shape-checked
+// with asserts (experiments run Release, tests run with assertions enabled via
+// a dedicated Debug target if needed — shape bugs are caught by unit tests).
+#pragma once
+
+#include <span>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cham::ops {
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  // elementwise
+Tensor scale(const Tensor& a, float s);
+
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max(const Tensor& a);
+int64_t argmax(std::span<const float> v);
+float dot(std::span<const float> a, std::span<const float> b);
+// Squared L2 norm of all elements.
+float sq_norm(const Tensor& a);
+float l2_norm(const Tensor& a);
+
+// Numerically-stable softmax over the last dimension of a 2-D tensor
+// (rows = batch). For a 1-D tensor treats the whole tensor as one row.
+Tensor softmax(const Tensor& logits);
+// Softmax of a single row vector given as a span.
+std::vector<float> softmax_row(std::span<const float> logits);
+// log(softmax) over the last dim, 2-D or 1-D as above.
+Tensor log_softmax(const Tensor& logits);
+
+// KL(p || q) for two probability vectors. Clamps q away from zero.
+double kl_divergence(std::span<const float> p, std::span<const float> q);
+
+// Fill with i.i.d. draws.
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev);
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi);
+
+// Relative error helper used by tests and numerical checks.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+// Concatenates rank-N tensors along dimension 0 (all other dims equal).
+Tensor concat0(const std::vector<const Tensor*>& parts);
+
+// Copies rows [begin, end) of a 2-D tensor (or leading-dim slices of any
+// rank) into a new tensor.
+Tensor slice0(const Tensor& t, int64_t begin, int64_t end);
+
+// Transpose of a 2-D tensor.
+Tensor transpose2d(const Tensor& t);
+
+// Indices of the k largest values (descending), k <= size.
+std::vector<int64_t> topk_indices(std::span<const float> v, int64_t k);
+
+}  // namespace cham::ops

@@ -1,0 +1,122 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// Every stochastic component in the framework (weight init, stream ordering,
+// buffer replacement, domain transforms) takes an Rng by reference so that a
+// single seed fully determines an experiment. xoshiro256** is small, fast and
+// has well-understood statistical quality.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cham {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 to spread the seed over the state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  float uniform_f(float lo, float hi) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  int64_t uniform_int(int64_t n) {
+    return static_cast<int64_t>(next_u64() % static_cast<uint64_t>(n));
+  }
+
+  // Standard normal via Box-Muller (no cached spare: simpler, still fast).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958648 * u2);
+  }
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+  float normal_f(float mean, float stddev) {
+    return static_cast<float>(normal(mean, stddev));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Sample an index from unnormalised non-negative weights. Returns -1 only
+  // if all weights are zero (caller decides fallback).
+  int64_t sample_weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return -1;
+    double r = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return static_cast<int64_t>(i);
+    }
+    return static_cast<int64_t>(weights.size()) - 1;
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[static_cast<size_t>(i)],
+                v[static_cast<size_t>(uniform_int(i + 1))]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<int64_t> sample_without_replacement(int64_t n, int64_t k);
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+inline std::vector<int64_t> Rng::sample_without_replacement(int64_t n,
+                                                            int64_t k) {
+  if (k >= n) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = i + uniform_int(n - i);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+}  // namespace cham

@@ -1,0 +1,70 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace cham {
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  Tensor t(Shape{{static_cast<int64_t>(values.size())}});
+  int64_t i = 0;
+  for (float v : values) t[i++] = v;
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  assert(new_shape.numel() == numel());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  assert(shape_ == o.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  assert(shape_ == o.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+std::string Tensor::to_string(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.to_string() << " {";
+  const int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cham

@@ -1,0 +1,134 @@
+// Dense float32 tensor with value semantics.
+//
+// The whole framework runs on small models (MobileNetV1 at 32x32, width
+// multiplier <= 0.5), so a simple contiguous row-major tensor with explicit
+// copies is both fast enough and trivially correct. No views, no reference
+// counting: a Tensor owns its storage.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cham {
+
+// Shape of a tensor: up to 4 dimensions in practice (N, C, H, W), stored
+// generically. Dimensions are signed to avoid unsigned-arithmetic surprises.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t operator[](int64_t i) const {
+    assert(i >= 0 && i < rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+  int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                           [](int64_t a, int64_t b) { return a * b; });
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+  std::string to_string() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    assert(static_cast<int64_t>(data_.size()) == shape_.numel());
+  }
+  Tensor(std::initializer_list<int64_t> dims) : Tensor(Shape(dims)) {}
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor scalar(float value) { return full(Shape{{1}}, value); }
+  // 1-D tensor from values.
+  static Tensor from(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return shape_.numel(); }
+  int64_t dim(int64_t i) const { return shape_[i]; }
+  int64_t rank() const { return shape_.rank(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // 2-D indexed access (rows x cols).
+  float& at(int64_t r, int64_t c) {
+    assert(rank() == 2);
+    return data_[static_cast<size_t>(r * dim(1) + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    assert(rank() == 2);
+    return data_[static_cast<size_t>(r * dim(1) + c)];
+  }
+  // 4-D indexed access (NCHW).
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w) {
+    assert(rank() == 4);
+    return data_[static_cast<size_t>(
+        ((n * dim(1) + c) * dim(2) + h) * dim(3) + w)];
+  }
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    assert(rank() == 4);
+    return data_[static_cast<size_t>(
+        ((n * dim(1) + c) * dim(2) + h) * dim(3) + w)];
+  }
+
+  // Returns a copy with the same data but a different shape (numel preserved).
+  Tensor reshaped(Shape new_shape) const;
+
+  // Fill every element with `value`.
+  void fill(float value);
+
+  // In-place arithmetic with broadcasting disabled: shapes must match exactly.
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(float s);
+
+  // Row `r` of a 2-D tensor as a span of length dim(1).
+  std::span<const float> row(int64_t r) const {
+    assert(rank() == 2);
+    return {data_.data() + static_cast<size_t>(r * dim(1)),
+            static_cast<size_t>(dim(1))};
+  }
+  std::span<float> row(int64_t r) {
+    assert(rank() == 2);
+    return {data_.data() + static_cast<size_t>(r * dim(1)),
+            static_cast<size_t>(dim(1))};
+  }
+
+  std::string to_string(int64_t max_elems = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cham

@@ -1,0 +1,198 @@
+// Algorithm-level tests of ChameleonLearner against a hand-built tiny
+// environment (no pretraining): LT burst staging, traffic accounting as a
+// function of h, ST composition under preference skew, and the ablation
+// switches. Complements the accuracy-level LearnerSuite.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/chameleon.h"
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace cham {
+namespace {
+
+// A minimal environment: 3-channel 8x8 images, a 1-conv backbone and a
+// pool+linear head over C classes.
+struct TinyEnv {
+  data::DatasetConfig data_cfg;
+  std::unique_ptr<nn::Sequential> f;
+  std::unique_ptr<data::LatentCache> latents;
+  core::LearnerEnv env;
+
+  explicit TinyEnv(int64_t classes = 6) {
+    data_cfg = data::core50_config();
+    data_cfg.num_classes = classes;
+    data_cfg.num_domains = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.train_instances = 4;
+
+    Rng rng(1);
+    f = std::make_unique<nn::Sequential>();
+    f->add(std::make_unique<nn::Conv2d>(3, 4, 8, 8, 3, 2, 1, false, rng));
+    f->add(std::make_unique<nn::ReLU>());
+    latents = std::make_unique<data::LatentCache>(data_cfg, *f);
+
+    env.data_cfg = &data_cfg;
+    env.latents = latents.get();
+    env.latent_shape = Shape{{4, 4, 4}};
+    env.f_fwd_macs = f->macs_per_sample();
+    env.lr = 0.01f;
+    env.head_factory = [classes]() {
+      Rng hrng(2);
+      auto g = std::make_unique<nn::Sequential>();
+      g->add(std::make_unique<nn::GlobalAvgPool>());
+      g->add(std::make_unique<nn::Linear>(4, classes, hrng));
+      return g;
+    };
+  }
+
+  data::Batch make_batch(std::initializer_list<int64_t> labels,
+                         int32_t domain = 0) {
+    data::Batch b;
+    b.domain = domain;
+    int32_t inst = 0;
+    for (int64_t y : labels) {
+      b.keys.push_back({static_cast<int32_t>(y), domain, inst++ % 4, false});
+      b.labels.push_back(y);
+    }
+    return b;
+  }
+};
+
+TEST(ChameleonBehavior, StFillsThenSaturates) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.st_capacity = 3;
+  cc.lt_capacity = 12;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  for (int i = 0; i < 2; ++i) learner.observe(env.make_batch({0, 1, 2}));
+  EXPECT_EQ(learner.short_term().size(), 2);  // one insert per batch
+  for (int i = 0; i < 5; ++i) learner.observe(env.make_batch({3, 4, 5}));
+  EXPECT_EQ(learner.short_term().size(), 3);  // saturated at capacity
+}
+
+TEST(ChameleonBehavior, LtOnlyUpdatesEveryHBatches) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.lt_period_h = 4;
+  cc.lt_capacity = 12;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  for (int i = 0; i < 3; ++i) learner.observe(env.make_batch({0, 1}));
+  EXPECT_EQ(learner.long_term().size(), 0);  // before the first h-cycle
+  learner.observe(env.make_batch({2, 3}));   // 4th batch -> LT update
+  EXPECT_GT(learner.long_term().size(), 0);
+}
+
+TEST(ChameleonBehavior, SmallerHMeansMoreOffchipTraffic) {
+  auto traffic_for = [](int64_t h) {
+    TinyEnv env;
+    core::ChameleonConfig cc;
+    cc.lt_period_h = h;
+    cc.lt_capacity = 12;
+    core::ChameleonLearner learner(env.env, cc, 1);
+    for (int i = 0; i < 40; ++i) {
+      learner.observe(env.make_batch({0, 1, 2, 3, 4, 5}));
+    }
+    return learner.stats().offchip_bytes;
+  };
+  EXPECT_GT(traffic_for(2), traffic_for(10));
+}
+
+TEST(ChameleonBehavior, OnchipTrafficScalesWithStCapacity) {
+  auto traffic_for = [](int64_t ms) {
+    TinyEnv env;
+    core::ChameleonConfig cc;
+    cc.st_capacity = ms;
+    cc.lt_capacity = 12;
+    core::ChameleonLearner learner(env.env, cc, 1);
+    for (int i = 0; i < 30; ++i) {
+      learner.observe(env.make_batch({0, 1, 2}));
+    }
+    return learner.stats().onchip_bytes;
+  };
+  EXPECT_GT(traffic_for(8), 2.0 * traffic_for(2));
+}
+
+TEST(ChameleonBehavior, LtStaysClassBalancedUnderSkew) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 12;  // quota 2 per class
+  cc.lt_period_h = 2;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  // Class 0 dominates 10:1; classes 1..5 appear rarely.
+  Rng rng(3);
+  for (int i = 0; i < 80; ++i) {
+    const int64_t rare = 1 + rng.uniform_int(5);
+    learner.observe(env.make_batch({0, 0, 0, 0, 0, rare}));
+  }
+  // The dominant class must not exceed its quota.
+  EXPECT_LE(learner.long_term().class_count(0),
+            learner.long_term().per_class_quota());
+  // At least some rare classes earned slots.
+  int64_t rare_covered = 0;
+  for (int64_t c = 1; c < 6; ++c) {
+    rare_covered += learner.long_term().class_count(c) > 0;
+  }
+  EXPECT_GE(rare_covered, 3);
+}
+
+TEST(ChameleonBehavior, PreferenceTrackerFollowsTheStream) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 12;
+  cc.learning_window = 30;
+  cc.top_k = 2;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  for (int i = 0; i < 10; ++i) {
+    learner.observe(env.make_batch({2, 2, 5, 2, 5, 0}));
+  }
+  EXPECT_TRUE(learner.preferences().is_preferred(2));
+  EXPECT_TRUE(learner.preferences().is_preferred(5));
+  EXPECT_FALSE(learner.preferences().is_preferred(1));
+}
+
+TEST(ChameleonBehavior, AblationSwitchesChangeSelection) {
+  // With uncertainty off and affinity off the learner must still run and
+  // fall back to uniform ST selection.
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 12;
+  cc.use_user_affinity = false;
+  cc.use_uncertainty = false;
+  cc.use_prototype_selection = false;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  for (int i = 0; i < 20; ++i) learner.observe(env.make_batch({0, 1, 2}));
+  EXPECT_GT(learner.short_term().size(), 0);
+  EXPECT_GT(learner.long_term().size(), 0);
+}
+
+TEST(ChameleonBehavior, StatsCountImagesExactly) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 12;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  for (int i = 0; i < 7; ++i) learner.observe(env.make_batch({0, 1, 2, 3}));
+  EXPECT_EQ(learner.stats().images, 28);
+  EXPECT_GT(learner.stats().f_fwd_macs, 0);
+  EXPECT_GT(learner.stats().weight_bytes, 0);
+}
+
+TEST(ChameleonBehavior, Fp16PrecisionRoundsBufferedLatents) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 12;
+  cc.buffer_precision = quant::Precision::kFp16;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  learner.observe(env.make_batch({0, 1, 2}));
+  ASSERT_GT(learner.short_term().size(), 0);
+  // Every buffered latent value must be exactly representable in fp16.
+  const auto& s = learner.short_term().buffer().item(0);
+  for (int64_t i = 0; i < s.latent.numel(); ++i) {
+    EXPECT_EQ(s.latent[i], quant::fp16_round_trip(s.latent[i]));
+  }
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,102 @@
+// Learner checkpointing: a power-cycled Chameleon resumes with identical
+// predictions, buffers and accuracy.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/checkpoint.h"
+#include "metrics/experiment.h"
+
+namespace cham {
+namespace {
+
+class CheckpointSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    metrics::ExperimentConfig cfg = metrics::core50_experiment();
+    cfg.data.num_classes = 6;
+    cfg.data.num_domains = 2;
+    cfg.data.train_instances = 5;
+    cfg.pretrain_num_classes = 12;
+    cfg.pretrain_epochs = 4;
+    cfg.learner_lr = 0.02f;
+    exp_ = new metrics::Experiment(cfg);
+    stream_ = new data::DomainIncrementalStream(cfg.data, cfg.stream);
+    exp_->warm_latents(*stream_);
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    delete exp_;
+  }
+
+  static metrics::Experiment* exp_;
+  static data::DomainIncrementalStream* stream_;
+};
+
+metrics::Experiment* CheckpointSuite::exp_ = nullptr;
+data::DomainIncrementalStream* CheckpointSuite::stream_ = nullptr;
+
+TEST_F(CheckpointSuite, RoundTripRestoresPredictionsAndBuffers) {
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 18;
+  core::ChameleonLearner original(exp_->env(), cc, 1);
+  exp_->run(original, *stream_);
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+  const auto preds_before = original.predict(test_keys);
+
+  const std::string path = "/tmp/cham_test_checkpoint.bin";
+  ASSERT_TRUE(core::save_checkpoint(original, path));
+
+  // "Reboot": a fresh learner with the same config and a different seed
+  // (different classifier init) — restore must override all of it.
+  core::ChameleonLearner restored(exp_->env(), cc, 99);
+  ASSERT_TRUE(core::load_checkpoint(restored, path));
+
+  EXPECT_EQ(restored.predict(test_keys), preds_before);
+  EXPECT_EQ(restored.short_term().size(), original.short_term().size());
+  EXPECT_EQ(restored.long_term().size(), original.long_term().size());
+  for (int64_t c = 0; c < exp_->config().data.num_classes; ++c) {
+    EXPECT_EQ(restored.long_term().class_count(c),
+              original.long_term().class_count(c));
+  }
+
+  std::remove(path.c_str());
+  std::remove((path + ".head").c_str());
+}
+
+TEST_F(CheckpointSuite, RestoredLearnerKeepsLearning) {
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 18;
+  core::ChameleonLearner original(exp_->env(), cc, 2);
+  // Train on the first half, checkpoint, resume on the second half.
+  const auto& batches = stream_->batches();
+  const size_t half = batches.size() / 2;
+  for (size_t i = 0; i < half; ++i) original.observe(batches[i]);
+
+  const std::string path = "/tmp/cham_test_checkpoint2.bin";
+  ASSERT_TRUE(core::save_checkpoint(original, path));
+  core::ChameleonLearner resumed(exp_->env(), cc, 77);
+  ASSERT_TRUE(core::load_checkpoint(resumed, path));
+  for (size_t i = half; i < batches.size(); ++i) resumed.observe(batches[i]);
+
+  const double acc = exp_->evaluate(resumed).acc_all;
+  EXPECT_GT(acc, 100.0 / 6.0);  // above chance after the resumed half
+  std::remove(path.c_str());
+  std::remove((path + ".head").c_str());
+}
+
+TEST_F(CheckpointSuite, RejectsMissingOrCorrupt) {
+  core::ChameleonConfig cc;
+  core::ChameleonLearner learner(exp_->env(), cc, 3);
+  EXPECT_FALSE(core::load_checkpoint(learner, "/tmp/nope_checkpoint.bin"));
+
+  const std::string path = "/tmp/cham_test_checkpoint3.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_FALSE(core::load_checkpoint(learner, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cham

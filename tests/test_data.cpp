@@ -1,0 +1,225 @@
+// Dataset generator and Domain-IL stream: determinism, class/domain
+// structure, preference skew, and temporal correlation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/stream.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+TEST(Dataset, ImageIsDeterministic) {
+  auto cfg = data::core50_config();
+  data::ImageKey key{7, 3, 2, false};
+  Tensor a = data::synthesize_image(cfg, key);
+  Tensor b = data::synthesize_image(cfg, key);
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Dataset, ImageInUnitRange) {
+  auto cfg = data::core50_config();
+  Tensor img = data::synthesize_image(cfg, {0, 0, 0, false});
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_GE(img[i], 0.0f);
+    EXPECT_LE(img[i], 1.0f);
+  }
+}
+
+TEST(Dataset, DifferentClassesDiffer) {
+  auto cfg = data::core50_config();
+  Tensor a = data::synthesize_image(cfg, {1, 0, 0, false});
+  Tensor b = data::synthesize_image(cfg, {2, 0, 0, false});
+  EXPECT_GT(ops::max_abs_diff(a, b), 0.05);
+}
+
+TEST(Dataset, DifferentDomainsShiftAppearance) {
+  auto cfg = data::core50_config();
+  Tensor a = data::synthesize_image(cfg, {1, 0, 0, false});
+  Tensor b = data::synthesize_image(cfg, {1, 5, 0, false});
+  EXPECT_GT(ops::max_abs_diff(a, b), 0.05);
+}
+
+TEST(Dataset, OpenLorisShiftsSmallerThanCore50) {
+  // Average per-pixel domain displacement should be smaller for the
+  // smoother OpenLORIS configuration (paper Sec. IV-B rationale).
+  auto hard = data::core50_config();
+  auto soft = data::openloris_config();
+  auto domain_delta = [](const data::DatasetConfig& cfg) {
+    double total = 0;
+    int count = 0;
+    for (int32_t c = 0; c < 5; ++c) {
+      Tensor base = data::synthesize_image(cfg, {c, 0, 0, false});
+      for (int32_t d = 1; d < 5; ++d) {
+        Tensor img = data::synthesize_image(cfg, {c, d, 0, false});
+        Tensor diff = ops::sub(img, base);
+        total += ops::l2_norm(diff) / std::sqrt(double(img.numel()));
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(domain_delta(soft), domain_delta(hard));
+}
+
+TEST(Dataset, TestKeysCoverEverything) {
+  auto cfg = data::core50_config();
+  cfg.num_classes = 5;
+  cfg.num_domains = 3;
+  cfg.test_instances = 2;
+  auto keys = data::all_test_keys(cfg);
+  EXPECT_EQ(keys.size(), 5u * 3u * 2u);
+  std::set<uint64_t> unique;
+  for (const auto& k : keys) {
+    EXPECT_TRUE(k.test);
+    unique.insert(k.packed());
+  }
+  EXPECT_EQ(unique.size(), keys.size());
+}
+
+TEST(Dataset, TrainAndTestInstancesDiffer) {
+  auto cfg = data::core50_config();
+  Tensor train = data::synthesize_image(cfg, {3, 2, 0, false});
+  Tensor test = data::synthesize_image(cfg, {3, 2, 0, true});
+  EXPECT_GT(ops::max_abs_diff(train, test), 1e-4);
+}
+
+TEST(Dataset, BatchStacksImages) {
+  auto cfg = data::core50_config();
+  std::vector<data::ImageKey> keys = {{0, 0, 0, false}, {1, 0, 0, false}};
+  Tensor batch = data::synthesize_batch(cfg, keys);
+  EXPECT_EQ(batch.dim(0), 2);
+  Tensor first = data::synthesize_image(cfg, keys[0]);
+  for (int64_t i = 0; i < first.numel(); ++i) EXPECT_EQ(batch[i], first[i]);
+}
+
+TEST(ImageKey, PackedUniqueAcrossFields) {
+  std::set<uint64_t> seen;
+  for (int32_t c = 0; c < 4; ++c)
+    for (int32_t d = 0; d < 4; ++d)
+      for (int32_t i = 0; i < 4; ++i)
+        for (bool t : {false, true}) {
+          data::ImageKey k{c, d, i, t};
+          EXPECT_TRUE(seen.insert(k.packed()).second);
+        }
+}
+
+// ------------------------------------------------------------------ Stream
+
+data::DatasetConfig small_data() {
+  auto cfg = data::core50_config();
+  cfg.num_classes = 10;
+  cfg.num_domains = 4;
+  cfg.train_instances = 5;
+  return cfg;
+}
+
+TEST(Stream, DomainsArriveInOrder) {
+  data::StreamConfig sc;
+  data::DomainIncrementalStream stream(small_data(), sc);
+  int64_t last_domain = 0;
+  for (const auto& b : stream.batches()) {
+    EXPECT_GE(b.domain, last_domain);
+    last_domain = b.domain;
+    for (const auto& k : b.keys) EXPECT_EQ(k.domain_id, b.domain);
+  }
+  EXPECT_EQ(last_domain, 3);
+}
+
+TEST(Stream, TotalSamplesMatchPoolSize) {
+  auto dc = small_data();
+  data::StreamConfig sc;
+  data::DomainIncrementalStream stream(dc, sc);
+  EXPECT_EQ(stream.total_samples(),
+            dc.num_classes * dc.train_instances * dc.num_domains);
+}
+
+TEST(Stream, BatchSizeRespected) {
+  data::StreamConfig sc;
+  sc.batch_size = 10;
+  data::DomainIncrementalStream stream(small_data(), sc);
+  for (const auto& b : stream.batches()) {
+    EXPECT_LE(static_cast<int64_t>(b.keys.size()), 10);
+    EXPECT_EQ(b.keys.size(), b.labels.size());
+  }
+}
+
+TEST(Stream, PreferredClassesOverSampled) {
+  auto dc = small_data();
+  dc.train_instances = 20;  // longer stream for stable statistics
+  data::StreamConfig sc;
+  sc.preference_weight = 8.0f;
+  sc.drift_preferences = false;
+  data::DomainIncrementalStream stream(dc, sc);
+  const auto& pref = stream.preferred_by_domain()[0];
+
+  std::map<int64_t, int64_t> counts;
+  for (const auto& b : stream.batches()) {
+    for (int64_t y : b.labels) ++counts[y];
+  }
+  double pref_avg = 0, other_avg = 0;
+  int64_t np = 0, no = 0;
+  std::set<int64_t> pref_set(pref.begin(), pref.end());
+  for (auto [cls, n] : counts) {
+    if (pref_set.count(cls)) {
+      pref_avg += static_cast<double>(n);
+      ++np;
+    } else {
+      other_avg += static_cast<double>(n);
+      ++no;
+    }
+  }
+  pref_avg /= static_cast<double>(np);
+  other_avg /= static_cast<double>(no);
+  EXPECT_GT(pref_avg, 3.0 * other_avg);
+}
+
+TEST(Stream, PreferenceDriftChangesSet) {
+  auto dc = small_data();
+  dc.num_domains = 6;
+  data::StreamConfig sc;
+  sc.drift_preferences = true;
+  data::DomainIncrementalStream stream(dc, sc);
+  const auto& by_domain = stream.preferred_by_domain();
+  EXPECT_EQ(by_domain.front().size(), 5u);
+  EXPECT_NE(by_domain.front(), by_domain.back());
+}
+
+TEST(Stream, TemporallyCorrelatedRuns) {
+  data::StreamConfig sc;
+  sc.run_length = 5;
+  data::DomainIncrementalStream stream(small_data(), sc);
+  // Consecutive same-class pairs should be far above the iid rate (~1/10).
+  int64_t same = 0, total = 0;
+  for (const auto& b : stream.batches()) {
+    for (size_t i = 1; i < b.labels.size(); ++i) {
+      same += b.labels[i] == b.labels[i - 1];
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.3);
+}
+
+TEST(Stream, DeterministicPerSeed) {
+  data::StreamConfig sc;
+  sc.seed = 77;
+  data::DomainIncrementalStream a(small_data(), sc);
+  data::DomainIncrementalStream b(small_data(), sc);
+  ASSERT_EQ(a.num_batches(), b.num_batches());
+  for (int64_t i = 0; i < a.num_batches(); ++i) {
+    EXPECT_EQ(a.batch(i).labels, b.batch(i).labels);
+  }
+  sc.seed = 78;
+  data::DomainIncrementalStream c(small_data(), sc);
+  bool any_diff = false;
+  for (int64_t i = 0; i < std::min(a.num_batches(), c.num_batches()); ++i) {
+    if (a.batch(i).labels != c.batch(i).labels) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,159 @@
+// GEMM and im2col correctness: blocked kernels vs naive reference,
+// parameterised over a grid of shapes (property-style sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham {
+namespace {
+
+void naive_gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                const float* b, float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) acc += double(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = beta * c[i * n + j] + alpha * static_cast<float>(acc);
+    }
+  }
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(uint64_t(m * 1000003 + n * 131 + k));
+  Tensor a({m, k}), b({k, n}), c({m, n}), ref({m, n});
+  ops::fill_normal(a, rng, 0.0f, 1.0f);
+  ops::fill_normal(b, rng, 0.0f, 1.0f);
+  ops::fill_normal(c, rng, 0.0f, 1.0f);
+  ref = c;
+
+  gemm(m, n, k, 1.5f, a.data(), b.data(), 0.5f, c.data());
+  naive_gemm(m, n, k, 1.5f, a.data(), b.data(), 0.5f, ref.data());
+  EXPECT_LT(ops::max_abs_diff(c, ref), 1e-3);
+}
+
+TEST_P(GemmShapes, AtBMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(uint64_t(m * 7 + n * 11 + k * 13));
+  Tensor at({k, m}), b({k, n}), c({m, n}), ref({m, n});
+  ops::fill_normal(at, rng, 0.0f, 1.0f);
+  ops::fill_normal(b, rng, 0.0f, 1.0f);
+
+  gemm_at_b(m, n, k, 1.0f, at.data(), b.data(), 0.0f, c.data());
+  // Reference: transpose A then naive.
+  Tensor a({m, k});
+  for (int64_t i = 0; i < k; ++i)
+    for (int64_t j = 0; j < m; ++j) a.at(j, i) = at.at(i, j);
+  naive_gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, ref.data());
+  EXPECT_LT(ops::max_abs_diff(c, ref), 1e-3);
+}
+
+TEST_P(GemmShapes, ABtMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(uint64_t(m * 17 + n * 19 + k * 23));
+  Tensor a({m, k}), bt({n, k}), c({m, n}), ref({m, n});
+  ops::fill_normal(a, rng, 0.0f, 1.0f);
+  ops::fill_normal(bt, rng, 0.0f, 1.0f);
+
+  gemm_a_bt(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, c.data());
+  Tensor b({k, n});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < k; ++j) b.at(j, i) = bt.at(i, j);
+  naive_gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, ref.data());
+  EXPECT_LT(ops::max_abs_diff(c, ref), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(1, 64, 32),
+                      std::make_tuple(64, 1, 32), std::make_tuple(65, 129, 130),
+                      std::make_tuple(10, 50, 512),
+                      std::make_tuple(128, 128, 9)));
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+  Tensor a = Tensor::from({1, 2, 3, 4}).reshaped(Shape{{2, 2}});
+  Tensor b = Tensor::from({1, 0, 0, 1}).reshaped(Shape{{2, 2}});
+  Tensor c = Tensor::full(Shape{{2, 2}}, 10.0f);
+  gemm(2, 2, 2, 1.0f, a.data(), b.data(), 1.0f, c.data());
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 14.0f);
+}
+
+TEST(Gemm, MatmulWrapper) {
+  Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}).reshaped(Shape{{2, 3}});
+  Tensor b = Tensor::from({7, 8, 9, 10, 11, 12}).reshaped(Shape{{3, 2}});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+// im2col: every column entry must equal the padded-image tap it names.
+TEST(Im2col, TapsMatchDirectIndexing) {
+  ConvGeometry g{2, 5, 5, 3, 2, 1};
+  Tensor img({2, 5, 5});
+  Rng rng(31);
+  ops::fill_normal(img, rng, 0.0f, 1.0f);
+  Tensor col({g.col_rows(), g.col_cols()});
+  im2col(img.data(), g, col.data());
+
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    for (int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t iy = y * g.stride + kh - g.pad;
+            const int64_t ix = x * g.stride + kw - g.pad;
+            const float expected =
+                (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                    ? img[(c * g.in_h + iy) * g.in_w + ix]
+                    : 0.0f;
+            EXPECT_EQ(col[row * oh * ow + y * ow + x], expected);
+          }
+        }
+      }
+    }
+  }
+}
+
+// col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST(Im2col, Col2imIsAdjoint) {
+  ConvGeometry g{3, 6, 6, 3, 1, 1};
+  Rng rng(32);
+  Tensor x({g.in_c, g.in_h, g.in_w});
+  Tensor y({g.col_rows(), g.col_cols()});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  ops::fill_normal(y, rng, 0.0f, 1.0f);
+
+  Tensor col({g.col_rows(), g.col_cols()});
+  im2col(x.data(), g, col.data());
+  Tensor back({g.in_c, g.in_h, g.in_w});
+  col2im(y.data(), g, back.data());
+
+  EXPECT_NEAR(ops::dot(col.span(), y.span()),
+              ops::dot(x.span(), back.span()), 1e-2);
+}
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{3, 32, 32, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 16);
+  ConvGeometry same{3, 32, 32, 3, 1, 1};
+  EXPECT_EQ(same.out_h(), 32);
+  ConvGeometry pw{8, 7, 7, 1, 1, 0};
+  EXPECT_EQ(pw.out_h(), 7);
+  EXPECT_EQ(pw.col_rows(), 8);
+}
+
+}  // namespace
+}  // namespace cham

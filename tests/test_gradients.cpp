@@ -1,0 +1,208 @@
+// Finite-difference gradient checks for every trainable layer and loss.
+// These are the strongest correctness tests in the suite: any error in a
+// backward pass shows up as a relative-error blowup against the numerical
+// gradient.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/mobilenet.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+// Scalar loss used to reduce a layer output: weighted sum with fixed
+// pseudo-random weights (so every output element matters).
+struct Reducer {
+  Tensor weights;
+  explicit Reducer(const Shape& shape, uint64_t seed) : weights(shape) {
+    Rng rng(seed);
+    ops::fill_uniform(weights, rng, -1.0f, 1.0f);
+  }
+  float loss(const Tensor& y) const {
+    double acc = 0;
+    for (int64_t i = 0; i < y.numel(); ++i) acc += double(y[i]) * weights[i];
+    return static_cast<float>(acc);
+  }
+  Tensor grad() const { return weights; }
+};
+
+// Checks d(loss)/d(input) and d(loss)/d(params) of `layer` numerically.
+void check_layer_gradients(nn::Layer& layer, Tensor input, double tol = 2e-2) {
+  Reducer reducer(layer.forward(input, /*train=*/true).shape(), 99);
+
+  // Analytic gradients.
+  for (nn::Param* p : layer.params()) p->zero_grad();
+  Tensor out = layer.forward(input, /*train=*/true);
+  Tensor gin = layer.backward(reducer.grad());
+
+  const float eps = 1e-2f;
+
+  // Input gradient.
+  for (int64_t i = 0; i < std::min<int64_t>(input.numel(), 40); ++i) {
+    Tensor perturbed = input;
+    perturbed[i] += eps;
+    const float lp = reducer.loss(layer.forward(perturbed, true));
+    perturbed[i] -= 2 * eps;
+    const float lm = reducer.loss(layer.forward(perturbed, true));
+    const double num = (double(lp) - double(lm)) / (2.0 * eps);
+    EXPECT_NEAR(gin[i], num, tol * std::max(1.0, std::abs(num)))
+        << layer.name() << " input grad at " << i;
+  }
+
+  // Restore caches for parameter perturbation (forward mutates them).
+  for (nn::Param* p : layer.params()) {
+    for (int64_t i = 0; i < std::min<int64_t>(p->numel(), 30); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float lp = reducer.loss(layer.forward(input, true));
+      p->value[i] = orig - eps;
+      const float lm = reducer.loss(layer.forward(input, true));
+      p->value[i] = orig;
+      const double num = (double(lp) - double(lm)) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * std::max(1.0, std::abs(num)))
+          << layer.name() << " param grad at " << i;
+    }
+  }
+}
+
+Tensor random_input(Shape shape, uint64_t seed) {
+  Tensor t(shape);
+  Rng rng(seed);
+  ops::fill_normal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+TEST(GradCheck, Conv2d) {
+  Rng rng(1);
+  nn::Conv2d conv(3, 4, 6, 6, 3, 1, 1, /*bias=*/true, rng);
+  check_layer_gradients(conv, random_input({2, 3, 6, 6}, 11));
+}
+
+TEST(GradCheck, Conv2dStride2NoBias) {
+  Rng rng(2);
+  nn::Conv2d conv(2, 3, 8, 8, 3, 2, 1, /*bias=*/false, rng);
+  check_layer_gradients(conv, random_input({1, 2, 8, 8}, 12));
+}
+
+TEST(GradCheck, Pointwise) {
+  Rng rng(3);
+  nn::Conv2d conv(4, 5, 4, 4, 1, 1, 0, /*bias=*/false, rng);
+  check_layer_gradients(conv, random_input({2, 4, 4, 4}, 13));
+}
+
+TEST(GradCheck, DepthwiseConv2d) {
+  Rng rng(4);
+  nn::DepthwiseConv2d conv(3, 6, 6, 3, 1, 1, rng);
+  check_layer_gradients(conv, random_input({2, 3, 6, 6}, 14));
+}
+
+TEST(GradCheck, DepthwiseStride2) {
+  Rng rng(5);
+  nn::DepthwiseConv2d conv(2, 8, 8, 3, 2, 1, rng);
+  check_layer_gradients(conv, random_input({1, 2, 8, 8}, 15));
+}
+
+TEST(GradCheck, BatchNormTrainMode) {
+  nn::BatchNorm2d bn(3);
+  check_layer_gradients(bn, random_input({4, 3, 3, 3}, 16), /*tol=*/5e-2);
+}
+
+TEST(GradCheck, BatchNormFrozenStats) {
+  nn::BatchNorm2d bn(3);
+  bn.set_track_running_stats(false);
+  check_layer_gradients(bn, random_input({2, 3, 4, 4}, 17));
+}
+
+TEST(GradCheck, ReLU6) {
+  nn::ReLU relu(6.0f);
+  // Keep inputs away from the kinks at 0 and 6.
+  Tensor x = random_input({2, 3, 4, 4}, 18);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.5f;
+  }
+  check_layer_gradients(relu, x);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  nn::GlobalAvgPool pool;
+  check_layer_gradients(pool, random_input({2, 4, 3, 3}, 19));
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(6);
+  nn::Linear fc(8, 5, rng);
+  check_layer_gradients(fc, random_input({3, 8}, 20));
+}
+
+TEST(GradCheck, SequentialBlock) {
+  Rng rng(7);
+  auto seq = nn::Sequential();
+  seq.add(std::make_unique<nn::Conv2d>(2, 4, 5, 5, 3, 1, 1, false, rng));
+  seq.add(std::make_unique<nn::BatchNorm2d>(4));
+  seq.add(std::make_unique<nn::ReLU>(6.0f));
+  seq.add(std::make_unique<nn::GlobalAvgPool>());
+  seq.add(std::make_unique<nn::Linear>(4, 3, rng));
+  check_layer_gradients(seq, random_input({2, 2, 5, 5}, 21), /*tol=*/5e-2);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyLoss) {
+  Rng rng(8);
+  Tensor logits({3, 5});
+  ops::fill_normal(logits, rng, 0.0f, 1.0f);
+  std::vector<int64_t> labels = {1, 4, 0};
+  auto res = nn::softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor p = logits;
+    p[i] += eps;
+    const float lp = nn::softmax_cross_entropy(p, labels).loss;
+    p[i] -= 2 * eps;
+    const float lm = nn::softmax_cross_entropy(p, labels).loss;
+    const double num = (double(lp) - double(lm)) / (2.0 * eps);
+    EXPECT_NEAR(res.grad[i], num, 1e-3) << "CE grad at " << i;
+  }
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(9);
+  Tensor logits({2, 4}), targets({2, 4});
+  ops::fill_normal(logits, rng, 0.0f, 1.0f);
+  ops::fill_normal(targets, rng, 0.0f, 1.0f);
+  auto res = nn::mse(logits, targets);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor p = logits;
+    p[i] += eps;
+    const float lp = nn::mse(p, targets).loss;
+    p[i] -= 2 * eps;
+    const float lm = nn::mse(p, targets).loss;
+    EXPECT_NEAR(res.grad[i], (double(lp) - double(lm)) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(GradCheck, KlDistillationLoss) {
+  Rng rng(10);
+  Tensor logits({2, 4}), teacher({2, 4});
+  ops::fill_normal(logits, rng, 0.0f, 1.0f);
+  ops::fill_normal(teacher, rng, 0.0f, 1.0f);
+  auto res = nn::kl_distillation(logits, teacher, 2.0f);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor p = logits;
+    p[i] += eps;
+    const float lp = nn::kl_distillation(p, teacher, 2.0f).loss;
+    p[i] -= 2 * eps;
+    const float lm = nn::kl_distillation(p, teacher, 2.0f).loss;
+    EXPECT_NEAR(res.grad[i], (double(lp) - double(lm)) / (2.0 * eps), 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace cham

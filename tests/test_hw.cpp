@@ -1,0 +1,222 @@
+// Hardware models: systolic timing, device cost model, FPGA resources,
+// energy tables. These encode the relationships Table II/III rely on.
+#include <gtest/gtest.h>
+
+#include "hw/device.h"
+#include "hw/energy_tables.h"
+#include "hw/fpga_model.h"
+#include "hw/systolic.h"
+
+namespace cham {
+namespace {
+
+// --------------------------------------------------------------- systolic
+
+TEST(Systolic, PerfectlyTiledGemmHasHighUtilisation) {
+  hw::SystolicArraySim sim({64, 64, 400e6});
+  // K and N multiples of the array, long M: fill/drain amortised.
+  const auto run = sim.gemm(/*m=*/4096, /*k=*/64, /*n=*/64);
+  EXPECT_GT(run.utilization, 0.9);
+}
+
+TEST(Systolic, TinyGemmWastesTheArray) {
+  hw::SystolicArraySim sim({64, 64, 400e6});
+  const auto run = sim.gemm(/*m=*/1, /*k=*/8, /*n=*/8);
+  EXPECT_LT(run.utilization, 0.01);
+}
+
+TEST(Systolic, CyclesScaleWithTiles) {
+  hw::SystolicArraySim sim({64, 64, 400e6});
+  const auto small = sim.gemm(128, 64, 64);
+  const auto big = sim.gemm(128, 128, 128);  // 4 tiles instead of 1
+  EXPECT_EQ(big.cycles, 4 * small.cycles);
+}
+
+TEST(Systolic, MacsExact) {
+  hw::SystolicArraySim sim({8, 8, 100e6});
+  const auto run = sim.gemm(3, 5, 7);
+  EXPECT_DOUBLE_EQ(run.macs, 3.0 * 5.0 * 7.0);
+}
+
+TEST(Systolic, InverseIsPoorlyParallel) {
+  hw::SystolicArraySim sim({64, 64, 400e6});
+  const auto inv = sim.matrix_inverse(256);
+  const auto gemm = sim.gemm(256, 256, 256);
+  // Same order of MACs, far more cycles: the SLDA bottleneck.
+  EXPECT_LT(inv.utilization, gemm.utilization / 5);
+}
+
+TEST(Systolic, SecondsFollowFrequency)
+{
+  hw::SystolicConfig slow{64, 64, 100e6}, fast{64, 64, 400e6};
+  hw::SystolicArraySim sim_s(slow), sim_f(fast);
+  const auto rs = sim_s.gemm(64, 64, 64);
+  const auto rf = sim_f.gemm(64, 64, 64);
+  EXPECT_EQ(rs.cycles, rf.cycles);
+  EXPECT_NEAR(rs.seconds(slow) / rf.seconds(fast), 4.0, 1e-9);
+}
+
+TEST(Systolic, ZeroDimGemmIsFree) {
+  hw::SystolicArraySim sim({8, 8, 1e6});
+  EXPECT_EQ(sim.gemm(0, 4, 4).cycles, 0);
+  EXPECT_EQ(sim.gemm_output_stationary(0, 4, 4).cycles, 0);
+  EXPECT_EQ(sim.matrix_inverse(0).cycles, 0);
+}
+
+TEST(Systolic, DataflowTradeoff) {
+  hw::SystolicArraySim sim({32, 32, 400e6});
+  // Deep reduction, small output tile: OS amortises fill over K and wins.
+  const auto ws_deep = sim.gemm(32, 4096, 32);
+  const auto os_deep = sim.gemm_output_stationary(32, 4096, 32);
+  EXPECT_LT(os_deep.cycles, ws_deep.cycles);
+  // Long M (many activations through fixed weights): WS streams them and
+  // wins over OS's repeated output-tile passes.
+  const auto ws_long = sim.gemm(100000, 32, 32);
+  const auto os_long = sim.gemm_output_stationary(100000, 32, 32);
+  EXPECT_LT(ws_long.cycles, os_long.cycles);
+  // Both dataflows execute the same MACs.
+  EXPECT_DOUBLE_EQ(ws_deep.macs, os_deep.macs);
+}
+
+// ------------------------------------------------------------- cost model
+
+core::OpStats chameleon_like_stats() {
+  core::OpStats s;
+  s.images = 100;
+  s.f_fwd_macs = 100 * 2.6e6;
+  s.g_fwd_macs = 100 * 11 * 0.7e6;
+  s.g_bwd_macs = 2 * s.g_fwd_macs;
+  s.onchip_bytes = 100 * 11 * 2048.0;  // ST sweep from SRAM
+  s.offchip_bytes = 100 * 0.2 * 2048.0;  // rare LT bursts
+  s.weight_bytes = 100 * 4e5;
+  return s;
+}
+
+core::OpStats latent_replay_like_stats() {
+  core::OpStats s = chameleon_like_stats();
+  // Same compute, but all replay traffic goes off-chip.
+  s.offchip_bytes = s.onchip_bytes + s.offchip_bytes;
+  s.onchip_bytes = 0;
+  return s;
+}
+
+TEST(CostModel, EmptyStatsCostNothing) {
+  const auto cost = hw::estimate_cost(core::OpStats{}, hw::jetson_nano());
+  EXPECT_EQ(cost.latency_ms, 0);
+  EXPECT_EQ(cost.energy_j, 0);
+}
+
+TEST(CostModel, OffchipReplayIsSlowerOnEveryDevice) {
+  const auto cham = chameleon_like_stats();
+  const auto lr = latent_replay_like_stats();
+  for (const auto& dev :
+       {hw::jetson_nano(), hw::zcu102_fpga(), hw::edgetpu()}) {
+    const auto c = hw::estimate_cost(cham, dev, 0.2);
+    const auto l = hw::estimate_cost(lr, dev, 11.0);
+    EXPECT_GT(l.latency_ms, c.latency_ms) << dev.name;
+    EXPECT_GT(l.energy_j, c.energy_j) << dev.name;
+  }
+}
+
+TEST(CostModel, FpgaSerialisesComputeAndMemory) {
+  const auto dev = hw::zcu102_fpga();
+  ASSERT_FALSE(dev.overlap_compute_mem);
+  const auto cost = hw::estimate_cost(latent_replay_like_stats(), dev, 11.0);
+  EXPECT_NEAR(cost.latency_ms, cost.compute_ms + cost.memory_ms, 1e-9);
+  EXPECT_GT(cost.mem_fraction, 0.2);  // paper: 44% for Latent Replay
+}
+
+TEST(CostModel, OverlappingDeviceTakesMax) {
+  const auto dev = hw::edgetpu();
+  ASSERT_TRUE(dev.overlap_compute_mem);
+  const auto cost = hw::estimate_cost(chameleon_like_stats(), dev, 0.2);
+  EXPECT_NEAR(cost.latency_ms, std::max(cost.compute_ms, cost.memory_ms),
+              1e-9);
+}
+
+TEST(CostModel, SldaInverseDominatesOnEdgeTpu) {
+  core::OpStats slda;
+  slda.images = 100;
+  slda.f_fwd_macs = 100 * 2.6e6;
+  slda.extra_flops = 100 * 2.0 * 256 * 256 * 256;  // d^3 per image
+  const auto dev = hw::edgetpu();
+  const auto with_inv = hw::estimate_cost(slda, dev, 1.0);
+  core::OpStats no_inv = slda;
+  no_inv.extra_flops = 0;
+  const auto without = hw::estimate_cost(no_inv, dev, 1.0);
+  EXPECT_GT(with_inv.latency_ms, 5 * without.latency_ms);
+}
+
+TEST(CostModel, EnergyBreakdownSumsToTotal) {
+  for (const auto& dev :
+       {hw::jetson_nano(), hw::zcu102_fpga(), hw::edgetpu()}) {
+    const auto cost = hw::estimate_cost(chameleon_like_stats(), dev, 0.2);
+    EXPECT_NEAR(cost.energy_j,
+                cost.compute_j + cost.memory_j + cost.static_j, 1e-12)
+        << dev.name;
+    EXPECT_GT(cost.compute_j, 0.0);
+    EXPECT_GT(cost.memory_j, 0.0);
+    EXPECT_GT(cost.static_j, 0.0);
+  }
+}
+
+TEST(CostModel, EnergyIncludesStaticPower) {
+  auto dev = hw::zcu102_fpga();
+  auto stats = chameleon_like_stats();
+  const auto base = hw::estimate_cost(stats, dev, 0.2);
+  dev.static_power_w *= 2.0;
+  const auto doubled = hw::estimate_cost(stats, dev, 0.2);
+  EXPECT_GT(doubled.energy_j, base.energy_j);
+  EXPECT_EQ(doubled.latency_ms, base.latency_ms);
+}
+
+TEST(DeviceProfiles, JetsonCannotUseOnchipBuffer) {
+  EXPECT_FALSE(hw::jetson_nano().has_onchip_buffer);  // paper Sec. IV-C
+  EXPECT_TRUE(hw::zcu102_fpga().has_onchip_buffer);
+  EXPECT_TRUE(hw::edgetpu().has_onchip_buffer);
+}
+
+TEST(DeviceProfiles, EdgeTpuThroughputDerivedFromSystolicSim) {
+  const auto dev = hw::edgetpu();
+  // 64x64 @ 400 MHz peak = 1.638 TMAC/s; achieved must be below peak but
+  // a sane fraction of it.
+  EXPECT_LT(dev.mac_throughput, 64.0 * 64 * 400e6);
+  EXPECT_GT(dev.mac_throughput, 0.2 * 64 * 64 * 400e6);
+}
+
+// ------------------------------------------------------------------ FPGA
+
+TEST(FpgaModel, DefaultConfigMatchesPaperTable3) {
+  const auto res = hw::estimate_fpga_resources({});
+  EXPECT_EQ(res.dsp, 1164);
+  EXPECT_EQ(res.bram, 632);
+  EXPECT_EQ(res.luts, 169428);
+  EXPECT_NEAR(res.dsp_pct, 46.19, 0.05);
+  EXPECT_NEAR(res.bram_pct, 96.34, 0.05);
+  EXPECT_NEAR(res.lut_pct, 72.50, 0.05);
+  EXPECT_TRUE(res.fits);
+}
+
+TEST(FpgaModel, BiggerArrayStopsFitting) {
+  hw::FpgaAcceleratorConfig cfg;
+  cfg.pe_rows = cfg.pe_cols = 40;
+  EXPECT_FALSE(hw::estimate_fpga_resources(cfg).fits);
+}
+
+TEST(FpgaModel, StBufferGrowthIsBramBound) {
+  hw::FpgaAcceleratorConfig cfg;
+  cfg.st_replay_buffer_kib = 2000;
+  const auto res = hw::estimate_fpga_resources(cfg);
+  EXPECT_GT(res.bram_pct, 100.0);
+  EXPECT_LT(res.dsp_pct, 100.0);  // DSP unaffected by buffers
+}
+
+TEST(EnergyTable, DramFarExceedsSram) {
+  EXPECT_GT(hw::EnergyTable45nm::dram_pj_per_byte,
+            20 * hw::EnergyTable45nm::sram_pj_per_byte);
+  EXPECT_GT(hw::EnergyTable45nm::fp32_mac_pj,
+            hw::EnergyTable45nm::fp16_mac_pj);
+}
+
+}  // namespace
+}  // namespace cham

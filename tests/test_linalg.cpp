@@ -1,0 +1,137 @@
+// Dense linear algebra: LU solve, inverse, ridge inverse, Cholesky.
+#include <gtest/gtest.h>
+
+#include "linalg/linalg.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham {
+namespace {
+
+Tensor random_matrix(int64_t n, uint64_t seed) {
+  Tensor m({n, n});
+  Rng rng(seed);
+  ops::fill_normal(m, rng, 0.0f, 1.0f);
+  return m;
+}
+
+Tensor random_spd(int64_t n, uint64_t seed) {
+  Tensor a = random_matrix(n, seed);
+  Tensor at = linalg::transpose(a);
+  Tensor spd = matmul(at, a);
+  for (int64_t i = 0; i < n; ++i) spd.at(i, i) += 0.5f;
+  return spd;
+}
+
+TEST(Linalg, IdentityAndTranspose) {
+  Tensor eye = linalg::identity(3);
+  EXPECT_FLOAT_EQ(eye.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(eye.at(0, 2), 0.0f);
+  Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}).reshaped(Shape{{2, 3}});
+  Tensor t = linalg::transpose(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Linalg, LuSolveRecoversSolution) {
+  const int64_t n = 8;
+  Tensor a = random_spd(n, 1);
+  Tensor x_true({n});
+  Rng rng(2);
+  ops::fill_normal(x_true, rng, 0.0f, 1.0f);
+  // b = A x
+  Tensor b({n});
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (int64_t j = 0; j < n; ++j) acc += double(a.at(i, j)) * x_true[j];
+    b[i] = static_cast<float>(acc);
+  }
+  Tensor x;
+  ASSERT_TRUE(linalg::lu_solve(a, b, x));
+  EXPECT_LT(ops::max_abs_diff(x, x_true), 1e-3);
+}
+
+TEST(Linalg, LuSolveDetectsSingular) {
+  Tensor a({2, 2});
+  a.at(0, 0) = 1.0f;
+  a.at(0, 1) = 2.0f;
+  a.at(1, 0) = 2.0f;
+  a.at(1, 1) = 4.0f;  // rank 1
+  Tensor b = Tensor::from({1, 2});
+  Tensor x;
+  EXPECT_FALSE(linalg::lu_solve(a, b, x));
+}
+
+TEST(Linalg, InverseTimesSelfIsIdentity) {
+  const int64_t n = 10;
+  Tensor a = random_spd(n, 3);
+  Tensor inv;
+  ASSERT_TRUE(linalg::inverse(a, inv));
+  Tensor prod = matmul(a, inv);
+  EXPECT_LT(linalg::frobenius_diff(prod, linalg::identity(n)), 1e-2);
+}
+
+TEST(Linalg, InverseDetectsSingular) {
+  Tensor a({3, 3});  // all zeros
+  Tensor inv;
+  EXPECT_FALSE(linalg::inverse(a, inv));
+}
+
+TEST(Linalg, RidgeInverseAlwaysSucceedsOnPsd) {
+  // Singular PSD matrix: ridge makes it invertible.
+  const int64_t n = 6;
+  Tensor a({n, n});  // zero matrix is PSD
+  Tensor inv = linalg::ridge_inverse(a, 0.1);
+  // (0 + 0.1 I)^-1 = 10 I
+  EXPECT_NEAR(inv.at(0, 0), 10.0f, 1e-3);
+  EXPECT_NEAR(inv.at(1, 0), 0.0f, 1e-4);
+}
+
+TEST(Linalg, RidgeInverseMatchesDirectInverse) {
+  const int64_t n = 8;
+  Tensor a = random_spd(n, 4);
+  Tensor reg = a;
+  for (int64_t i = 0; i < n; ++i) reg.at(i, i) += 0.01f;
+  Tensor direct;
+  ASSERT_TRUE(linalg::inverse(reg, direct));
+  Tensor ridge = linalg::ridge_inverse(a, 0.01);
+  EXPECT_LT(linalg::frobenius_diff(direct, ridge), 1e-2);
+}
+
+TEST(Linalg, CholeskyReconstructs) {
+  const int64_t n = 7;
+  Tensor a = random_spd(n, 5);
+  Tensor l;
+  ASSERT_TRUE(linalg::cholesky(a, l));
+  Tensor lt = linalg::transpose(l);
+  Tensor rec = matmul(l, lt);
+  EXPECT_LT(linalg::frobenius_diff(rec, a), 1e-2);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Tensor a({2, 2});
+  a.at(0, 0) = 1.0f;
+  a.at(1, 1) = -1.0f;
+  Tensor l;
+  EXPECT_FALSE(linalg::cholesky(a, l));
+}
+
+class RidgeSizes : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RidgeSizes, InverseQualityAcrossDims) {
+  const int64_t n = GetParam();
+  Tensor a = random_spd(n, 100 + static_cast<uint64_t>(n));
+  Tensor inv = linalg::ridge_inverse(a, 1e-4);
+  Tensor prod = matmul(a, inv);
+  // Small ridge: product close to identity relative to dimension.
+  EXPECT_LT(linalg::frobenius_diff(prod, linalg::identity(n)) /
+                static_cast<double>(n),
+            0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RidgeSizes,
+                         ::testing::Values(2, 4, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,91 @@
+// Parameterized property sweep over MobileNetV1 configurations: forward
+// shapes, MAC bookkeeping, split invariants and parameter counts must hold
+// for every (width multiplier, input size) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/mobilenet.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+class MobileNetGrid
+    : public ::testing::TestWithParam<std::tuple<float, int64_t>> {};
+
+TEST_P(MobileNetGrid, ForwardShapeAndMacs) {
+  const auto [width, hw] = GetParam();
+  nn::MobileNetConfig cfg;
+  cfg.width_mult = width;
+  cfg.input_hw = hw;
+  cfg.num_classes = 11;
+  Rng rng(uint64_t(width * 100) + static_cast<uint64_t>(hw));
+  auto m = nn::build_mobilenet_v1(cfg, rng);
+
+  EXPECT_EQ(m.conv_layer_count(), 27);
+  Tensor x({1, 3, hw, hw});
+  Rng xrng(5);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+  const Tensor y = m.net->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{{1, 11}}));
+  EXPECT_GT(m.net->macs_per_sample(), 0);
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_TRUE(std::isfinite(y[i]));
+}
+
+TEST_P(MobileNetGrid, SplitInvariants) {
+  const auto [width, hw] = GetParam();
+  nn::MobileNetConfig cfg;
+  cfg.width_mult = width;
+  cfg.input_hw = hw;
+  cfg.num_classes = 7;
+  Rng rng(uint64_t(width * 1000) + static_cast<uint64_t>(hw) + 1);
+  auto m = nn::build_mobilenet_v1(cfg, rng);
+  const int64_t total_macs = m.net->macs_per_sample();
+  const int64_t total_params = m.net->param_count();
+
+  auto split = nn::split_at_conv_layer(std::move(m), 21);
+  EXPECT_EQ(split.f->macs_per_sample() + split.g->macs_per_sample(),
+            total_macs);
+  EXPECT_EQ(split.f->param_count() + split.g->param_count(), total_params);
+  EXPECT_EQ(split.latent_dim, split.latent_shape.numel());
+  // The latent must be a valid input to g.
+  Tensor z(Shape{{1, split.latent_shape[0], split.latent_shape[1],
+                  split.latent_shape[2]}});
+  const Tensor logits = split.g->forward(z, false);
+  EXPECT_EQ(logits.dim(1), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MobileNetGrid,
+    ::testing::Values(std::make_tuple(0.25f, 32), std::make_tuple(0.5f, 32),
+                      std::make_tuple(1.0f, 32), std::make_tuple(0.5f, 64),
+                      std::make_tuple(0.25f, 48)));
+
+class SplitPoints : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SplitPoints, EverySplitPreservesFunction) {
+  const int64_t layer = GetParam();
+  nn::MobileNetConfig cfg;
+  cfg.width_mult = 0.25f;
+  cfg.num_classes = 5;
+  Rng rng(42);
+  auto full = nn::build_mobilenet_v1(cfg, rng);
+  Tensor x({1, 3, 32, 32});
+  Rng xrng(6);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+  const Tensor y_ref = full.net->forward(x, false);
+
+  Rng rng2(42);
+  auto rebuilt = nn::build_mobilenet_v1(cfg, rng2);
+  auto split = nn::split_at_conv_layer(std::move(rebuilt), layer);
+  const Tensor y =
+      split.g->forward(split.f->forward(x, false), false);
+  EXPECT_LT(ops::max_abs_diff(y, y_ref), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, SplitPoints,
+                         ::testing::Values(1, 5, 13, 17, 21, 25, 26));
+
+}  // namespace
+}  // namespace cham

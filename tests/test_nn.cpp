@@ -1,0 +1,238 @@
+// MobileNetV1 structure, latent split, SGD, parameter I/O, Sequential.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/mobilenet.h"
+#include "nn/model_io.h"
+#include "nn/sequential.h"
+#include "nn/sgd.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+nn::MobileNetConfig tiny_cfg() {
+  nn::MobileNetConfig cfg;
+  cfg.input_hw = 32;
+  cfg.width_mult = 0.25f;
+  cfg.num_classes = 7;
+  return cfg;
+}
+
+TEST(MobileNet, Has27ConvLayers) {
+  Rng rng(1);
+  auto m = nn::build_mobilenet_v1(tiny_cfg(), rng);
+  EXPECT_EQ(m.conv_layer_count(), 27);  // 1 + 13 * 2, paper numbering
+}
+
+TEST(MobileNet, ForwardShape) {
+  Rng rng(2);
+  auto m = nn::build_mobilenet_v1(tiny_cfg(), rng);
+  Tensor x({2, 3, 32, 32});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  Tensor y = m.net->forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 7);
+}
+
+TEST(MobileNet, SpatialDownsamplingSchedule) {
+  Rng rng(3);
+  auto m = nn::build_mobilenet_v1(tiny_cfg(), rng);
+  // Five stride-2 stages: 32 -> 16 -> 8 -> 4 -> 2 -> 1.
+  EXPECT_EQ(m.shape_after(1)[1], 16);   // after conv1 (s2)
+  EXPECT_EQ(m.shape_after(27)[1], 1);   // final feature map
+  EXPECT_EQ(m.shape_after(21)[1], 2);   // the paper's latent layer
+}
+
+TEST(MobileNet, SplitAtLatentLayerPreservesFunction) {
+  Rng rng(4);
+  auto cfg = tiny_cfg();
+  auto full = nn::build_mobilenet_v1(cfg, rng);
+  Tensor x({1, 3, 32, 32});
+  Rng xrng(5);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+  const Tensor y_full = full.net->forward(x, false);
+
+  Rng rng2(4);  // identical weights via identical seed
+  auto rebuilt = nn::build_mobilenet_v1(cfg, rng2);
+  auto split = nn::split_at_conv_layer(std::move(rebuilt), 21);
+  const Tensor z = split.f->forward(x, false);
+  EXPECT_EQ(z.shape(), (Shape{{1, split.latent_shape[0],
+                               split.latent_shape[1],
+                               split.latent_shape[2]}}));
+  const Tensor y_split = split.g->forward(z, false);
+  EXPECT_LT(ops::max_abs_diff(y_full, y_split), 1e-5);
+}
+
+TEST(MobileNet, MacsPositiveAndSplitAdditive) {
+  Rng rng(6);
+  auto full = nn::build_mobilenet_v1(tiny_cfg(), rng);
+  const int64_t total = full.net->macs_per_sample();
+  auto split = nn::split_at_conv_layer(std::move(full), 21);
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(split.f->macs_per_sample() + split.g->macs_per_sample(), total);
+  // The frozen part dominates (the motivation for latent replay).
+  EXPECT_GT(split.f->macs_per_sample(), split.g->macs_per_sample());
+}
+
+TEST(MobileNet, WidthMultiplierScalesParams) {
+  Rng rng(7);
+  auto narrow_cfg = tiny_cfg();
+  auto wide_cfg = tiny_cfg();
+  wide_cfg.width_mult = 1.0f;
+  auto narrow = nn::build_mobilenet_v1(narrow_cfg, rng);
+  auto wide = nn::build_mobilenet_v1(wide_cfg, rng);
+  EXPECT_GT(wide.net->param_count(), 4 * narrow.net->param_count());
+}
+
+TEST(MobileNet, CopyParamsReproducesOutputs) {
+  Rng rng_a(8), rng_b(9);
+  auto a = nn::build_mobilenet_v1(tiny_cfg(), rng_a);
+  auto b = nn::build_mobilenet_v1(tiny_cfg(), rng_b);
+  Tensor x({1, 3, 32, 32});
+  Rng xrng(10);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+  EXPECT_GT(ops::max_abs_diff(a.net->forward(x, false),
+                              b.net->forward(x, false)),
+            1e-4);
+  nn::copy_params(*a.net, *b.net);
+  EXPECT_LT(ops::max_abs_diff(a.net->forward(x, false),
+                              b.net->forward(x, false)),
+            1e-6);
+}
+
+TEST(MobileNet, CopyExceptClassifierSkipsFc) {
+  auto cfg_a = tiny_cfg();
+  auto cfg_b = tiny_cfg();
+  cfg_b.num_classes = 13;  // different classifier width
+  Rng ra(11), rb(12);
+  auto a = nn::build_mobilenet_v1(cfg_a, ra);
+  auto b = nn::build_mobilenet_v1(cfg_b, rb);
+  nn::copy_params_except_classifier(*a.net, *b.net);
+  Tensor x({1, 3, 32, 32});
+  Rng xrng(13);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+  Tensor y = b.net->forward(x, false);
+  EXPECT_EQ(y.dim(1), 13);
+}
+
+TEST(ModelIo, RoundTripsExactly) {
+  Rng rng(14);
+  auto a = nn::build_mobilenet_v1(tiny_cfg(), rng);
+  const std::string path = "/tmp/cham_test_model_io.bin";
+  ASSERT_TRUE(nn::save_params(*a.net, path));
+
+  Rng rng2(15);
+  auto b = nn::build_mobilenet_v1(tiny_cfg(), rng2);
+  ASSERT_TRUE(nn::load_params(*b.net, path));
+  Tensor x({1, 3, 32, 32});
+  Rng xrng(16);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+  EXPECT_EQ(ops::max_abs_diff(a.net->forward(x, false),
+                              b.net->forward(x, false)),
+            0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsWrongArchitecture) {
+  Rng rng(17);
+  auto a = nn::build_mobilenet_v1(tiny_cfg(), rng);
+  const std::string path = "/tmp/cham_test_model_io2.bin";
+  ASSERT_TRUE(nn::save_params(*a.net, path));
+  auto other_cfg = tiny_cfg();
+  other_cfg.width_mult = 1.0f;
+  auto b = nn::build_mobilenet_v1(other_cfg, rng);
+  EXPECT_FALSE(nn::load_params(*b.net, path));
+  EXPECT_FALSE(nn::load_params(*a.net, "/tmp/does_not_exist.bin"));
+  std::remove(path.c_str());
+}
+
+TEST(Sgd, GradientDescentReducesLoss) {
+  Rng rng(18);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Linear>(4, 3, rng));
+  nn::Sgd opt(net.params(), 0.1f);
+
+  Tensor x({8, 4});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  std::vector<int64_t> labels = {0, 1, 2, 0, 1, 2, 0, 1};
+
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 50; ++step) {
+    opt.zero_grad();
+    Tensor logits = net.forward(x, true);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad);
+    opt.step();
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+}
+
+TEST(Sgd, MomentumAcceleratesOnQuadratic) {
+  // Single scalar parameter, constant gradient towards zero: momentum must
+  // move further than plain SGD after a few steps.
+  auto make_param = [] {
+    nn::Param p(Shape{{1}});
+    p.value[0] = 1.0f;
+    return p;
+  };
+  nn::Param plain = make_param(), heavy = make_param();
+  nn::Sgd opt_plain({&plain}, 0.1f, 0.0f);
+  nn::Sgd opt_heavy({&heavy}, 0.1f, 0.9f);
+  for (int i = 0; i < 5; ++i) {
+    plain.grad[0] = plain.value[0];
+    heavy.grad[0] = heavy.value[0];
+    opt_plain.step();
+    opt_heavy.step();
+  }
+  EXPECT_LT(heavy.value[0], plain.value[0]);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  nn::Param p(Shape{{1}});
+  p.value[0] = 1.0f;
+  nn::Sgd opt({&p}, 0.1f, 0.0f, 0.5f);
+  p.zero_grad();
+  opt.step();  // pure decay: w -= lr * wd * w
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+}
+
+TEST(Sequential, SliceMovesLayers) {
+  Rng rng(19);
+  nn::Sequential seq;
+  seq.add(std::make_unique<nn::Linear>(4, 4, rng));
+  seq.add(std::make_unique<nn::Linear>(4, 4, rng));
+  seq.add(std::make_unique<nn::Linear>(4, 2, rng));
+  auto tail = seq.slice(2, 3);
+  EXPECT_EQ(seq.size(), 2);
+  EXPECT_EQ(tail->size(), 1);
+}
+
+TEST(BatchNorm, FrozenStatsIgnoreBatch) {
+  nn::BatchNorm2d bn(2);
+  bn.set_track_running_stats(false);
+  Tensor x({4, 2, 3, 3});
+  Rng rng(20);
+  ops::fill_normal(x, rng, 5.0f, 2.0f);  // far from running stats (0, 1)
+  Tensor y_train = bn.forward(x, true);
+  Tensor y_eval = bn.forward(x, false);
+  // Frozen stats: train and eval forward identical.
+  EXPECT_LT(ops::max_abs_diff(y_train, y_eval), 1e-6);
+  EXPECT_NEAR(bn.running_mean()[0], 0.0f, 1e-6);
+}
+
+TEST(BatchNorm, TrackedStatsMoveTowardBatch) {
+  nn::BatchNorm2d bn(1, /*momentum=*/0.5f);
+  Tensor x({2, 1, 2, 2});
+  x.fill(4.0f);
+  bn.forward(x, true);
+  EXPECT_NEAR(bn.running_mean()[0], 2.0f, 1e-5);  // 0.5*0 + 0.5*4
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,223 @@
+// Adam, LR schedules, MaxPool2d, Dropout, and the forgetting tracker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/forgetting.h"
+#include "nn/adam.h"
+#include "nn/extra_layers.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/lr_schedule.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+// ------------------------------------------------------------------ Adam
+
+TEST(Adam, ConvergesOnLinearProblem) {
+  Rng rng(1);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Linear>(4, 3, rng));
+  nn::Adam opt(net.params(), 0.05f);
+
+  Tensor x({9, 4});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  std::vector<int64_t> labels = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+
+  float first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    Tensor logits = net.forward(x, true);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad);
+    opt.step();
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+  }
+  EXPECT_LT(last, first * 0.3f);
+  EXPECT_EQ(opt.steps(), 60);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the very first update magnitude is ~lr regardless
+  // of gradient scale — the signature property of Adam.
+  nn::Param p(Shape{{1}});
+  p.value[0] = 1.0f;
+  nn::Adam opt({&p}, 0.1f);
+  p.grad[0] = 1e-3f;  // tiny gradient
+  opt.step();
+  EXPECT_NEAR(1.0f - p.value[0], 0.1f, 0.01f);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinks) {
+  nn::Param p(Shape{{1}});
+  p.value[0] = 1.0f;
+  nn::Adam opt({&p}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  p.zero_grad();
+  opt.step();
+  EXPECT_LT(p.value[0], 1.0f);
+}
+
+// ------------------------------------------------------------- schedules
+
+TEST(LrSchedule, ConstantIsConstant) {
+  nn::ConstantLr s(0.01f);
+  EXPECT_EQ(s.lr_at(0), 0.01f);
+  EXPECT_EQ(s.lr_at(1000000), 0.01f);
+}
+
+TEST(LrSchedule, StepDecayHalves) {
+  nn::StepDecayLr s(1.0f, 10, 0.5f);
+  EXPECT_FLOAT_EQ(s.lr_at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(10), 0.5f);
+  EXPECT_FLOAT_EQ(s.lr_at(25), 0.25f);
+}
+
+TEST(LrSchedule, CosineWarmupAndAnneal) {
+  nn::CosineLr s(1.0f, /*total=*/100, /*warmup=*/10, /*min_lr=*/0.1f);
+  EXPECT_LT(s.lr_at(0), 0.2f);                  // warming up
+  EXPECT_NEAR(s.lr_at(9), 1.0f, 1e-5f);         // warmup complete
+  EXPECT_NEAR(s.lr_at(100), 0.1f, 1e-4f);       // fully annealed
+  EXPECT_NEAR(s.lr_at(100000), 0.1f, 1e-4f);    // clamped
+  // Monotone decreasing after warmup.
+  float prev = s.lr_at(10);
+  for (int64_t t = 11; t <= 100; t += 10) {
+    EXPECT_LE(s.lr_at(t), prev + 1e-6f);
+    prev = s.lr_at(t);
+  }
+}
+
+// --------------------------------------------------------------- MaxPool
+
+TEST(MaxPool2d, SelectsWindowMaxima) {
+  nn::MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{{1, 1, 2, 2}}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[3], 15.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  nn::MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 4;
+  x[2] = 2;
+  x[3] = 3;
+  pool.forward(x, true);
+  Tensor g({1, 1, 1, 1});
+  g[0] = 7.0f;
+  Tensor gi = pool.backward(g);
+  EXPECT_EQ(gi[1], 7.0f);  // the max location
+  EXPECT_EQ(gi[0], 0.0f);
+  EXPECT_EQ(gi[3], 0.0f);
+}
+
+// --------------------------------------------------------------- Dropout
+
+TEST(Dropout, IdentityAtEval) {
+  nn::Dropout drop(0.5f, 3);
+  Tensor x = Tensor::from({1, 2, 3, 4});
+  Tensor y = drop.forward(x, false);
+  EXPECT_EQ(ops::max_abs_diff(x, y), 0.0);
+}
+
+TEST(Dropout, PreservesExpectationAtTrain) {
+  nn::Dropout drop(0.3f, 4);
+  Tensor x = Tensor::full(Shape{{10000}}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(ops::mean(y), 1.0f, 0.05f);  // inverted dropout
+  // Some elements zeroed, survivors scaled.
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) zeros += y[i] == 0.0f;
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.03);
+}
+
+TEST(Dropout, BackwardMatchesMask) {
+  nn::Dropout drop(0.5f, 5);
+  Tensor x = Tensor::full(Shape{{100}}, 2.0f);
+  Tensor y = drop.forward(x, true);
+  Tensor g = Tensor::full(Shape{{100}}, 1.0f);
+  Tensor gi = drop.backward(g);
+  for (int64_t i = 0; i < 100; ++i) {
+    if (y[i] == 0.0f) {
+      EXPECT_EQ(gi[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(gi[i], 2.0f);  // 1/(1-0.5)
+    }
+  }
+}
+
+// ---------------------------------------------------- forgetting tracker
+
+// Scripted learner whose per-domain accuracy is controlled by a table.
+class DomainScripted : public core::ContinualLearner {
+ public:
+  // knows[d] = true -> perfect on domain d, else 0%.
+  explicit DomainScripted(std::vector<bool> knows)
+      : knows_(std::move(knows)) {}
+  void observe(const data::Batch&) override {}
+  std::vector<int64_t> predict(
+      const std::vector<data::ImageKey>& keys) override {
+    std::vector<int64_t> out;
+    for (const auto& k : keys) {
+      out.push_back(knows_[static_cast<size_t>(k.domain_id)]
+                        ? k.class_id
+                        : (k.class_id + 1) % 1000);
+    }
+    return out;
+  }
+  std::string name() const override { return "DomainScripted"; }
+  int64_t memory_overhead_bytes() const override { return 0; }
+  std::vector<bool> knows_;
+};
+
+data::DatasetConfig tiny_cfg() {
+  auto cfg = data::core50_config();
+  cfg.num_classes = 4;
+  cfg.num_domains = 3;
+  cfg.test_instances = 2;
+  return cfg;
+}
+
+TEST(ForgettingTracker, MatrixRowsMatchScript) {
+  metrics::ForgettingTracker tracker(tiny_cfg());
+  DomainScripted learner({true, false, false});
+  auto row = tracker.record_after_domain(learner, 0);
+  EXPECT_EQ(row[0], 100.0);
+  EXPECT_EQ(row[1], 0.0);
+}
+
+TEST(ForgettingTracker, BwtIsNegativeUnderForgetting) {
+  metrics::ForgettingTracker tracker(tiny_cfg());
+  // After each domain, only the current domain is known (total forgetting).
+  DomainScripted learner({true, false, false});
+  tracker.record_after_domain(learner, 0);
+  learner.knows_ = {false, true, false};
+  tracker.record_after_domain(learner, 1);
+  learner.knows_ = {false, false, true};
+  tracker.record_after_domain(learner, 2);
+  EXPECT_DOUBLE_EQ(tracker.backward_transfer(), -100.0);
+  EXPECT_DOUBLE_EQ(tracker.max_forgetting(), 100.0);
+  EXPECT_NEAR(tracker.final_average(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(ForgettingTracker, NoForgettingGivesZeroBwt) {
+  metrics::ForgettingTracker tracker(tiny_cfg());
+  DomainScripted learner({true, true, true});
+  tracker.record_after_domain(learner, 0);
+  tracker.record_after_domain(learner, 1);
+  tracker.record_after_domain(learner, 2);
+  EXPECT_DOUBLE_EQ(tracker.backward_transfer(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.max_forgetting(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.final_average(), 100.0);
+}
+
+}  // namespace
+}  // namespace cham

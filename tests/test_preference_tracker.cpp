@@ -1,0 +1,95 @@
+// PreferenceTracker: Eq. 2 allocation factor, window recalibration, drift.
+#include <gtest/gtest.h>
+
+#include "core/preference_tracker.h"
+#include "tensor/rng.h"
+
+namespace cham {
+namespace {
+
+TEST(PreferenceTracker, NeutralBeforeFirstWindow) {
+  core::PreferenceTracker t(10, 3, 100, 0.5f);
+  EXPECT_DOUBLE_EQ(t.delta_k(), 0.5);
+  EXPECT_TRUE(t.preferred_classes().empty());
+  for (int i = 0; i < 99; ++i) t.update(0);
+  EXPECT_EQ(t.recalibrations(), 0);  // window not yet full
+}
+
+TEST(PreferenceTracker, IdentifiesTopKAfterWindow) {
+  core::PreferenceTracker t(10, 2, 100, 0.5f);
+  // Classes 3 and 7 dominate the window.
+  for (int i = 0; i < 40; ++i) t.update(3);
+  for (int i = 0; i < 40; ++i) t.update(7);
+  for (int i = 0; i < 20; ++i) t.update(i % 8);  // noise
+  EXPECT_EQ(t.recalibrations(), 1);
+  EXPECT_TRUE(t.is_preferred(3));
+  EXPECT_TRUE(t.is_preferred(7));
+  EXPECT_EQ(t.preferred_classes().size(), 2u);
+}
+
+TEST(PreferenceTracker, DeltaIncreasesWithSkew) {
+  auto run_window = [](int64_t pref_count) {
+    core::PreferenceTracker t(10, 1, 100, 1.0f);
+    for (int64_t i = 0; i < pref_count; ++i) t.update(0);
+    for (int64_t i = 0; i < 100 - pref_count; ++i)
+      t.update(1 + i % 9);
+    return t.delta_k();
+  };
+  EXPECT_GT(run_window(80), run_window(40));
+}
+
+TEST(PreferenceTracker, RhoZeroGivesNeutralAllocation) {
+  // Eq. 2 with rho = 0: n_k^0 / (n_k + n_rest)^0 = 1, clamped to 0.95, so
+  // the allocation never differentiates by frequency magnitude. Preferred
+  // and non-preferred weights stay fixed across skew levels.
+  core::PreferenceTracker t(10, 2, 50, 0.0f);
+  for (int i = 0; i < 50; ++i) t.update(i % 3);
+  const double d1 = t.delta_k();
+  for (int i = 0; i < 50; ++i) t.update(0);
+  EXPECT_DOUBLE_EQ(t.delta_k(), d1);
+}
+
+TEST(PreferenceTracker, DeltaPerClassSplitsPreferred) {
+  core::PreferenceTracker t(6, 2, 60, 0.8f);
+  for (int i = 0; i < 30; ++i) t.update(4);
+  for (int i = 0; i < 20; ++i) t.update(5);
+  for (int i = 0; i < 10; ++i) t.update(0);
+  EXPECT_DOUBLE_EQ(t.delta(4), t.delta_k());
+  EXPECT_DOUBLE_EQ(t.delta(0), 1.0 - t.delta_k());
+  EXPECT_GT(t.delta(4), t.delta(0));  // strong skew favours preferred
+}
+
+TEST(PreferenceTracker, AdaptsToDriftedPreferences) {
+  core::PreferenceTracker t(10, 2, 100, 0.5f);
+  for (int i = 0; i < 100; ++i) t.update(i % 2);  // classes 0,1
+  EXPECT_TRUE(t.is_preferred(0));
+  EXPECT_TRUE(t.is_preferred(1));
+  // User switches to classes 8,9.
+  for (int i = 0; i < 100; ++i) t.update(8 + i % 2);
+  EXPECT_TRUE(t.is_preferred(8));
+  EXPECT_TRUE(t.is_preferred(9));
+  EXPECT_FALSE(t.is_preferred(0));
+}
+
+TEST(PreferenceTracker, DeltaClampedToProbabilityRange) {
+  core::PreferenceTracker t(10, 1, 50, 1.0f);
+  for (int i = 0; i < 50; ++i) t.update(3);  // 100% one class
+  EXPECT_LE(t.delta_k(), 0.95);
+  EXPECT_GE(t.delta_k(), 0.05);
+}
+
+TEST(PreferenceTracker, TopKLargerThanClassesClamped) {
+  core::PreferenceTracker t(3, 10, 30, 0.5f);
+  for (int i = 0; i < 30; ++i) t.update(i % 3);
+  EXPECT_EQ(t.preferred_classes().size(), 3u);
+}
+
+TEST(PreferenceTracker, SamplesSeenAccumulates) {
+  core::PreferenceTracker t(5, 2, 10, 0.5f);
+  for (int i = 0; i < 25; ++i) t.update(0);
+  EXPECT_EQ(t.recalibrations(), 2);
+  EXPECT_EQ(t.samples_seen(), 20);  // counted at recalibration boundaries
+}
+
+}  // namespace
+}  // namespace cham

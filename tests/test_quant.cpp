@@ -1,0 +1,185 @@
+// Reduced-precision numerics: fp16 bit-exactness, int8 affine, BFP blocks,
+// and the tensor codecs used by the replay buffers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "quant/quantize.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cham {
+namespace {
+
+using quant::Precision;
+
+// ------------------------------------------------------------------ fp16
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  // Values exactly representable in binary16 must survive unchanged.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(quant::fp16_round_trip(v), v) << v;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(quant::fp32_to_fp16_bits(1.0f), 0x3C00);
+  EXPECT_EQ(quant::fp32_to_fp16_bits(-2.0f), 0xC000);
+  EXPECT_EQ(quant::fp32_to_fp16_bits(0.0f), 0x0000);
+  EXPECT_EQ(quant::fp32_to_fp16_bits(65504.0f), 0x7BFF);  // max half
+  EXPECT_EQ(quant::fp16_bits_to_fp32(0x3C00), 1.0f);
+  EXPECT_EQ(quant::fp16_bits_to_fp32(0x7C00),
+            std::numeric_limits<float>::infinity());
+}
+
+TEST(Fp16, OverflowBecomesInfinity) {
+  EXPECT_TRUE(std::isinf(quant::fp16_round_trip(1e6f)));
+  EXPECT_TRUE(std::isinf(quant::fp16_round_trip(-1e6f)));
+}
+
+TEST(Fp16, DenormalsPreserved) {
+  const float tiny = 1e-5f;  // denormal in half precision
+  const float rt = quant::fp16_round_trip(tiny);
+  EXPECT_GT(rt, 0.0f);
+  EXPECT_NEAR(rt, tiny, 1e-6f);
+}
+
+TEST(Fp16, UnderflowToZero) {
+  EXPECT_EQ(quant::fp16_round_trip(1e-9f), 0.0f);
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.normal_f(0.0f, 10.0f);
+    const float rt = quant::fp16_round_trip(v);
+    // binary16 has 11 significand bits: rel error <= 2^-11.
+    EXPECT_LE(std::abs(rt - v), std::abs(v) * 4.9e-4f + 1e-7f) << v;
+  }
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half value 1 + 2^-10;
+  // ties round to even mantissa (1.0).
+  const float mid = 1.0f + 0x1.0p-11f;
+  EXPECT_EQ(quant::fp16_round_trip(mid), 1.0f);
+}
+
+// ------------------------------------------------------------------ int8
+
+TEST(Int8, ZeroIsExact) {
+  std::vector<float> v = {-3.0f, 0.0f, 5.0f};
+  const auto p = quant::choose_int8_params(v);
+  EXPECT_EQ(quant::dequantize_int8(quant::quantize_int8(0.0f, p), p), 0.0f);
+}
+
+TEST(Int8, RangeCovered) {
+  std::vector<float> v = {-2.0f, 2.0f};
+  const auto p = quant::choose_int8_params(v);
+  for (float x : v) {
+    const float rt = quant::dequantize_int8(quant::quantize_int8(x, p), p);
+    EXPECT_NEAR(rt, x, p.scale);
+  }
+}
+
+TEST(Int8, ErrorBoundedByHalfScale) {
+  Rng rng(2);
+  std::vector<float> v(256);
+  for (auto& x : v) x = rng.uniform_f(-4.0f, 4.0f);
+  const auto p = quant::choose_int8_params(v);
+  for (float x : v) {
+    const float rt = quant::dequantize_int8(quant::quantize_int8(x, p), p);
+    EXPECT_LE(std::abs(rt - x), 0.51f * p.scale);
+  }
+}
+
+TEST(Int8, ConstantBlockSafe) {
+  std::vector<float> v = {0.0f, 0.0f};
+  const auto p = quant::choose_int8_params(v);
+  EXPECT_GT(p.scale, 0.0f);
+}
+
+// ------------------------------------------------------------------- BFP
+
+TEST(Bfp, LargestMagnitudeDrivesExponent) {
+  std::vector<float> v = {0.01f, -8.0f, 0.5f};
+  const auto block = quant::bfp_encode(v, 8);
+  std::vector<float> out(3);
+  quant::bfp_decode(block, 8, out);
+  // The large value must be accurate to ~1%.
+  EXPECT_NEAR(out[1], -8.0f, 0.08f);
+}
+
+TEST(Bfp, AllZeroBlock) {
+  std::vector<float> v(16, 0.0f);
+  const auto block = quant::bfp_encode(v, 8);
+  std::vector<float> out(16, 1.0f);
+  quant::bfp_decode(block, 8, out);
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Bfp, SmallValuesLosePrecisionGracefully) {
+  // Classic BFP behaviour: values far below the block max quantise to
+  // multiples of the shared scale (possibly zero), never blow up.
+  std::vector<float> v = {100.0f, 0.001f};
+  const auto block = quant::bfp_encode(v, 8);
+  std::vector<float> out(2);
+  quant::bfp_decode(block, 8, out);
+  EXPECT_NEAR(out[0], 100.0f, 1.0f);
+  EXPECT_LT(std::abs(out[1]), 1.0f);
+}
+
+// --------------------------------------------------------------- codecs
+
+Tensor random_latent(uint64_t seed) {
+  Tensor t({1, 32, 2, 2});
+  Rng rng(seed);
+  // ReLU6 latents: non-negative, bounded.
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(0.0f, 6.0f);
+  return t;
+}
+
+TEST(Codec, Fp32Lossless) {
+  const Tensor t = random_latent(3);
+  EXPECT_EQ(quant::round_trip_error(t, Precision::kFp32), 0.0);
+}
+
+class CodecPrecisions : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(CodecPrecisions, ShapePreservedAndErrorBounded) {
+  const Tensor t = random_latent(4);
+  const auto enc = quant::encode(t, GetParam());
+  const Tensor back = quant::decode(enc);
+  EXPECT_EQ(back.shape(), t.shape());
+  // ReLU6 range: all formats must stay within a coarse absolute bound.
+  EXPECT_LT(quant::round_trip_error(t, GetParam()), 0.06);
+}
+
+TEST_P(CodecPrecisions, StorageBytesMatchEncodedSize) {
+  const Tensor t = random_latent(5);
+  const auto enc = quant::encode(t, GetParam());
+  EXPECT_EQ(enc.size_bytes(),
+            quant::storage_bytes(GetParam(), t.numel()));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CodecPrecisions,
+                         ::testing::Values(Precision::kFp32, Precision::kFp16,
+                                           Precision::kBfp8,
+                                           Precision::kInt8));
+
+TEST(Codec, CompressionRatios) {
+  const int64_t n = 512;
+  EXPECT_EQ(quant::storage_bytes(Precision::kFp32, n), 2048);
+  EXPECT_EQ(quant::storage_bytes(Precision::kFp16, n), 1024);
+  EXPECT_LT(quant::storage_bytes(Precision::kBfp8, n), 600);
+  EXPECT_LT(quant::storage_bytes(Precision::kInt8, n), 600);
+}
+
+TEST(Codec, PrecisionNames) {
+  EXPECT_STREQ(quant::precision_name(Precision::kFp16), "fp16");
+  EXPECT_STREQ(quant::precision_name(Precision::kBfp8), "bfp8");
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,130 @@
+// ReplayBuffer policies and memory accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "replay/buffer.h"
+#include "replay/memory_accounting.h"
+
+namespace cham {
+namespace {
+
+replay::ReplaySample sample_with_label(int64_t label) {
+  replay::ReplaySample s;
+  s.label = label;
+  s.key = {static_cast<int32_t>(label), 0, 0, false};
+  return s;
+}
+
+TEST(ReplayBuffer, FillsToCapacity) {
+  replay::ReplayBuffer buf(5);
+  Rng rng(1);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(buf.reservoir_add(sample_with_label(i), rng), i);
+  }
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.size(), 5);
+}
+
+TEST(ReplayBuffer, ReservoirKeepsUniformSubsample) {
+  // Insert a long stream; every element should survive with probability
+  // capacity/N. Check the retained indices' mean is near the stream middle.
+  const int64_t capacity = 50, stream_len = 5000;
+  replay::ReplayBuffer buf(capacity);
+  Rng rng(2);
+  for (int64_t i = 0; i < stream_len; ++i) {
+    buf.reservoir_add(sample_with_label(i), rng);
+  }
+  double mean = 0;
+  for (int64_t i = 0; i < buf.size(); ++i) {
+    mean += static_cast<double>(buf.item(i).label);
+  }
+  mean /= static_cast<double>(buf.size());
+  // Uniform over [0, 5000): expectation 2500, std of mean ~ 204.
+  EXPECT_NEAR(mean, 2500.0, 700.0);
+}
+
+TEST(ReplayBuffer, ReservoirSeenCountsEverything) {
+  replay::ReplayBuffer buf(3);
+  Rng rng(3);
+  for (int64_t i = 0; i < 100; ++i) buf.reservoir_add(sample_with_label(i), rng);
+  EXPECT_EQ(buf.seen(), 100);
+  EXPECT_EQ(buf.size(), 3);
+}
+
+TEST(ReplayBuffer, RandomReplaceAlwaysInserts) {
+  replay::ReplayBuffer buf(4);
+  Rng rng(4);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_GE(buf.random_replace_add(sample_with_label(i), rng), 0);
+  }
+  // The newest element is always somewhere in the buffer.
+  bool found = false;
+  for (int64_t i = 0; i < buf.size(); ++i) {
+    if (buf.item(i).label == 49) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReplayBuffer, SampleIndicesDistinctAndBounded) {
+  replay::ReplayBuffer buf(10);
+  Rng rng(5);
+  for (int64_t i = 0; i < 10; ++i) buf.random_replace_add(sample_with_label(i), rng);
+  auto idx = buf.sample_indices(6, rng);
+  EXPECT_EQ(idx.size(), 6u);
+  std::map<int64_t, int> seen;
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 10);
+    EXPECT_EQ(seen[i]++, 0);
+  }
+}
+
+TEST(ReplayBuffer, SampleMoreThanSizeReturnsAll) {
+  replay::ReplayBuffer buf(10);
+  Rng rng(6);
+  for (int64_t i = 0; i < 4; ++i) buf.random_replace_add(sample_with_label(i), rng);
+  EXPECT_EQ(buf.sample_indices(10, rng).size(), 4u);
+}
+
+TEST(ReplayBuffer, ClearResets) {
+  replay::ReplayBuffer buf(4);
+  Rng rng(7);
+  buf.reservoir_add(sample_with_label(1), rng);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0);
+  EXPECT_EQ(buf.seen(), 0);
+}
+
+// ------------------------------------------------------ memory accounting
+
+TEST(MemoryAccounting, RelativeOrderMatchesPaper) {
+  // Per-sample bytes at the paper's operating point: GSS >> ER ~ DER >
+  // latent methods (Table I discussion).
+  const int64_t hw = 32, classes = 50, latent = 1024, grad_dim = 50 * 256;
+  const int64_t er = replay::er_sample_bytes(3, hw);
+  const int64_t der = replay::der_sample_bytes(3, hw, classes);
+  const int64_t gss = replay::gss_sample_bytes(3, hw, grad_dim);
+  const int64_t lat = replay::latent_sample_bytes(latent);
+  EXPECT_GT(gss, 4 * er);
+  EXPECT_GT(der, er);
+  EXPECT_LT(lat, er);
+}
+
+TEST(MemoryAccounting, ExactValues) {
+  EXPECT_EQ(replay::raw_image_bytes(3, 32), 3 * 32 * 32 * 4);
+  EXPECT_EQ(replay::er_sample_bytes(3, 32), 3 * 32 * 32 * 4 + 4);
+  EXPECT_EQ(replay::logits_bytes(50), 200);
+  EXPECT_EQ(replay::latent_sample_bytes(1024), 4096 + 4);
+  EXPECT_EQ(replay::ewc_overhead_bytes(1000), 8000);
+  EXPECT_EQ(replay::lwf_overhead_bytes(1000), 4000);
+  EXPECT_EQ(replay::slda_overhead_bytes(256, 50),
+            (50 * 256 + 2 * 256 * 256) * 4);
+}
+
+TEST(MemoryAccounting, BytesToMb) {
+  EXPECT_DOUBLE_EQ(replay::bytes_to_mb(1024 * 1024), 1.0);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,138 @@
+// Residual backbone: gradient correctness through skip connections,
+// forward shapes, and trainability.
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/resnet.h"
+#include "nn/sgd.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+TEST(ResNet, ForwardShape) {
+  nn::ResNetConfig cfg;
+  cfg.num_classes = 7;
+  Rng rng(1);
+  auto net = nn::build_resnet(cfg, rng);
+  Tensor x({2, 3, 32, 32});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor y = net->forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{{2, 7}}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_TRUE(std::isfinite(y[i]));
+}
+
+TEST(ResNet, IdentityBlockGradCheck) {
+  // Finite-difference check of a non-projected residual block.
+  Rng rng(2);
+  nn::ResidualBlock block(3, 3, 6, 6, /*stride=*/1, rng);
+  Tensor x({1, 3, 6, 6});
+  Rng xrng(3);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+
+  // Reducer: weighted sum of the outputs.
+  Tensor w(block.forward(x, true).shape());
+  Rng wrng(4);
+  ops::fill_uniform(w, wrng, -1.0f, 1.0f);
+  auto loss_of = [&](const Tensor& in) {
+    Tensor y = block.forward(const_cast<Tensor&>(in), true);
+    return ops::dot(y.span(), w.span());
+  };
+
+  for (nn::Param* p : block.params()) p->zero_grad();
+  Tensor y = block.forward(x, true);
+  Tensor gin = block.backward(w);
+
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < 24; ++i) {
+    Tensor perturbed = x;
+    perturbed[i] += eps;
+    const float lp = loss_of(perturbed);
+    perturbed[i] -= 2 * eps;
+    const float lm = loss_of(perturbed);
+    const double num = (double(lp) - double(lm)) / (2.0 * eps);
+    EXPECT_NEAR(gin[i], num, 5e-2 * std::max(1.0, std::abs(num)))
+        << "input grad " << i;
+  }
+}
+
+TEST(ResNet, ProjectedBlockGradCheck) {
+  Rng rng(5);
+  nn::ResidualBlock block(2, 4, 8, 8, /*stride=*/2, rng);
+  Tensor x({1, 2, 8, 8});
+  Rng xrng(6);
+  ops::fill_normal(x, xrng, 0.0f, 1.0f);
+
+  Tensor w(block.forward(x, true).shape());
+  Rng wrng(7);
+  ops::fill_uniform(w, wrng, -1.0f, 1.0f);
+
+  for (nn::Param* p : block.params()) p->zero_grad();
+  block.forward(x, true);
+  Tensor gin = block.backward(w);
+
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < 24; ++i) {
+    Tensor perturbed = x;
+    perturbed[i] += eps;
+    Tensor yp = block.forward(perturbed, true);
+    const float lp = ops::dot(yp.span(), w.span());
+    perturbed[i] -= 2 * eps;
+    Tensor ym = block.forward(perturbed, true);
+    const float lm = ops::dot(ym.span(), w.span());
+    const double num = (double(lp) - double(lm)) / (2.0 * eps);
+    // Looser tolerance than the identity test: the projected path stacks
+    // two ReLUs whose kinks the finite difference can straddle.
+    EXPECT_NEAR(gin[i], num, 0.15 * std::max(1.0, std::abs(num)))
+        << "input grad " << i;
+  }
+}
+
+TEST(ResNet, TrainsOnToyProblem) {
+  nn::ResNetConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 2;
+  Rng rng(8);
+  auto net = nn::build_resnet(cfg, rng);
+  nn::Sgd opt(net->params(), 0.05f, 0.9f);
+
+  // Two separable patterns: bright vs dark images.
+  Tensor x({8, 3, 8, 8});
+  std::vector<int64_t> labels(8);
+  for (int64_t n = 0; n < 8; ++n) {
+    labels[static_cast<size_t>(n)] = n % 2;
+    for (int64_t i = 0; i < 3 * 64; ++i) {
+      x[n * 3 * 64 + i] = (n % 2 == 0) ? 0.9f : 0.1f;
+    }
+  }
+
+  float first = 0, last = 0;
+  for (int step = 0; step < 30; ++step) {
+    opt.zero_grad();
+    Tensor logits = net->forward(x, true);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    net->backward(loss.grad);
+    opt.step();
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+  }
+  EXPECT_LT(last, first * 0.2f);
+}
+
+TEST(ResNet, MacsAccountedThroughBlocks) {
+  nn::ResNetConfig cfg;
+  Rng rng(9);
+  auto net = nn::build_resnet(cfg, rng);
+  EXPECT_GT(net->macs_per_sample(), 0);
+  // Projected blocks include the shortcut convolution's MACs.
+  Rng brng(10);
+  nn::ResidualBlock identity(8, 8, 8, 8, 1, brng);
+  nn::ResidualBlock projected(8, 16, 8, 8, 2, brng);
+  EXPECT_GT(identity.macs_per_sample(), 0);
+  EXPECT_GT(projected.macs_per_sample(), 0);
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,178 @@
+// Replay-buffer serialisation round-trips and image augmentations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/augment.h"
+#include "replay/serialize.h"
+#include "tensor/ops.h"
+
+namespace cham {
+namespace {
+
+replay::ReplaySample make_sample(int64_t label, uint64_t seed) {
+  replay::ReplaySample s;
+  s.key = {static_cast<int32_t>(label), 2, 5, false};
+  s.label = label;
+  s.latent = Tensor({1, 4, 2, 2});
+  Rng rng(seed);
+  ops::fill_normal(s.latent, rng, 0.0f, 1.0f);
+  return s;
+}
+
+TEST(Serialize, SampleRoundTrip) {
+  replay::ReplaySample s = make_sample(7, 1);
+  s.logits = Tensor::from({0.1f, 0.9f, -0.5f});
+  std::stringstream ss;
+  ASSERT_TRUE(replay::save_sample(s, ss));
+  replay::ReplaySample back;
+  ASSERT_TRUE(replay::load_sample(back, ss));
+  EXPECT_EQ(back.key, s.key);
+  EXPECT_EQ(back.label, 7);
+  EXPECT_EQ(ops::max_abs_diff(back.latent, s.latent), 0.0);
+  EXPECT_EQ(ops::max_abs_diff(back.logits, s.logits), 0.0);
+}
+
+TEST(Serialize, SampleWithoutPayloadsRoundTrip) {
+  replay::ReplaySample s;
+  s.key = {1, 2, 3, true};
+  s.label = 1;
+  std::stringstream ss;
+  ASSERT_TRUE(replay::save_sample(s, ss));
+  replay::ReplaySample back;
+  ASSERT_TRUE(replay::load_sample(back, ss));
+  EXPECT_EQ(back.key, s.key);
+  EXPECT_TRUE(back.latent.empty());
+  EXPECT_TRUE(back.logits.empty());
+}
+
+TEST(Serialize, BufferRoundTripPreservesReservoirState) {
+  replay::ReplayBuffer buf(8);
+  Rng rng(2);
+  for (int64_t i = 0; i < 30; ++i) {
+    buf.reservoir_add(make_sample(i % 5, static_cast<uint64_t>(i)), rng);
+  }
+  std::stringstream ss;
+  ASSERT_TRUE(replay::save_buffer(buf, ss));
+
+  replay::ReplayBuffer back(1);  // wrong capacity: load must replace it
+  ASSERT_TRUE(replay::load_buffer(back, ss));
+  EXPECT_EQ(back.capacity(), 8);
+  EXPECT_EQ(back.size(), buf.size());
+  EXPECT_EQ(back.seen(), 30);
+  for (int64_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(back.item(i).label, buf.item(i).label);
+    EXPECT_EQ(ops::max_abs_diff(back.item(i).latent, buf.item(i).latent),
+              0.0);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  replay::ReplayBuffer buf(4);
+  Rng rng(3);
+  buf.reservoir_add(make_sample(1, 9), rng);
+  const std::string path = "/tmp/cham_test_buffer.bin";
+  ASSERT_TRUE(replay::save_buffer_file(buf, path));
+  replay::ReplayBuffer back(4);
+  ASSERT_TRUE(replay::load_buffer_file(back, path));
+  EXPECT_EQ(back.size(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a buffer at all";
+  replay::ReplayBuffer buf(4);
+  EXPECT_FALSE(replay::load_buffer(buf, ss));
+  EXPECT_FALSE(replay::load_buffer_file(buf, "/tmp/does_not_exist.bin"));
+}
+
+TEST(Serialize, RejectsTruncated) {
+  replay::ReplayBuffer buf(4);
+  Rng rng(4);
+  buf.reservoir_add(make_sample(1, 10), rng);
+  std::stringstream ss;
+  ASSERT_TRUE(replay::save_buffer(buf, ss));
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  replay::ReplayBuffer back(4);
+  EXPECT_FALSE(replay::load_buffer(back, truncated));
+}
+
+// ---------------------------------------------------------- augmentations
+
+Tensor test_image() {
+  Tensor img({3, 8, 8});
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    img[i] = static_cast<float>(i % 64) / 64.0f;
+  }
+  return img;
+}
+
+TEST(Augment, HflipIsInvolution) {
+  const Tensor img = test_image();
+  EXPECT_EQ(ops::max_abs_diff(data::hflip(data::hflip(img)), img), 0.0);
+  EXPECT_GT(ops::max_abs_diff(data::hflip(img), img), 0.0);
+}
+
+TEST(Augment, ShiftMovesContent) {
+  Tensor img({1, 4, 4});
+  img[5] = 1.0f;  // (y=1, x=1)
+  const Tensor shifted = data::shift(img, 1, 1);
+  EXPECT_EQ(shifted[(2) * 4 + 2], 1.0f);
+  // Zero shift is identity.
+  EXPECT_EQ(ops::max_abs_diff(data::shift(img, 0, 0), img), 0.0);
+}
+
+TEST(Augment, ShiftClampsAtEdges) {
+  Tensor img({1, 2, 2});
+  img[0] = 0.25f;
+  img[1] = 0.75f;
+  img[2] = 0.5f;
+  img[3] = 1.0f;
+  const Tensor shifted = data::shift(img, 5, 5);  // everything from corner
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(shifted[i], 0.25f);
+}
+
+TEST(Augment, ColorJitterStaysInRange) {
+  const Tensor img = test_image();
+  const Tensor j = data::color_jitter(img, 1.5f, 1.4f);
+  for (int64_t i = 0; i < j.numel(); ++i) {
+    EXPECT_GE(j[i], 0.0f);
+    EXPECT_LE(j[i], 1.0f);
+  }
+  // Identity jitter is identity.
+  EXPECT_LT(ops::max_abs_diff(data::color_jitter(img, 1.0f, 1.0f), img),
+            1e-6);
+}
+
+TEST(Augment, FullPipelineDeterministicPerSeed) {
+  const Tensor img = test_image();
+  data::AugmentConfig cfg;
+  Rng a(7), b(7), c(8);
+  const Tensor out_a = data::augment(img, cfg, a);
+  const Tensor out_b = data::augment(img, cfg, b);
+  EXPECT_EQ(ops::max_abs_diff(out_a, out_b), 0.0);
+  const Tensor out_c = data::augment(img, cfg, c);
+  EXPECT_GT(ops::max_abs_diff(out_a, out_c), 0.0);
+}
+
+TEST(Augment, BatchAppliesPerImage) {
+  Tensor batch({2, 3, 8, 8});
+  Rng rng(9);
+  ops::fill_uniform(batch, rng, 0.0f, 1.0f);
+  data::AugmentConfig cfg;
+  cfg.noise_sigma = 0.0f;
+  Rng arng(10);
+  const Tensor out = data::augment_batch(batch, cfg, arng);
+  EXPECT_EQ(out.shape(), batch.shape());
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    EXPECT_LE(out[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace cham

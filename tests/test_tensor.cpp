@@ -1,0 +1,258 @@
+// Unit tests for the tensor substrate: shapes, arithmetic, reductions,
+// softmax/log-softmax/KL, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cham {
+namespace {
+
+TEST(Shape, NumelAndEquality) {
+  Shape s{{2, 3, 4}};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s, (Shape{{2, 3, 4}}));
+  EXPECT_NE(s, (Shape{{2, 3, 5}}));
+  EXPECT_EQ(Shape{}.numel(), 1);  // empty product convention
+}
+
+TEST(Tensor, ConstructionZeroInitialised) {
+  Tensor t({2, 5});
+  EXPECT_EQ(t.numel(), 10);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full(Shape{{3, 3}}, 2.5f);
+  EXPECT_EQ(t[4], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[8], -1.0f);
+}
+
+TEST(Tensor, IndexedAccess2d4d) {
+  Tensor m({2, 3});
+  m.at(1, 2) = 7.0f;
+  EXPECT_EQ(m[5], 7.0f);
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  Tensor r = t.reshaped(Shape{{3, 4}});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r[7], 3.0f);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({4, 5, 6});
+  a += b;
+  EXPECT_EQ(a[0], 5.0f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[1], 4.0f);
+}
+
+TEST(Tensor, RowSpan) {
+  Tensor m({2, 3});
+  m.at(1, 0) = 5.0f;
+  auto r = m.row(1);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 5.0f);
+}
+
+TEST(Ops, SumMeanMax) {
+  Tensor t = Tensor::from({1, -2, 3, 8});
+  EXPECT_FLOAT_EQ(ops::sum(t), 10.0f);
+  EXPECT_FLOAT_EQ(ops::mean(t), 2.5f);
+  EXPECT_FLOAT_EQ(ops::max(t), 8.0f);
+}
+
+TEST(Ops, ArgmaxAndDot) {
+  Tensor t = Tensor::from({0.1f, 0.9f, 0.3f});
+  EXPECT_EQ(ops::argmax(t.span()), 1);
+  Tensor u = Tensor::from({1, 2, 3});
+  EXPECT_FLOAT_EQ(ops::dot(t.span(), u.span()), 0.1f + 1.8f + 0.9f);
+}
+
+TEST(Ops, Norms) {
+  Tensor t = Tensor::from({3, 4});
+  EXPECT_FLOAT_EQ(ops::sq_norm(t), 25.0f);
+  EXPECT_FLOAT_EQ(ops::l2_norm(t), 5.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor logits({3, 5});
+  Rng rng(3);
+  ops::fill_normal(logits, rng, 0.0f, 3.0f);
+  Tensor p = ops::softmax(logits);
+  for (int64_t r = 0; r < 3; ++r) {
+    double s = 0;
+    for (int64_t c = 0; c < 5; ++c) s += p.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxNumericalStability) {
+  Tensor logits = Tensor::from({1000.0f, 1000.0f, 999.0f});
+  auto p = ops::softmax_row(logits.span());
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[0], p[2]);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-5);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor logits({2, 4});
+  Rng rng(4);
+  ops::fill_normal(logits, rng, 0.0f, 2.0f);
+  Tensor ls = ops::log_softmax(logits);
+  Tensor p = ops::softmax(logits);
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(p[i]), 1e-4);
+  }
+}
+
+TEST(Ops, KlDivergenceProperties) {
+  std::vector<float> p = {0.7f, 0.2f, 0.1f};
+  std::vector<float> q = {0.1f, 0.2f, 0.7f};
+  EXPECT_NEAR(ops::kl_divergence(p, p), 0.0, 1e-7);
+  EXPECT_GT(ops::kl_divergence(p, q), 0.0);
+  // Asymmetry.
+  EXPECT_NE(ops::kl_divergence(p, q), ops::kl_divergence(q, p));
+}
+
+TEST(Ops, KlDivergenceHandlesZeros) {
+  std::vector<float> p = {1.0f, 0.0f};
+  std::vector<float> q = {0.5f, 0.5f};
+  const double kl = ops::kl_divergence(p, q);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_NEAR(kl, std::log(2.0), 1e-5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(8);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[static_cast<size_t>(rng.uniform_int(10))];
+  for (int c : seen) EXPECT_GT(c, 300);  // ~500 expected each
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SampleWeightedRespectsWeights) {
+  Rng rng(10);
+  std::vector<double> w = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.sample_weighted(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(Rng, SampleWeightedAllZeroReturnsMinusOne) {
+  Rng rng(11);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.sample_weighted(w), -1);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  auto idx = rng.sample_without_replacement(20, 10);
+  ASSERT_EQ(idx.size(), 10u);
+  std::vector<bool> seen(20, false);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 20);
+    EXPECT_FALSE(seen[static_cast<size_t>(i)]);
+    seen[static_cast<size_t>(i)] = true;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementKGreaterThanN) {
+  Rng rng(13);
+  auto idx = rng.sample_without_replacement(5, 10);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+
+TEST(Ops, Concat0StacksLeadingDim) {
+  Tensor a({2, 3}), b({1, 3});
+  for (int64_t i = 0; i < 6; ++i) a[i] = float(i);
+  for (int64_t i = 0; i < 3; ++i) b[i] = float(100 + i);
+  Tensor c = ops::concat0({&a, &b});
+  EXPECT_EQ(c.shape(), (Shape{{3, 3}}));
+  EXPECT_EQ(c[5], 5.0f);
+  EXPECT_EQ(c[6], 100.0f);
+}
+
+TEST(Ops, Slice0CopiesRows) {
+  Tensor a({4, 2});
+  for (int64_t i = 0; i < 8; ++i) a[i] = float(i);
+  Tensor s = ops::slice0(a, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{{2, 2}}));
+  EXPECT_EQ(s[0], 2.0f);
+  EXPECT_EQ(s[3], 5.0f);
+  EXPECT_EQ(ops::slice0(a, 2, 2).dim(0), 0);
+}
+
+TEST(Ops, Transpose2d) {
+  Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}).reshaped(Shape{{2, 3}});
+  Tensor t = ops::transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{{3, 2}}));
+  EXPECT_EQ(t.at(2, 0), 3.0f);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(Ops, TopkIndicesDescending) {
+  std::vector<float> v = {0.1f, 5.0f, -2.0f, 3.0f};
+  auto idx = ops::topk_indices(v, 2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 3);
+  EXPECT_EQ(ops::topk_indices(v, 10).size(), 4u);
+}
+
+}  // namespace
+}  // namespace cham
