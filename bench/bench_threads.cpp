@@ -1,0 +1,154 @@
+// Thread-scaling report for the parallel tensor backend.
+//
+// Times the MobileNet-head GEMM shapes (forward pointwise conv over the
+// 256-channel latent, its batched variant, the eval-chunk shape, and the two
+// backward kernels) at 1/2/4/8 threads, verifies the outputs are
+// bit-identical across thread counts, and writes BENCH_threads.json so the
+// scaling trajectory is tracked from PR to PR.
+//
+//   ./build/bench/bench_threads [--reps N] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
+
+namespace {
+
+using cham::Tensor;
+
+enum class Kernel { kGemm, kGemmAtB, kGemmABt };
+
+struct ShapeCase {
+  const char* name;
+  Kernel kernel;
+  int64_t m, n, k;
+};
+
+// The trainable head works on 256-channel 2x2 latents: the pointwise conv is
+// a (256 x 256) @ (256 x 4) gemm per sample; training batches and the
+// 256-sample eval chunk widen N; the backward pass runs the A^T B / A B^T
+// kernels on the same operands.
+constexpr ShapeCase kCases[] = {
+    {"head_pointwise_1x", Kernel::kGemm, 256, 4, 256},
+    {"head_pointwise_b32", Kernel::kGemm, 256, 128, 256},
+    {"head_eval_chunk", Kernel::kGemm, 256, 1024, 256},
+    {"head_backward_dcol", Kernel::kGemmAtB, 256, 128, 256},
+    {"head_backward_dw", Kernel::kGemmABt, 256, 256, 128},
+};
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+void run_kernel(const ShapeCase& sc, const float* a, const float* b,
+                float* c) {
+  switch (sc.kernel) {
+    case Kernel::kGemm:
+      cham::gemm(sc.m, sc.n, sc.k, 1.0f, a, b, 0.0f, c);
+      break;
+    case Kernel::kGemmAtB:
+      cham::gemm_at_b(sc.m, sc.n, sc.k, 1.0f, a, b, 0.0f, c);
+      break;
+    case Kernel::kGemmABt:
+      cham::gemm_a_bt(sc.m, sc.n, sc.k, 1.0f, a, b, 0.0f, c);
+      break;
+  }
+}
+
+double time_case_ms(const ShapeCase& sc, const float* a, const float* b,
+                    float* c, int reps) {
+  // Warmup (also spawns pool workers so they are not timed).
+  run_kernel(sc, a, b, c);
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_kernel(sc, a, b, c);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 30;
+  std::string out_path = "BENCH_threads.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::max(1, std::atoi(argv[++i]));
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  std::printf("bench_threads: %u hardware threads, %d reps (best-of)\n\n",
+              std::thread::hardware_concurrency(), reps);
+  std::printf("%-22s %10s %10s %10s %10s %8s %8s\n", "shape", "t=1 ms",
+              "t=2 ms", "t=4 ms", "t=8 ms", "4v1", "bitsame");
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"bench_threads\",\n"
+                 "  \"hardware_concurrency\": %u,\n  \"reps\": %d,\n"
+                 "  \"results\": [\n",
+                 std::thread::hardware_concurrency(), reps);
+  }
+
+  bool first_case = true;
+  for (const ShapeCase& sc : kCases) {
+    cham::Rng rng(0xB35Cull + sc.m * 31 + sc.n * 7 + sc.k);
+    Tensor a({sc.m, sc.k}), b({sc.k, sc.n}), c({sc.m, sc.n});
+    if (sc.kernel == Kernel::kGemmAtB) a = Tensor({sc.k, sc.m});
+    if (sc.kernel == Kernel::kGemmABt) b = Tensor({sc.n, sc.k});
+    cham::ops::fill_normal(a, rng, 0.0f, 1.0f);
+    cham::ops::fill_normal(b, rng, 0.0f, 1.0f);
+
+    double ms[4] = {0, 0, 0, 0};
+    Tensor ref;
+    bool bit_identical = true;
+    for (size_t ti = 0; ti < 4; ++ti) {
+      cham::set_num_threads(kThreadCounts[ti]);
+      ms[ti] = time_case_ms(sc, a.data(), b.data(), c.data(), reps);
+      if (ti == 0) {
+        ref = c;
+      } else if (cham::ops::max_abs_diff(c, ref) != 0.0) {
+        bit_identical = false;
+      }
+    }
+    const double speedup = ms[2] > 0 ? ms[0] / ms[2] : 0.0;
+    std::printf("%-22s %10.4f %10.4f %10.4f %10.4f %7.2fx %8s\n", sc.name,
+                ms[0], ms[1], ms[2], ms[3], speedup,
+                bit_identical ? "yes" : "NO");
+
+    if (json) {
+      std::fprintf(json,
+                   "%s    {\"shape\": \"%s\", \"m\": %lld, \"n\": %lld, "
+                   "\"k\": %lld,\n     \"ms\": {\"1\": %.5f, \"2\": %.5f, "
+                   "\"4\": %.5f, \"8\": %.5f},\n     \"speedup_4_vs_1\": "
+                   "%.3f, \"bit_identical\": %s}",
+                   first_case ? "" : ",\n", sc.name,
+                   static_cast<long long>(sc.m), static_cast<long long>(sc.n),
+                   static_cast<long long>(sc.k), ms[0], ms[1], ms[2], ms[3],
+                   speedup, bit_identical ? "true" : "false");
+      first_case = false;
+    }
+  }
+  cham::set_num_threads(static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency())));
+
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,21 @@
 #!/bin/bash
 # Regenerates test_output.txt and bench_output.txt (every table/figure).
+#
+# Sanitizer hook: CHAM_SANITIZE=thread|address runs the test suite in a
+# dedicated sanitizer build first (build-tsan/ or build-asan/) and aborts on
+# any sanitizer-reported failure before touching the regular outputs.
 cd /root/repo
+if [ -n "$CHAM_SANITIZE" ]; then
+  case "$CHAM_SANITIZE" in
+    thread) SAN_DIR=build-tsan ;;
+    address) SAN_DIR=build-asan ;;
+    *) echo "CHAM_SANITIZE must be 'thread' or 'address'" >&2; exit 1 ;;
+  esac
+  cmake -B "$SAN_DIR" -S . -DCHAM_SANITIZE="$CHAM_SANITIZE" || exit 1
+  cmake --build "$SAN_DIR" -j || exit 1
+  ctest --test-dir "$SAN_DIR" --output-on-failure || exit 1
+  echo "sanitizer ($CHAM_SANITIZE) suite passed"
+fi
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

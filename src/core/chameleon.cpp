@@ -117,10 +117,13 @@ void ChameleonLearner::observe(const data::Batch& batch) {
         const Tensor lg = eval_logits(latent);
         return cham::ops::softmax_row(lg.row(0));
       };
-      // Prototype formation reads each involved class's LT entries.
-      const int64_t updated = lt_.update_from(st_samples, predict, rng_);
-      stats_.offchip_bytes +=
-          static_cast<double>(updated * lt_.per_class_quota() * latent_sz);
+      // Prototype formation reads each involved class's actual LT entries
+      // (class_count, not the full quota — early in a stream classes hold
+      // fewer entries than per_class_quota()).
+      int64_t proto_entries = 0;
+      const int64_t updated =
+          lt_.update_from(st_samples, predict, rng_, &proto_entries);
+      stats_.offchip_bytes += static_cast<double>(proto_entries * latent_sz);
       stats_.offchip_bytes += static_cast<double>(updated * latent_sz);
     } else {
       // Ablation: promote one random ST sample per present class.

@@ -29,12 +29,26 @@ class HeadLearner : public ContinualLearner {
 
   std::vector<int64_t> predict(
       const std::vector<data::ImageKey>& keys) override {
+    // Chunked batch inference: stacking latents lets one forward pass feed
+    // the parallel kernels instead of issuing per-sample gemms. Every layer
+    // in the head treats batch rows independently in eval mode, so the
+    // logits are bit-identical to the per-key loop this replaces.
+    constexpr int64_t kEvalChunk = 256;
+    const int64_t total = static_cast<int64_t>(keys.size());
     std::vector<int64_t> out;
     out.reserve(keys.size());
-    for (const auto& key : keys) {
-      const Tensor& z = env_.latents->latent(key);
+    std::vector<const Tensor*> chunk;
+    for (int64_t begin = 0; begin < total; begin += kEvalChunk) {
+      const int64_t end = std::min(total, begin + kEvalChunk);
+      chunk.clear();
+      for (int64_t i = begin; i < end; ++i) {
+        chunk.push_back(&env_.latents->latent(keys[static_cast<size_t>(i)]));
+      }
+      const Tensor z = data::stack_latents(chunk);
       const Tensor logits = g_->forward(z, /*train=*/false);
-      out.push_back(cham::ops::argmax(logits.row(0)));
+      for (int64_t i = 0; i < end - begin; ++i) {
+        out.push_back(cham::ops::argmax(logits.row(i)));
+      }
     }
     return out;
   }

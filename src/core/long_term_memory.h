@@ -66,32 +66,43 @@ class LongTermMemory {
 
   // One LT update from the short-term store contents: greedily pick the
   // max-S_j ST sample per class and insert it (Algorithm 1 lines 12-14).
-  // Returns the number of classes updated.
+  // Returns the number of classes updated. If `proto_entries_read` is
+  // non-null it receives the number of stored LT entries actually streamed
+  // to form prototypes (Eq. 5 reads class_count(c) entries, which is below
+  // per_class_quota() until the class slot fills) — the number the memory
+  // traffic model must charge, not the quota.
   int64_t update_from(const std::vector<replay::ReplaySample>& st_samples,
-                      const PredictFn& predict_probs, Rng& rng) {
+                      const PredictFn& predict_probs, Rng& rng,
+                      int64_t* proto_entries_read = nullptr) {
     // Group ST candidates by class.
     std::unordered_map<int64_t, std::vector<const replay::ReplaySample*>>
         by_class;
     for (const auto& s : st_samples) by_class[s.label].push_back(&s);
 
     int64_t updated = 0;
+    if (proto_entries_read) *proto_entries_read = 0;
     for (auto& [cls, candidates] : by_class) {
       const replay::ReplaySample* best = candidates.front();
-      if (auto proto = prototype(cls); proto && candidates.size() > 1) {
-        const auto proto_probs = predict_probs(*proto);
-        double best_s = -1;
-        for (const auto* cand : candidates) {
-          const auto cand_probs = predict_probs(cand->latent);
-          const double s = prototype_divergence(cand_probs, proto_probs);
-          if (s > best_s) {
-            best_s = s;
-            best = cand;
+      // With a single candidate the prototype cannot change the choice, so
+      // its entries are not read at all.
+      if (candidates.size() > 1) {
+        if (auto proto = prototype(cls)) {
+          if (proto_entries_read) *proto_entries_read += class_count(cls);
+          const auto proto_probs = predict_probs(*proto);
+          double best_s = -1;
+          for (const auto* cand : candidates) {
+            const auto cand_probs = predict_probs(cand->latent);
+            const double s = prototype_divergence(cand_probs, proto_probs);
+            if (s > best_s) {
+              best_s = s;
+              best = cand;
+            }
           }
+        } else {
+          // No prototype yet: any candidate is equally informative.
+          best = candidates[static_cast<size_t>(
+              rng.uniform_int(static_cast<int64_t>(candidates.size())))];
         }
-      } else if (candidates.size() > 1) {
-        // No prototype yet: any candidate is equally informative.
-        best = candidates[static_cast<size_t>(
-            rng.uniform_int(static_cast<int64_t>(candidates.size())))];
       }
       insert(*best, rng);
       ++updated;

@@ -71,21 +71,28 @@ class PreferenceTracker {
              window_counts_[static_cast<size_t>(b)];
     });
     std::fill(preferred_.begin(), preferred_.end(), false);
+    // Only classes actually seen in the window are eligible: a stream that
+    // has revealed fewer than top_k classes must not grant never-seen
+    // classes the Delta_k allocation weight, and n_k averages over the
+    // actually-preferred set, not a padded top_k.
     double pref_sum = 0, other_sum = 0;
+    int64_t n_pref = 0;
     for (int64_t i = 0; i < num_classes_; ++i) {
       const int64_t c = order[static_cast<size_t>(i)];
       const double n = window_counts_[static_cast<size_t>(c)];
-      if (i < top_k_) {
+      if (i < top_k_ && n > 0) {
         preferred_[static_cast<size_t>(c)] = true;
         pref_sum += n;
+        ++n_pref;
       } else {
         other_sum += n;
       }
     }
-    const double n_k = pref_sum / static_cast<double>(top_k_);
+    const double n_k =
+        n_pref > 0 ? pref_sum / static_cast<double>(n_pref) : 0.0;
     const double n_rest =
-        num_classes_ > top_k_
-            ? other_sum / static_cast<double>(num_classes_ - top_k_)
+        num_classes_ > n_pref
+            ? other_sum / static_cast<double>(num_classes_ - n_pref)
             : 0.0;
     // Eq. 2. With rho = 0 this is exactly 1 (all classes equally favoured,
     // delta(c) == 1 - delta(c) only when delta_k == 0.5, so clamp below).

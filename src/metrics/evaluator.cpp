@@ -1,6 +1,9 @@
 #include "metrics/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "tensor/thread_pool.h"
 
 namespace cham::metrics {
 
@@ -9,22 +12,32 @@ AccuracyReport evaluate(core::ContinualLearner& learner,
                         std::span<const int64_t> preferred) {
   AccuracyReport rep;
   if (keys.empty()) return rep;
+  // predict() itself batches through the parallel tensor backend; the
+  // per-key tally below splits across the pool with atomic counters
+  // (integer sums are order-independent, so this stays deterministic).
   const auto preds = learner.predict(keys);
 
   int64_t max_class = 0;
   for (const auto& k : keys) max_class = std::max<int64_t>(max_class, k.class_id);
-  std::vector<int64_t> correct(static_cast<size_t>(max_class + 1), 0);
-  std::vector<int64_t> total(static_cast<size_t>(max_class + 1), 0);
+  std::vector<std::atomic<int64_t>> correct(static_cast<size_t>(max_class + 1));
+  std::vector<std::atomic<int64_t>> total(static_cast<size_t>(max_class + 1));
 
-  int64_t hit = 0;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const int64_t y = keys[i].class_id;
-    ++total[static_cast<size_t>(y)];
-    if (preds[i] == y) {
-      ++hit;
-      ++correct[static_cast<size_t>(y)];
-    }
-  }
+  std::atomic<int64_t> hit{0};
+  parallel_for(
+      0, static_cast<int64_t>(keys.size()),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t y = keys[static_cast<size_t>(i)].class_id;
+          total[static_cast<size_t>(y)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+          if (preds[static_cast<size_t>(i)] == y) {
+            hit.fetch_add(1, std::memory_order_relaxed);
+            correct[static_cast<size_t>(y)].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      },
+      /*grain=*/1024);
   rep.acc_all = 100.0 * static_cast<double>(hit) /
                 static_cast<double>(keys.size());
 

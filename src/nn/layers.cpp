@@ -1,8 +1,10 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/thread_pool.h"
 
 namespace cham::nn {
 namespace {
@@ -12,6 +14,15 @@ void he_init(Tensor& w, int64_t fan_in, Rng& rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
   for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0.0f, stddev);
 }
+
+// Per-worker im2col scratch for the batch-parallel conv forward.
+std::vector<float>& col_scratch(int64_t count) {
+  thread_local std::vector<float> col;
+  col.resize(static_cast<size_t>(count));
+  return col;
+}
+
+constexpr int64_t kElemGrain = 16384;
 
 }  // namespace
 
@@ -39,21 +50,27 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   Tensor out({batch, out_c_, oh, ow});
-  Tensor col({geo_.col_rows(), geo_.col_cols()});
-  for (int64_t n = 0; n < batch; ++n) {
-    im2col(x.data() + n * geo_.in_c * geo_.in_h * geo_.in_w, geo_, col.data());
-    gemm(out_c_, geo_.col_cols(), geo_.col_rows(), 1.0f, weight_.value.data(),
-         col.data(), 0.0f, out.data() + n * out_c_ * oh * ow);
-  }
-  if (has_bias_) {
-    for (int64_t n = 0; n < batch; ++n) {
-      for (int64_t c = 0; c < out_c_; ++c) {
-        float* plane = out.data() + (n * out_c_ + c) * oh * ow;
-        const float b = bias_.value[c];
-        for (int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
+  // Samples write disjoint output planes: parallel over the batch, each
+  // worker with its own im2col scratch. The per-sample gemm runs inline
+  // inside a chunk (nested regions serialise), so a batch of one still
+  // parallelises across the gemm rows instead.
+  parallel_for(0, batch, [&](int64_t n0, int64_t n1) {
+    std::vector<float>& col = col_scratch(geo_.col_rows() * geo_.col_cols());
+    for (int64_t n = n0; n < n1; ++n) {
+      im2col(x.data() + n * geo_.in_c * geo_.in_h * geo_.in_w, geo_,
+             col.data());
+      gemm(out_c_, geo_.col_cols(), geo_.col_rows(), 1.0f,
+           weight_.value.data(), col.data(), 0.0f,
+           out.data() + n * out_c_ * oh * ow);
+      if (has_bias_) {
+        for (int64_t c = 0; c < out_c_; ++c) {
+          float* plane = out.data() + (n * out_c_ + c) * oh * ow;
+          const float b = bias_.value[c];
+          for (int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -68,6 +85,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor grad_in(x.shape());
   Tensor col({geo_.col_rows(), geo_.col_cols()});
   Tensor gcol({geo_.col_rows(), geo_.col_cols()});
+  // The batch loop stays serial: dW accumulates across samples and its
+  // per-element summation order must not depend on the thread count. The
+  // parallelism lives inside the three gemms and col2im, which split rows.
   for (int64_t n = 0; n < batch; ++n) {
     const float* go = grad_out.data() + n * out_c_ * opix;
     // dW += dY @ col^T  (out_c x opix) @ (opix x col_rows)
@@ -116,12 +136,14 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   Tensor out({batch, geo_.in_c, oh, ow});
   const int64_t k = geo_.kernel;
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < geo_.in_c; ++c) {
-      const float* plane =
-          x.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+  // Every (sample, channel) plane is independent: parallel over the
+  // flattened plane index.
+  parallel_for(0, batch * geo_.in_c, [&](int64_t p0, int64_t p1) {
+    for (int64_t pi = p0; pi < p1; ++pi) {
+      const int64_t c = pi % geo_.in_c;
+      const float* plane = x.data() + pi * geo_.in_h * geo_.in_w;
       const float* w = weight_.value.data() + c * k * k;
-      float* o = out.data() + (n * geo_.in_c + c) * oh * ow;
+      float* o = out.data() + pi * oh * ow;
       for (int64_t y = 0; y < oh; ++y) {
         for (int64_t xo = 0; xo < ow; ++xo) {
           double acc = 0;
@@ -139,7 +161,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -150,32 +172,38 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   const int64_t k = geo_.kernel;
   Tensor grad_in(x.shape());
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < geo_.in_c; ++c) {
-      const float* plane =
-          x.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
-      const float* go = grad_out.data() + (n * geo_.in_c + c) * oh * ow;
+  // Channel-outer so each chunk owns its channels' weight grads outright;
+  // the batch loop runs inside, preserving the per-element accumulation
+  // order of the serial kernel (n ascending, then y, x).
+  parallel_for(0, geo_.in_c, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
       const float* w = weight_.value.data() + c * k * k;
       float* gw = weight_.grad.data() + c * k * k;
-      float* gi = grad_in.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t xo = 0; xo < ow; ++xo) {
-          const float g = go[y * ow + xo];
-          if (g == 0.0f) continue;
-          for (int64_t kh = 0; kh < k; ++kh) {
-            const int64_t iy = y * geo_.stride + kh - geo_.pad;
-            if (iy < 0 || iy >= geo_.in_h) continue;
-            for (int64_t kw = 0; kw < k; ++kw) {
-              const int64_t ix = xo * geo_.stride + kw - geo_.pad;
-              if (ix < 0 || ix >= geo_.in_w) continue;
-              gw[kh * k + kw] += g * plane[iy * geo_.in_w + ix];
-              gi[iy * geo_.in_w + ix] += g * w[kh * k + kw];
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* plane =
+            x.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+        const float* go = grad_out.data() + (n * geo_.in_c + c) * oh * ow;
+        float* gi =
+            grad_in.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t xo = 0; xo < ow; ++xo) {
+            const float g = go[y * ow + xo];
+            if (g == 0.0f) continue;
+            for (int64_t kh = 0; kh < k; ++kh) {
+              const int64_t iy = y * geo_.stride + kh - geo_.pad;
+              if (iy < 0 || iy >= geo_.in_h) continue;
+              for (int64_t kw = 0; kw < k; ++kw) {
+                const int64_t ix = xo * geo_.stride + kw - geo_.pad;
+                if (ix < 0 || ix >= geo_.in_w) continue;
+                gw[kh * k + kw] += g * plane[iy * geo_.in_w + ix];
+                gi[iy * geo_.in_w + ix] += g * w[kh * k + kw];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return grad_in;
 }
 
@@ -201,28 +229,33 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
 
   Tensor mean({channels_}), var({channels_});
   if (cached_train_mode_) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      double m = 0;
-      for (int64_t n = 0; n < batch; ++n) {
-        const float* p = x.data() + (n * channels_ + c) * hw;
-        for (int64_t i = 0; i < hw; ++i) m += p[i];
-      }
-      m /= count;
-      double v = 0;
-      for (int64_t n = 0; n < batch; ++n) {
-        const float* p = x.data() + (n * channels_ + c) * hw;
-        for (int64_t i = 0; i < hw; ++i) {
-          const double d = p[i] - m;
-          v += d * d;
+    // Channels are independent; each chunk owns its channels' stats and
+    // running-average slots.
+    parallel_for(0, channels_, [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
+        double m = 0;
+        for (int64_t n = 0; n < batch; ++n) {
+          const float* p = x.data() + (n * channels_ + c) * hw;
+          for (int64_t i = 0; i < hw; ++i) m += p[i];
         }
+        m /= count;
+        double v = 0;
+        for (int64_t n = 0; n < batch; ++n) {
+          const float* p = x.data() + (n * channels_ + c) * hw;
+          for (int64_t i = 0; i < hw; ++i) {
+            const double d = p[i] - m;
+            v += d * d;
+          }
+        }
+        v /= count;
+        mean[c] = static_cast<float>(m);
+        var[c] = static_cast<float>(v);
+        running_mean_[c] =
+            (1 - momentum_) * running_mean_[c] + momentum_ * mean[c];
+        running_var_[c] =
+            (1 - momentum_) * running_var_[c] + momentum_ * var[c];
       }
-      v /= count;
-      mean[c] = static_cast<float>(m);
-      var[c] = static_cast<float>(v);
-      running_mean_[c] =
-          (1 - momentum_) * running_mean_[c] + momentum_ * mean[c];
-      running_var_[c] = (1 - momentum_) * running_var_[c] + momentum_ * var[c];
-    }
+    });
   } else {
     mean = running_mean_;
     var = running_var_;
@@ -231,22 +264,24 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   Tensor out(x.shape());
   cached_inv_std_ = Tensor({channels_});
   if (train) cached_xhat_ = Tensor(x.shape());
-  for (int64_t c = 0; c < channels_; ++c) {
-    const float inv_std = 1.0f / std::sqrt(var[c] + eps_);
-    cached_inv_std_[c] = inv_std;
-    const float g = gamma_.value[c], b = beta_.value[c], mu = mean[c];
-    for (int64_t n = 0; n < batch; ++n) {
-      const float* p = x.data() + (n * channels_ + c) * hw;
-      float* o = out.data() + (n * channels_ + c) * hw;
-      float* xh = train ? cached_xhat_.data() + (n * channels_ + c) * hw
-                        : nullptr;
-      for (int64_t i = 0; i < hw; ++i) {
-        const float xhat = (p[i] - mu) * inv_std;
-        if (xh) xh[i] = xhat;
-        o[i] = g * xhat + b;
+  parallel_for(0, channels_, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const float inv_std = 1.0f / std::sqrt(var[c] + eps_);
+      cached_inv_std_[c] = inv_std;
+      const float g = gamma_.value[c], b = beta_.value[c], mu = mean[c];
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* p = x.data() + (n * channels_ + c) * hw;
+        float* o = out.data() + (n * channels_ + c) * hw;
+        float* xh = train ? cached_xhat_.data() + (n * channels_ + c) * hw
+                          : nullptr;
+        for (int64_t i = 0; i < hw; ++i) {
+          const float xhat = (p[i] - mu) * inv_std;
+          if (xh) xh[i] = xhat;
+          o[i] = g * xhat + b;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -256,7 +291,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const int64_t count = batch * hw;
   Tensor grad_in(grad_out.shape());
 
-  for (int64_t c = 0; c < channels_; ++c) {
+  parallel_for(0, channels_, [&](int64_t cb, int64_t ce) {
+  for (int64_t c = cb; c < ce; ++c) {
     double sum_g = 0, sum_gx = 0;
     for (int64_t n = 0; n < batch; ++n) {
       const float* go = grad_out.data() + (n * channels_ + c) * hw;
@@ -293,6 +329,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
       }
     }
   }
+  });
   return grad_in;
 }
 
@@ -301,22 +338,32 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 Tensor ReLU::forward(const Tensor& x, bool train) {
   if (train) cached_input_ = x;
   Tensor out = x;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    float v = out[i] > 0.0f ? out[i] : 0.0f;
-    if (clip_ > 0.0f && v > clip_) v = clip_;
-    out[i] = v;
-  }
+  parallel_for(
+      0, out.numel(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          float v = out[i] > 0.0f ? out[i] : 0.0f;
+          if (clip_ > 0.0f && v > clip_) v = clip_;
+          out[i] = v;
+        }
+      },
+      kElemGrain);
   return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   assert(!cached_input_.empty());
   Tensor grad_in = grad_out;
-  for (int64_t i = 0; i < grad_in.numel(); ++i) {
-    const float x = cached_input_[i];
-    const bool pass = x > 0.0f && (clip_ <= 0.0f || x < clip_);
-    if (!pass) grad_in[i] = 0.0f;
-  }
+  parallel_for(
+      0, grad_in.numel(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float x = cached_input_[i];
+          const bool pass = x > 0.0f && (clip_ <= 0.0f || x < clip_);
+          if (!pass) grad_in[i] = 0.0f;
+        }
+      },
+      kElemGrain);
   return grad_in;
 }
 
@@ -327,14 +374,17 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
   if (train) cached_in_shape_ = x.shape();
   const int64_t batch = x.dim(0), ch = x.dim(1), hw = x.dim(2) * x.dim(3);
   Tensor out({batch, ch});
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < ch; ++c) {
-      const float* p = x.data() + (n * ch + c) * hw;
-      double acc = 0;
-      for (int64_t i = 0; i < hw; ++i) acc += p[i];
-      out.at(n, c) = static_cast<float>(acc / hw);
-    }
-  }
+  parallel_for(
+      0, batch * ch,
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t pi = p0; pi < p1; ++pi) {
+          const float* p = x.data() + pi * hw;
+          double acc = 0;
+          for (int64_t i = 0; i < hw; ++i) acc += p[i];
+          out[pi] = static_cast<float>(acc / hw);
+        }
+      },
+      /*grain=*/8);
   return out;
 }
 

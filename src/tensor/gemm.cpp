@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "tensor/thread_pool.h"
+
 namespace cham {
 namespace {
 
@@ -12,9 +14,14 @@ constexpr int64_t kMc = 64;
 constexpr int64_t kNc = 128;
 constexpr int64_t kKc = 128;
 
+// Minimum rows of C per worker chunk; below this a parallel dispatch costs
+// more than the arithmetic it hides.
+constexpr int64_t kRowGrain = 8;
+
 // Computes a (rows x cols) block of C += A_panel @ B_panel, with
 // rows <= kMc, cols <= kNc, depth <= kKc. A is row-major (lda = stride),
-// B is row-major (ldb), C row-major (ldc).
+// B is row-major (ldb), C row-major (ldc). alpha is folded into the packed
+// A panel, so the kernel is a pure FMA.
 void micro_block(int64_t rows, int64_t cols, int64_t depth, const float* a,
                  int64_t lda, const float* b, int64_t ldb, float* c,
                  int64_t ldc) {
@@ -30,81 +37,119 @@ void micro_block(int64_t rows, int64_t cols, int64_t depth, const float* a,
   }
 }
 
+// Per-worker packing scratch, reused across calls. a_pack holds one
+// alpha-scaled kMc x kKc block of A; b_pack holds the full K-strip of B
+// (depth x n) so every row block of the chunk streams a contiguous panel.
+struct PackBuffers {
+  std::vector<float> a_pack, b_pack;
+};
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers bufs;
+  return bufs;
+}
+
+void scale_c(float* c, int64_t count, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
+  }
+}
+
 }  // namespace
 
 void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c) {
-  // Scale / clear C first.
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
-
-  std::vector<float> a_scaled;
-  const float* a_eff = a;
-  if (alpha != 1.0f) {
-    // Pre-scaling A keeps the inner loop a pure FMA.
-    a_scaled.assign(a, a + m * k);
-    for (float& v : a_scaled) v *= alpha;
-    a_eff = a_scaled.data();
-  }
-
-  for (int64_t pc = 0; pc < k; pc += kKc) {
-    const int64_t depth = std::min(kKc, k - pc);
-    for (int64_t ic = 0; ic < m; ic += kMc) {
-      const int64_t rows = std::min(kMc, m - ic);
-      for (int64_t jc = 0; jc < n; jc += kNc) {
-        const int64_t cols = std::min(kNc, n - jc);
-        micro_block(rows, cols, depth, a_eff + ic * k + pc, k,
-                    b + pc * n + jc, n, c + ic * n + jc, n);
-      }
-    }
-  }
+  if (m <= 0 || n <= 0) return;
+  // Each chunk owns a contiguous row range of C: beta pass, then K-strip
+  // accumulation. Per element the operations (and their order) are the same
+  // for any partition, so results are bit-identical for every thread count.
+  parallel_for(
+      0, m,
+      [&](int64_t i0, int64_t i1) {
+        scale_c(c + i0 * n, (i1 - i0) * n, beta);
+        if (alpha == 0.0f || k == 0) return;
+        PackBuffers& bufs = pack_buffers();
+        bufs.a_pack.resize(static_cast<size_t>(kMc * kKc));
+        bufs.b_pack.resize(static_cast<size_t>(kKc * n));
+        float* a_pack = bufs.a_pack.data();
+        float* b_pack = bufs.b_pack.data();
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+          const int64_t depth = std::min(kKc, k - pc);
+          for (int64_t p = 0; p < depth; ++p) {
+            const float* src = b + (pc + p) * n;
+            std::copy(src, src + n, b_pack + p * n);
+          }
+          for (int64_t ic = i0; ic < i1; ic += kMc) {
+            const int64_t rows = std::min(kMc, i1 - ic);
+            // Fold alpha into the pack: replaces the old whole-matrix
+            // scale-and-copy of A that ran on every alpha != 1 call.
+            for (int64_t i = 0; i < rows; ++i) {
+              const float* src = a + (ic + i) * k + pc;
+              float* dst = a_pack + i * depth;
+              if (alpha == 1.0f) {
+                std::copy(src, src + depth, dst);
+              } else {
+                for (int64_t p = 0; p < depth; ++p) dst[p] = alpha * src[p];
+              }
+            }
+            for (int64_t jc = 0; jc < n; jc += kNc) {
+              const int64_t cols = std::min(kNc, n - jc);
+              micro_block(rows, cols, depth, a_pack, depth, b_pack + jc, n,
+                          c + ic * n + jc, n);
+            }
+          }
+        }
+      },
+      kRowGrain);
 }
 
 void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c) {
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  if (alpha == 0.0f) return;
-  // C[i][j] += sum_p A[p][i] * B[p][j]; iterate p outermost for row-major
-  // streaming of both A and B.
-  for (int64_t p = 0; p < k; ++p) {
-    const float* ap = a + p * m;
-    const float* bp = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = alpha * ap[i];
-      if (av == 0.0f) continue;
-      float* ci = c + i * n;
-      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-    }
-  }
+  if (m <= 0 || n <= 0) return;
+  // C[i][j] += sum_p A[p][i] * B[p][j]. Chunks own row ranges of C; the p
+  // loop stays outermost inside a chunk so each element accumulates in the
+  // same order as the serial kernel.
+  parallel_for(
+      0, m,
+      [&](int64_t i0, int64_t i1) {
+        scale_c(c + i0 * n, (i1 - i0) * n, beta);
+        if (alpha == 0.0f) return;
+        for (int64_t p = 0; p < k; ++p) {
+          const float* ap = a + p * m;
+          const float* bp = b + p * n;
+          for (int64_t i = i0; i < i1; ++i) {
+            const float av = alpha * ap[i];
+            if (av == 0.0f) continue;
+            float* ci = c + i * n;
+            for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+          }
+        }
+      },
+      kRowGrain);
 }
 
 void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c) {
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  if (alpha == 0.0f) return;
-  // C[i][j] += dot(A row i, B row j): both contiguous dot products.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * k;
-      double acc = 0;
-      for (int64_t p = 0; p < k; ++p) acc += double(ai[p]) * double(bj[p]);
-      ci[j] += alpha * static_cast<float>(acc);
-    }
-  }
+  if (m <= 0 || n <= 0) return;
+  // C[i][j] += dot(A row i, B row j): rows are independent dot products.
+  parallel_for(
+      0, m,
+      [&](int64_t i0, int64_t i1) {
+        scale_c(c + i0 * n, (i1 - i0) * n, beta);
+        if (alpha == 0.0f) return;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* ai = a + i * k;
+          float* ci = c + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            const float* bj = b + j * k;
+            double acc = 0;
+            for (int64_t p = 0; p < k; ++p) acc += double(ai[p]) * double(bj[p]);
+            ci[j] += alpha * static_cast<float>(acc);
+          }
+        }
+      },
+      kRowGrain);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/thread_pool.h"
+
 namespace cham::ops {
+namespace {
+
+// Elementwise work per chunk below which a parallel dispatch is not worth it.
+constexpr int64_t kElemGrain = 16384;
+// Softmax rows per chunk minimum (each row is an exp-heavy pass).
+constexpr int64_t kRowGrain = 4;
+
+}  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
   Tensor out = a;
@@ -20,7 +30,12 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 Tensor mul(const Tensor& a, const Tensor& b) {
   assert(a.shape() == b.shape());
   Tensor out = a;
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= b[i];
+  parallel_for(
+      0, out.numel(),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) out[i] *= b[i];
+      },
+      kElemGrain);
   return out;
 }
 
@@ -91,19 +106,24 @@ Tensor softmax(const Tensor& logits) {
   const int64_t rows = is2d ? logits.dim(0) : 1;
   const int64_t cols = is2d ? logits.dim(1) : logits.numel();
   Tensor out(logits.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = logits.data() + r * cols;
-    float* o = out.data() + r * cols;
-    float m = in[0];
-    for (int64_t c = 1; c < cols; ++c) m = std::max(m, in[c]);
-    double z = 0;
-    for (int64_t c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - m);
-      z += o[c];
-    }
-    const float inv = static_cast<float>(1.0 / z);
-    for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
-  }
+  parallel_for(
+      0, rows,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* in = logits.data() + r * cols;
+          float* o = out.data() + r * cols;
+          float m = in[0];
+          for (int64_t c = 1; c < cols; ++c) m = std::max(m, in[c]);
+          double z = 0;
+          for (int64_t c = 0; c < cols; ++c) {
+            o[c] = std::exp(in[c] - m);
+            z += o[c];
+          }
+          const float inv = static_cast<float>(1.0 / z);
+          for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
+        }
+      },
+      kRowGrain);
   return out;
 }
 
@@ -112,16 +132,21 @@ Tensor log_softmax(const Tensor& logits) {
   const int64_t rows = is2d ? logits.dim(0) : 1;
   const int64_t cols = is2d ? logits.dim(1) : logits.numel();
   Tensor out(logits.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = logits.data() + r * cols;
-    float* o = out.data() + r * cols;
-    float m = in[0];
-    for (int64_t c = 1; c < cols; ++c) m = std::max(m, in[c]);
-    double z = 0;
-    for (int64_t c = 0; c < cols; ++c) z += std::exp(in[c] - m);
-    const float logz = m + static_cast<float>(std::log(z));
-    for (int64_t c = 0; c < cols; ++c) o[c] = in[c] - logz;
-  }
+  parallel_for(
+      0, rows,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* in = logits.data() + r * cols;
+          float* o = out.data() + r * cols;
+          float m = in[0];
+          for (int64_t c = 1; c < cols; ++c) m = std::max(m, in[c]);
+          double z = 0;
+          for (int64_t c = 0; c < cols; ++c) z += std::exp(in[c] - m);
+          const float logz = m + static_cast<float>(std::log(z));
+          for (int64_t c = 0; c < cols; ++c) o[c] = in[c] - logz;
+        }
+      },
+      kRowGrain);
   return out;
 }
 

@@ -51,9 +51,27 @@ class Rng {
     return static_cast<float>(uniform(lo, hi));
   }
 
-  // Uniform integer in [0, n). n must be > 0.
+  // Uniform integer in [0, n). n must be > 0. Lemire's multiply-shift with
+  // rejection: `next_u64() % n` is modulo-biased for non-power-of-two n,
+  // which skewed every buffer eviction, shuffle and
+  // sample_without_replacement that funnels through here. The fast path
+  // (no rejection) costs one 128-bit multiply; the rejection branch is taken
+  // with probability < n / 2^64.
   int64_t uniform_int(int64_t n) {
-    return static_cast<int64_t>(next_u64() % static_cast<uint64_t>(n));
+    const uint64_t un = static_cast<uint64_t>(n);
+    uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * un;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < un) {
+      // 2^64 mod n, computed without 128-bit division.
+      const uint64_t threshold = (0 - un) % un;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * un;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<int64_t>(static_cast<uint64_t>(m >> 64));
   }
 
   // Standard normal via Box-Muller (no cached spare: simpler, still fast).

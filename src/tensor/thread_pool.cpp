@@ -1,0 +1,167 @@
+#include "tensor/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cham {
+namespace {
+
+// True while this thread is executing a parallel_for body; nested regions
+// run inline so kernels freely compose (e.g. a parallel conv batch loop
+// calling the parallel gemm).
+thread_local bool t_in_parallel = false;
+
+int clamp_threads(long n) {
+  if (n < 1) return 1;
+  if (n > 256) return 256;
+  return static_cast<int>(n);
+}
+
+int default_threads() {
+  if (const char* env = std::getenv("CHAM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return clamp_threads(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return clamp_threads(hc == 0 ? 1 : static_cast<long>(hc));
+}
+
+// One parallel region at a time. Worker i always executes chunk i + 1 of the
+// static partition (the calling thread takes chunk 0), so the work an output
+// element receives never depends on scheduling — only on (range, threads).
+class Pool {
+ public:
+  static Pool& instance() {
+    // Intentionally leaked: detached workers block on the pool's condition
+    // variables for the process lifetime, so running the destructor at exit
+    // would tear the primitives down under them.
+    static Pool* pool = new Pool();
+    return *pool;
+  }
+
+  void set_size(int n) {
+    std::lock_guard<std::mutex> lock(api_mutex_);
+    target_size_ = n;
+  }
+
+  int size() {
+    std::lock_guard<std::mutex> lock(api_mutex_);
+    return target_size_;
+  }
+
+  void run(int64_t begin, int64_t end,
+           const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+    const int64_t n = end - begin;
+    if (n <= 0) return;
+    if (t_in_parallel) {  // nested region: already inside a worker chunk
+      fn(begin, end);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(api_mutex_);
+    const int chunks = static_cast<int>(
+        std::min<int64_t>(target_size_, (n + grain - 1) / grain));
+    if (chunks <= 1) {
+      t_in_parallel = true;
+      fn(begin, end);
+      t_in_parallel = false;
+      return;
+    }
+    ensure_workers(chunks - 1);
+    {
+      std::lock_guard<std::mutex> jl(job_mutex_);
+      job_fn_ = &fn;
+      job_begin_ = begin;
+      job_n_ = n;
+      job_chunks_ = chunks;
+      pending_.store(chunks, std::memory_order_release);
+      ++job_id_;
+    }
+    job_cv_.notify_all();
+    run_chunk(0);
+    std::unique_lock<std::mutex> dl(done_mutex_);
+    done_cv_.wait(dl,
+                  [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers(int n) {
+    while (static_cast<int>(workers_.size()) < n) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { worker_loop(index); });
+      workers_.back().detach();
+    }
+  }
+
+  void worker_loop(int index) {
+    uint64_t seen_job = 0;
+    for (;;) {
+      int chunks;
+      {
+        std::unique_lock<std::mutex> jl(job_mutex_);
+        job_cv_.wait(jl, [&] { return job_id_ != seen_job; });
+        seen_job = job_id_;
+        chunks = job_chunks_;
+      }
+      if (index + 1 < chunks) run_chunk(index + 1);
+    }
+  }
+
+  void run_chunk(int c) {
+    const auto [b, e] = detail::static_chunk(job_n_, job_chunks_, c);
+    t_in_parallel = true;
+    (*job_fn_)(job_begin_ + b, job_begin_ + e);
+    t_in_parallel = false;
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> dl(done_mutex_);
+      done_cv_.notify_all();
+    }
+  }
+
+  std::mutex api_mutex_;  // serialises parallel regions and resizes
+  int target_size_ = default_threads();
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  uint64_t job_id_ = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  int64_t job_begin_ = 0;
+  int64_t job_n_ = 0;
+  int job_chunks_ = 0;
+
+  std::atomic<int> pending_{0};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace
+
+namespace detail {
+Chunk static_chunk(int64_t n, int chunks, int c) {
+  const int64_t base = n / chunks;
+  const int64_t extra = n % chunks;
+  const int64_t begin = c * base + std::min<int64_t>(c, extra);
+  const int64_t len = base + (c < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+}  // namespace detail
+
+void set_num_threads(int n) { Pool::instance().set_size(clamp_threads(n)); }
+
+int num_threads() { return Pool::instance().size(); }
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain) {
+  Pool::instance().run(begin, end, fn, grain < 1 ? 1 : grain);
+}
+
+}  // namespace cham

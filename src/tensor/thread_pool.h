@@ -1,0 +1,48 @@
+// Shared persistent thread pool with deterministic static range partitioning.
+//
+// Every compute hot path (GEMM, im2col conv, batched elementwise/softmax,
+// evaluation) funnels through parallel_for. Determinism contract: the range
+// [begin, end) is split into one contiguous chunk per worker by pure
+// arithmetic on (range, num_threads), never by load or arrival order, and
+// each chunk writes disjoint output. Because the per-element reduction order
+// inside a chunk is identical to the serial loop, results are bit-identical
+// for every thread count, including 1 (which short-circuits to an inline
+// call on the calling thread — the guaranteed serial fallback).
+//
+// Thread count resolution order: set_num_threads(n) > CHAM_THREADS env var >
+// std::thread::hardware_concurrency(). Workers are lazily spawned on first
+// parallel use and live for the process lifetime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cham {
+
+// Sets the pool size (clamped to [1, 256]). Resizes the pool on the next
+// parallel_for. Safe to call between parallel regions, not from inside one.
+void set_num_threads(int n);
+
+// Current thread count the next parallel_for will use.
+int num_threads();
+
+// Invokes fn(chunk_begin, chunk_end) over a static partition of [begin, end).
+// fn runs on the calling thread when the pool has 1 thread or when the range
+// is smaller than `grain` elements; otherwise chunks are handed to the pool
+// and the call blocks until every chunk finishes. fn must only write to
+// locations owned by its chunk. Exceptions in fn terminate (kernels must not
+// throw).
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain = 1);
+
+namespace detail {
+// Chunk c of `chunks` equal contiguous pieces of an n-element range (the
+// first n % chunks pieces get one extra element). Exposed for tests.
+struct Chunk {
+  int64_t begin, end;
+};
+Chunk static_chunk(int64_t n, int chunks, int c);
+}  // namespace detail
+
+}  // namespace cham

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "core/chameleon.h"
 #include "nn/layers.h"
 #include "nn/sequential.h"
+#include "tensor/thread_pool.h"
 
 namespace cham {
 namespace {
@@ -136,6 +138,140 @@ TEST(ChameleonBehavior, LtStaysClassBalancedUnderSkew) {
     rare_covered += learner.long_term().class_count(c) > 0;
   }
   EXPECT_GE(rare_covered, 3);
+}
+
+// The staged LT burst: one off-chip fetch of h * lt_replay_per_batch
+// samples per h-cycle, consumed lt_replay_per_batch per batch. Burst size,
+// per-batch consumption (inferred from training MACs) and the
+// charge-once-per-burst property are all pinned here.
+TEST(ChameleonBehavior, StagedLtBurstChargedOnceAndConsumedPerBatch) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.st_capacity = 4;
+  cc.lt_capacity = 12;  // quota 2 x 6 classes
+  cc.lt_period_h = 3;
+  cc.lt_replay_per_batch = 2;
+  cc.use_prototype_selection = false;  // promotion charges 1 latent/class
+  core::ChameleonLearner learner(env.env, cc, 1);
+  const int64_t latent_sz =
+      replay::latent_sample_bytes(env.env.latent_shape.numel());
+  const double g_macs = static_cast<double>(learner.g_fwd_macs());
+
+  // Warm-up: fill ST (capacity 4) and LT (full after two h-cycles).
+  for (int i = 0; i < 12; ++i) {
+    learner.observe(env.make_batch({0, 1, 2, 3, 4, 5}));
+  }
+  // At most 4 classes fit the ST at once, so the LT fills unevenly; the
+  // burst only needs h * lt_replay_per_batch = 6 entries available.
+  ASSERT_GE(learner.long_term().size(), 6);
+  ASSERT_EQ(learner.short_term().size(), 4);
+
+  // Steps 13..18: two full h-cycles at steady state.
+  for (int step = 13; step <= 18; ++step) {
+    const double off0 = learner.stats().offchip_bytes;
+    const double bwd0 = learner.stats().g_bwd_macs;
+    learner.observe(env.make_batch({0, 1, 2, 3, 4, 5}));
+    const double off_delta = learner.stats().offchip_bytes - off0;
+    const double rows = (learner.stats().g_bwd_macs - bwd0) / (2.0 * g_macs);
+
+    // Every batch trains on batch (6) + full ST sweep (4) + exactly
+    // lt_replay_per_batch (2) staged LT samples — iterative consumption,
+    // not h * lt_replay_per_batch all at once.
+    EXPECT_DOUBLE_EQ(rows, 12.0) << "step " << step;
+
+    if (step % 3 == 0) {
+      // One burst of min(h * lt_replay_per_batch, LT size) = 6 samples,
+      // plus the promotion of one ST sample per class present in ST.
+      std::set<int64_t> st_classes;
+      for (int64_t i = 0; i < learner.short_term().size(); ++i) {
+        st_classes.insert(learner.short_term().buffer().item(i).label);
+      }
+      const int64_t expected = (6 + static_cast<int64_t>(st_classes.size())) *
+                               latent_sz;
+      EXPECT_DOUBLE_EQ(off_delta, static_cast<double>(expected))
+          << "step " << step;
+    } else {
+      // Consuming an already-fetched burst moves no off-chip bytes.
+      EXPECT_DOUBLE_EQ(off_delta, 0.0) << "step " << step;
+    }
+  }
+}
+
+// Prototype formation must be charged for the LT entries actually streamed
+// (class_count at formation time), never the full per-class quota, and a
+// class with a single ST candidate skips the prototype read entirely.
+TEST(ChameleonBehavior, PrototypeFormationChargesActualEntriesRead) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.st_capacity = 100;  // no eviction: ST contents stay predictable
+  cc.lt_capacity = 12;   // quota 2 x 6 classes
+  cc.lt_period_h = 4;
+  cc.lt_replay_per_batch = 1;
+  core::ChameleonLearner learner(env.env, cc, 1);
+  const int64_t latent_sz =
+      replay::latent_sample_bytes(env.env.latent_shape.numel());
+  auto observe_delta = [&](std::initializer_list<int64_t> labels) {
+    const double off0 = learner.stats().offchip_bytes;
+    learner.observe(env.make_batch(labels));
+    return learner.stats().offchip_bytes - off0;
+  };
+
+  // Cycle 1 (steps 1-4): at the LT update the ST holds {0,0,1,1}. Both
+  // classes have two candidates but the LT is still empty, so no prototype
+  // exists and nothing is streamed; only the two promotions are charged.
+  observe_delta({0, 0});
+  observe_delta({0, 0});
+  observe_delta({1, 1});
+  EXPECT_DOUBLE_EQ(observe_delta({1, 1}), static_cast<double>(2 * latent_sz));
+  ASSERT_EQ(learner.long_term().class_count(0), 1);
+  ASSERT_EQ(learner.long_term().class_count(1), 1);
+
+  // Cycle 2 (steps 5-8): each class prototype now averages ONE stored
+  // entry, below the quota of 2 — the quota-based accounting overcharged
+  // exactly here. Burst min(h, LT size 2) = 2, prototype reads 1 + 1,
+  // promotions 2.
+  observe_delta({0, 0});
+  observe_delta({0, 0});
+  observe_delta({1, 1});
+  EXPECT_DOUBLE_EQ(observe_delta({1, 1}), static_cast<double>(6 * latent_sz));
+
+  // Cycle 3 (steps 9-12): four singleton classes join the ST; they promote
+  // without forming a prototype. Burst min(4, LT size 4) = 4, prototype
+  // reads 2 + 2 (classes 0 and 1 now hold 2 entries each), promotions 6.
+  observe_delta({2, 2});
+  observe_delta({3, 3});
+  observe_delta({4, 4});
+  EXPECT_DOUBLE_EQ(observe_delta({5, 5}), static_cast<double>(14 * latent_sz));
+}
+
+// End-to-end determinism of the parallel backend: a full training run
+// (latent extraction, conv forward, gemm train steps, replay) must produce
+// bit-identical head weights at any thread count.
+TEST(ChameleonBehavior, ThreadCountDoesNotChangeTraining) {
+  const int saved = cham::num_threads();
+  auto run = [](int threads) {
+    cham::set_num_threads(threads);
+    TinyEnv env;
+    core::ChameleonConfig cc;
+    cc.lt_capacity = 12;
+    core::ChameleonLearner learner(env.env, cc, 1);
+    for (int i = 0; i < 10; ++i) {
+      learner.observe(env.make_batch({0, 1, 2, 3, 4, 5}));
+    }
+    std::vector<float> params;
+    for (nn::Param* p : learner.head().params()) {
+      params.insert(params.end(), p->value.data(),
+                    p->value.data() + p->value.numel());
+    }
+    return params;
+  };
+  const auto p1 = run(1);
+  const auto p4 = run(4);
+  cham::set_num_threads(saved);
+  ASSERT_EQ(p1.size(), p4.size());
+  int64_t mismatches = 0;
+  for (size_t i = 0; i < p1.size(); ++i) mismatches += p1[i] != p4[i];
+  EXPECT_EQ(mismatches, 0);
 }
 
 TEST(ChameleonBehavior, PreferenceTrackerFollowsTheStream) {

@@ -9,6 +9,7 @@
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
+#include "tensor/thread_pool.h"
 
 namespace cham {
 namespace {
@@ -143,6 +144,62 @@ TEST(Im2col, Col2imIsAdjoint) {
 
   EXPECT_NEAR(ops::dot(col.span(), y.span()),
               ops::dot(x.span(), back.span()), 1e-2);
+}
+
+// ------------------------------------------ parallel backend determinism
+
+// static_chunk must tile [0, n) exactly: contiguous, disjoint, complete.
+TEST(ThreadPool, StaticChunkIsAnExactPartition) {
+  for (int64_t n : {1, 2, 7, 64, 1000}) {
+    for (int chunks : {1, 2, 3, 5, 8, 16}) {
+      int64_t prev = 0;
+      for (int c = 0; c < chunks; ++c) {
+        const auto [b, e] = detail::static_chunk(n, chunks, c);
+        EXPECT_EQ(b, prev);
+        EXPECT_LE(b, e);
+        prev = e;
+      }
+      EXPECT_EQ(prev, n);
+    }
+  }
+}
+
+// The determinism contract: every kernel result is bit-identical for every
+// thread count (per-element reduction order never depends on the partition).
+TEST(ThreadPool, KernelsBitIdenticalAcrossThreadCounts) {
+  const int saved = num_threads();
+  const int64_t m = 65, n = 129, k = 130;
+  Rng rng(77);
+  Tensor a({m, k}), b({k, n}), at({k, m}), bt({n, k}), c0({m, n});
+  ops::fill_normal(a, rng, 0.0f, 1.0f);
+  ops::fill_normal(b, rng, 0.0f, 1.0f);
+  ops::fill_normal(at, rng, 0.0f, 1.0f);
+  ops::fill_normal(bt, rng, 0.0f, 1.0f);
+  ops::fill_normal(c0, rng, 0.0f, 1.0f);
+
+  // alpha != 1 and beta != 0 exercise the folded-alpha pack and the beta
+  // pre-pass inside each row chunk.
+  auto run_all = [&](Tensor& cg, Tensor& ct, Tensor& cb) {
+    cg = c0;
+    ct = c0;
+    cb = c0;
+    gemm(m, n, k, 1.25f, a.data(), b.data(), 0.5f, cg.data());
+    gemm_at_b(m, n, k, 1.25f, at.data(), b.data(), 0.5f, ct.data());
+    gemm_a_bt(m, n, k, 1.25f, a.data(), bt.data(), 0.5f, cb.data());
+  };
+
+  Tensor g1, t1, b1;
+  set_num_threads(1);
+  run_all(g1, t1, b1);
+  for (int threads : {2, 3, 4, 8}) {
+    set_num_threads(threads);
+    Tensor g, t, bb;
+    run_all(g, t, bb);
+    EXPECT_EQ(ops::max_abs_diff(g, g1), 0.0) << "gemm, t=" << threads;
+    EXPECT_EQ(ops::max_abs_diff(t, t1), 0.0) << "gemm_at_b, t=" << threads;
+    EXPECT_EQ(ops::max_abs_diff(bb, b1), 0.0) << "gemm_a_bt, t=" << threads;
+  }
+  set_num_threads(saved);
 }
 
 TEST(ConvGeometry, OutputDims) {

@@ -27,6 +27,28 @@ TEST(PreferenceTracker, IdentifiesTopKAfterWindow) {
   EXPECT_EQ(t.preferred_classes().size(), 2u);
 }
 
+// A window that reveals fewer classes than top_k must not pad the preferred
+// set with never-seen classes: zero-count classes would otherwise receive
+// the Delta_k allocation weight in Eq. 4 despite no evidence the user cares
+// about them, and n_k would be diluted by averaging over the padded top_k.
+TEST(PreferenceTracker, ZeroCountClassesNeverPreferred) {
+  core::PreferenceTracker t(10, 4, 20, 0.5f);
+  for (int i = 0; i < 12; ++i) t.update(0);
+  for (int i = 0; i < 8; ++i) t.update(1);
+  ASSERT_EQ(t.recalibrations(), 1);
+
+  EXPECT_TRUE(t.is_preferred(0));
+  EXPECT_TRUE(t.is_preferred(1));
+  EXPECT_EQ(t.preferred_classes().size(), 2u);  // not padded to top_k = 4
+  for (int64_t c = 2; c < 10; ++c) EXPECT_FALSE(t.is_preferred(c));
+
+  // n_k averages over the 2 actually-preferred classes (= 10), n_rest = 0,
+  // so Eq. 2 saturates and clamps to 0.95; a never-seen class gets the
+  // non-preferred weight.
+  EXPECT_DOUBLE_EQ(t.delta_k(), 0.95);
+  EXPECT_DOUBLE_EQ(t.delta(7), 1.0 - t.delta_k());
+}
+
 TEST(PreferenceTracker, DeltaIncreasesWithSkew) {
   auto run_window = [](int64_t pref_count) {
     core::PreferenceTracker t(10, 1, 100, 1.0f);

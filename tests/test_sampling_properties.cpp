@@ -5,15 +5,87 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "core/long_term_memory.h"
 #include "core/preference_tracker.h"
 #include "core/short_term_memory.h"
 #include "replay/buffer.h"
 #include "tensor/ops.h"
+#include "tensor/rng.h"
 
 namespace cham {
 namespace {
+
+// ------------------------------------------ uniform_int bias regression
+
+// With n = 3 * 2^61 the old `next_u64() % n` maps 2^64 source values onto
+// [0, n) unevenly: 2^64 = 2n + 2^62, so the bottom 2^62 outputs are hit
+// three times and the rest twice — a 1.5x density step across the range
+// that a six-bin chi-square detects instantly (chi2 ~ 900 at 30k draws).
+// Lemire's rejection method is exactly uniform for every n.
+TEST(RngUniformInt, LargeRangeChiSquareUniform) {
+  const int64_t n = int64_t{3} << 61;
+  constexpr int kBins = 6;
+  constexpr int kDraws = 30000;
+  const int64_t bin_width = n / kBins;  // 2^60, divides exactly
+  Rng rng(0xB1A5);
+  double counts[kBins] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t x = rng.uniform_int(n);
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, n);
+    counts[x / bin_width] += 1;
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0;
+  for (double c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 20.5);  // df = 5 critical value at p = 0.001
+}
+
+// Small ranges (the common buffer-eviction case) must also be uniform.
+TEST(RngUniformInt, SmallRangeChiSquareUniform) {
+  constexpr int64_t n = 37;
+  constexpr int kDraws = 37000;
+  Rng rng(0x5EED);
+  std::vector<double> counts(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<size_t>(rng.uniform_int(n))] += 1;
+  }
+  const double expected = static_cast<double>(kDraws) / n;
+  double chi2 = 0;
+  for (double c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 68.0);  // df = 36 critical value at p = 0.001
+}
+
+// Pin the exact draw algorithm: uniform_int must match an independent
+// implementation of Lemire's multiply-shift rejection on the same stream
+// (both the values returned and the number of u64s consumed).
+TEST(RngUniformInt, MatchesUnbiasedRejectionReference) {
+  Rng rng(123);
+  Rng ref_rng(123);  // identical state; advances in lockstep
+  auto ref_draw = [&ref_rng](uint64_t n) {
+    uint64_t x = ref_rng.next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = ref_rng.next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<int64_t>(static_cast<uint64_t>(m >> 64));
+  };
+  for (int64_t n : {int64_t{2}, int64_t{3}, int64_t{10}, int64_t{1000},
+                    (int64_t{1} << 62) + 12345}) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(rng.uniform_int(n), ref_draw(static_cast<uint64_t>(n)))
+          << "n=" << n << " draw " << i;
+    }
+  }
+}
 
 // ------------------------------------------ Eq. 2 across the rho grid
 
