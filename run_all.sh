@@ -1,10 +1,17 @@
 #!/bin/bash
 # Regenerates test_output.txt and bench_output.txt (every table/figure).
 #
+# Static-analysis gate: run_static.sh (cham_lint + clang-tidy when present +
+# -Werror build + UBSan test pass) must exit 0 before any output is
+# regenerated. CHAM_SKIP_STATIC=1 bypasses it for quick local iteration.
+#
 # Sanitizer hook: CHAM_SANITIZE=thread|address runs the test suite in a
 # dedicated sanitizer build first (build-tsan/ or build-asan/) and aborts on
 # any sanitizer-reported failure before touching the regular outputs.
 cd /root/repo
+if [ -z "${CHAM_SKIP_STATIC:-}" ]; then
+  ./run_static.sh || { echo "run_all.sh: static analysis failed" >&2; exit 1; }
+fi
 if [ -n "$CHAM_SANITIZE" ]; then
   case "$CHAM_SANITIZE" in
     thread) SAN_DIR=build-tsan ;;

@@ -1,0 +1,50 @@
+#!/bin/bash
+# Static-analysis gate for the Chameleon tree. Runs, in order:
+#
+#   1. tools/cham_lint.py       repo-specific contract rules (src/bench/tests)
+#   2. clang-tidy               bugprone/concurrency/performance checks over
+#                               src/, if clang-tidy is installed (skipped with
+#                               a notice otherwise -- the container ships only
+#                               gcc; the lint + -Werror + UBSan stages still
+#                               gate every commit)
+#   3. -Werror build            full tree (default CHAM_CHECKS=cheap tier)
+#                               with warnings promoted to errors
+#   4. UBSan test pass          -fsanitize=undefined -fno-sanitize-recover,
+#                               whole suite must pass with zero UB reports
+#
+# Exits non-zero on the first failing stage. run_all.sh invokes this before
+# regenerating any outputs; set CHAM_SKIP_STATIC=1 there to bypass during
+# quick local iteration (CI must never set it).
+set -u
+cd "$(dirname "$0")"
+
+fail() { echo "run_static.sh: FAILED at stage: $1" >&2; exit 1; }
+
+echo "=== [1/4] cham_lint ==="
+python3 tools/cham_lint.py src bench tests || fail "cham_lint"
+
+echo "=== [2/4] clang-tidy ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compilation database; any configured build dir has one
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt).
+  TIDY_DIR=build
+  [ -f "$TIDY_DIR/compile_commands.json" ] || \
+    cmake -B "$TIDY_DIR" -S . >/dev/null || fail "clang-tidy (cmake configure)"
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+  clang-tidy -p "$TIDY_DIR" --quiet "${TIDY_SOURCES[@]}" || fail "clang-tidy"
+else
+  echo "clang-tidy not installed; skipping (gcc-only container)."
+fi
+
+echo "=== [3/4] -Werror build ==="
+cmake -B build-werror -S . -DCHAM_WERROR=ON >/dev/null \
+  || fail "-Werror (cmake configure)"
+cmake --build build-werror -j"$(nproc)" || fail "-Werror build"
+
+echo "=== [4/4] UBSan test pass ==="
+cmake -B build-ubsan -S . -DCHAM_SANITIZE=undefined >/dev/null \
+  || fail "UBSan (cmake configure)"
+cmake --build build-ubsan -j"$(nproc)" || fail "UBSan build"
+ctest --test-dir build-ubsan --output-on-failure || fail "UBSan test suite"
+
+echo "run_static.sh: all stages passed"

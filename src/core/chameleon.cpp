@@ -52,7 +52,7 @@ void ChameleonLearner::observe(const data::Batch& batch) {
     train_latents.push_back(&s.latent);
     train_labels.push_back(s.label);
   }
-  stats_.onchip_bytes += static_cast<double>(st_.size() * latent_sz);
+  stats_.charge_onchip_st_replay(static_cast<double>(st_.size() * latent_sz));
 
   const bool lt_cycle = (step_ % cfg_.lt_period_h) == 0;
   if (lt_cycle && lt_.size() > 0) {
@@ -63,8 +63,8 @@ void ChameleonLearner::observe(const data::Batch& batch) {
          lt_.sample(cfg_.lt_period_h * cfg_.lt_replay_per_batch, rng_)) {
       staged_lt_.push_back(*s);
     }
-    stats_.offchip_bytes += static_cast<double>(
-        static_cast<int64_t>(staged_lt_.size()) * latent_sz);
+    stats_.charge_offchip_lt_burst(static_cast<double>(
+        static_cast<int64_t>(staged_lt_.size()) * latent_sz));
   }
   // Consume the staged burst iteratively, lt_replay_per_batch per batch.
   const size_t take = std::min(
@@ -100,7 +100,7 @@ void ChameleonLearner::observe(const data::Batch& batch) {
     }
   }
   st_.update(candidates, batch_logits, prefs_, rng_);
-  stats_.onchip_bytes += static_cast<double>(latent_sz);  // one ST write
+  stats_.charge_onchip_st_write(static_cast<double>(latent_sz));
 
   // [lines 12-14] LT update from ST every h batches.
   if (lt_cycle && st_.size() > 0) {
@@ -109,8 +109,8 @@ void ChameleonLearner::observe(const data::Batch& batch) {
     for (int64_t i = 0; i < st_.size(); ++i) {
       st_samples.push_back(st_.buffer().item(i));
     }
-    stats_.onchip_bytes +=
-        static_cast<double>(st_.size() * latent_sz);  // ST reads
+    stats_.charge_onchip_st_promote(
+        static_cast<double>(st_.size() * latent_sz));  // ST reads
 
     if (cfg_.use_prototype_selection) {
       auto predict = [this](const Tensor& latent) {
@@ -123,8 +123,9 @@ void ChameleonLearner::observe(const data::Batch& batch) {
       int64_t proto_entries = 0;
       const int64_t updated =
           lt_.update_from(st_samples, predict, rng_, &proto_entries);
-      stats_.offchip_bytes += static_cast<double>(proto_entries * latent_sz);
-      stats_.offchip_bytes += static_cast<double>(updated * latent_sz);
+      stats_.charge_offchip_proto(
+          static_cast<double>(proto_entries * latent_sz));
+      stats_.charge_offchip_lt_write(static_cast<double>(updated * latent_sz));
     } else {
       // Ablation: promote one random ST sample per present class.
       std::unordered_map<int64_t, std::vector<const replay::ReplaySample*>>
@@ -135,12 +136,39 @@ void ChameleonLearner::observe(const data::Batch& batch) {
         const auto* pick = cands[static_cast<size_t>(
             rng_.uniform_int(static_cast<int64_t>(cands.size())))];
         lt_.insert(*pick, rng_);
-        stats_.offchip_bytes += static_cast<double>(latent_sz);
+        stats_.charge_offchip_lt_write(static_cast<double>(latent_sz));
       }
     }
   }
 
   stats_.images += bsz;
+
+  // Full-checks tier: structural audit of every replay component plus ledger
+  // monotonicity, once per processed batch. Compiled out below
+  // -DCHAM_CHECKS=full.
+  CHAM_AUDIT(audit_step());
+}
+
+util::AuditReport ChameleonLearner::check_invariants() const {
+  util::AuditReport report;
+  for (auto& sub : {st_.check_invariants(), lt_.check_invariants(),
+                    prefs_.check_invariants(), stats_.check_invariants()}) {
+    for (const auto& v : sub.violations) report.fail(v);
+  }
+  return report;
+}
+
+void ChameleonLearner::audit_step() {
+  util::AuditReport report = check_invariants();
+  if (stats_.onchip_bytes < audited_onchip_ ||
+      stats_.offchip_bytes < audited_offchip_ ||
+      stats_.weight_bytes < audited_weight_) {
+    report.fail("OpStats: traffic ledger decreased between steps");
+  }
+  audited_onchip_ = stats_.onchip_bytes;
+  audited_offchip_ = stats_.offchip_bytes;
+  audited_weight_ = stats_.weight_bytes;
+  util::throw_if_violations("ChameleonLearner", report);
 }
 
 int64_t ChameleonLearner::st_bytes() const {

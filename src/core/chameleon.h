@@ -66,7 +66,15 @@ class ChameleonLearner : public HeadLearner {
   LongTermMemory& mutable_long_term() { return lt_; }
   const ChameleonConfig& config() const { return cfg_; }
 
+  // Aggregated structural audit over every replay-path component (ST, LT,
+  // PreferenceTracker, OpStats ledger). Run automatically after every
+  // observe() under -DCHAM_CHECKS=full; callable any time from tests.
+  util::AuditReport check_invariants() const;
+
  private:
+  // Throws CheckError on any audit violation, including a non-monotone
+  // traffic ledger (totals must never decrease across steps).
+  void audit_step();
   ChameleonConfig cfg_;
   PreferenceTracker prefs_;
   ShortTermMemory st_;
@@ -78,6 +86,11 @@ class ChameleonLearner : public HeadLearner {
   // concatenation", paper Sec. IV-A). One off-chip transaction per burst.
   std::vector<replay::ReplaySample> staged_lt_;
   size_t staged_pos_ = 0;
+  // Ledger snapshot from the previous full-checks audit (monotonicity:
+  // traffic totals only ever grow).
+  double audited_onchip_ = 0;
+  double audited_offchip_ = 0;
+  double audited_weight_ = 0;
 };
 
 }  // namespace cham::core

@@ -64,7 +64,12 @@ class HeadLearner : public ContinualLearner {
                     std::span<const int64_t> labels) {
     opt_.zero_grad();
     Tensor logits = g_->forward(latent_batch, /*train=*/true);
+    // Full-checks tier: scan the layer output and loss gradient at the
+    // train-step boundary (Eq. 3 consumes these logits; a NaN here corrupts
+    // both the weights and the ST sampling probabilities downstream).
+    CHAM_CHECK_FINITE(logits.span(), "head logits");
     auto loss = nn::softmax_cross_entropy(logits, labels);
+    CHAM_CHECK_FINITE(loss.grad.span(), "loss gradient");
     g_->backward(loss.grad);
     opt_.step();
     charge_g(latent_batch.dim(0));

@@ -11,13 +11,16 @@
 // random same-class LT entry (Algorithm 1, lines 12-14).
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "replay/sample.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
+#include "util/check.h"
 
 namespace cham::core {
 
@@ -31,7 +34,9 @@ class LongTermMemory {
       : capacity_(capacity),
         num_classes_(num_classes),
         per_class_quota_(std::max<int64_t>(1, capacity / num_classes)),
-        slots_(static_cast<size_t>(num_classes)) {}
+        slots_(static_cast<size_t>(num_classes)),
+        cached_counts_(static_cast<size_t>(num_classes), 0),
+        proto_sums_(static_cast<size_t>(num_classes)) {}
 
   int64_t capacity() const { return capacity_; }
   int64_t per_class_quota() const { return per_class_quota_; }
@@ -111,14 +116,32 @@ class LongTermMemory {
   }
 
   // Class-balanced insertion: fill the class quota first, then replace a
-  // uniformly random same-class entry.
+  // uniformly random same-class entry. Maintains the redundant audit state
+  // (cached count + running prototype sum) that check_invariants() verifies
+  // against the stored entries.
   void insert(const replay::ReplaySample& sample, Rng& rng) {
-    auto& v = slots_[static_cast<size_t>(sample.label)];
+    CHAM_CHECK(sample.label >= 0 && sample.label < num_classes_,
+               "LT insert label " + std::to_string(sample.label) +
+                   " out of " + std::to_string(num_classes_) + " classes");
+    const auto cls = static_cast<size_t>(sample.label);
+    auto& v = slots_[cls];
+    auto& sum = proto_sums_[cls];
+    if (sum.size() != static_cast<size_t>(sample.latent.numel())) {
+      sum.assign(static_cast<size_t>(sample.latent.numel()), 0.0);
+    }
     if (static_cast<int64_t>(v.size()) < per_class_quota_) {
       v.push_back(sample);
+      ++cached_counts_[cls];
     } else {
-      v[static_cast<size_t>(
-          rng.uniform_int(static_cast<int64_t>(v.size())))] = sample;
+      auto& victim = v[static_cast<size_t>(
+          rng.uniform_int(static_cast<int64_t>(v.size())))];
+      for (int64_t i = 0; i < victim.latent.numel(); ++i) {
+        sum[static_cast<size_t>(i)] -= victim.latent[i];
+      }
+      victim = sample;
+    }
+    for (int64_t i = 0; i < sample.latent.numel(); ++i) {
+      sum[static_cast<size_t>(i)] += sample.latent[i];
     }
   }
 
@@ -134,6 +157,8 @@ class LongTermMemory {
 
   void clear() {
     for (auto& v : slots_) v.clear();
+    for (auto& c : cached_counts_) c = 0;
+    for (auto& s : proto_sums_) s.clear();
   }
 
   // Uniformly random minibatch across all stored entries.
@@ -153,9 +178,93 @@ class LongTermMemory {
     return out;
   }
 
+  // Structural audit (paper Sec. III-D): per-class occupancy within the
+  // balanced quota, every entry filed under its own label with a live latent,
+  // and the redundant state maintained by insert() — cached counts and
+  // running prototype sums (Eq. 5 numerators) — consistent with the entries
+  // actually stored. A divergence means some path mutated the store without
+  // going through insert()/clear(), exactly the class of silent
+  // buffer-management bug that corrupts accuracy without crashing.
+  util::AuditReport check_invariants() const {
+    util::AuditReport report;
+    for (int64_t c = 0; c < num_classes_; ++c) {
+      const auto ci = static_cast<size_t>(c);
+      const auto& v = slots_[ci];
+      const auto n = static_cast<int64_t>(v.size());
+      if (n > per_class_quota_) {
+        report.fail("LongTermMemory: class " + std::to_string(c) + " holds " +
+                    std::to_string(n) + " entries over quota " +
+                    std::to_string(per_class_quota_));
+      }
+      if (cached_counts_[ci] != n) {
+        report.fail("LongTermMemory: class " + std::to_string(c) +
+                    " cached count " + std::to_string(cached_counts_[ci]) +
+                    " != stored " + std::to_string(n));
+      }
+      std::vector<double> sum;
+      for (const auto& s : v) {
+        if (s.label != c) {
+          report.fail("LongTermMemory: entry labelled " +
+                      std::to_string(s.label) + " filed under class " +
+                      std::to_string(c));
+        }
+        if (s.latent.empty()) {
+          report.fail("LongTermMemory: dangling latent under class " +
+                      std::to_string(c));
+          continue;
+        }
+        if (sum.empty()) sum.resize(static_cast<size_t>(s.latent.numel()), 0.0);
+        if (static_cast<int64_t>(sum.size()) != s.latent.numel()) {
+          report.fail("LongTermMemory: latent shape mismatch under class " +
+                      std::to_string(c));
+          continue;
+        }
+        for (int64_t i = 0; i < s.latent.numel(); ++i) {
+          sum[static_cast<size_t>(i)] += s.latent[i];
+        }
+      }
+      // Prototype consistency: cached sum / count == mean of live entries
+      // within tolerance (incremental double accumulation drifts by far less).
+      if (!v.empty()) {
+        const auto& cached = proto_sums_[ci];
+        if (cached.size() != sum.size()) {
+          report.fail("LongTermMemory: class " + std::to_string(c) +
+                      " prototype sum has wrong length");
+        } else {
+          for (size_t i = 0; i < sum.size(); ++i) {
+            const double diff = std::abs(cached[i] - sum[i]);
+            if (diff > 1e-3 * (1.0 + std::abs(sum[i]))) {
+              report.fail(
+                  "LongTermMemory: class " + std::to_string(c) +
+                  " prototype diverges from mean of live entries at index " +
+                  std::to_string(i) + " (cached " + std::to_string(cached[i]) +
+                  " vs recomputed " + std::to_string(sum[i]) + ")");
+              break;
+            }
+          }
+        }
+      }
+    }
+    return report;
+  }
+
+  // Test-only corruption hooks: give contract tests a way to damage the
+  // redundant audit state without routing through insert(), proving the
+  // audit actually detects prototype / count divergence.
+  std::vector<double>& mutable_prototype_sum_for_test(int64_t c) {
+    return proto_sums_[static_cast<size_t>(c)];
+  }
+  int64_t& mutable_cached_count_for_test(int64_t c) {
+    return cached_counts_[static_cast<size_t>(c)];
+  }
+
  private:
   int64_t capacity_, num_classes_, per_class_quota_;
   std::vector<std::vector<replay::ReplaySample>> slots_;  // per class
+  // Redundant audit state maintained by insert()/clear(): per-class entry
+  // counts and running latent sums (Eq. 5 prototype numerators).
+  std::vector<int64_t> cached_counts_;
+  std::vector<std::vector<double>> proto_sums_;
 };
 
 }  // namespace cham::core

@@ -13,7 +13,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/check.h"
 
 namespace cham::core {
 
@@ -56,6 +59,57 @@ class PreferenceTracker {
 
   int64_t recalibrations() const { return recalibrations_; }
   int64_t samples_seen() const { return samples_seen_total_; }
+
+  // Structural audit (Eq. 2 bookkeeping): the Delta_k weight stays a usable
+  // probability (clamped to [0.05, 0.95]), the preferred set never contains
+  // a class the stream has not revealed, never exceeds top_k, and the
+  // window/total counters reconcile with the number of updates recorded.
+  util::AuditReport check_invariants() const {
+    util::AuditReport report;
+    if (!(delta_k_ >= 0.05 && delta_k_ <= 0.95)) {
+      report.fail("PreferenceTracker: delta_k " + std::to_string(delta_k_) +
+                  " outside [0.05, 0.95]");
+    }
+    int64_t n_pref = 0, window_sum = 0, total_sum = 0;
+    for (int64_t c = 0; c < num_classes_; ++c) {
+      const auto ci = static_cast<size_t>(c);
+      if (window_counts_[ci] < 0 || total_counts_[ci] < 0) {
+        report.fail("PreferenceTracker: negative count for class " +
+                    std::to_string(c));
+      }
+      window_sum += window_counts_[ci];
+      total_sum += total_counts_[ci];
+      if (preferred_[ci]) {
+        ++n_pref;
+        if (total_counts_[ci] == 0) {
+          report.fail("PreferenceTracker: never-seen class " +
+                      std::to_string(c) + " marked preferred");
+        }
+      }
+    }
+    if (n_pref > top_k_) {
+      report.fail("PreferenceTracker: " + std::to_string(n_pref) +
+                  " preferred classes exceed top_k " + std::to_string(top_k_));
+    }
+    if (window_sum != window_seen_) {
+      report.fail("PreferenceTracker: window counts sum " +
+                  std::to_string(window_sum) + " != window_seen " +
+                  std::to_string(window_seen_));
+    }
+    if (window_seen_ >= learning_window_) {
+      report.fail("PreferenceTracker: window_seen " +
+                  std::to_string(window_seen_) +
+                  " not reset at learning_window " +
+                  std::to_string(learning_window_));
+    }
+    if (total_sum != samples_seen_total_ + window_seen_) {
+      report.fail("PreferenceTracker: total counts sum " +
+                  std::to_string(total_sum) +
+                  " != recalibrated + in-window samples " +
+                  std::to_string(samples_seen_total_ + window_seen_));
+    }
+    return report;
+  }
 
  private:
   void recalibrate() {

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <span>
+#include <string>
 
 #include "core/preference_tracker.h"
 #include "replay/buffer.h"
+#include "util/check.h"
 
 namespace cham::core {
 
@@ -84,6 +86,41 @@ class ShortTermMemory {
   replay::ReplayBuffer& buffer() { return buffer_; }
   int64_t size() const { return buffer_.size(); }
   int64_t capacity() const { return buffer_.capacity(); }
+
+  // Structural audit: occupancy within capacity, the stream counter at least
+  // as large as the occupancy, and no dangling entries — every stored sample
+  // carries a latent (Chameleon is a latent-replay method; an empty latent
+  // here would silently train the head on garbage) of one consistent shape
+  // and a non-negative label.
+  util::AuditReport check_invariants() const {
+    util::AuditReport report;
+    if (size() > capacity()) {
+      report.fail("ShortTermMemory: size " + std::to_string(size()) +
+                  " exceeds capacity " + std::to_string(capacity()));
+    }
+    if (buffer_.seen() < size()) {
+      report.fail("ShortTermMemory: seen " + std::to_string(buffer_.seen()) +
+                  " below occupancy " + std::to_string(size()));
+    }
+    for (int64_t i = 0; i < size(); ++i) {
+      const auto& s = buffer_.item(i);
+      if (s.latent.empty()) {
+        report.fail("ShortTermMemory: dangling latent in slot " +
+                    std::to_string(i));
+        continue;
+      }
+      if (s.latent.shape() != buffer_.item(0).latent.shape()) {
+        report.fail("ShortTermMemory: slot " + std::to_string(i) +
+                    " latent shape " + s.latent.shape().to_string() +
+                    " differs from slot 0");
+      }
+      if (s.label < 0) {
+        report.fail("ShortTermMemory: negative label in slot " +
+                    std::to_string(i));
+      }
+    }
+    return report;
+  }
 
  private:
   replay::ReplayBuffer buffer_;

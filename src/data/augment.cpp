@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace cham::data {
 namespace {
 
@@ -12,7 +14,8 @@ struct Chw {
 
 Chw geometry(const Tensor& t) {
   if (t.rank() == 3) return {t.dim(0), t.dim(1), t.dim(2), 0};
-  assert(t.rank() == 4 && t.dim(0) == 1);
+  CHAM_CHECK(t.rank() == 4 && t.dim(0) == 1,
+             "augment input " + t.shape().to_string() + " is not CxHxW or 1xCxHxW");
   return {t.dim(1), t.dim(2), t.dim(3), 0};
 }
 
@@ -82,7 +85,7 @@ Tensor augment(const Tensor& chw, const AugmentConfig& cfg, Rng& rng) {
 }
 
 Tensor augment_batch(const Tensor& nchw, const AugmentConfig& cfg, Rng& rng) {
-  assert(nchw.rank() == 4);
+  CHAM_CHECK(nchw.rank() == 4, "batch " + nchw.shape().to_string() + " is not NCHW");
   Tensor out(nchw.shape());
   const int64_t per = nchw.numel() / nchw.dim(0);
   for (int64_t n = 0; n < nchw.dim(0); ++n) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace cham::data {
 
 const Tensor& LatentCache::latent(const ImageKey& key) {
@@ -39,14 +41,15 @@ void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
 }
 
 Tensor stack_latents(const std::vector<const Tensor*>& latents) {
-  assert(!latents.empty());
+  CHAM_CHECK(!latents.empty(), "stack of zero latents");
   const Tensor& first = *latents.front();
-  assert(first.rank() == 4 && first.dim(0) == 1);
+  CHAM_CHECK(first.rank() == 4 && first.dim(0) == 1,
+             "latent " + first.shape().to_string() + " is not 1xCxHxW");
   Tensor out({static_cast<int64_t>(latents.size()), first.dim(1),
               first.dim(2), first.dim(3)});
   const int64_t per = first.numel();
   for (size_t i = 0; i < latents.size(); ++i) {
-    assert(latents[i]->shape() == first.shape());
+    CHAM_CHECK_SHAPE(latents[i]->shape(), first.shape());
     std::copy(latents[i]->data(), latents[i]->data() + per,
               out.data() + static_cast<int64_t>(i) * per);
   }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/check.h"
+
 namespace cham::linalg {
 namespace {
 constexpr double kPivotTol = 1e-12;
@@ -15,7 +17,7 @@ Tensor identity(int64_t n) {
 }
 
 Tensor transpose(const Tensor& a) {
-  assert(a.rank() == 2);
+  CHAM_CHECK(a.rank() == 2, "transpose of " + a.shape().to_string());
   Tensor t({a.dim(1), a.dim(0)});
   for (int64_t i = 0; i < a.dim(0); ++i) {
     for (int64_t j = 0; j < a.dim(1); ++j) t.at(j, i) = a.at(i, j);
@@ -24,9 +26,11 @@ Tensor transpose(const Tensor& a) {
 }
 
 bool lu_solve(const Tensor& a, const Tensor& b, Tensor& x) {
-  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  CHAM_CHECK(a.rank() == 2 && a.dim(0) == a.dim(1),
+             "lu_solve of non-square " + a.shape().to_string());
   const int64_t n = a.dim(0);
-  assert(b.numel() == n);
+  CHAM_CHECK(b.numel() == n, "rhs numel " + std::to_string(b.numel()) +
+                                 " != n " + std::to_string(n));
 
   // Work in double for stability: these systems are tiny (latent dim ~512).
   std::vector<double> m(static_cast<size_t>(n * n));
@@ -79,7 +83,8 @@ bool lu_solve(const Tensor& a, const Tensor& b, Tensor& x) {
 }
 
 bool inverse(const Tensor& a, Tensor& out) {
-  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  CHAM_CHECK(a.rank() == 2 && a.dim(0) == a.dim(1),
+             "inverse of non-square " + a.shape().to_string());
   const int64_t n = a.dim(0);
   std::vector<double> m(static_cast<size_t>(n * 2 * n), 0.0);
   for (int64_t i = 0; i < n; ++i) {
@@ -124,7 +129,8 @@ bool inverse(const Tensor& a, Tensor& out) {
 }
 
 Tensor ridge_inverse(const Tensor& a, double lambda) {
-  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  CHAM_CHECK(a.rank() == 2 && a.dim(0) == a.dim(1),
+             "ridge_inverse of non-square " + a.shape().to_string());
   const int64_t n = a.dim(0);
   Tensor reg = a;
   for (int64_t i = 0; i < n; ++i)
@@ -144,7 +150,8 @@ Tensor ridge_inverse(const Tensor& a, double lambda) {
 }
 
 bool cholesky(const Tensor& a, Tensor& l) {
-  assert(a.rank() == 2 && a.dim(0) == a.dim(1));
+  CHAM_CHECK(a.rank() == 2 && a.dim(0) == a.dim(1),
+             "cholesky of non-square " + a.shape().to_string());
   const int64_t n = a.dim(0);
   l = Tensor({n, n});
   for (int64_t i = 0; i < n; ++i) {
@@ -164,7 +171,7 @@ bool cholesky(const Tensor& a, Tensor& l) {
 }
 
 double frobenius_diff(const Tensor& a, const Tensor& b) {
-  assert(a.shape() == b.shape());
+  CHAM_CHECK_SHAPE(a.shape(), b.shape());
   double acc = 0;
   for (int64_t i = 0; i < a.numel(); ++i) {
     const double d = double(a[i]) - double(b[i]);

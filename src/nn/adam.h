@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "util/check.h"
 
 namespace cham::nn {
 
@@ -44,6 +45,9 @@ class Adam {
     const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
     for (size_t i = 0; i < params_.size(); ++i) {
       Param* p = params_[i];
+      // Full-checks tier: a single NaN gradient silently poisons the moment
+      // estimates for every later step, so catch it at the boundary.
+      CHAM_CHECK_FINITE(p->grad.span(), "Adam gradient");
       for (int64_t j = 0; j < p->numel(); ++j) {
         const float g = p->grad[j];
         float& m = m_[i][j];

@@ -5,6 +5,8 @@
 #include "nn/layer.h"
 #include "tensor/rng.h"
 
+#include "util/check.h"
+
 namespace cham::nn {
 
 // Max pooling over square windows, NCHW.
@@ -14,7 +16,7 @@ class MaxPool2d : public Layer {
       : kernel_(kernel), stride_(stride) {}
 
   Tensor forward(const Tensor& x, bool train) override {
-    assert(x.rank() == 4);
+    CHAM_CHECK(x.rank() == 4, "MaxPool input " + x.shape().to_string());
     const int64_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
     const int64_t oh = (h - kernel_) / stride_ + 1;
     const int64_t ow = (w - kernel_) / stride_ + 1;
@@ -55,7 +57,8 @@ class MaxPool2d : public Layer {
   }
 
   Tensor backward(const Tensor& grad_out) override {
-    assert(cached_in_shape_.rank() == 4);
+    CHAM_CHECK(cached_in_shape_.rank() == 4,
+               "backward without train-mode forward");
     Tensor grad_in(cached_in_shape_);
     for (int64_t i = 0; i < grad_out.numel(); ++i) {
       grad_in[argmax_[static_cast<size_t>(i)]] += grad_out[i];
@@ -76,7 +79,8 @@ class MaxPool2d : public Layer {
 class Dropout : public Layer {
  public:
   Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {
-    assert(p >= 0.0f && p < 1.0f);
+    CHAM_CHECK(p >= 0.0f && p < 1.0f,
+               "dropout p = " + std::to_string(p) + " outside [0, 1)");
   }
 
   Tensor forward(const Tensor& x, bool train) override {

@@ -6,6 +6,8 @@
 #include "tensor/gemm.h"
 #include "tensor/thread_pool.h"
 
+#include "util/check.h"
+
 namespace cham::nn {
 namespace {
 
@@ -44,8 +46,9 @@ int64_t Conv2d::macs_per_sample() const {
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
-  assert(x.rank() == 4 && x.dim(1) == geo_.in_c && x.dim(2) == geo_.in_h &&
-         x.dim(3) == geo_.in_w);
+  CHAM_CHECK(x.rank() == 4 && x.dim(1) == geo_.in_c && x.dim(2) == geo_.in_h &&
+                 x.dim(3) == geo_.in_w,
+             "Conv2d input " + x.shape().to_string());
   if (train) cached_input_ = x;
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
@@ -75,12 +78,13 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  assert(!cached_input_.empty() && "backward without train-mode forward");
+  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
   const Tensor& x = cached_input_;
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   const int64_t opix = oh * ow;
-  assert(grad_out.rank() == 4 && grad_out.dim(1) == out_c_);
+  CHAM_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == out_c_,
+             "Conv2d grad " + grad_out.shape().to_string());
 
   Tensor grad_in(x.shape());
   Tensor col({geo_.col_rows(), geo_.col_cols()});
@@ -130,7 +134,8 @@ int64_t DepthwiseConv2d::macs_per_sample() const {
 }
 
 Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
-  assert(x.rank() == 4 && x.dim(1) == geo_.in_c);
+  CHAM_CHECK(x.rank() == 4 && x.dim(1) == geo_.in_c,
+             "DepthwiseConv2d input " + x.shape().to_string());
   if (train) cached_input_ = x;
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
@@ -166,7 +171,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
-  assert(!cached_input_.empty());
+  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
   const Tensor& x = cached_input_;
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
@@ -222,7 +227,8 @@ BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
 }
 
 Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
-  assert(x.rank() == 4 && x.dim(1) == channels_);
+  CHAM_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+             "BatchNorm2d input " + x.shape().to_string());
   const int64_t batch = x.dim(0), hw = x.dim(2) * x.dim(3);
   const int64_t count = batch * hw;
   cached_train_mode_ = train && track_stats_ && count > 1;
@@ -286,7 +292,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {
-  assert(!cached_xhat_.empty());
+  CHAM_CHECK(!cached_xhat_.empty(), "backward without train-mode forward");
   const int64_t batch = grad_out.dim(0), hw = grad_out.dim(2) * grad_out.dim(3);
   const int64_t count = batch * hw;
   Tensor grad_in(grad_out.shape());
@@ -352,7 +358,7 @@ Tensor ReLU::forward(const Tensor& x, bool train) {
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  assert(!cached_input_.empty());
+  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
   Tensor grad_in = grad_out;
   parallel_for(
       0, grad_in.numel(),
@@ -370,7 +376,7 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 // -------------------------------------------------------- GlobalAvgPool
 
 Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
-  assert(x.rank() == 4);
+  CHAM_CHECK(x.rank() == 4, "GlobalAvgPool input " + x.shape().to_string());
   if (train) cached_in_shape_ = x.shape();
   const int64_t batch = x.dim(0), ch = x.dim(1), hw = x.dim(2) * x.dim(3);
   Tensor out({batch, ch});
@@ -389,7 +395,8 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
-  assert(cached_in_shape_.rank() == 4);
+  CHAM_CHECK(cached_in_shape_.rank() == 4,
+             "backward without train-mode forward");
   const int64_t batch = cached_in_shape_[0], ch = cached_in_shape_[1],
                 hw = cached_in_shape_[2] * cached_in_shape_[3];
   Tensor grad_in(cached_in_shape_);
@@ -415,7 +422,9 @@ Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng)
 }
 
 Tensor Linear::forward(const Tensor& x, bool train) {
-  assert(x.rank() == 2 && x.dim(1) == in_dim_);
+  CHAM_CHECK(x.rank() == 2 && x.dim(1) == in_dim_,
+             "Linear input " + x.shape().to_string() + ", expected cols " +
+                 std::to_string(in_dim_));
   if (train) cached_input_ = x;
   const int64_t batch = x.dim(0);
   Tensor out({batch, out_dim_});
@@ -430,7 +439,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
-  assert(!cached_input_.empty());
+  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
   const Tensor& x = cached_input_;
   const int64_t batch = x.dim(0);
   // dW += dY^T @ X  (out x batch) @ (batch x in)

@@ -1,9 +1,10 @@
 #include "nn/loss.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "tensor/ops.h"
+
+#include "util/check.h"
 
 namespace cham::nn {
 
@@ -16,10 +17,13 @@ LossResult softmax_cross_entropy(const Tensor& logits,
 LossResult softmax_cross_entropy_weighted(const Tensor& logits,
                                           std::span<const int64_t> labels,
                                           std::span<const float> weights) {
-  assert(logits.rank() == 2);
+  CHAM_CHECK(logits.rank() == 2,
+             "cross-entropy logits " + logits.shape().to_string());
   const int64_t batch = logits.dim(0), classes = logits.dim(1);
-  assert(static_cast<int64_t>(labels.size()) == batch);
-  assert(weights.size() == labels.size());
+  CHAM_CHECK(static_cast<int64_t>(labels.size()) == batch,
+             "labels size " + std::to_string(labels.size()) + " vs batch " +
+                 std::to_string(batch));
+  CHAM_CHECK(weights.size() == labels.size(), "weights/labels size mismatch");
 
   LossResult res;
   res.grad = ops::softmax(logits);
@@ -27,7 +31,9 @@ LossResult softmax_cross_entropy_weighted(const Tensor& logits,
   const float inv_batch = 1.0f / static_cast<float>(batch);
   for (int64_t n = 0; n < batch; ++n) {
     const int64_t y = labels[static_cast<size_t>(n)];
-    assert(y >= 0 && y < classes);
+    CHAM_CHECK(y >= 0 && y < classes,
+               "label " + std::to_string(y) + " out of " +
+                   std::to_string(classes) + " classes");
     const float w = weights[static_cast<size_t>(n)];
     float* g = res.grad.data() + n * classes;
     const double p = std::max(double(g[y]), 1e-12);
@@ -41,7 +47,7 @@ LossResult softmax_cross_entropy_weighted(const Tensor& logits,
 }
 
 LossResult mse(const Tensor& logits, const Tensor& targets) {
-  assert(logits.shape() == targets.shape());
+  CHAM_CHECK_SHAPE(logits.shape(), targets.shape());
   const int64_t n = logits.numel();
   LossResult res;
   res.grad = Tensor(logits.shape());
@@ -58,8 +64,9 @@ LossResult mse(const Tensor& logits, const Tensor& targets) {
 
 LossResult kl_distillation(const Tensor& logits, const Tensor& teacher_logits,
                            float temperature) {
-  assert(logits.shape() == teacher_logits.shape());
-  assert(logits.rank() == 2);
+  CHAM_CHECK_SHAPE(logits.shape(), teacher_logits.shape());
+  CHAM_CHECK(logits.rank() == 2,
+             "distillation logits " + logits.shape().to_string());
   const int64_t batch = logits.dim(0), classes = logits.dim(1);
   const float t = temperature;
 

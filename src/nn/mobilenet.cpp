@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace cham::nn {
 namespace {
 
@@ -77,7 +79,9 @@ MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
 }
 
 SplitModel split_at_conv_layer(MobileNetV1&& model, int64_t conv_layer) {
-  assert(conv_layer >= 1 && conv_layer < model.conv_layer_count());
+  CHAM_CHECK(conv_layer >= 1 && conv_layer < model.conv_layer_count(),
+             "split layer " + std::to_string(conv_layer) + " outside [1, " +
+                 std::to_string(model.conv_layer_count()) + ")");
   SplitModel out;
   const int64_t cut =
       model.unit_end[static_cast<size_t>(conv_layer - 1)];
@@ -104,10 +108,13 @@ void copy_params_impl(const Sequential& src, Sequential& dst,
   auto& src_mut = const_cast<Sequential&>(src);
   auto sp = src_mut.params();
   auto dp = dst.params();
-  assert(sp.size() == dp.size());
+  CHAM_CHECK(sp.size() == dp.size(), "param-list size mismatch");
   for (size_t i = 0; i < sp.size(); ++i) {
     if (sp[i]->value.shape() != dp[i]->value.shape()) {
-      assert(skip_classifier && "architecture mismatch outside classifier");
+      CHAM_CHECK(skip_classifier,
+                 "architecture mismatch outside classifier: " +
+                     sp[i]->value.shape().to_string() + " vs " +
+                     dp[i]->value.shape().to_string());
       continue;
     }
     (void)skip_classifier;

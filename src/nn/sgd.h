@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "util/check.h"
 
 namespace cham::nn {
 
@@ -32,6 +33,9 @@ class Sgd {
   void step() {
     for (size_t i = 0; i < params_.size(); ++i) {
       Param* p = params_[i];
+      // Full-checks tier: reject non-finite gradients before they reach the
+      // weights (a NaN here corrupts the head silently, not loudly).
+      CHAM_CHECK_FINITE(p->grad.span(), "SGD gradient");
       for (int64_t j = 0; j < p->numel(); ++j) {
         float g = p->grad[j];
         if (weight_decay_ > 0.0f) g += weight_decay_ * p->value[j];

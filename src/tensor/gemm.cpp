@@ -1,10 +1,11 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 #include <vector>
 
 #include "tensor/thread_pool.h"
+#include "util/check.h"
 
 namespace cham {
 namespace {
@@ -48,6 +49,39 @@ PackBuffers& pack_buffers() {
   return bufs;
 }
 
+#if CHAM_CHECKS_LEVEL >= 1
+// True if the half-open byte ranges of two operand panels overlap; used for
+// the no-alias precondition (C must not alias A or B — the kernels stream A/B
+// while writing C in place).
+bool ranges_overlap(const float* p, int64_t pn, const float* q, int64_t qn) {
+  const auto pb = reinterpret_cast<uintptr_t>(p);
+  const auto qb = reinterpret_cast<uintptr_t>(q);
+  const auto pe = pb + static_cast<uintptr_t>(pn) * sizeof(float);
+  const auto qe = qb + static_cast<uintptr_t>(qn) * sizeof(float);
+  return pb < qe && qb < pe;
+}
+
+// Shared entry contract of the three kernels: non-negative extents, non-null
+// panels for non-empty operands, and C aliasing neither input.
+void check_gemm_args(const char* name, int64_t m, int64_t n, int64_t k,
+                     const float* a, const float* b, const float* c,
+                     int64_t a_elems, int64_t b_elems) {
+  CHAM_CHECK(m >= 0 && n >= 0 && k >= 0,
+             std::string(name) + ": negative extent m/n/k = " +
+                 std::to_string(m) + "/" + std::to_string(n) + "/" +
+                 std::to_string(k));
+  CHAM_CHECK(c != nullptr || m * n == 0, std::string(name) + ": null C");
+  CHAM_CHECK((a != nullptr && b != nullptr) || m * n == 0 || k == 0,
+             std::string(name) + ": null A/B panel");
+  CHAM_CHECK(!ranges_overlap(a, a_elems, c, m * n) &&
+                 !ranges_overlap(b, b_elems, c, m * n),
+             std::string(name) + ": C aliases an input panel");
+}
+#define CHAM_GEMM_CHECK(...) check_gemm_args(__VA_ARGS__)
+#else
+#define CHAM_GEMM_CHECK(...) ((void)0)
+#endif
+
 void scale_c(float* c, int64_t count, float beta) {
   if (beta == 0.0f) {
     std::fill(c, c + count, 0.0f);
@@ -60,6 +94,7 @@ void scale_c(float* c, int64_t count, float beta) {
 
 void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c) {
+  CHAM_GEMM_CHECK("gemm", m, n, k, a, b, c, m * k, k * n);
   if (m <= 0 || n <= 0) return;
   // Each chunk owns a contiguous row range of C: beta pass, then K-strip
   // accumulation. Per element the operations (and their order) are the same
@@ -106,6 +141,7 @@ void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 
 void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c) {
+  CHAM_GEMM_CHECK("gemm_at_b", m, n, k, a, b, c, k * m, k * n);
   if (m <= 0 || n <= 0) return;
   // C[i][j] += sum_p A[p][i] * B[p][j]. Chunks own row ranges of C; the p
   // loop stays outermost inside a chunk so each element accumulates in the
@@ -131,6 +167,7 @@ void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 
 void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c) {
+  CHAM_GEMM_CHECK("gemm_a_bt", m, n, k, a, b, c, m * k, n * k);
   if (m <= 0 || n <= 0) return;
   // C[i][j] += dot(A row i, B row j): rows are independent dot products.
   parallel_for(
@@ -153,8 +190,12 @@ void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  assert(a.rank() == 2 && b.rank() == 2);
-  assert(a.dim(1) == b.dim(0));
+  CHAM_CHECK(a.rank() == 2 && b.rank() == 2,
+             "matmul of " + a.shape().to_string() + " @ " +
+                 b.shape().to_string());
+  CHAM_CHECK(a.dim(1) == b.dim(0),
+             "matmul inner-dim mismatch: " + a.shape().to_string() + " @ " +
+                 b.shape().to_string());
   Tensor c({a.dim(0), b.dim(1)});
   gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;

@@ -1,10 +1,37 @@
 #include "tensor/im2col.h"
 
+#include <string>
+
 #include "tensor/thread_pool.h"
+#include "util/check.h"
 
 namespace cham {
+namespace {
+
+// Entry contract shared by both directions: a well-formed geometry (positive
+// extents, kernel reachable from the padded input) and non-null panels.
+// Params are maybe_unused because the body compiles empty at CHAM_CHECKS=off.
+void check_geometry([[maybe_unused]] const char* name,
+                    [[maybe_unused]] const float* img,
+                    [[maybe_unused]] const ConvGeometry& g,
+                    [[maybe_unused]] const float* col) {
+  CHAM_CHECK(g.in_c > 0 && g.in_h > 0 && g.in_w > 0,
+             std::string(name) + ": non-positive input extent");
+  CHAM_CHECK(g.kernel > 0 && g.stride > 0 && g.pad >= 0,
+             std::string(name) + ": bad kernel/stride/pad");
+  CHAM_CHECK(g.in_h + 2 * g.pad >= g.kernel && g.in_w + 2 * g.pad >= g.kernel,
+             std::string(name) + ": kernel " + std::to_string(g.kernel) +
+                 " exceeds padded input " + std::to_string(g.in_h) + "x" +
+                 std::to_string(g.in_w) + " (pad " + std::to_string(g.pad) +
+                 ")");
+  CHAM_CHECK(img != nullptr && col != nullptr,
+             std::string(name) + ": null image/column panel");
+}
+
+}  // namespace
 
 void im2col(const float* img, const ConvGeometry& g, float* col) {
+  check_geometry("im2col", img, g, col);
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t rows_per_c = g.kernel * g.kernel;
   // Channels own disjoint row blocks of the column matrix, so the channel
@@ -36,6 +63,7 @@ void im2col(const float* img, const ConvGeometry& g, float* col) {
 }
 
 void col2im(const float* col, const ConvGeometry& g, float* img) {
+  check_geometry("col2im", img, g, col);
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t rows_per_c = g.kernel * g.kernel;
   // Taps overlap across (kh, kw) within one channel but never across

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "tensor/thread_pool.h"
 
@@ -28,7 +29,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  assert(a.shape() == b.shape());
+  CHAM_CHECK_SHAPE(a.shape(), b.shape());
   Tensor out = a;
   parallel_for(
       0, out.numel(),
@@ -52,19 +53,19 @@ float sum(const Tensor& a) {
 }
 
 float mean(const Tensor& a) {
-  assert(a.numel() > 0);
+  CHAM_CHECK(a.numel() > 0, "mean of empty tensor");
   return sum(a) / static_cast<float>(a.numel());
 }
 
 float max(const Tensor& a) {
-  assert(a.numel() > 0);
+  CHAM_CHECK(a.numel() > 0, "max of empty tensor");
   float m = a[0];
   for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a[i]);
   return m;
 }
 
 int64_t argmax(std::span<const float> v) {
-  assert(!v.empty());
+  CHAM_CHECK(!v.empty(), "argmax of empty span");
   int64_t best = 0;
   for (size_t i = 1; i < v.size(); ++i) {
     if (v[i] > v[static_cast<size_t>(best)]) best = static_cast<int64_t>(i);
@@ -73,7 +74,9 @@ int64_t argmax(std::span<const float> v) {
 }
 
 float dot(std::span<const float> a, std::span<const float> b) {
-  assert(a.size() == b.size());
+  CHAM_CHECK(a.size() == b.size(),
+             "dot length mismatch: " + std::to_string(a.size()) + " vs " +
+                 std::to_string(b.size()));
   double acc = 0;
   for (size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * double(b[i]);
   return static_cast<float>(acc);
@@ -151,7 +154,9 @@ Tensor log_softmax(const Tensor& logits) {
 }
 
 double kl_divergence(std::span<const float> p, std::span<const float> q) {
-  assert(p.size() == q.size());
+  CHAM_CHECK(p.size() == q.size(),
+             "KL length mismatch: " + std::to_string(p.size()) + " vs " +
+                 std::to_string(q.size()));
   constexpr double kEps = 1e-8;
   double kl = 0;
   for (size_t i = 0; i < p.size(); ++i) {
@@ -172,7 +177,7 @@ void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
 }
 
 double max_abs_diff(const Tensor& a, const Tensor& b) {
-  assert(a.shape() == b.shape());
+  CHAM_CHECK_SHAPE(a.shape(), b.shape());
   double m = 0;
   for (int64_t i = 0; i < a.numel(); ++i) {
     m = std::max(m, std::abs(double(a[i]) - double(b[i])));
@@ -181,13 +186,17 @@ double max_abs_diff(const Tensor& a, const Tensor& b) {
 }
 
 Tensor concat0(const std::vector<const Tensor*>& parts) {
-  assert(!parts.empty());
+  CHAM_CHECK(!parts.empty(), "concat0 of zero parts");
   const Shape& first = parts.front()->shape();
   int64_t lead = 0;
   for (const Tensor* p : parts) {
-    assert(p->rank() == first.rank());
+    CHAM_CHECK(p->rank() == first.rank(),
+               "concat0 rank mismatch: " + p->shape().to_string() + " vs " +
+                   first.to_string());
     for (int64_t d = 1; d < first.rank(); ++d) {
-      assert(p->shape()[d] == first[d]);
+      CHAM_CHECK(p->shape()[d] == first[d],
+                 "concat0 trailing-dim mismatch: " + p->shape().to_string() +
+                     " vs " + first.to_string());
     }
     lead += p->dim(0);
   }
@@ -203,7 +212,9 @@ Tensor concat0(const std::vector<const Tensor*>& parts) {
 }
 
 Tensor slice0(const Tensor& t, int64_t begin, int64_t end) {
-  assert(begin >= 0 && begin <= end && end <= t.dim(0));
+  CHAM_CHECK(begin >= 0 && begin <= end && end <= t.dim(0),
+             "slice0 [" + std::to_string(begin) + ", " + std::to_string(end) +
+                 ") of " + t.shape().to_string());
   const int64_t per = t.numel() / t.dim(0);
   std::vector<int64_t> dims = t.shape().dims();
   dims[0] = end - begin;
@@ -213,7 +224,7 @@ Tensor slice0(const Tensor& t, int64_t begin, int64_t end) {
 }
 
 Tensor transpose2d(const Tensor& t) {
-  assert(t.rank() == 2);
+  CHAM_CHECK(t.rank() == 2, "transpose2d of " + t.shape().to_string());
   Tensor out({t.dim(1), t.dim(0)});
   for (int64_t i = 0; i < t.dim(0); ++i) {
     for (int64_t j = 0; j < t.dim(1); ++j) out.at(j, i) = t.at(i, j);

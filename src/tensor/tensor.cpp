@@ -29,7 +29,9 @@ Tensor Tensor::from(std::initializer_list<float> values) {
 }
 
 Tensor Tensor::reshaped(Shape new_shape) const {
-  assert(new_shape.numel() == numel());
+  CHAM_CHECK(new_shape.numel() == numel(),
+             "reshape " + shape_.to_string() + " -> " + new_shape.to_string() +
+                 " changes numel");
   return Tensor(std::move(new_shape), data_);
 }
 
@@ -38,13 +40,13 @@ void Tensor::fill(float value) {
 }
 
 Tensor& Tensor::operator+=(const Tensor& o) {
-  assert(shape_ == o.shape_);
+  CHAM_CHECK_SHAPE(shape_, o.shape_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& o) {
-  assert(shape_ == o.shape_);
+  CHAM_CHECK_SHAPE(shape_, o.shape_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
   return *this;
 }

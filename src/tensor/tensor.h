@@ -6,13 +6,14 @@
 // counting: a Tensor owns its storage.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <numeric>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/check.h"
 
 namespace cham {
 
@@ -26,7 +27,9 @@ class Shape {
 
   int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
   int64_t operator[](int64_t i) const {
-    assert(i >= 0 && i < rank());
+    CHAM_DCHECK(i >= 0 && i < rank(),
+                "Shape dim " + std::to_string(i) + " out of rank " +
+                    std::to_string(rank()));
     return dims_[static_cast<size_t>(i)];
   }
   int64_t numel() const {
@@ -50,7 +53,9 @@ class Tensor {
         data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
   Tensor(Shape shape, std::vector<float> data)
       : shape_(std::move(shape)), data_(std::move(data)) {
-    assert(static_cast<int64_t>(data_.size()) == shape_.numel());
+    CHAM_CHECK(static_cast<int64_t>(data_.size()) == shape_.numel(),
+               "data size " + std::to_string(data_.size()) +
+                   " != shape numel for " + shape_.to_string());
   }
   Tensor(std::initializer_list<int64_t> dims) : Tensor(Shape(dims)) {}
 
@@ -71,32 +76,52 @@ class Tensor {
   std::span<float> span() { return {data_.data(), data_.size()}; }
   std::span<const float> span() const { return {data_.data(), data_.size()}; }
 
+  // Element access bounds are CHAM_DCHECKed: free in the default cheap tier
+  // (same codegen as the seed Release build), enforced under
+  // -DCHAM_CHECKS=full where out-of-range access throws CheckError instead
+  // of silently reading adjacent storage.
   float& operator[](int64_t i) {
-    assert(i >= 0 && i < numel());
+    CHAM_DCHECK(i >= 0 && i < numel(),
+                "flat index " + std::to_string(i) + " out of range for " +
+                    shape_.to_string());
     return data_[static_cast<size_t>(i)];
   }
   float operator[](int64_t i) const {
-    assert(i >= 0 && i < numel());
+    CHAM_DCHECK(i >= 0 && i < numel(),
+                "flat index " + std::to_string(i) + " out of range for " +
+                    shape_.to_string());
     return data_[static_cast<size_t>(i)];
   }
 
   // 2-D indexed access (rows x cols).
   float& at(int64_t r, int64_t c) {
-    assert(rank() == 2);
+    CHAM_DCHECK(rank() == 2, "2-D at() on " + shape_.to_string());
+    CHAM_DCHECK(r >= 0 && r < dim(0) && c >= 0 && c < dim(1),
+                "(" + std::to_string(r) + ", " + std::to_string(c) +
+                    ") out of range for " + shape_.to_string());
     return data_[static_cast<size_t>(r * dim(1) + c)];
   }
   float at(int64_t r, int64_t c) const {
-    assert(rank() == 2);
+    CHAM_DCHECK(rank() == 2, "2-D at() on " + shape_.to_string());
+    CHAM_DCHECK(r >= 0 && r < dim(0) && c >= 0 && c < dim(1),
+                "(" + std::to_string(r) + ", " + std::to_string(c) +
+                    ") out of range for " + shape_.to_string());
     return data_[static_cast<size_t>(r * dim(1) + c)];
   }
   // 4-D indexed access (NCHW).
   float& at(int64_t n, int64_t c, int64_t h, int64_t w) {
-    assert(rank() == 4);
+    CHAM_DCHECK(rank() == 4, "4-D at() on " + shape_.to_string());
+    CHAM_DCHECK(n >= 0 && n < dim(0) && c >= 0 && c < dim(1) && h >= 0 &&
+                    h < dim(2) && w >= 0 && w < dim(3),
+                "NCHW index out of range for " + shape_.to_string());
     return data_[static_cast<size_t>(
         ((n * dim(1) + c) * dim(2) + h) * dim(3) + w)];
   }
   float at(int64_t n, int64_t c, int64_t h, int64_t w) const {
-    assert(rank() == 4);
+    CHAM_DCHECK(rank() == 4, "4-D at() on " + shape_.to_string());
+    CHAM_DCHECK(n >= 0 && n < dim(0) && c >= 0 && c < dim(1) && h >= 0 &&
+                    h < dim(2) && w >= 0 && w < dim(3),
+                "NCHW index out of range for " + shape_.to_string());
     return data_[static_cast<size_t>(
         ((n * dim(1) + c) * dim(2) + h) * dim(3) + w)];
   }
@@ -114,12 +139,14 @@ class Tensor {
 
   // Row `r` of a 2-D tensor as a span of length dim(1).
   std::span<const float> row(int64_t r) const {
-    assert(rank() == 2);
+    CHAM_DCHECK(rank() == 2 && r >= 0 && r < dim(0),
+                "row " + std::to_string(r) + " of " + shape_.to_string());
     return {data_.data() + static_cast<size_t>(r * dim(1)),
             static_cast<size_t>(dim(1))};
   }
   std::span<float> row(int64_t r) {
-    assert(rank() == 2);
+    CHAM_DCHECK(rank() == 2 && r >= 0 && r < dim(0),
+                "row " + std::to_string(r) + " of " + shape_.to_string());
     return {data_.data() + static_cast<size_t>(r * dim(1)),
             static_cast<size_t>(dim(1))};
   }

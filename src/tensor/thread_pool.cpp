@@ -41,7 +41,7 @@ class Pool {
     // Intentionally leaked: detached workers block on the pool's condition
     // variables for the process lifetime, so running the destructor at exit
     // would tear the primitives down under them.
-    static Pool* pool = new Pool();
+    static Pool* pool = new Pool();  // cham-lint: allow(naked-new)
     return *pool;
   }
 

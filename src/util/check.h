@@ -1,0 +1,171 @@
+// CHAM_CHECK contract layer: machine-checked invariants for the replay and
+// tensor stack.
+//
+// The compiler never sees Chameleon's correctness conditions — class-balanced
+// LT quotas, prototype/LT consistency (Eq. 5-6), Delta_k allocation weights
+// (Eq. 2-4), conservation of the DRAM-traffic ledger — and `assert()` is
+// compiled out of the default -O3 -DNDEBUG Release build, so a violated
+// invariant corrupts accuracy silently instead of crashing. These macros stay
+// on in Release and report through a catchable exception so both production
+// code and gtest contract tests observe failures.
+//
+// Three check tiers, selected at configure time with -DCHAM_CHECKS=off|cheap|full
+// (mapped to the CHAM_CHECKS_LEVEL preprocessor constant, default cheap):
+//
+//   CHAM_CHECK(cond, msg)        cheap+full   O(1) preconditions: shapes,
+//                                             ranks, capacities, label ranges.
+//                                             Per-call, never per-element.
+//   CHAM_CHECK_SHAPE(a, b)       cheap+full   Shape equality with both shapes
+//                                             in the failure message.
+//   CHAM_DCHECK(cond, msg)       full only    Hot-path checks (per-element
+//                                             bounds); free in Release.
+//   CHAM_CHECK_FINITE(span, nm)  full only    O(n) NaN/Inf scan over a float
+//                                             span (layer outputs, gradients).
+//   CHAM_AUDIT(stmt)             full only    Runs stmt (structural
+//                                             check_invariants() sweeps).
+//
+// The message expression is only evaluated on failure, so call sites may
+// build strings freely. Failures throw cham::util::CheckError; a check that
+// trips inside a multi-threaded parallel_for region terminates instead
+// (kernels must not throw across the pool boundary), which is still a loud
+// stop — full-checks verification runs are expected to use CHAM_THREADS=1
+// when a catchable failure is required.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+// 0 = off, 1 = cheap (default), 2 = full. Set by CMake from CHAM_CHECKS.
+#ifndef CHAM_CHECKS_LEVEL
+#define CHAM_CHECKS_LEVEL 1
+#endif
+
+namespace cham::util {
+
+// Thrown on any failed contract. Derives from std::logic_error: a tripped
+// check is a programming error, not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* cond,
+                                      const std::string& msg) {
+  std::string what = "CHAM_CHECK failed at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  what += ": (";
+  what += cond;
+  what += ")";
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw CheckError(what);
+}
+
+// True iff every element is neither NaN nor +/-Inf.
+inline bool all_finite(std::span<const float> v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// Index of the first non-finite element (call only when !all_finite).
+inline int64_t first_nonfinite(std::span<const float> v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+// Collects structural-audit violations; used by the check_invariants()
+// methods on the replay-path components so tests can inspect individual
+// findings (status-object style) while production code throws via
+// throw_if_violations.
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  void fail(std::string what) { violations.push_back(std::move(what)); }
+  // True if any recorded violation mentions `needle` (test convenience).
+  bool mentions(const std::string& needle) const {
+    for (const auto& v : violations) {
+      if (v.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  std::string to_string() const {
+    std::string out;
+    for (const auto& v : violations) {
+      if (!out.empty()) out += "; ";
+      out += v;
+    }
+    return out;
+  }
+};
+
+[[noreturn]] inline void audit_failed(const char* component,
+                                      const AuditReport& report) {
+  throw CheckError(std::string("CHAM_AUDIT failed [") + component + "]: " +
+                   report.to_string());
+}
+
+inline void throw_if_violations(const char* component,
+                                const AuditReport& report) {
+  if (!report.ok()) audit_failed(component, report);
+}
+
+}  // namespace cham::util
+
+#if CHAM_CHECKS_LEVEL >= 1
+#define CHAM_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::cham::util::check_failed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                                  \
+  } while (0)
+// Shape equality with both shapes rendered in the failure message. `a` and
+// `b` must be cham::Shape expressions (check.h itself stays tensor-free).
+#define CHAM_CHECK_SHAPE(a, b)                                         \
+  do {                                                                 \
+    if (!((a) == (b))) {                                               \
+      ::cham::util::check_failed(__FILE__, __LINE__, #a " == " #b,     \
+                                 (a).to_string() + " vs " +            \
+                                     (b).to_string());                 \
+    }                                                                  \
+  } while (0)
+#else
+#define CHAM_CHECK(cond, msg) ((void)0)
+#define CHAM_CHECK_SHAPE(a, b) ((void)0)
+#endif
+
+#if CHAM_CHECKS_LEVEL >= 2
+#define CHAM_DCHECK(cond, msg) CHAM_CHECK(cond, msg)
+// `span_expr` is any expression convertible to std::span<const float>.
+#define CHAM_CHECK_FINITE(span_expr, name)                                \
+  do {                                                                    \
+    const std::span<const float> cham_cf_span_ = (span_expr);             \
+    if (!::cham::util::all_finite(cham_cf_span_)) {                       \
+      ::cham::util::check_failed(                                         \
+          __FILE__, __LINE__, "all_finite(" #span_expr ")",               \
+          std::string(name) + ": non-finite value at index " +            \
+              std::to_string(::cham::util::first_nonfinite(cham_cf_span_))); \
+    }                                                                     \
+  } while (0)
+#define CHAM_AUDIT(stmt) \
+  do {                   \
+    stmt;                \
+  } while (0)
+#else
+#define CHAM_DCHECK(cond, msg) ((void)0)
+#define CHAM_CHECK_FINITE(span_expr, name) ((void)0)
+#define CHAM_AUDIT(stmt) ((void)0)
+#endif

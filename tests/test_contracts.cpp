@@ -1,0 +1,197 @@
+// Contract-layer tests: CHAM_CHECK failures are catchable CheckErrors, the
+// full-checks tier traps out-of-range tensor access, and the structural
+// audits on the replay-path components (LT, ST, PreferenceTracker, OpStats)
+// detect seeded corruption. Tests of tier-gated macros skip themselves when
+// the tier compiles the macro out, so the suite stays green under
+// -DCHAM_CHECKS=off|cheap|full alike.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/long_term_memory.h"
+#include "core/op_stats.h"
+#include "core/preference_tracker.h"
+#include "core/short_term_memory.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+
+namespace cham {
+namespace {
+
+replay::ReplaySample make_sample(int64_t label, float fill) {
+  replay::ReplaySample s;
+  s.label = label;
+  s.latent = Tensor::full(Shape{{1, 2, 2, 2}}, fill);
+  return s;
+}
+
+TEST(Contracts, CheckThrowsCatchableLogicError) {
+#if CHAM_CHECKS_LEVEL >= 1
+  EXPECT_THROW(CHAM_CHECK(false, "forced failure"), util::CheckError);
+  // CheckError derives from std::logic_error and carries the message, the
+  // condition text, and the source location.
+  try {
+    CHAM_CHECK(1 == 2, "ledger out of balance");
+    FAIL() << "CHAM_CHECK(false) did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ledger out of balance"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+  }
+#else
+  GTEST_SKIP() << "checks compiled out (-DCHAM_CHECKS=off)";
+#endif
+}
+
+TEST(Contracts, TensorConstructionAndShapeContracts) {
+#if CHAM_CHECKS_LEVEL >= 1
+  // Data size must match the shape's numel.
+  EXPECT_THROW(Tensor(Shape{{2, 3}}, std::vector<float>(5, 0.0f)),
+               util::CheckError);
+  // In-place arithmetic rejects shape mismatches (CHAM_CHECK_SHAPE).
+  Tensor a{{2, 2}};
+  Tensor b{{2, 3}};
+  EXPECT_THROW(a += b, util::CheckError);
+  EXPECT_THROW(a -= b, util::CheckError);
+  // reshaped() must preserve numel.
+  EXPECT_THROW((void)a.reshaped(Shape{{5}}), util::CheckError);
+#else
+  GTEST_SKIP() << "checks compiled out (-DCHAM_CHECKS=off)";
+#endif
+}
+
+TEST(Contracts, OutOfRangeAccessCaughtInFullMode) {
+#if CHAM_CHECKS_LEVEL >= 2
+  Tensor t{{2, 3}};
+  EXPECT_THROW((void)t[6], util::CheckError);
+  EXPECT_THROW((void)t[-1], util::CheckError);
+  EXPECT_THROW((void)t.at(2, 0), util::CheckError);
+  EXPECT_THROW((void)t.at(0, 3), util::CheckError);
+  EXPECT_THROW((void)t.at(0, -1), util::CheckError);
+  EXPECT_THROW((void)t.row(2), util::CheckError);
+  const Tensor& ct = t;
+  EXPECT_THROW((void)ct[100], util::CheckError);
+  Tensor u{{1, 2, 2, 2}};
+  EXPECT_THROW((void)u.at(0, 2, 0, 0), util::CheckError);
+  EXPECT_THROW((void)u.at(0, 0, 0, 2), util::CheckError);
+  // Rank contract: 2-D accessor on a 4-D tensor.
+  EXPECT_THROW((void)u.at(0, 0), util::CheckError);
+  // In-range access still works and is the same storage.
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+#else
+  GTEST_SKIP() << "per-element bounds checks require -DCHAM_CHECKS=full";
+#endif
+}
+
+TEST(Contracts, FiniteScanTrapsNanInFullMode) {
+#if CHAM_CHECKS_LEVEL >= 2
+  std::vector<float> v = {1.0f, 2.0f,
+                          std::numeric_limits<float>::quiet_NaN(), 4.0f};
+  try {
+    CHAM_CHECK_FINITE(std::span<const float>(v), "unit-test gradient");
+    FAIL() << "CHAM_CHECK_FINITE accepted a NaN";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit-test gradient"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 2"), std::string::npos) << what;
+  }
+  std::vector<float> clean = {0.0f, -1.0f, 1e30f};
+  EXPECT_NO_THROW(
+      CHAM_CHECK_FINITE(std::span<const float>(clean), "clean span"));
+#else
+  GTEST_SKIP() << "finite scans require -DCHAM_CHECKS=full";
+#endif
+}
+
+// The audits are plain methods, independent of the check tier: corrupting
+// the LT's redundant prototype sum (Eq. 5 numerator) and its cached
+// per-class count must both be reported.
+TEST(Contracts, LongTermAuditDetectsSeededCorruption) {
+  Rng rng(7);
+  core::LongTermMemory lt(/*capacity=*/8, /*num_classes=*/4);
+  for (int i = 0; i < 6; ++i) {
+    lt.insert(make_sample(i % 3, 0.5f + static_cast<float>(i)), rng);
+  }
+  ASSERT_TRUE(lt.check_invariants().ok())
+      << lt.check_invariants().to_string();
+
+  lt.mutable_prototype_sum_for_test(0)[0] += 1.0;  // damage Eq. 5 numerator
+  lt.mutable_cached_count_for_test(1) += 2;        // damage occupancy count
+  const util::AuditReport report = lt.check_invariants();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.mentions("prototype diverges")) << report.to_string();
+  EXPECT_TRUE(report.mentions("cached count")) << report.to_string();
+  EXPECT_GE(report.violations.size(), 2u) << report.to_string();
+}
+
+TEST(Contracts, LongTermInsertKeepsAuditStateThroughReplacement) {
+  Rng rng(11);
+  core::LongTermMemory lt(/*capacity=*/4, /*num_classes=*/2);
+  // 2x the per-class quota of inserts exercises the replacement path, which
+  // must subtract the victim from the running prototype sum.
+  for (int i = 0; i < 8; ++i) {
+    lt.insert(make_sample(i % 2, static_cast<float>(i)), rng);
+  }
+  EXPECT_EQ(lt.size(), 4);
+  EXPECT_TRUE(lt.check_invariants().ok()) << lt.check_invariants().to_string();
+}
+
+TEST(Contracts, ShortTermAuditDetectsDanglingLatent) {
+  core::ShortTermMemory st(/*capacity=*/4, core::StSamplingConfig{});
+  Rng rng(5);
+  st.buffer().random_replace_add(make_sample(0, 1.0f), rng);
+  st.buffer().random_replace_add(make_sample(1, 2.0f), rng);
+  ASSERT_TRUE(st.check_invariants().ok())
+      << st.check_invariants().to_string();
+
+  st.buffer().item(1).latent = Tensor();  // dangle one stored latent
+  const util::AuditReport report = st.check_invariants();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.mentions("dangling latent in slot 1"))
+      << report.to_string();
+}
+
+TEST(Contracts, PreferenceTrackerAuditCleanOnDrivenStream) {
+  core::PreferenceTracker pt(/*num_classes=*/6, /*top_k=*/3,
+                             /*learning_window=*/50, /*rho=*/0.5f);
+  Rng rng(3);
+  // Mid-window sample count (337 = 6 windows + 37) checks the audit holds
+  // both right after recalibration and with a partially filled window.
+  for (int i = 0; i < 337; ++i) pt.update(rng.uniform_int(6));
+  EXPECT_TRUE(pt.check_invariants().ok()) << pt.check_invariants().to_string();
+  EXPECT_EQ(pt.samples_seen() >= 300, true);
+}
+
+TEST(Contracts, OpStatsLedgerAcceptsBalancedChargesRejectsImbalance) {
+  core::OpStats s;
+  s.charge_onchip_st_replay(128.0);
+  s.charge_onchip_st_write(64.0);
+  s.charge_onchip_st_promote(8.0);
+  s.charge_offchip_lt_burst(256.0);
+  s.charge_offchip_proto(32.0);
+  s.charge_offchip_lt_write(16.0);
+  EXPECT_TRUE(s.check_invariants().ok()) << s.check_invariants().to_string();
+  EXPECT_EQ(s.onchip_component_sum(), s.onchip_bytes);
+  EXPECT_EQ(s.offchip_component_sum(), s.offchip_bytes);
+
+  // A component charged past its total is an audit violation...
+  core::OpStats bad = s;
+  bad.onchip_st_replay_bytes += 1000.0;
+  EXPECT_TRUE(bad.check_invariants().mentions("exceed onchip_bytes"));
+  // ...as is any negative counter.
+  core::OpStats neg;
+  neg.weight_bytes = -1.0;
+  EXPECT_TRUE(neg.check_invariants().mentions("weight_bytes negative"));
+  // Learners that never charge components (baselines) are still clean.
+  core::OpStats baseline;
+  baseline.onchip_bytes = 512.0;
+  baseline.offchip_bytes = 1024.0;
+  EXPECT_TRUE(baseline.check_invariants().ok());
+}
+
+}  // namespace
+}  // namespace cham

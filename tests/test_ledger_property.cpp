@@ -1,0 +1,125 @@
+// Property test of the memory-traffic ledger (paper Table II rests on it):
+// over a seeded 500-step stream with a mid-run preference shift, the
+// per-component subtotals charged by the Chameleon path must sum EXACTLY to
+// the on-chip and off-chip byte totals at every step, and the full
+// structural audit must stay clean.
+//
+// Exactness is not a floating-point accident: every charge is an integral
+// byte count (elements * sizeof(float)) and doubles represent integers
+// exactly up to 2^53, so both accumulation orders — the running totals and
+// the per-component subtotals — land on the same integer. EXPECT_EQ on the
+// doubles is therefore the right assertion; any drift means a byte was
+// charged to a total without a component (or vice versa).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/chameleon.h"
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace cham {
+namespace {
+
+// Same minimal environment as test_chameleon_behavior: 3-channel 8x8 images,
+// a 1-conv backbone, and a pool+linear head over 6 classes.
+struct TinyEnv {
+  data::DatasetConfig data_cfg;
+  std::unique_ptr<nn::Sequential> f;
+  std::unique_ptr<data::LatentCache> latents;
+  core::LearnerEnv env;
+
+  explicit TinyEnv(int64_t classes = 6) {
+    data_cfg = data::core50_config();
+    data_cfg.num_classes = classes;
+    data_cfg.num_domains = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.train_instances = 4;
+
+    Rng rng(1);
+    f = std::make_unique<nn::Sequential>();
+    f->add(std::make_unique<nn::Conv2d>(3, 4, 8, 8, 3, 2, 1, false, rng));
+    f->add(std::make_unique<nn::ReLU>());
+    latents = std::make_unique<data::LatentCache>(data_cfg, *f);
+
+    env.data_cfg = &data_cfg;
+    env.latents = latents.get();
+    env.latent_shape = Shape{{4, 4, 4}};
+    env.f_fwd_macs = f->macs_per_sample();
+    env.lr = 0.01f;
+    env.head_factory = [classes]() {
+      Rng hrng(2);
+      auto g = std::make_unique<nn::Sequential>();
+      g->add(std::make_unique<nn::GlobalAvgPool>());
+      g->add(std::make_unique<nn::Linear>(4, classes, hrng));
+      return g;
+    };
+  }
+};
+
+TEST(LedgerProperty, ComponentSubtotalsExactlySumToTrafficTotals) {
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  cc.st_capacity = 6;
+  cc.lt_capacity = 24;
+  cc.lt_period_h = 5;
+  cc.lt_replay_per_batch = 4;
+  cc.learning_window = 40;
+  core::ChameleonLearner learner(env.env, cc, 123);
+
+  Rng stream(99);
+  constexpr int kSteps = 500;
+  for (int step = 0; step < kSteps; ++step) {
+    // Skewed stream with a hard preference shift at the midpoint (classes
+    // 0-2 dominate, then 3-5) plus 10% uniform background, so the run
+    // crosses several recalibration windows, ST saturation, LT quota fills
+    // and replacements, and LT burst staging -- every charge site fires.
+    data::Batch b;
+    const auto domain = static_cast<int32_t>(stream.uniform_int(3));
+    b.domain = domain;
+    for (int i = 0; i < 4; ++i) {
+      int64_t y = (step < kSteps / 2) ? stream.uniform_int(3)
+                                      : 3 + stream.uniform_int(3);
+      if (stream.uniform_int(10) == 0) y = stream.uniform_int(6);
+      b.keys.push_back({static_cast<int32_t>(y), domain,
+                        static_cast<int32_t>(stream.uniform_int(4)), false});
+      b.labels.push_back(y);
+    }
+    learner.observe(b);
+
+    const core::OpStats& s = learner.stats();
+    ASSERT_EQ(s.onchip_component_sum(), s.onchip_bytes) << "step " << step;
+    ASSERT_EQ(s.offchip_component_sum(), s.offchip_bytes) << "step " << step;
+  }
+
+  // The stream must have exercised both stores and all six components.
+  const core::OpStats& s = learner.stats();
+  EXPECT_GT(s.onchip_st_replay_bytes, 0.0);
+  EXPECT_GT(s.onchip_st_write_bytes, 0.0);
+  EXPECT_GT(s.onchip_st_promote_bytes, 0.0);
+  EXPECT_GT(s.offchip_lt_burst_bytes, 0.0);
+  EXPECT_GT(s.offchip_lt_write_bytes, 0.0);
+  EXPECT_EQ(s.images, 4 * kSteps);
+
+  const util::AuditReport report = learner.check_invariants();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// Merging per-task OpStats (operator+=) must preserve the decomposition:
+// the evaluator aggregates stats across tasks before reporting Table II.
+TEST(LedgerProperty, AggregationPreservesComponentDecomposition) {
+  core::OpStats a, b;
+  a.charge_onchip_st_replay(640.0);
+  a.charge_offchip_lt_burst(1280.0);
+  b.charge_onchip_st_write(64.0);
+  b.charge_onchip_st_promote(256.0);
+  b.charge_offchip_proto(512.0);
+  b.charge_offchip_lt_write(128.0);
+  a += b;
+  EXPECT_EQ(a.onchip_component_sum(), a.onchip_bytes);
+  EXPECT_EQ(a.offchip_component_sum(), a.offchip_bytes);
+  EXPECT_TRUE(a.check_invariants().ok()) << a.check_invariants().to_string();
+}
+
+}  // namespace
+}  // namespace cham

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for the Chameleon C++ tree.
+
+These rules encode invariants that clang-tidy cannot express because they
+are about *this* codebase's contracts:
+
+  modulo-sampling     `next_u64() % n` is modulo-biased for non-power-of-two
+                      n; use Rng::uniform_int (Lemire rejection) instead.
+  raw-assert          `assert(` outside src/util/check.h. Plain assert is
+                      compiled out in Release, so contract violations pass
+                      silently exactly where they matter; use CHAM_CHECK /
+                      CHAM_DCHECK (static_assert is fine).
+  naked-new           `new` / `delete` expressions in src/. Storage is
+                      std::vector / std::unique_ptr everywhere; a naked new
+                      is either a leak or a double-free waiting to happen.
+  std-rand            std::rand / srand / rand(). Non-deterministic across
+                      libcs; every random draw must flow through cham::Rng
+                      so seeded runs stay bit-identical.
+  rng-in-parallel-for Calls into Rng from a parallel_for body. Worker
+                      execution order is nondeterministic, so any Rng use
+                      inside the body breaks the bit-identity contract
+                      (CHAM_THREADS=1 vs N must match byte-for-byte). Draw
+                      before the loop, index into the draws inside it.
+
+Suppression: append `// cham-lint: allow(<rule>)` to the offending line.
+
+Usage: cham_lint.py [--list-rules] [paths...]   (default path: src/)
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+RULES = {
+    "modulo-sampling": "next_u64() % n is modulo-biased; use Rng::uniform_int",
+    "raw-assert": "assert() outside util/check.h; use CHAM_CHECK / CHAM_DCHECK",
+    "naked-new": "naked new/delete in src/; use std::vector / std::unique_ptr",
+    "std-rand": "std::rand is non-deterministic; use the seeded cham::Rng",
+    "rng-in-parallel-for": "Rng call inside a parallel_for body breaks "
+    "bit-identity across thread counts",
+}
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+ALLOW_RE = re.compile(r"cham-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+MODULO_RE = re.compile(r"next_u64\s*\(\s*\)\s*%")
+ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+NEW_RE = re.compile(r"(?<![_A-Za-z0-9])new\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"(?<![_A-Za-z0-9])delete\s*(\[\s*\])?\s*[A-Za-z_(*]")
+RAND_RE = re.compile(r"(?:std\s*::\s*)?(?<![_A-Za-z0-9.])s?rand\s*\(")
+RNG_USE_RE = re.compile(
+    r"(?<![_A-Za-z0-9])(Rng|rng_?|next_u64|next_float|next_double|"
+    r"uniform_int|sample_weighted)(?![A-Za-z0-9])"
+)
+PARALLEL_FOR_RE = re.compile(r"(?<![_A-Za-z0-9])parallel_for\s*\(")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Replaces stripped characters with spaces so offsets and line numbers of
+    the surviving code are unchanged. Good enough for lint purposes; raw
+    string literals are treated as plain strings (no R"()" parsing).
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    if text[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def call_extent(code, open_paren):
+    """Return the index one past the `)` matching code[open_paren] == '('."""
+    depth = 0
+    for i in range(open_paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def lint_file(path, raw):
+    code = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
+    allowed = {}  # line number -> set of suppressed rules
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allowed[lineno] = {r.strip() for r in m.group(1).split(",")}
+
+    in_src = "src" + os.sep in path or path.startswith("src/")
+    is_check_header = path.replace(os.sep, "/").endswith("util/check.h")
+
+    violations = []
+
+    def report(lineno, rule):
+        if rule in allowed.get(lineno, ()):
+            return
+        violations.append((path, lineno, rule, RULES[rule]))
+
+    for lineno, line in enumerate(code_lines, start=1):
+        if MODULO_RE.search(line):
+            report(lineno, "modulo-sampling")
+        if RAND_RE.search(line):
+            report(lineno, "std-rand")
+        if in_src and not is_check_header and ASSERT_RE.search(line):
+            report(lineno, "raw-assert")
+        if in_src and (NEW_RE.search(line) or DELETE_RE.search(line)):
+            report(lineno, "naked-new")
+
+    # Rng use inside the lexical extent of a parallel_for(...) call. The body
+    # is a lambda argument, so the balanced-paren extent of the call covers it.
+    for m in PARALLEL_FOR_RE.finditer(code):
+        open_paren = code.index("(", m.start())
+        end = call_extent(code, open_paren)
+        extent = code[open_paren:end]
+        base_line = code.count("\n", 0, open_paren) + 1
+        for use in RNG_USE_RE.finditer(extent):
+            lineno = base_line + extent.count("\n", 0, use.start())
+            report(lineno, "rng-in-parallel-for")
+
+    return violations
+
+
+def iter_files(paths):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+        elif os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if not d.startswith("."))
+                for f in sorted(files):
+                    if f.endswith(CXX_EXTENSIONS):
+                        yield os.path.join(root, f)
+        else:
+            print(f"cham_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+
+
+def main(argv):
+    args = argv[1:]
+    if "--list-rules" in args:
+        for name, desc in RULES.items():
+            print(f"{name:20s} {desc}")
+        return 0
+    paths = args or ["src"]
+    violations = []
+    nfiles = 0
+    for path in iter_files(paths):
+        nfiles += 1
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            violations.extend(lint_file(path, fh.read()))
+    for path, lineno, rule, desc in violations:
+        print(f"{path}:{lineno}: [{rule}] {desc}")
+    if violations:
+        print(f"cham_lint: {len(violations)} violation(s) in {nfiles} files",
+              file=sys.stderr)
+        return 1
+    print(f"cham_lint: {nfiles} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
