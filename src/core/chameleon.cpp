@@ -1,5 +1,7 @@
 #include "core/chameleon.h"
 
+#include "tensor/workspace.h"
+
 namespace cham::core {
 namespace {
 
@@ -33,7 +35,8 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   for (int64_t label : batch.labels) prefs_.update(label);
 
   // [line 4] latent extraction for the incoming batch.
-  std::vector<const Tensor*> latents;
+  std::vector<const Tensor*>& latents = latents_scratch_;
+  latents.clear();
   latents.reserve(static_cast<size_t>(bsz));
   for (const auto& key : batch.keys) {
     latents.push_back(&env_.latents->latent(key));
@@ -45,8 +48,10 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   // ST store, plus an LT minibatch every h batches (iterative mini-batch
   // concatenation scheme). One weight update per batch (Algorithm 1 line 7).
   // ST reads come from on-chip SRAM, LT reads from off-chip DRAM.
-  std::vector<const Tensor*> train_latents = latents;
-  std::vector<int64_t> train_labels = batch.labels;
+  std::vector<const Tensor*>& train_latents = train_latents_scratch_;
+  train_latents.assign(latents.begin(), latents.end());
+  std::vector<int64_t>& train_labels = train_labels_scratch_;
+  train_labels.assign(batch.labels.begin(), batch.labels.end());
   for (int64_t i = 0; i < st_.size(); ++i) {
     const auto& s = st_.buffer().item(i);
     train_latents.push_back(&s.latent);
@@ -85,7 +90,8 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   Tensor batch_logits({bsz, logits.dim(1)});
   std::copy(logits.data(), logits.data() + bsz * logits.dim(1),
             batch_logits.data());
-  std::vector<replay::ReplaySample> candidates(static_cast<size_t>(bsz));
+  std::vector<replay::ReplaySample>& candidates = candidates_scratch_;
+  candidates.resize(static_cast<size_t>(bsz));
   for (int64_t i = 0; i < bsz; ++i) {
     auto& c = candidates[static_cast<size_t>(i)];
     c.key = batch.keys[static_cast<size_t>(i)];
@@ -104,7 +110,8 @@ void ChameleonLearner::observe(const data::Batch& batch) {
 
   // [lines 12-14] LT update from ST every h batches.
   if (lt_cycle && st_.size() > 0) {
-    std::vector<replay::ReplaySample> st_samples;
+    std::vector<replay::ReplaySample>& st_samples = st_promote_scratch_;
+    st_samples.clear();
     st_samples.reserve(static_cast<size_t>(st_.size()));
     for (int64_t i = 0; i < st_.size(); ++i) {
       st_samples.push_back(st_.buffer().item(i));
@@ -142,6 +149,15 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   }
 
   stats_.images += bsz;
+
+  // Mirror the workspace gauges so the perf trajectory records allocation
+  // behaviour next to MACs and traffic: pool/arena high water is the host
+  // working set, and heap_allocs going flat is the observable for the
+  // "steady state allocates nothing" property.
+  const ws::WorkspaceStats wstats = ws::stats();
+  stats_.ws_pool_heap_allocs = wstats.pool_heap_allocs;
+  stats_.ws_pool_high_water_bytes = wstats.pool_high_water_bytes;
+  stats_.ws_arena_high_water_bytes = wstats.arena_high_water_bytes;
 
   // Full-checks tier: structural audit of every replay component plus ledger
   // monotonicity, once per processed batch. Compiled out below

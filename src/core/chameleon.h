@@ -86,6 +86,16 @@ class ChameleonLearner : public HeadLearner {
   // concatenation", paper Sec. IV-A). One off-chip transaction per burst.
   std::vector<replay::ReplaySample> staged_lt_;
   size_t staged_pos_ = 0;
+  // observe() scratch, reused across steps. After warm-up the steady-state
+  // path allocates nothing from the heap: these vectors keep their
+  // capacity, Tensor storage recycles through the workspace pool, and
+  // kernel scratch lives in the per-thread arenas (test_workspace pins
+  // this down with a global allocation counter).
+  std::vector<const Tensor*> latents_scratch_;
+  std::vector<const Tensor*> train_latents_scratch_;
+  std::vector<int64_t> train_labels_scratch_;
+  std::vector<replay::ReplaySample> candidates_scratch_;
+  std::vector<replay::ReplaySample> st_promote_scratch_;
   // Ledger snapshot from the previous full-checks audit (monotonicity:
   // traffic totals only ever grow).
   double audited_onchip_ = 0;

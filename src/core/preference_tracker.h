@@ -116,13 +116,17 @@ class PreferenceTracker {
     samples_seen_total_ += window_seen_;
     ++recalibrations_;
     // Rank classes by window frequency; ties broken by class id for
-    // determinism.
-    std::vector<int64_t> order(static_cast<size_t>(num_classes_));
+    // determinism. The explicit tie-break makes plain (in-place) sort give
+    // the stable-sort order without its temporary buffer: recalibration
+    // runs inside the steady-state replay loop and must not allocate.
+    order_.resize(static_cast<size_t>(num_classes_));
     for (int64_t c = 0; c < num_classes_; ++c)
-      order[static_cast<size_t>(c)] = c;
-    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-      return window_counts_[static_cast<size_t>(a)] >
-             window_counts_[static_cast<size_t>(b)];
+      order_[static_cast<size_t>(c)] = c;
+    std::sort(order_.begin(), order_.end(), [&](int64_t a, int64_t b) {
+      const int64_t wa = window_counts_[static_cast<size_t>(a)];
+      const int64_t wb = window_counts_[static_cast<size_t>(b)];
+      if (wa != wb) return wa > wb;
+      return a < b;
     });
     std::fill(preferred_.begin(), preferred_.end(), false);
     // Only classes actually seen in the window are eligible: a stream that
@@ -132,7 +136,7 @@ class PreferenceTracker {
     double pref_sum = 0, other_sum = 0;
     int64_t n_pref = 0;
     for (int64_t i = 0; i < num_classes_; ++i) {
-      const int64_t c = order[static_cast<size_t>(i)];
+      const int64_t c = order_[static_cast<size_t>(i)];
       const double n = window_counts_[static_cast<size_t>(c)];
       if (i < top_k_ && n > 0) {
         preferred_[static_cast<size_t>(c)] = true;
@@ -161,6 +165,7 @@ class PreferenceTracker {
   int64_t num_classes_, top_k_, learning_window_;
   float rho_;
   std::vector<int64_t> window_counts_, total_counts_;
+  std::vector<int64_t> order_;  // recalibrate() ranking scratch
   std::vector<bool> preferred_;
   int64_t window_seen_ = 0;
   int64_t samples_seen_total_ = 0;

@@ -30,28 +30,38 @@ class ShortTermMemory {
   ShortTermMemory(int64_t capacity, StSamplingConfig cfg)
       : buffer_(capacity), cfg_(cfg) {}
 
-  // Eq. 3: per-sample uncertainty scores from logits (N x C) and labels.
-  static std::vector<double> uncertainty_scores(
-      const Tensor& logits, std::span<const int64_t> labels) {
-    std::vector<double> u(labels.size());
+  // Eq. 3: per-sample uncertainty scores from logits (N x C) and labels,
+  // written into caller-owned storage (resized to labels.size()). The
+  // steady-state update() path routes through this so repeat batches reuse
+  // scratch capacity instead of allocating.
+  static void uncertainty_scores_into(const Tensor& logits,
+                                      std::span<const int64_t> labels,
+                                      std::vector<double>& u) {
+    u.resize(labels.size());
     for (size_t i = 0; i < labels.size(); ++i) {
       u[i] = std::abs(
           logits.at(static_cast<int64_t>(i), labels[i]));
     }
+  }
+  static std::vector<double> uncertainty_scores(
+      const Tensor& logits, std::span<const int64_t> labels) {
+    std::vector<double> u;
+    uncertainty_scores_into(logits, labels, u);
     return u;
   }
 
   // Eq. 4 selection probabilities over the incoming batch.
-  std::vector<double> selection_probabilities(
-      std::span<const int64_t> labels, std::span<const double> uncertainty,
-      const PreferenceTracker& prefs) const {
+  void selection_probabilities_into(std::span<const int64_t> labels,
+                                    std::span<const double> uncertainty,
+                                    const PreferenceTracker& prefs,
+                                    std::vector<double>& p) const {
     const size_t n = labels.size();
     double z_batch = 0;
     for (size_t i = 0; i < n; ++i) z_batch += prefs.delta(labels[i]);
     if (z_batch <= 0) z_batch = 1.0;
 
     constexpr double kEps = 1e-6;
-    std::vector<double> p(n);
+    p.resize(n);
     double total = 0;
     for (size_t i = 0; i < n; ++i) {
       const double affinity = prefs.delta(labels[i]) / z_batch;
@@ -64,6 +74,12 @@ class ShortTermMemory {
     } else {
       std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
     }
+  }
+  std::vector<double> selection_probabilities(
+      std::span<const int64_t> labels, std::span<const double> uncertainty,
+      const PreferenceTracker& prefs) const {
+    std::vector<double> p;
+    selection_probabilities_into(labels, uncertainty, prefs, p);
     return p;
   }
 
@@ -72,11 +88,14 @@ class ShortTermMemory {
   int64_t update(const std::vector<replay::ReplaySample>& batch,
                  const Tensor& logits, const PreferenceTracker& prefs,
                  Rng& rng) {
-    std::vector<int64_t> labels(batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) labels[i] = batch[i].label;
-    const auto u = uncertainty_scores(logits, labels);
-    const auto p = selection_probabilities(labels, u, prefs);
-    int64_t pick = rng.sample_weighted(p);
+    labels_scratch_.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      labels_scratch_[i] = batch[i].label;
+    }
+    uncertainty_scores_into(logits, labels_scratch_, u_scratch_);
+    selection_probabilities_into(labels_scratch_, u_scratch_, prefs,
+                                 p_scratch_);
+    int64_t pick = rng.sample_weighted(p_scratch_);
     if (pick < 0) pick = rng.uniform_int(static_cast<int64_t>(batch.size()));
     buffer_.random_replace_add(batch[static_cast<size_t>(pick)], rng);
     return pick;
@@ -125,6 +144,9 @@ class ShortTermMemory {
  private:
   replay::ReplayBuffer buffer_;
   StSamplingConfig cfg_;
+  // update() scratch, reused across batches (steady-state allocation-free).
+  std::vector<int64_t> labels_scratch_;
+  std::vector<double> u_scratch_, p_scratch_;
 };
 
 }  // namespace cham::core

@@ -6,15 +6,37 @@
 
 namespace cham::data {
 
+void LatentCache::touch(Entry& e) {
+  if (e.lru_it != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, e.lru_it);
+  }
+}
+
+const Tensor& LatentCache::insert(uint64_t packed, Tensor z) {
+  if (max_entries_ > 0 &&
+      static_cast<int64_t>(cache_.size()) >= max_entries_) {
+    // Evict before inserting so the new entry never becomes the victim.
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(packed);
+  auto [it, ok] = cache_.emplace(packed, Entry{std::move(z), lru_.begin()});
+  CHAM_DCHECK(ok, "LatentCache: duplicate insert");
+  return it->second.latent;
+}
+
 const Tensor& LatentCache::latent(const ImageKey& key) {
   const uint64_t k = key.packed();
   auto it = cache_.find(k);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    touch(it->second);
+    return it->second.latent;
+  }
   const Tensor img = synthesize_batch(cfg_, {key});
   Tensor z = f_.forward(img, /*train=*/false);
-  auto [ins, ok] = cache_.emplace(k, std::move(z));
-  (void)ok;
-  return ins->second;
+  return insert(k, std::move(z));
 }
 
 void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
@@ -31,11 +53,16 @@ void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
     const Tensor imgs = synthesize_batch(cfg_, chunk);
     const Tensor z = f_.forward(imgs, /*train=*/false);
     const int64_t per = z.numel() / z.dim(0);
+    const Shape row_shape{{1, z.dim(1), z.dim(2), z.dim(3)}};
     for (size_t i = 0; i < chunk.size(); ++i) {
-      Tensor zi(Shape{{1, z.dim(1), z.dim(2), z.dim(3)}});
-      std::copy(z.data() + static_cast<int64_t>(i) * per,
-                z.data() + static_cast<int64_t>(i + 1) * per, zi.data());
-      cache_.emplace(chunk[i].packed(), std::move(zi));
+      // Single copy straight out of the batched forward (the old path
+      // zero-filled a tensor and then overwrote it — two passes over
+      // every latent during warm-up).
+      insert(chunk[i].packed(),
+             Tensor(row_shape,
+                    std::span<const float>(
+                        z.data() + static_cast<int64_t>(i) * per,
+                        static_cast<size_t>(per))));
     }
   }
 }

@@ -6,8 +6,17 @@
 // on every replay — that cost is charged by the hardware cost model
 // (src/hw), not here; this cache is purely a host-side speed optimisation
 // that is numerically identical to recomputation.
+//
+// The cache can be bounded: with max_entries > 0 it evicts the
+// least-recently-used latent once the bound is reached (and recomputes on a
+// later miss — still numerically identical, just slower). References
+// returned by latent() stay valid until that entry is evicted, so a bound
+// must be at least as large as the number of latents a caller holds at
+// once (one incoming batch for the learners; warm() batches internally).
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <unordered_map>
 
 #include "data/dataset.h"
@@ -18,21 +27,41 @@ namespace cham::data {
 class LatentCache {
  public:
   // `f` must outlive the cache. `cfg` is the dataset the keys refer to.
-  LatentCache(const DatasetConfig& cfg, nn::Sequential& f)
-      : cfg_(cfg), f_(f) {}
+  // max_entries = 0 leaves the cache unbounded (the default: benchmark
+  // pools fit comfortably in host memory).
+  LatentCache(const DatasetConfig& cfg, nn::Sequential& f,
+              int64_t max_entries = 0)
+      : cfg_(cfg), f_(f), max_entries_(max_entries) {}
 
-  // Latent activation (1 x C x H x W) of one image; computed on miss.
+  // Latent activation (1 x C x H x W) of one image; computed on miss. The
+  // reference is valid until this entry is evicted (forever when
+  // unbounded).
   const Tensor& latent(const ImageKey& key);
 
   // Precompute a set of keys in batches (faster GEMMs than one-by-one).
   void warm(const std::vector<ImageKey>& keys, int64_t batch = 32);
 
   int64_t size() const { return static_cast<int64_t>(cache_.size()); }
+  int64_t max_entries() const { return max_entries_; }
+  int64_t evictions() const { return evictions_; }
 
  private:
+  struct Entry {
+    Tensor latent;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  // Inserts under the capacity bound (evicting the LRU tail first when at
+  // the bound) and marks the entry most recently used.
+  const Tensor& insert(uint64_t packed, Tensor z);
+  void touch(Entry& e);
+
   DatasetConfig cfg_;
   nn::Sequential& f_;
-  std::unordered_map<uint64_t, Tensor> cache_;
+  int64_t max_entries_;
+  int64_t evictions_ = 0;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Entry> cache_;
 };
 
 // Stacks per-sample latents (each 1 x C x H x W) into an N x C x H x W batch.

@@ -5,6 +5,7 @@
 
 #include "tensor/gemm.h"
 #include "tensor/thread_pool.h"
+#include "tensor/workspace.h"
 
 #include "util/check.h"
 
@@ -17,11 +18,12 @@ void he_init(Tensor& w, int64_t fan_in, Rng& rng) {
   for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal_f(0.0f, stddev);
 }
 
-// Per-worker im2col scratch for the batch-parallel conv forward.
-std::vector<float>& col_scratch(int64_t count) {
-  thread_local std::vector<float> col;
-  col.resize(static_cast<size_t>(count));
-  return col;
+// A 1x1 stride-1 unpadded convolution is a plain channel-mixing GEMM: the
+// im2col column matrix of such a conv IS the input plane (in_c x pixels),
+// so both forward and backward skip the expansion and the scratch matrix.
+// MobileNet spends most of its MACs in these pointwise convs.
+bool is_pointwise(const ConvGeometry& g) {
+  return g.kernel == 1 && g.stride == 1 && g.pad == 0;
 }
 
 constexpr int64_t kElemGrain = 16384;
@@ -52,28 +54,53 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   if (train) cached_input_ = x;
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  const int64_t opix = oh * ow;
+  const int64_t ipix = geo_.in_h * geo_.in_w;
   Tensor out({batch, out_c_, oh, ow});
-  // Samples write disjoint output planes: parallel over the batch, each
-  // worker with its own im2col scratch. The per-sample gemm runs inline
-  // inside a chunk (nested regions serialise), so a batch of one still
-  // parallelises across the gemm rows instead.
-  parallel_for(0, batch, [&](int64_t n0, int64_t n1) {
-    std::vector<float>& col = col_scratch(geo_.col_rows() * geo_.col_cols());
-    for (int64_t n = n0; n < n1; ++n) {
-      im2col(x.data() + n * geo_.in_c * geo_.in_h * geo_.in_w, geo_,
-             col.data());
-      gemm(out_c_, geo_.col_cols(), geo_.col_rows(), 1.0f,
-           weight_.value.data(), col.data(), 0.0f,
-           out.data() + n * out_c_ * oh * ow);
-      if (has_bias_) {
-        for (int64_t c = 0; c < out_c_; ++c) {
-          float* plane = out.data() + (n * out_c_ + c) * oh * ow;
-          const float b = bias_.value[c];
-          for (int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
-        }
-      }
+  const auto add_bias = [&](int64_t n) {
+    for (int64_t c = 0; c < out_c_; ++c) {
+      float* plane = out.data() + (n * out_c_ + c) * opix;
+      const float b = bias_.value[c];
+      for (int64_t i = 0; i < opix; ++i) plane[i] += b;
     }
-  });
+  };
+  // Samples write disjoint output planes: parallel over the batch, each
+  // worker with its own scratch. A batch of one skips the outer dispatch
+  // entirely so the per-sample gemm parallelises across its rows instead
+  // (a region entered with one chunk still counts as nested and would
+  // serialise the gemm).
+  if (is_pointwise(geo_)) {
+    const auto body = [&](int64_t n0, int64_t n1) {
+      for (int64_t n = n0; n < n1; ++n) {
+        gemm(out_c_, opix, geo_.in_c, 1.0f, weight_.value.data(),
+             x.data() + n * geo_.in_c * ipix, 0.0f,
+             out.data() + n * out_c_ * opix);
+        if (has_bias_) add_bias(n);
+      }
+    };
+    if (batch == 1) {
+      body(0, 1);
+    } else {
+      parallel_for(0, batch, body);
+    }
+    return out;
+  }
+  const auto body = [&](int64_t n0, int64_t n1) {
+    ws::ArenaScope scratch;
+    float* col =
+        scratch.floats(static_cast<size_t>(geo_.col_rows() * geo_.col_cols()));
+    for (int64_t n = n0; n < n1; ++n) {
+      im2col(x.data() + n * geo_.in_c * ipix, geo_, col);
+      gemm(out_c_, geo_.col_cols(), geo_.col_rows(), 1.0f,
+           weight_.value.data(), col, 0.0f, out.data() + n * out_c_ * opix);
+      if (has_bias_) add_bias(n);
+    }
+  };
+  if (batch == 1) {
+    body(0, 1);
+  } else {
+    parallel_for(0, batch, body);
+  }
   return out;
 }
 
@@ -87,29 +114,51 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
              "Conv2d grad " + grad_out.shape().to_string());
 
   Tensor grad_in(x.shape());
-  Tensor col({geo_.col_rows(), geo_.col_cols()});
-  Tensor gcol({geo_.col_rows(), geo_.col_cols()});
+  const int64_t ipix = geo_.in_h * geo_.in_w;
+  const auto add_bias_grad = [&](const float* go) {
+    for (int64_t c = 0; c < out_c_; ++c) {
+      double acc = 0;
+      for (int64_t i = 0; i < opix; ++i) acc += go[c * opix + i];
+      bias_.grad[c] += static_cast<float>(acc);
+    }
+  };
   // The batch loop stays serial: dW accumulates across samples and its
   // per-element summation order must not depend on the thread count. The
-  // parallelism lives inside the three gemms and col2im, which split rows.
+  // parallelism lives inside the gemms (and col2im), which split rows.
+  if (is_pointwise(geo_)) {
+    // The column matrix is the input plane, so dW and dX come straight
+    // from the operands: no im2col, no gcol, no col2im scatter. The gemm
+    // calls see the exact operand values of the im2col path, so gradients
+    // are bit-identical to it.
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* go = grad_out.data() + n * out_c_ * opix;
+      const float* xn = x.data() + n * geo_.in_c * ipix;
+      // dW += dY @ X^T  (out_c x opix) @ (opix x in_c)
+      gemm_a_bt(out_c_, geo_.in_c, opix, 1.0f, go, xn, 1.0f,
+                weight_.grad.data());
+      // dX = W^T @ dY  (in_c x out_c) @ (out_c x opix)
+      gemm_at_b(geo_.in_c, opix, out_c_, 1.0f, weight_.value.data(), go, 0.0f,
+                grad_in.data() + n * geo_.in_c * ipix);
+      if (has_bias_) add_bias_grad(go);
+    }
+    return grad_in;
+  }
+  ws::ArenaScope scratch;
+  const size_t col_elems =
+      static_cast<size_t>(geo_.col_rows() * geo_.col_cols());
+  float* col = scratch.floats(col_elems);
+  float* gcol = scratch.floats(col_elems);
   for (int64_t n = 0; n < batch; ++n) {
     const float* go = grad_out.data() + n * out_c_ * opix;
     // dW += dY @ col^T  (out_c x opix) @ (opix x col_rows)
-    im2col(x.data() + n * geo_.in_c * geo_.in_h * geo_.in_w, geo_, col.data());
-    gemm_a_bt(out_c_, geo_.col_rows(), opix, 1.0f, go, col.data(), 1.0f,
+    im2col(x.data() + n * geo_.in_c * ipix, geo_, col);
+    gemm_a_bt(out_c_, geo_.col_rows(), opix, 1.0f, go, col, 1.0f,
               weight_.grad.data());
     // dcol = W^T @ dY  (col_rows x out_c) @ (out_c x opix)
     gemm_at_b(geo_.col_rows(), opix, out_c_, 1.0f, weight_.value.data(), go,
-              0.0f, gcol.data());
-    col2im(gcol.data(), geo_,
-           grad_in.data() + n * geo_.in_c * geo_.in_h * geo_.in_w);
-    if (has_bias_) {
-      for (int64_t c = 0; c < out_c_; ++c) {
-        double acc = 0;
-        for (int64_t i = 0; i < opix; ++i) acc += go[c * opix + i];
-        bias_.grad[c] += static_cast<float>(acc);
-      }
-    }
+              0.0f, gcol);
+    col2im(gcol, geo_, grad_in.data() + n * geo_.in_c * ipix);
+    if (has_bias_) add_bias_grad(go);
   }
   return grad_in;
 }
@@ -342,15 +391,20 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 // ------------------------------------------------------------------ ReLU
 
 Tensor ReLU::forward(const Tensor& x, bool train) {
-  if (train) cached_input_ = x;
   Tensor out = x;
+  if (train) mask_.resize(static_cast<size_t>(x.numel()));
+  uint8_t* mask = train ? mask_.data() : nullptr;
   parallel_for(
       0, out.numel(),
       [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
-          float v = out[i] > 0.0f ? out[i] : 0.0f;
+          const float xi = out[i];
+          float v = xi > 0.0f ? xi : 0.0f;
           if (clip_ > 0.0f && v > clip_) v = clip_;
           out[i] = v;
+          if (mask) {
+            mask[i] = xi > 0.0f && (clip_ <= 0.0f || xi < clip_);
+          }
         }
       },
       kElemGrain);
@@ -358,15 +412,18 @@ Tensor ReLU::forward(const Tensor& x, bool train) {
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
+  CHAM_CHECK(!mask_.empty() || grad_out.numel() == 0,
+             "backward without train-mode forward");
+  CHAM_CHECK(static_cast<int64_t>(mask_.size()) == grad_out.numel(),
+             "ReLU grad " + grad_out.shape().to_string() +
+                 " does not match forward activation count " +
+                 std::to_string(mask_.size()));
   Tensor grad_in = grad_out;
   parallel_for(
       0, grad_in.numel(),
       [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
-          const float x = cached_input_[i];
-          const bool pass = x > 0.0f && (clip_ <= 0.0f || x < clip_);
-          if (!pass) grad_in[i] = 0.0f;
+          if (!mask_[static_cast<size_t>(i)]) grad_in[i] = 0.0f;
         }
       },
       kElemGrain);

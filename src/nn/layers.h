@@ -97,7 +97,10 @@ class ReLU : public Layer {
 
  private:
   float clip_;
-  Tensor cached_input_;
+  // One byte per element recording whether the gradient passes — all the
+  // backward needs. Replaces a full deep copy of the input (4x the bytes
+  // and a second traversal), recorded during the forward pass itself.
+  std::vector<uint8_t, ws::PoolAllocator<uint8_t>> mask_;
 };
 
 // Global average pooling: NCHW -> NxC.

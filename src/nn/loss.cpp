@@ -10,8 +10,10 @@ namespace cham::nn {
 
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const int64_t> labels) {
-  std::vector<float> ones(labels.size(), 1.0f);
-  return softmax_cross_entropy_weighted(logits, labels, ones);
+  // Empty weights mean unit weight per sample (multiplying by exactly 1.0f
+  // is bitwise neutral, so this matches an explicit all-ones vector without
+  // materialising one per call).
+  return softmax_cross_entropy_weighted(logits, labels, {});
 }
 
 LossResult softmax_cross_entropy_weighted(const Tensor& logits,
@@ -23,7 +25,9 @@ LossResult softmax_cross_entropy_weighted(const Tensor& logits,
   CHAM_CHECK(static_cast<int64_t>(labels.size()) == batch,
              "labels size " + std::to_string(labels.size()) + " vs batch " +
                  std::to_string(batch));
-  CHAM_CHECK(weights.size() == labels.size(), "weights/labels size mismatch");
+  CHAM_CHECK(weights.empty() || weights.size() == labels.size(),
+             "weights/labels size mismatch");
+  const bool unit_weights = weights.empty();
 
   LossResult res;
   res.grad = ops::softmax(logits);
@@ -34,7 +38,7 @@ LossResult softmax_cross_entropy_weighted(const Tensor& logits,
     CHAM_CHECK(y >= 0 && y < classes,
                "label " + std::to_string(y) + " out of " +
                    std::to_string(classes) + " classes");
-    const float w = weights[static_cast<size_t>(n)];
+    const float w = unit_weights ? 1.0f : weights[static_cast<size_t>(n)];
     float* g = res.grad.data() + n * classes;
     const double p = std::max(double(g[y]), 1e-12);
     loss += -w * std::log(p);

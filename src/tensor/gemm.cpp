@@ -1,52 +1,334 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
-#include <vector>
 
 #include "tensor/thread_pool.h"
+#include "tensor/workspace.h"
 #include "util/check.h"
+
+// Compile-time SIMD selection. CHAM_SIMD_AVX2 / CHAM_SIMD_NEON are set by
+// the CHAM_SIMD CMake option; without an explicit choice the target arch
+// decides (the default build compiles with -march=native, so __AVX2__ and
+// __FMA__ reflect the host). CHAM_SIMD_GENERIC forces the scalar kernel.
+#if defined(CHAM_SIMD_AVX2) ||                                      \
+    (!defined(CHAM_SIMD_GENERIC) && !defined(CHAM_SIMD_NEON) &&     \
+     defined(__AVX2__) && defined(__FMA__))
+#define CHAM_GEMM_USE_AVX2 1
+#include <immintrin.h>
+#elif defined(CHAM_SIMD_NEON) || \
+    (!defined(CHAM_SIMD_GENERIC) && defined(__ARM_NEON))
+#define CHAM_GEMM_USE_NEON 1
+#include <arm_neon.h>
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CHAM_RESTRICT __restrict__
+#else
+#define CHAM_RESTRICT
+#endif
 
 namespace cham {
 namespace {
 
-// Tile sizes chosen for ~32 KiB L1: a 4x16 register kernel over K-strips.
-constexpr int64_t kMc = 64;
-constexpr int64_t kNc = 128;
-constexpr int64_t kKc = 128;
+// One K strip: panels of this depth are packed and streamed through the
+// micro-kernel. 256 floats of A rows plus the B panel stay L1/L2-resident
+// for the layer shapes in this repo.
+constexpr int64_t kKc = 256;
+
+// Wide register tile: 4 rows x 16 cols = 8 YMM accumulators under AVX2.
+constexpr int64_t kWideMr = 4;
+constexpr int64_t kWideNr = 16;
+// Narrow tile for outputs with few columns (classifier heads, n <= 8):
+// trades tile width for row depth so the fma chains stay independent.
+constexpr int64_t kNarrowMr = 8;
+constexpr int64_t kNarrowNr = 4;
+// The tile choice depends only on n, never on the thread partition.
+constexpr int64_t kNarrowCutoff = 8;
 
 // Minimum rows of C per worker chunk; below this a parallel dispatch costs
 // more than the arithmetic it hides.
 constexpr int64_t kRowGrain = 8;
+// Target flops per worker chunk: small-n GEMMs (head layers, n = 4) get
+// proportionally more rows per chunk so dispatch overhead never dominates.
+// At 1<<19 a sub-half-MFLOP GEMM (e.g. the 256x4x256 head forward, ~20us
+// of arithmetic) gets a grain >= its row count and runs inline on the
+// calling thread — the whole dispatch would cost more than it hides.
+constexpr int64_t kGrainFlops = int64_t{1} << 19;
 
-// Computes a (rows x cols) block of C += A_panel @ B_panel, with
-// rows <= kMc, cols <= kNc, depth <= kKc. A is row-major (lda = stride),
-// B is row-major (ldb), C row-major (ldc). alpha is folded into the packed
-// A panel, so the kernel is a pure FMA.
-void micro_block(int64_t rows, int64_t cols, int64_t depth, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
+int64_t gemm_grain(int64_t n, int64_t k) {
+  const int64_t row_flops = 2 * std::max<int64_t>(1, n) * std::max<int64_t>(1, k);
+  return std::max(kRowGrain, (kGrainFlops + row_flops - 1) / row_flops);
+}
+
+// The one rounding step of the accumulation chain. With hardware fma the
+// multiply-add rounds once; the fallback keeps multiply and add as separate
+// statements so -ffp-contract cannot fuse them behind our back (contraction
+// only applies within a single expression). Every kernel in this file —
+// packed, intrinsic, and reference — accumulates through this helper, which
+// is what makes them bit-identical to each other.
+inline float cham_fma(float a, float b, float c) {
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA) || defined(FP_FAST_FMAF)
+  return std::fmaf(a, b, c);
+#else
+  const float p = a * b;
+  return p + c;
+#endif
+}
+
+// Packs one MR-row micro-tile of A for K strip [pc, pc+depth): element
+// (p, r) at dst[p*MR + r], alpha folded in, rows past `rows` zero-padded
+// (padded lanes contribute exact zeros and are never stored back).
+// kATrans selects the read pattern: A row-major MxK (lda = k) or the
+// transposed operand of gemm_at_b, stored KxM (lda = m).
+template <bool kATrans, int MR>
+void pack_a_tile(const float* CHAM_RESTRICT a, int64_t lda, int64_t row0,
+                 int64_t rows, int64_t pc, int64_t depth, float alpha,
+                 float* CHAM_RESTRICT dst) {
+  for (int64_t p = 0; p < depth; ++p) {
+    float* d = dst + p * MR;
+    if (alpha == 1.0f) {
+      for (int64_t r = 0; r < rows; ++r) {
+        d[r] = kATrans ? a[(pc + p) * lda + (row0 + r)]
+                       : a[(row0 + r) * lda + (pc + p)];
+      }
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        d[r] = alpha * (kATrans ? a[(pc + p) * lda + (row0 + r)]
+                                : a[(row0 + r) * lda + (pc + p)]);
+      }
+    }
+    for (int64_t r = rows; r < MR; ++r) d[r] = 0.0f;
+  }
+}
+
+// Packs the full B panel of K strip [pc, pc+depth) as NR-column blocks:
+// block jb at dst + (jb/NR)*depth*NR, element (p, jj) at [p*NR + jj],
+// column tails zero-padded. kBTrans selects B row-major KxN (ldb = n) or
+// the transposed operand of gemm_a_bt, stored NxK (ldb = k).
+template <bool kBTrans, int NR>
+void pack_b_panel(const float* CHAM_RESTRICT b, int64_t ldb, int64_t pc,
+                  int64_t depth, int64_t n, float* CHAM_RESTRICT dst) {
+  for (int64_t jb = 0; jb < n; jb += NR) {
+    float* blk = dst + (jb / NR) * depth * NR;
+    const int64_t cols = std::min<int64_t>(NR, n - jb);
     for (int64_t p = 0; p < depth; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      const float* bp = b + p * ldb;
-      for (int64_t j = 0; j < cols; ++j) ci[j] += av * bp[j];
+      float* d = blk + p * NR;
+      if (kBTrans) {
+        for (int64_t jj = 0; jj < cols; ++jj) {
+          d[jj] = b[(jb + jj) * ldb + (pc + p)];
+        }
+      } else {
+        const float* s = b + (pc + p) * ldb + jb;
+        for (int64_t jj = 0; jj < cols; ++jj) d[jj] = s[jj];
+      }
+      for (int64_t jj = cols; jj < NR; ++jj) d[jj] = 0.0f;
     }
   }
 }
 
-// Per-worker packing scratch, reused across calls. a_pack holds one
-// alpha-scaled kMc x kKc block of A; b_pack holds the full K-strip of B
-// (depth x n) so every row block of the chunk streams a contiguous panel.
-struct PackBuffers {
-  std::vector<float> a_pack, b_pack;
-};
-PackBuffers& pack_buffers() {
-  thread_local PackBuffers bufs;
-  return bufs;
+// Scalar micro-kernel over packed panels: a full MR x NR accumulator tile
+// held in registers, no data-dependent branches. Valid lanes load C (which
+// chains the fma sequence exactly across K strips through the C slot);
+// padded lanes start at zero, accumulate exact zeros, and are not stored.
+template <int MR, int NR>
+void micro_kernel_generic(int64_t rows, int64_t cols, int64_t depth,
+                          const float* CHAM_RESTRICT a_pack,
+                          const float* CHAM_RESTRICT b_pack,
+                          float* CHAM_RESTRICT c, int64_t ldc) {
+  float acc[MR][NR];
+  for (int64_t r = 0; r < MR; ++r) {
+    for (int64_t j = 0; j < NR; ++j) {
+      acc[r][j] = (r < rows && j < cols) ? c[r * ldc + j] : 0.0f;
+    }
+  }
+  for (int64_t p = 0; p < depth; ++p) {
+    const float* CHAM_RESTRICT ap = a_pack + p * MR;
+    const float* CHAM_RESTRICT bp = b_pack + p * NR;
+    for (int64_t r = 0; r < MR; ++r) {
+      const float av = ap[r];
+      for (int64_t j = 0; j < NR; ++j) {
+        acc[r][j] = cham_fma(av, bp[j], acc[r][j]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < cols; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+#if defined(CHAM_GEMM_USE_AVX2)
+// Full 4x16 tile: 8 YMM accumulators, 2 B vectors, broadcast A lanes.
+// _mm256_fmadd_ps rounds once per lane, exactly like std::fmaf.
+void micro_kernel_avx2_4x16(int64_t depth, const float* CHAM_RESTRICT a_pack,
+                            const float* CHAM_RESTRICT b_pack,
+                            float* CHAM_RESTRICT c, int64_t ldc) {
+  __m256 acc[4][2];
+  for (int r = 0; r < 4; ++r) {
+    acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+    acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+  }
+  for (int64_t p = 0; p < depth; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b_pack + p * 16);
+    const __m256 b1 = _mm256_loadu_ps(b_pack + p * 16 + 8);
+    const float* ap = a_pack + p * 4;
+    for (int r = 0; r < 4; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ap + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
+// Full 8x4 tile for narrow outputs: 8 XMM accumulators.
+void micro_kernel_avx2_8x4(int64_t depth, const float* CHAM_RESTRICT a_pack,
+                           const float* CHAM_RESTRICT b_pack,
+                           float* CHAM_RESTRICT c, int64_t ldc) {
+  __m128 acc[8];
+  for (int r = 0; r < 8; ++r) acc[r] = _mm_loadu_ps(c + r * ldc);
+  for (int64_t p = 0; p < depth; ++p) {
+    const __m128 bv = _mm_loadu_ps(b_pack + p * 4);
+    const float* ap = a_pack + p * 8;
+    for (int r = 0; r < 8; ++r) {
+      acc[r] = _mm_fmadd_ps(_mm_broadcast_ss(ap + r), bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < 8; ++r) _mm_storeu_ps(c + r * ldc, acc[r]);
+}
+#endif  // CHAM_GEMM_USE_AVX2
+
+#if defined(CHAM_GEMM_USE_NEON)
+// Full 4x16 tile: 16 Q accumulators. vfmaq_n_f32 fuses per lane like fmaf.
+void micro_kernel_neon_4x16(int64_t depth, const float* CHAM_RESTRICT a_pack,
+                            const float* CHAM_RESTRICT b_pack,
+                            float* CHAM_RESTRICT c, int64_t ldc) {
+  float32x4_t acc[4][4];
+  for (int r = 0; r < 4; ++r) {
+    for (int q = 0; q < 4; ++q) acc[r][q] = vld1q_f32(c + r * ldc + 4 * q);
+  }
+  for (int64_t p = 0; p < depth; ++p) {
+    float32x4_t bv[4];
+    for (int q = 0; q < 4; ++q) bv[q] = vld1q_f32(b_pack + p * 16 + 4 * q);
+    const float* ap = a_pack + p * 4;
+    for (int r = 0; r < 4; ++r) {
+      for (int q = 0; q < 4; ++q) acc[r][q] = vfmaq_n_f32(acc[r][q], bv[q], ap[r]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (int q = 0; q < 4; ++q) vst1q_f32(c + r * ldc + 4 * q, acc[r][q]);
+  }
+}
+
+// Full 8x4 tile for narrow outputs.
+void micro_kernel_neon_8x4(int64_t depth, const float* CHAM_RESTRICT a_pack,
+                           const float* CHAM_RESTRICT b_pack,
+                           float* CHAM_RESTRICT c, int64_t ldc) {
+  float32x4_t acc[8];
+  for (int r = 0; r < 8; ++r) acc[r] = vld1q_f32(c + r * ldc);
+  for (int64_t p = 0; p < depth; ++p) {
+    const float32x4_t bv = vld1q_f32(b_pack + p * 4);
+    const float* ap = a_pack + p * 8;
+    for (int r = 0; r < 8; ++r) acc[r] = vfmaq_n_f32(acc[r], bv, ap[r]);
+  }
+  for (int r = 0; r < 8; ++r) vst1q_f32(c + r * ldc, acc[r]);
+}
+#endif  // CHAM_GEMM_USE_NEON
+
+// Dispatch: intrinsic kernels handle full tiles, the generic kernel handles
+// edge tiles (and everything under CHAM_SIMD=generic). Per-lane arithmetic
+// is identical either way, so the split is invisible in the output bits.
+template <int MR, int NR>
+void micro_kernel(int64_t rows, int64_t cols, int64_t depth,
+                  const float* a_pack, const float* b_pack, float* c,
+                  int64_t ldc) {
+#if defined(CHAM_GEMM_USE_AVX2)
+  if (rows == MR && cols == NR) {
+    if constexpr (MR == 4 && NR == 16) {
+      micro_kernel_avx2_4x16(depth, a_pack, b_pack, c, ldc);
+      return;
+    }
+    if constexpr (MR == 8 && NR == 4) {
+      micro_kernel_avx2_8x4(depth, a_pack, b_pack, c, ldc);
+      return;
+    }
+  }
+#elif defined(CHAM_GEMM_USE_NEON)
+  if (rows == MR && cols == NR) {
+    if constexpr (MR == 4 && NR == 16) {
+      micro_kernel_neon_4x16(depth, a_pack, b_pack, c, ldc);
+      return;
+    }
+    if constexpr (MR == 8 && NR == 4) {
+      micro_kernel_neon_8x4(depth, a_pack, b_pack, c, ldc);
+      return;
+    }
+  }
+#endif
+  micro_kernel_generic<MR, NR>(rows, cols, depth, a_pack, b_pack, c, ldc);
+}
+
+// One worker's row range [i0, i1): packs the B panel per K strip, then
+// streams MR-row tiles of A through the micro-kernel. Pack scratch comes
+// from the thread's arena, so repeat calls never touch the heap.
+template <bool kATrans, bool kBTrans, int MR, int NR>
+void run_chunk(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
+               const float* a, int64_t lda, const float* b, int64_t ldb,
+               float* c) {
+  ws::ArenaScope scratch;
+  const int64_t jblocks = (n + NR - 1) / NR;
+  float* b_pack = scratch.floats(static_cast<size_t>(jblocks * kKc * NR));
+  float* a_pack = scratch.floats(static_cast<size_t>(kKc * MR));
+  for (int64_t pc = 0; pc < k; pc += kKc) {
+    const int64_t depth = std::min(kKc, k - pc);
+    pack_b_panel<kBTrans, NR>(b, ldb, pc, depth, n, b_pack);
+    for (int64_t ic = i0; ic < i1; ic += MR) {
+      const int64_t rows = std::min<int64_t>(MR, i1 - ic);
+      pack_a_tile<kATrans, MR>(a, lda, ic, rows, pc, depth, alpha, a_pack);
+      for (int64_t jb = 0; jb < n; jb += NR) {
+        const int64_t cols = std::min<int64_t>(NR, n - jb);
+        micro_kernel<MR, NR>(rows, cols, depth, a_pack,
+                             b_pack + (jb / NR) * depth * NR, c + ic * n + jb,
+                             n);
+      }
+    }
+  }
+}
+
+void scale_c(float* c, int64_t count, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
+  }
+}
+
+// Shared parallel driver. Chunks own contiguous row ranges of C: beta pass,
+// then K-strip accumulation. Per element the operations (and their order)
+// are the same for any partition, so results are bit-identical for every
+// thread count.
+template <bool kATrans, bool kBTrans>
+void gemm_driver(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float beta,
+                 float* c) {
+  parallel_for(
+      0, m,
+      [&](int64_t i0, int64_t i1) {
+        scale_c(c + i0 * n, (i1 - i0) * n, beta);
+        if (alpha == 0.0f || k == 0) return;
+        if (n <= kNarrowCutoff) {
+          run_chunk<kATrans, kBTrans, kNarrowMr, kNarrowNr>(i0, i1, n, k, alpha,
+                                                            a, lda, b, ldb, c);
+        } else {
+          run_chunk<kATrans, kBTrans, kWideMr, kWideNr>(i0, i1, n, k, alpha, a,
+                                                        lda, b, ldb, c);
+        }
+      },
+      gemm_grain(n, k));
 }
 
 #if CHAM_CHECKS_LEVEL >= 1
@@ -82,112 +364,101 @@ void check_gemm_args(const char* name, int64_t m, int64_t n, int64_t k,
 #define CHAM_GEMM_CHECK(...) ((void)0)
 #endif
 
-void scale_c(float* c, int64_t count, float beta) {
-  if (beta == 0.0f) {
-    std::fill(c, c + count, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
-  }
-}
-
 }  // namespace
+
+const char* gemm_simd_variant() {
+#if defined(CHAM_GEMM_USE_AVX2)
+  return "avx2";
+#elif defined(CHAM_GEMM_USE_NEON)
+  return "neon";
+#else
+  return "generic";
+#endif
+}
 
 void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c) {
   CHAM_GEMM_CHECK("gemm", m, n, k, a, b, c, m * k, k * n);
   if (m <= 0 || n <= 0) return;
-  // Each chunk owns a contiguous row range of C: beta pass, then K-strip
-  // accumulation. Per element the operations (and their order) are the same
-  // for any partition, so results are bit-identical for every thread count.
-  parallel_for(
-      0, m,
-      [&](int64_t i0, int64_t i1) {
-        scale_c(c + i0 * n, (i1 - i0) * n, beta);
-        if (alpha == 0.0f || k == 0) return;
-        PackBuffers& bufs = pack_buffers();
-        bufs.a_pack.resize(static_cast<size_t>(kMc * kKc));
-        bufs.b_pack.resize(static_cast<size_t>(kKc * n));
-        float* a_pack = bufs.a_pack.data();
-        float* b_pack = bufs.b_pack.data();
-        for (int64_t pc = 0; pc < k; pc += kKc) {
-          const int64_t depth = std::min(kKc, k - pc);
-          for (int64_t p = 0; p < depth; ++p) {
-            const float* src = b + (pc + p) * n;
-            std::copy(src, src + n, b_pack + p * n);
-          }
-          for (int64_t ic = i0; ic < i1; ic += kMc) {
-            const int64_t rows = std::min(kMc, i1 - ic);
-            // Fold alpha into the pack: replaces the old whole-matrix
-            // scale-and-copy of A that ran on every alpha != 1 call.
-            for (int64_t i = 0; i < rows; ++i) {
-              const float* src = a + (ic + i) * k + pc;
-              float* dst = a_pack + i * depth;
-              if (alpha == 1.0f) {
-                std::copy(src, src + depth, dst);
-              } else {
-                for (int64_t p = 0; p < depth; ++p) dst[p] = alpha * src[p];
-              }
-            }
-            for (int64_t jc = 0; jc < n; jc += kNc) {
-              const int64_t cols = std::min(kNc, n - jc);
-              micro_block(rows, cols, depth, a_pack, depth, b_pack + jc, n,
-                          c + ic * n + jc, n);
-            }
-          }
-        }
-      },
-      kRowGrain);
+  gemm_driver<false, false>(m, n, k, alpha, a, k, b, n, beta, c);
 }
 
 void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c) {
   CHAM_GEMM_CHECK("gemm_at_b", m, n, k, a, b, c, k * m, k * n);
   if (m <= 0 || n <= 0) return;
-  // C[i][j] += sum_p A[p][i] * B[p][j]. Chunks own row ranges of C; the p
-  // loop stays outermost inside a chunk so each element accumulates in the
-  // same order as the serial kernel.
-  parallel_for(
-      0, m,
-      [&](int64_t i0, int64_t i1) {
-        scale_c(c + i0 * n, (i1 - i0) * n, beta);
-        if (alpha == 0.0f) return;
-        for (int64_t p = 0; p < k; ++p) {
-          const float* ap = a + p * m;
-          const float* bp = b + p * n;
-          for (int64_t i = i0; i < i1; ++i) {
-            const float av = alpha * ap[i];
-            if (av == 0.0f) continue;
-            float* ci = c + i * n;
-            for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-          }
-        }
-      },
-      kRowGrain);
+  // C[i][j] += sum_p A[p][i] * B[p][j]: the transposed A pack reads column
+  // i of the KxM operand; everything downstream is the shared core.
+  gemm_driver<true, false>(m, n, k, alpha, a, m, b, n, beta, c);
 }
 
 void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c) {
   CHAM_GEMM_CHECK("gemm_a_bt", m, n, k, a, b, c, m * k, n * k);
   if (m <= 0 || n <= 0) return;
-  // C[i][j] += dot(A row i, B row j): rows are independent dot products.
-  parallel_for(
-      0, m,
-      [&](int64_t i0, int64_t i1) {
-        scale_c(c + i0 * n, (i1 - i0) * n, beta);
-        if (alpha == 0.0f) return;
-        for (int64_t i = i0; i < i1; ++i) {
-          const float* ai = a + i * k;
-          float* ci = c + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            const float* bj = b + j * k;
-            double acc = 0;
-            for (int64_t p = 0; p < k; ++p) acc += double(ai[p]) * double(bj[p]);
-            ci[j] += alpha * static_cast<float>(acc);
-          }
-        }
-      },
-      kRowGrain);
+  // C[i][j] += dot(A row i, B row j): the transposed B pack reads row j of
+  // the NxK operand. Accumulation is the same p-ascending float fma chain
+  // as the other kernels (this used to be a per-element double dot, which
+  // made the three kernels disagree in precision and resisted blocking).
+  gemm_driver<false, true>(m, n, k, alpha, a, k, b, k, beta, c);
 }
+
+namespace ref {
+
+// The reference kernels mirror the packed core's arithmetic one element at
+// a time: beta pass first, then for each C element a p-ascending cham_fma
+// chain with alpha folded into the A operand. An alpha of exactly 1
+// multiplies through unchanged, so no special case is needed to match the
+// packed kernels' alpha==1 copy pack.
+void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+          const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  scale_c(c, m * n, beta);
+  if (alpha == 0.0f || k == 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (int64_t p = 0; p < k; ++p) {
+        acc = cham_fma(alpha * a[i * k + p], b[p * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  scale_c(c, m * n, beta);
+  if (alpha == 0.0f || k == 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (int64_t p = 0; p < k; ++p) {
+        acc = cham_fma(alpha * a[p * m + i], b[p * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  scale_c(c, m * n, beta);
+  if (alpha == 0.0f || k == 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (int64_t p = 0; p < k; ++p) {
+        acc = cham_fma(alpha * a[i * k + p], b[j * k + p], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace ref
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   CHAM_CHECK(a.rank() == 2 && b.rank() == 2,

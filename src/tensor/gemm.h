@@ -1,8 +1,24 @@
 // Blocked single-precision GEMM and the matrix primitives the NN layers need.
 //
 // C (MxN) = alpha * A (MxK) @ B (KxN) + beta * C. Row-major, contiguous.
-// A register-blocked micro-kernel with K-panel packing gives a few GFLOP/s on
-// one core, enough for the 32x32 MobileNet workloads in this repo.
+// All three kernels share one packed register-tiled core: operands are
+// packed into contiguous zero-padded panels (alpha folded into the A pack)
+// and a branch-free micro-kernel accumulates a 4x16 tile (8x4 for narrow
+// outputs) with one fused multiply-add per element per K step. Transposed
+// operands differ only in how the pack reads memory, so gemm_at_b and
+// gemm_a_bt run at the same rate as gemm.
+//
+// Determinism contract: every C element accumulates in p-ascending order in
+// a single fma chain, chained exactly across K strips through its C slot.
+// The order never depends on the thread partition or tile grouping, so
+// results are bit-identical for every thread count and bit-identical to the
+// serial reference kernels in cham::ref.
+//
+// SIMD dispatch is compile-time via CHAM_SIMD (CMake: generic|avx2|neon;
+// default auto-detects from the target arch). Intrinsic kernels cover full
+// tiles only and perform the same per-lane fused multiply-add as the scalar
+// path, preserving bit-identity across CHAM_SIMD settings on a given
+// fma-capable target.
 #pragma once
 
 #include <cstdint>
@@ -24,5 +40,25 @@ void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 
 // Convenience wrappers on Tensors (2-D only, shapes asserted).
 Tensor matmul(const Tensor& a, const Tensor& b);
+
+// Which micro-kernel set this build dispatches to: "avx2", "neon" or
+// "generic". Reported by bench_kernels so BENCH_kernels.json records what
+// was measured.
+const char* gemm_simd_variant();
+
+namespace ref {
+
+// Serial scalar reference kernels: a plain triple loop with the same
+// per-element fma chain as the packed kernels. They exist as the ground
+// truth for the bit-identity tests (test_gemm) and as the baseline the
+// kernel benchmarks measure speedups against. Never used on the hot path.
+void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+          const float* b, float beta, float* c);
+void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c);
+void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               const float* b, float beta, float* c);
+
+}  // namespace ref
 
 }  // namespace cham

@@ -200,9 +200,9 @@ Tensor concat0(const std::vector<const Tensor*>& parts) {
     }
     lead += p->dim(0);
   }
-  std::vector<int64_t> dims = first.dims();
-  dims[0] = lead;
-  Tensor out{Shape(std::move(dims))};
+  Shape out_shape = first;
+  out_shape.set_dim(0, lead);
+  Tensor out(out_shape);
   int64_t offset = 0;
   for (const Tensor* p : parts) {
     std::copy(p->data(), p->data() + p->numel(), out.data() + offset);
@@ -216,9 +216,9 @@ Tensor slice0(const Tensor& t, int64_t begin, int64_t end) {
              "slice0 [" + std::to_string(begin) + ", " + std::to_string(end) +
                  ") of " + t.shape().to_string());
   const int64_t per = t.numel() / t.dim(0);
-  std::vector<int64_t> dims = t.shape().dims();
-  dims[0] = end - begin;
-  Tensor out{Shape(std::move(dims))};
+  Shape out_shape = t.shape();
+  out_shape.set_dim(0, end - begin);
+  Tensor out(out_shape);
   std::copy(t.data() + begin * per, t.data() + end * per, out.data());
   return out;
 }

@@ -7,9 +7,9 @@ namespace cham {
 std::string Shape::to_string() const {
   std::ostringstream os;
   os << "[";
-  for (size_t i = 0; i < dims_.size(); ++i) {
+  for (int64_t i = 0; i < rank_; ++i) {
     if (i) os << ", ";
-    os << dims_[i];
+    os << dims_[static_cast<size_t>(i)];
   }
   os << "]";
   return os.str();
@@ -32,7 +32,7 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   CHAM_CHECK(new_shape.numel() == numel(),
              "reshape " + shape_.to_string() + " -> " + new_shape.to_string() +
                  " changes numel");
-  return Tensor(std::move(new_shape), data_);
+  return Tensor(new_shape, data_);
 }
 
 void Tensor::fill(float value) {

@@ -4,28 +4,41 @@
 // multiplier <= 0.5), so a simple contiguous row-major tensor with explicit
 // copies is both fast enough and trivially correct. No views, no reference
 // counting: a Tensor owns its storage.
+//
+// Storage comes from the workspace pool (tensor/workspace.h): freed buffers
+// recycle through a size-class freelist, so the steady-state replay loop
+// creates and destroys Tensors without touching the heap.
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
-#include <numeric>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "tensor/workspace.h"
 #include "util/check.h"
 
 namespace cham {
 
 // Shape of a tensor: up to 4 dimensions in practice (N, C, H, W), stored
-// generically. Dimensions are signed to avoid unsigned-arithmetic surprises.
+// inline (a Shape used to heap-allocate a std::vector, which charged a
+// malloc to every Tensor construction on the hot path). Dimensions are
+// signed to avoid unsigned-arithmetic surprises.
 class Shape {
  public:
-  Shape() = default;
-  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
-  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+  static constexpr int64_t kMaxRank = 6;
 
-  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) {
+    init({dims.begin(), dims.size()});
+  }
+  explicit Shape(std::span<const int64_t> dims) { init(dims); }
+  explicit Shape(const std::vector<int64_t>& dims) {
+    init({dims.data(), dims.size()});
+  }
+
+  int64_t rank() const { return rank_; }
   int64_t operator[](int64_t i) const {
     CHAM_DCHECK(i >= 0 && i < rank(),
                 "Shape dim " + std::to_string(i) + " out of rank " +
@@ -33,33 +46,69 @@ class Shape {
     return dims_[static_cast<size_t>(i)];
   }
   int64_t numel() const {
-    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
-                           [](int64_t a, int64_t b) { return a * b; });
+    int64_t n = 1;
+    for (int64_t i = 0; i < rank_; ++i) n *= dims_[static_cast<size_t>(i)];
+    return n;
   }
-  const std::vector<int64_t>& dims() const { return dims_; }
-  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  std::span<const int64_t> dims() const {
+    return {dims_, static_cast<size_t>(rank_)};
+  }
+  // Replaces one dimension (used to restamp the batch axis in concat/slice).
+  void set_dim(int64_t i, int64_t v) {
+    CHAM_CHECK(i >= 0 && i < rank(),
+               "Shape::set_dim " + std::to_string(i) + " out of rank " +
+                   std::to_string(rank()));
+    dims_[static_cast<size_t>(i)] = v;
+  }
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int64_t i = 0; i < rank_; ++i) {
+      if (dims_[static_cast<size_t>(i)] != o.dims_[static_cast<size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
   bool operator!=(const Shape& o) const { return !(*this == o); }
   std::string to_string() const;
 
  private:
-  std::vector<int64_t> dims_;
+  void init(std::span<const int64_t> dims) {
+    CHAM_CHECK(dims.size() <= static_cast<size_t>(kMaxRank),
+               "Shape rank " + std::to_string(dims.size()) + " exceeds max " +
+                   std::to_string(kMaxRank));
+    rank_ = static_cast<int64_t>(dims.size());
+    for (size_t i = 0; i < dims.size(); ++i) dims_[i] = dims[i];
+  }
+
+  int64_t dims_[kMaxRank] = {};
+  int64_t rank_ = 0;
 };
 
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(Shape shape)
-      : shape_(std::move(shape)),
-        data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
-  Tensor(Shape shape, std::vector<float> data)
-      : shape_(std::move(shape)), data_(std::move(data)) {
+      : shape_(shape), data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+  // Single-copy construction from existing values (e.g. a row slice of a
+  // batched forward result).
+  Tensor(Shape shape, std::span<const float> data)
+      : shape_(shape), data_(data.begin(), data.end()) {
+    CHAM_CHECK(static_cast<int64_t>(data_.size()) == shape_.numel(),
+               "data size " + std::to_string(data_.size()) +
+                   " != shape numel for " + shape_.to_string());
+  }
+  Tensor(Shape shape, const std::vector<float>& data)
+      : Tensor(shape, std::span<const float>(data)) {}
+  Tensor(Shape shape, ws::FloatBuffer data)
+      : shape_(shape), data_(std::move(data)) {
     CHAM_CHECK(static_cast<int64_t>(data_.size()) == shape_.numel(),
                "data size " + std::to_string(data_.size()) +
                    " != shape numel for " + shape_.to_string());
   }
   Tensor(std::initializer_list<int64_t> dims) : Tensor(Shape(dims)) {}
 
-  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor zeros(Shape shape) { return Tensor(shape); }
   static Tensor full(Shape shape, float value);
   static Tensor scalar(float value) { return full(Shape{{1}}, value); }
   // 1-D tensor from values.
@@ -155,7 +204,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  ws::FloatBuffer data_;
 };
 
 }  // namespace cham

@@ -55,12 +55,12 @@ class Pool {
     return target_size_;
   }
 
-  void run(int64_t begin, int64_t end,
-           const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+  void run(int64_t begin, int64_t end, detail::ChunkFn fn, void* ctx,
+           int64_t grain) {
     const int64_t n = end - begin;
     if (n <= 0) return;
     if (t_in_parallel) {  // nested region: already inside a worker chunk
-      fn(begin, end);
+      fn(ctx, begin, end);
       return;
     }
     std::lock_guard<std::mutex> lock(api_mutex_);
@@ -68,14 +68,15 @@ class Pool {
         std::min<int64_t>(target_size_, (n + grain - 1) / grain));
     if (chunks <= 1) {
       t_in_parallel = true;
-      fn(begin, end);
+      fn(ctx, begin, end);
       t_in_parallel = false;
       return;
     }
     ensure_workers(chunks - 1);
     {
       std::lock_guard<std::mutex> jl(job_mutex_);
-      job_fn_ = &fn;
+      job_fn_ = fn;
+      job_ctx_ = ctx;
       job_begin_ = begin;
       job_n_ = n;
       job_chunks_ = chunks;
@@ -117,7 +118,7 @@ class Pool {
   void run_chunk(int c) {
     const auto [b, e] = detail::static_chunk(job_n_, job_chunks_, c);
     t_in_parallel = true;
-    (*job_fn_)(job_begin_ + b, job_begin_ + e);
+    job_fn_(job_ctx_, job_begin_ + b, job_begin_ + e);
     t_in_parallel = false;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> dl(done_mutex_);
@@ -132,7 +133,8 @@ class Pool {
   std::mutex job_mutex_;
   std::condition_variable job_cv_;
   uint64_t job_id_ = 0;
-  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  detail::ChunkFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   int64_t job_begin_ = 0;
   int64_t job_n_ = 0;
   int job_chunks_ = 0;
@@ -158,10 +160,11 @@ void set_num_threads(int n) { Pool::instance().set_size(clamp_threads(n)); }
 
 int num_threads() { return Pool::instance().size(); }
 
-void parallel_for(int64_t begin, int64_t end,
-                  const std::function<void(int64_t, int64_t)>& fn,
+namespace detail {
+void parallel_run(int64_t begin, int64_t end, ChunkFn fn, void* ctx,
                   int64_t grain) {
-  Pool::instance().run(begin, end, fn, grain < 1 ? 1 : grain);
+  Pool::instance().run(begin, end, fn, ctx, grain < 1 ? 1 : grain);
 }
+}  // namespace detail
 
 }  // namespace cham

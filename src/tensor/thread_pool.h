@@ -9,13 +9,20 @@
 // for every thread count, including 1 (which short-circuits to an inline
 // call on the calling thread — the guaranteed serial fallback).
 //
+// Dispatch is allocation-free: parallel_for erases the callable to a plain
+// function pointer plus a context pointer into the caller's frame (the call
+// blocks until every chunk finishes, so the frame outlives the workers'
+// use). The previous std::function signature heap-allocated a closure per
+// kernel launch, which put an allocator lock on the hot path of every GEMM.
+//
 // Thread count resolution order: set_num_threads(n) > CHAM_THREADS env var >
 // std::thread::hardware_concurrency(). Workers are lazily spawned on first
 // parallel use and live for the process lifetime.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace cham {
 
@@ -26,17 +33,15 @@ void set_num_threads(int n);
 // Current thread count the next parallel_for will use.
 int num_threads();
 
-// Invokes fn(chunk_begin, chunk_end) over a static partition of [begin, end).
-// fn runs on the calling thread when the pool has 1 thread or when the range
-// is smaller than `grain` elements; otherwise chunks are handed to the pool
-// and the call blocks until every chunk finishes. fn must only write to
-// locations owned by its chunk. Exceptions in fn terminate (kernels must not
-// throw).
-void parallel_for(int64_t begin, int64_t end,
-                  const std::function<void(int64_t, int64_t)>& fn,
-                  int64_t grain = 1);
-
 namespace detail {
+// Type-erased chunk body: fn(ctx, chunk_begin, chunk_end).
+using ChunkFn = void (*)(void*, int64_t, int64_t);
+
+// The dispatch engine behind parallel_for. `ctx` must stay valid until the
+// call returns (it does: the call blocks on chunk completion).
+void parallel_run(int64_t begin, int64_t end, ChunkFn fn, void* ctx,
+                  int64_t grain);
+
 // Chunk c of `chunks` equal contiguous pieces of an n-element range (the
 // first n % chunks pieces get one extra element). Exposed for tests.
 struct Chunk {
@@ -44,5 +49,20 @@ struct Chunk {
 };
 Chunk static_chunk(int64_t n, int chunks, int c);
 }  // namespace detail
+
+// Invokes fn(chunk_begin, chunk_end) over a static partition of [begin, end).
+// fn runs on the calling thread when the pool has 1 thread or when the range
+// is smaller than `grain` elements; otherwise chunks are handed to the pool
+// and the call blocks until every chunk finishes. fn must only write to
+// locations owned by its chunk. Exceptions in fn terminate (kernels must not
+// throw).
+template <typename F>
+void parallel_for(int64_t begin, int64_t end, F&& fn, int64_t grain = 1) {
+  using Fn = std::remove_reference_t<F>;
+  detail::parallel_run(
+      begin, end,
+      [](void* ctx, int64_t b, int64_t e) { (*static_cast<Fn*>(ctx))(b, e); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))), grain);
+}
 
 }  // namespace cham

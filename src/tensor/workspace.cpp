@@ -1,0 +1,224 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <mutex>
+#include <new>
+
+#include "util/check.h"
+
+namespace cham::ws {
+namespace {
+
+// ------------------------------------------------------------------ pool
+
+constexpr std::size_t kMinClassBytes = 64;  // smallest size class (2^6)
+constexpr int kMinClassLog2 = 6;
+constexpr int kNumClasses = 42;  // up to 2^47 bytes, far beyond any tensor
+
+int size_class(std::size_t bytes) {
+  const std::size_t b = std::max(bytes, kMinClassBytes);
+  const int log2 = std::bit_width(b - 1);  // ceil(log2(b))
+  return std::max(log2, kMinClassLog2) - kMinClassLog2;
+}
+
+std::size_t class_bytes(int cls) {
+  return std::size_t{1} << (cls + kMinClassLog2);
+}
+
+struct PoolImpl {
+  std::mutex mu;
+  std::array<std::vector<void*>, kNumClasses> free_lists;
+  int64_t heap_allocs = 0;
+  int64_t freelist_hits = 0;
+  int64_t bytes_in_use = 0;
+  int64_t high_water = 0;
+};
+
+PoolImpl& pool() {
+  // Intentionally leaked: freed blocks must stay reachable through the
+  // freelists for the process lifetime (detached pool workers may release
+  // storage at any point), and tearing the lists down at exit would race
+  // with them. Reachable-by-design keeps LeakSanitizer quiet.
+  static PoolImpl* p = new PoolImpl();  // cham-lint: allow(naked-new)
+  return *p;
+}
+
+// --------------------------------------------------------- arena registry
+
+struct ArenaRegistry {
+  std::mutex mu;
+  std::vector<Arena*> arenas;
+};
+
+ArenaRegistry& registry() {
+  // Leaked for the same reason as the pool: worker-thread arenas outlive
+  // static destruction order.
+  static ArenaRegistry* r = new ArenaRegistry();  // cham-lint: allow(naked-new)
+  return *r;
+}
+
+constexpr std::size_t kArenaAlign = 64;
+constexpr std::size_t kArenaMinChunk = 1 << 16;  // 64 KiB first chunk
+
+std::size_t align_up(std::size_t n) {
+  return (n + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+
+}  // namespace
+
+void* pool_acquire(std::size_t bytes) {
+  const int cls = size_class(bytes);
+  CHAM_CHECK(cls < kNumClasses, "pool_acquire: oversized request of " +
+                                    std::to_string(bytes) + " bytes");
+  const std::size_t cap = class_bytes(cls);
+  PoolImpl& p = pool();
+  void* block = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    auto& list = p.free_lists[static_cast<std::size_t>(cls)];
+    if (!list.empty()) {
+      block = list.back();
+      list.pop_back();
+      ++p.freelist_hits;
+    } else {
+      ++p.heap_allocs;
+    }
+    p.bytes_in_use += static_cast<int64_t>(cap);
+    p.high_water = std::max(p.high_water, p.bytes_in_use);
+  }
+  if (block == nullptr) {
+    block = ::operator new(cap, std::align_val_t{kArenaAlign});
+  }
+  return block;
+}
+
+void pool_release(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr) return;
+  const int cls = size_class(bytes);
+  const std::size_t cap = class_bytes(cls);
+  PoolImpl& p = pool();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.free_lists[static_cast<std::size_t>(cls)].push_back(ptr);
+  p.bytes_in_use -= static_cast<int64_t>(cap);
+}
+
+// ------------------------------------------------------------------ arena
+
+Arena& Arena::local() {
+  thread_local Arena arena;
+  return arena;
+}
+
+Arena::Arena() {
+  ArenaRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.arenas.push_back(this);
+}
+
+Arena::~Arena() {
+  ArenaRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::erase(r.arenas, this);
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  Chunk c;
+  const std::size_t last_cap = chunks_.empty() ? 0 : chunks_.back().cap;
+  c.cap = std::max({align_up(min_bytes), 2 * last_cap, kArenaMinChunk});
+  c.raw.resize(c.cap + kArenaAlign);
+  const auto addr = reinterpret_cast<std::uintptr_t>(c.raw.data());
+  const std::uintptr_t aligned = (addr + kArenaAlign - 1) & ~(kArenaAlign - 1);
+  c.base = c.raw.data() + (aligned - addr);
+  c.used = 0;
+  chunks_.push_back(std::move(c));
+}
+
+float* Arena::alloc_floats(std::size_t n) {
+  const std::size_t bytes = align_up(std::max<std::size_t>(n, 1) * sizeof(float));
+  // Fully idle with fragmented chunks: consolidate into one block sized for
+  // the high-water mark, so the steady state bumps inside a single chunk.
+  if (active_ == 0 && chunk_used_ == 0 && chunks_.size() > 1) {
+    const std::size_t want = std::max(align_up(high_water_), bytes);
+    chunks_.clear();
+    add_chunk(want);
+  }
+  while (active_ < chunks_.size() && chunk_used_ + bytes > chunks_[active_].cap) {
+    chunks_[active_].used = chunk_used_;
+    ++active_;
+    chunk_used_ = 0;
+  }
+  if (active_ == chunks_.size()) add_chunk(bytes);
+  float* out = reinterpret_cast<float*>(chunks_[active_].base + chunk_used_);
+  chunk_used_ += bytes;
+  chunks_[active_].used = chunk_used_;
+  high_water_ = std::max(high_water_, live_bytes());
+  return out;
+}
+
+void Arena::rewind(Mark m) {
+  CHAM_DCHECK(m.chunk <= active_, "Arena::rewind to a future mark");
+  for (std::size_t i = m.chunk + 1; i <= active_ && i < chunks_.size(); ++i) {
+    chunks_[i].used = 0;
+  }
+  active_ = m.chunk;
+  chunk_used_ = m.used;
+  if (!chunks_.empty()) chunks_[active_].used = chunk_used_;
+}
+
+std::size_t Arena::live_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < active_ && i < chunks_.size(); ++i) {
+    total += chunks_[i].used;
+  }
+  return total + chunk_used_;
+}
+
+std::size_t Arena::reserved_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.cap;
+  return total;
+}
+
+// ------------------------------------------------------------------ stats
+
+WorkspaceStats stats() {
+  WorkspaceStats s;
+  {
+    PoolImpl& p = pool();
+    std::lock_guard<std::mutex> lock(p.mu);
+    s.pool_heap_allocs = p.heap_allocs;
+    s.pool_freelist_hits = p.freelist_hits;
+    s.pool_bytes_in_use = p.bytes_in_use;
+    s.pool_high_water_bytes = p.high_water;
+  }
+  {
+    ArenaRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const Arena* a : r.arenas) {
+      s.arena_reserved_bytes += static_cast<int64_t>(a->reserved_bytes());
+      s.arena_high_water_bytes =
+          std::max(s.arena_high_water_bytes,
+                   static_cast<int64_t>(a->high_water_bytes()));
+    }
+  }
+  return s;
+}
+
+void reset_stats() {
+  {
+    PoolImpl& p = pool();
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.heap_allocs = 0;
+    p.freelist_hits = 0;
+    p.high_water = p.bytes_in_use;
+  }
+  {
+    ArenaRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (Arena* a : r.arenas) a->rebase_high_water();
+  }
+}
+
+}  // namespace cham::ws

@@ -1,0 +1,140 @@
+// Workspace memory for the compute hot path: a recycling pool for Tensor
+// storage and a per-thread bump arena for kernel scratch.
+//
+// The replay loop runs the same layer shapes every step, so after a short
+// warm-up every allocation it makes is a repeat of one it made before. Two
+// mechanisms exploit that:
+//
+//   Pool   A process-wide size-class freelist behind PoolAllocator<float>
+//          (the allocator of Tensor storage). Freed buffers go to a
+//          power-of-two class list instead of the heap; the next Tensor of
+//          a similar size reuses them. Steady state: zero heap traffic.
+//
+//   Arena  A thread-local bump allocator for transient kernel scratch
+//          (GEMM pack panels, im2col column matrices). ArenaScope rewinds
+//          on destruction, so scratch costs a pointer bump, never a free.
+//          Chunks grow geometrically during warm-up and consolidate into
+//          one block once idle; after that, allocation never touches the
+//          heap again.
+//
+// Both report into WorkspaceStats (high-water marks, heap refills, freelist
+// hits); ChameleonLearner mirrors the snapshot into OpStats so the perf
+// trajectory records allocation behaviour alongside MACs and bytes.
+//
+// Thread-safety: the pool is mutex-protected (Tensors are created on any
+// thread); each arena belongs to exactly one thread. stats() may be called
+// concurrently with use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cham::ws {
+
+struct WorkspaceStats {
+  int64_t pool_heap_allocs = 0;     // freelist misses that hit the heap
+  int64_t pool_freelist_hits = 0;   // allocations served from the freelist
+  int64_t pool_bytes_in_use = 0;    // pool capacity currently handed out
+  int64_t pool_high_water_bytes = 0;
+  int64_t arena_reserved_bytes = 0;   // chunk capacity across all arenas
+  int64_t arena_high_water_bytes = 0;  // max live scratch in any one arena
+};
+
+// Snapshot of the pool counters plus every live arena. Thread-safe.
+WorkspaceStats stats();
+
+// Zeroes the cumulative counters and re-bases the high-water marks at the
+// current usage (for tests and benchmarks that measure steady-state deltas).
+void reset_stats();
+
+// Raw pool entry points (used by PoolAllocator; exposed for tests).
+// Capacity is the power-of-two size class of `bytes`; acquire/release must
+// agree on `bytes` for a given block, which allocator usage guarantees.
+void* pool_acquire(std::size_t bytes);
+void pool_release(void* p, std::size_t bytes);
+
+// Stateless std::vector allocator backed by the pool. All instances compare
+// equal, so pooled vectors move and swap freely across Tensors.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-*)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) { pool_release(p, n * sizeof(T)); }
+
+  bool operator==(const PoolAllocator&) const { return true; }
+  bool operator!=(const PoolAllocator&) const { return false; }
+};
+
+// The storage type of Tensor (tensor.h).
+using FloatBuffer = std::vector<float, PoolAllocator<float>>;
+
+// Thread-local bump allocator for kernel scratch. Never returns memory to
+// the heap while live; rewinding reclaims everything past a mark in O(1).
+class Arena {
+ public:
+  // The calling thread's arena (created on first use, lives as long as the
+  // thread; pool worker threads never exit, so their arenas are permanent).
+  static Arena& local();
+
+  Arena();
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // 64-byte-aligned scratch of n floats, valid until a rewind past the mark
+  // taken before this call. Never returns nullptr (throws std::bad_alloc on
+  // exhaustion like the heap would).
+  float* alloc_floats(std::size_t n);
+
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+  Mark mark() const { return {active_, chunk_used_}; }
+  void rewind(Mark m);
+
+  std::size_t live_bytes() const;
+  std::size_t reserved_bytes() const;
+  std::size_t high_water_bytes() const { return high_water_; }
+  void rebase_high_water() { high_water_ = live_bytes(); }
+
+ private:
+  struct Chunk {
+    std::vector<std::byte> raw;  // over-allocated for 64-byte alignment
+    std::byte* base = nullptr;   // aligned start
+    std::size_t cap = 0;         // usable bytes
+    std::size_t used = 0;
+  };
+  void add_chunk(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;      // index of the chunk being bumped
+  std::size_t chunk_used_ = 0;  // bytes used in the active chunk
+  std::size_t high_water_ = 0;
+};
+
+// RAII scratch scope: everything allocated through it is reclaimed when the
+// scope dies. Scopes nest (inner scopes rewind first).
+class ArenaScope {
+ public:
+  ArenaScope() : arena_(Arena::local()), mark_(arena_.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  float* floats(std::size_t n) { return arena_.alloc_floats(n); }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace cham::ws

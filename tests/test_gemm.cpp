@@ -1,10 +1,13 @@
-// GEMM and im2col correctness: blocked kernels vs naive reference,
-// parameterised over a grid of shapes (property-style sweep).
+// GEMM and im2col correctness: packed kernels vs naive reference over a
+// grid of shapes (property-style sweep), exact bit-identity against the
+// serial scalar kernels in cham::ref, and the 1x1 pointwise-conv fast path
+// against the im2col lowering it replaced.
 #include <gtest/gtest.h>
 
 #include <tuple>
 #include <vector>
 
+#include "nn/layers.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -200,6 +203,147 @@ TEST(ThreadPool, KernelsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(ops::max_abs_diff(bb, b1), 0.0) << "gemm_a_bt, t=" << threads;
   }
   set_num_threads(saved);
+}
+
+// ------------------------------------------- packed kernels vs cham::ref
+
+// Exact bit-identity of the packed kernels against the serial scalar
+// reference kernels over a grid of edge shapes: empty extents, single rows
+// and columns, sizes straddling the 4x16 wide tile, the 8x4 narrow tile
+// (n <= 8 selects it) and non-multiples of both — at more than one thread
+// count, since the partition must not affect any reduction order.
+TEST(GemmRef, BitIdenticalOnEdgeShapeGrid) {
+  const int saved = num_threads();
+  const int64_t sizes[] = {0, 1, 3, 4, 5, 8, 9, 16, 17, 63, 64, 65};
+  const struct {
+    float alpha, beta;
+  } coeff[] = {{1.0f, 0.0f}, {1.25f, 0.5f}};  // copy pack and folded pack
+  for (int threads : {1, 3}) {
+    set_num_threads(threads);
+    for (int64_t m : sizes) {
+      for (int64_t n : sizes) {
+        for (int64_t k : sizes) {
+          Rng rng(uint64_t(m * 73856093 + n * 19349663 + k * 83492791 + 1));
+          Tensor a({m, k}), b({k, n}), at({k, m}), bt({n, k}), c0({m, n});
+          ops::fill_normal(a, rng, 0.0f, 1.0f);
+          ops::fill_normal(b, rng, 0.0f, 1.0f);
+          ops::fill_normal(at, rng, 0.0f, 1.0f);
+          ops::fill_normal(bt, rng, 0.0f, 1.0f);
+          ops::fill_normal(c0, rng, 0.0f, 1.0f);
+          for (const auto& co : coeff) {
+            Tensor c = c0, r = c0;
+            gemm(m, n, k, co.alpha, a.data(), b.data(), co.beta, c.data());
+            ref::gemm(m, n, k, co.alpha, a.data(), b.data(), co.beta,
+                      r.data());
+            ASSERT_EQ(ops::max_abs_diff(c, r), 0.0)
+                << "gemm " << m << "x" << n << "x" << k << " t=" << threads;
+            c = c0;
+            r = c0;
+            gemm_at_b(m, n, k, co.alpha, at.data(), b.data(), co.beta,
+                      c.data());
+            ref::gemm_at_b(m, n, k, co.alpha, at.data(), b.data(), co.beta,
+                           r.data());
+            ASSERT_EQ(ops::max_abs_diff(c, r), 0.0)
+                << "gemm_at_b " << m << "x" << n << "x" << k
+                << " t=" << threads;
+            c = c0;
+            r = c0;
+            gemm_a_bt(m, n, k, co.alpha, a.data(), bt.data(), co.beta,
+                      c.data());
+            ref::gemm_a_bt(m, n, k, co.alpha, a.data(), bt.data(), co.beta,
+                           r.data());
+            ASSERT_EQ(ops::max_abs_diff(c, r), 0.0)
+                << "gemm_a_bt " << m << "x" << n << "x" << k
+                << " t=" << threads;
+          }
+        }
+      }
+    }
+  }
+  set_num_threads(saved);
+}
+
+// K straddling the 256-element strip: the packed core chains accumulation
+// across strips through the C slot, which must reproduce the reference's
+// single unbroken fma chain exactly.
+TEST(GemmRef, BitIdenticalAcrossKStrips) {
+  for (int64_t k : {255, 256, 257, 511, 512, 513}) {
+    for (int64_t n : {4, 17}) {  // narrow and wide tile
+      const int64_t m = 5;
+      Rng rng(uint64_t(k * 131 + n));
+      Tensor a({m, k}), b({k, n}), c({m, n}), r({m, n});
+      ops::fill_normal(a, rng, 0.0f, 1.0f);
+      ops::fill_normal(b, rng, 0.0f, 1.0f);
+      ops::fill_normal(c, rng, 0.0f, 1.0f);
+      r = c;
+      gemm(m, n, k, 1.25f, a.data(), b.data(), 0.5f, c.data());
+      ref::gemm(m, n, k, 1.25f, a.data(), b.data(), 0.5f, r.data());
+      ASSERT_EQ(ops::max_abs_diff(c, r), 0.0) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+// --------------------------------------- 1x1 pointwise conv fast path
+
+// For a 1x1 stride-1 pad-0 convolution the im2col column matrix is exactly
+// the input plane, so the direct NHW-flattened GEMM path must be
+// bit-identical to the lowering it replaced — for batch 1 (the direct-call
+// branch) and batched inputs alike.
+TEST(PointwiseConv, ForwardMatchesIm2colBitExact) {
+  for (int64_t batch : {1, 3}) {
+    Rng rng(uint64_t(91 + batch));
+    nn::Conv2d conv(6, 10, 4, 4, /*kernel=*/1, /*stride=*/1, /*pad=*/0,
+                    /*bias=*/true, rng);
+    const Tensor& w = conv.params()[0]->value;
+    const Tensor& bias = conv.params()[1]->value;
+    Tensor x({batch, 6, 4, 4});
+    ops::fill_normal(x, rng, 0.0f, 1.0f);
+    const Tensor out = conv.forward(x, /*train=*/false);
+
+    ConvGeometry g{6, 4, 4, 1, 1, 0};
+    const int64_t opix = g.col_cols();
+    Tensor ref({batch, 10, 4, 4});
+    Tensor col({g.col_rows(), g.col_cols()});
+    for (int64_t n = 0; n < batch; ++n) {
+      im2col(x.data() + n * 6 * opix, g, col.data());
+      float* out_n = ref.data() + n * 10 * opix;
+      gemm(10, opix, g.col_rows(), 1.0f, w.data(), col.data(), 0.0f, out_n);
+      for (int64_t c = 0; c < 10; ++c) {
+        for (int64_t p = 0; p < opix; ++p) out_n[c * opix + p] += bias[c];
+      }
+    }
+    EXPECT_EQ(ops::max_abs_diff(out, ref), 0.0) << "batch=" << batch;
+  }
+}
+
+TEST(PointwiseConv, BackwardMatchesIm2colBitExact) {
+  const int64_t batch = 2, in_c = 6, out_c = 10;
+  Rng rng(92);
+  nn::Conv2d conv(in_c, out_c, 4, 4, /*kernel=*/1, /*stride=*/1, /*pad=*/0,
+                  /*bias=*/false, rng);
+  const Tensor& w = conv.params()[0]->value;
+  Tensor x({batch, in_c, 4, 4}), go({batch, out_c, 4, 4});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  ops::fill_normal(go, rng, 0.0f, 1.0f);
+  (void)conv.forward(x, /*train=*/true);
+  const Tensor grad_in = conv.backward(go);
+
+  // The im2col lowering's backward on the same operands: for a 1x1 kernel
+  // the column matrix is the input plane and col2im is the identity, so
+  //   dW += dOut_n @ X_n^T   and   dX_n = W^T @ dOut_n,
+  // accumulated over samples in the same ascending order.
+  const int64_t opix = 16;
+  Tensor wg({out_c, in_c});
+  Tensor gin_ref({batch, in_c, 4, 4});
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* go_n = go.data() + n * out_c * opix;
+    gemm_a_bt(out_c, in_c, opix, 1.0f, go_n, x.data() + n * in_c * opix,
+              1.0f, wg.data());
+    gemm_at_b(in_c, opix, out_c, 1.0f, w.data(), go_n, 0.0f,
+              gin_ref.data() + n * in_c * opix);
+  }
+  EXPECT_EQ(ops::max_abs_diff(conv.params()[0]->grad, wg), 0.0);
+  EXPECT_EQ(ops::max_abs_diff(grad_in, gin_ref), 0.0);
 }
 
 TEST(ConvGeometry, OutputDims) {

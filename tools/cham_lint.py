@@ -21,6 +21,14 @@ are about *this* codebase's contracts:
                       inside the body breaks the bit-identity contract
                       (CHAM_THREADS=1 vs N must match byte-for-byte). Draw
                       before the loop, index into the draws inside it.
+  alloc-in-parallel-for
+                      Tensor construction or std::vector declaration/growth
+                      (push_back, resize, ...) inside a parallel_for body.
+                      Per-iteration allocation on the hot path serialises
+                      workers on the allocator lock and defeats the
+                      steady-state zero-alloc contract; take scratch from
+                      the per-thread arena (ws::ArenaScope) or hoist the
+                      buffer out of the loop.
 
 Suppression: append `// cham-lint: allow(<rule>)` to the offending line.
 
@@ -39,6 +47,8 @@ RULES = {
     "std-rand": "std::rand is non-deterministic; use the seeded cham::Rng",
     "rng-in-parallel-for": "Rng call inside a parallel_for body breaks "
     "bit-identity across thread counts",
+    "alloc-in-parallel-for": "allocation inside a parallel_for body; use "
+    "ws::ArenaScope scratch or hoist the buffer",
 }
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -55,6 +65,15 @@ RNG_USE_RE = re.compile(
     r"uniform_int|sample_weighted)(?![A-Za-z0-9])"
 )
 PARALLEL_FOR_RE = re.compile(r"(?<![_A-Za-z0-9])parallel_for\s*\(")
+# Tensor temporaries / declarations with ctor args, vector declarations, and
+# the growing vector member calls. `const Tensor&` parameters don't match
+# (no paren/brace follows the name).
+ALLOC_RE = re.compile(
+    r"(?<![_A-Za-z0-9])Tensor\s*[({]"
+    r"|(?<![_A-Za-z0-9])Tensor\s+[A-Za-z_]\w*\s*[({]"
+    r"|(?:std\s*::\s*)?vector\s*<"
+    r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|assign)\s*\("
+)
 
 
 def strip_comments_and_strings(text):
@@ -158,6 +177,9 @@ def lint_file(path, raw):
         for use in RNG_USE_RE.finditer(extent):
             lineno = base_line + extent.count("\n", 0, use.start())
             report(lineno, "rng-in-parallel-for")
+        for use in ALLOC_RE.finditer(extent):
+            lineno = base_line + extent.count("\n", 0, use.start())
+            report(lineno, "alloc-in-parallel-for")
 
     return violations
 
