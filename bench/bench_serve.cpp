@@ -1,0 +1,235 @@
+// Serving-runtime report (writes BENCH_serve.json): a Zipf-skewed
+// multi-user workload through the sharded SessionManager with a residency
+// pool far smaller than the session count, so sessions continuously cycle
+// through checkpoint-backed eviction.
+//
+// Two gates are recorded in the JSON artefact:
+//   * fidelity_exact  — spot-checked sessions restored from the store have
+//     bit-identical head weights and predictions to the same per-session
+//     stream run in an isolated learner (the eviction round-trip contract).
+//   * throughput_ok   — steady-state dispatch throughput stays above a
+//     conservative floor (events/s), catching pathological regressions in
+//     the admission/eviction path.
+//
+//   ./build/bench/bench_serve [--events N] [--sessions N] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/chameleon.h"
+#include "metrics/experiment.h"
+#include "serve/session_manager.h"
+#include "serve/session_store.h"
+
+namespace {
+
+using cham::core::ChameleonConfig;
+using cham::core::ChameleonLearner;
+
+ChameleonConfig learner_config() {
+  ChameleonConfig cc;
+  cc.lt_capacity = 18;
+  return cc;
+}
+
+bool params_bit_identical(ChameleonLearner& a, ChameleonLearner& b) {
+  auto pa = a.head().params();
+  auto pb = b.head().params();
+  if (pa.size() != pb.size()) return false;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i]->value.numel() != pb[i]->value.numel()) return false;
+    if (std::memcmp(pa[i]->value.data(), pb[i]->value.data(),
+                    static_cast<size_t>(pa[i]->value.numel()) *
+                        sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t events = 400;
+  int64_t sessions = 50;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
+      events = std::atoll(argv[++i]);
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
+      sessions = std::atoll(argv[++i]);
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  // Small CORe50-shaped pool (shared with the checkpoint/serve test
+  // fixtures, so the pretrain cache is reused).
+  cham::metrics::ExperimentConfig cfg = cham::metrics::core50_experiment();
+  cfg.data.num_classes = 6;
+  cfg.data.num_domains = 2;
+  cfg.data.train_instances = 5;
+  cfg.pretrain_num_classes = 12;
+  cfg.pretrain_epochs = 4;
+  cfg.learner_lr = 0.02f;
+  cham::metrics::Experiment exp(cfg);
+
+  // Private per-session streams: distinct orderings over the shared pool.
+  std::vector<std::vector<cham::data::Batch>> streams;
+  for (int64_t s = 0; s < sessions; ++s) {
+    cham::data::StreamConfig sc = cfg.stream;
+    sc.seed = 5000 + static_cast<uint64_t>(s) * 7919;
+    cham::data::DomainIncrementalStream stream(cfg.data, sc);
+    exp.warm_latents(stream);
+    streams.push_back(stream.batches());
+  }
+
+  cham::data::MultiUserConfig mc;
+  mc.num_sessions = sessions;
+  mc.events = events;
+  mc.zipf_s = 1.1;
+  mc.seed = 13;
+  const auto schedule = cham::data::make_zipf_schedule(mc);
+
+  cham::serve::ServeConfig sc;
+  sc.num_shards = 4;
+  sc.max_resident = 6;  // << sessions: continuous eviction pressure
+  sc.queue_capacity = 16;
+  sc.store_dir = "/tmp/cham_bench_serve";
+  sc.base_seed = 97;
+  sc.mode = cham::serve::ServeMode::kDeterministic;
+  cham::serve::SessionStore(sc.store_dir).clear();
+
+  auto factory = [&exp](uint64_t /*session_id*/, uint64_t seed) {
+    return std::make_unique<ChameleonLearner>(exp.env(), learner_config(),
+                                              seed);
+  };
+  cham::serve::SessionManager mgr(sc, factory);
+
+  std::printf("bench_serve: %lld events over %lld sessions, shards=%lld, "
+              "max_resident=%lld\n",
+              static_cast<long long>(events),
+              static_cast<long long>(sessions),
+              static_cast<long long>(sc.num_shards),
+              static_cast<long long>(sc.max_resident));
+
+  std::vector<std::vector<const cham::data::Batch*>> submitted(
+      static_cast<size_t>(sessions));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& ev : schedule) {
+    const auto& pool = streams[static_cast<size_t>(ev.session)];
+    const auto& batch =
+        pool[static_cast<size_t>(ev.batch_index) % pool.size()];
+    submitted[static_cast<size_t>(ev.session)].push_back(&batch);
+    while (!mgr.submit_observe(static_cast<uint64_t>(ev.session), batch)
+                .accepted) {
+      mgr.drain();
+    }
+  }
+  mgr.drain();
+  const double serve_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  mgr.flush();
+
+  const cham::serve::ServeStats st = mgr.stats();
+  const cham::core::OpStats ops = mgr.aggregate_op_stats();
+  const double throughput =
+      serve_ms > 0 ? 1000.0 * static_cast<double>(st.observes) / serve_ms
+                   : 0.0;
+
+  // Fidelity spot-check: hottest rank, two mid ranks, and the coldest rank
+  // that actually received traffic.
+  std::vector<int64_t> probes;
+  probes.push_back(0);
+  probes.push_back(sessions / 4);
+  probes.push_back(sessions / 2);
+  for (int64_t s = sessions - 1; s >= 0; --s) {
+    if (!submitted[static_cast<size_t>(s)].empty()) {
+      probes.push_back(s);
+      break;
+    }
+  }
+  const auto test_keys = cham::data::all_test_keys(cfg.data);
+  cham::serve::SessionStore reader(sc.store_dir);
+  bool fidelity_exact = true;
+  int64_t probes_checked = 0;
+  for (int64_t s : probes) {
+    if (submitted[static_cast<size_t>(s)].empty()) continue;
+    ChameleonLearner restored(exp.env(), learner_config(), 0xBEEF);
+    if (!reader.load(static_cast<uint64_t>(s), restored)) {
+      fidelity_exact = false;
+      continue;
+    }
+    ChameleonLearner isolated(exp.env(), learner_config(),
+                              mgr.session_seed(static_cast<uint64_t>(s)));
+    for (const auto* b : submitted[static_cast<size_t>(s)]) {
+      isolated.observe(*b);
+    }
+    const bool ok = params_bit_identical(restored, isolated) &&
+                    restored.predict(test_keys) == isolated.predict(test_keys);
+    if (!ok) {
+      std::printf("  FIDELITY MISMATCH session %lld\n",
+                  static_cast<long long>(s));
+      fidelity_exact = false;
+    }
+    ++probes_checked;
+  }
+
+  constexpr double kThroughputFloor = 5.0;  // events/s, deliberately slack
+  const bool throughput_ok = throughput >= kThroughputFloor;
+
+  std::printf(
+      "  served %lld observes in %.1f ms (%.1f events/s)\n"
+      "  evictions %lld, restores %lld, save avg %.3f ms, restore avg %.3f "
+      "ms\n"
+      "  fidelity spot-check: %lld sessions, %s; throughput gate (>=%.0f/s) "
+      "%s\n",
+      static_cast<long long>(st.observes), serve_ms, throughput,
+      static_cast<long long>(st.evictions),
+      static_cast<long long>(st.restores), st.save_ms_avg(),
+      st.restore_ms_avg(), static_cast<long long>(probes_checked),
+      fidelity_exact ? "PASS" : "FAIL", kThroughputFloor,
+      throughput_ok ? "PASS" : "FAIL");
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"bench_serve\",\n"
+               "  \"sessions\": %lld,\n  \"events\": %lld,\n"
+               "  \"zipf_s\": %.2f,\n"
+               "  \"num_shards\": %lld,\n  \"max_resident\": %lld,\n"
+               "  \"queue_capacity\": %lld,\n",
+               static_cast<long long>(sessions),
+               static_cast<long long>(events), mc.zipf_s,
+               static_cast<long long>(sc.num_shards),
+               static_cast<long long>(sc.max_resident),
+               static_cast<long long>(sc.queue_capacity));
+  std::fprintf(json,
+               "  \"serve_ms\": %.2f,\n"
+               "  \"throughput_events_per_s\": %.2f,\n"
+               "  \"serve_stats\": %s,\n",
+               serve_ms, throughput, st.to_json().c_str());
+  std::fprintf(json,
+               "  \"aggregate_op_stats\": {\"images\": %lld, "
+               "\"g_fwd_macs\": %.0f, \"g_bwd_macs\": %.0f, "
+               "\"onchip_bytes\": %.0f, \"offchip_bytes\": %.0f},\n",
+               static_cast<long long>(ops.images), ops.g_fwd_macs,
+               ops.g_bwd_macs, ops.onchip_bytes, ops.offchip_bytes);
+  std::fprintf(json,
+               "  \"fidelity_sessions_checked\": %lld,\n"
+               "  \"gate_fidelity_exact\": %s,\n"
+               "  \"throughput_floor_events_per_s\": %.1f,\n"
+               "  \"gate_throughput_ok\": %s\n}\n",
+               static_cast<long long>(probes_checked),
+               fidelity_exact ? "true" : "false", kThroughputFloor,
+               throughput_ok ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+  return fidelity_exact && throughput_ok ? 0 : 1;
+}

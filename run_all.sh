@@ -30,10 +30,10 @@ for b in build/bench/*; do
     "$b"
   fi
 done 2>&1 | tee /root/repo/bench_output.txt
-# bench_threads and bench_kernels emit JSON perf artefacts into the repo
-# root (they run with cwd = /root/repo); record them next to the text
-# outputs so the kernel/scaling trajectory is versioned per PR.
-for j in BENCH_threads.json BENCH_kernels.json; do
+# bench_threads, bench_kernels and bench_serve emit JSON perf artefacts into
+# the repo root (they run with cwd = /root/repo); record them next to the
+# text outputs so the kernel/scaling/serving trajectory is versioned per PR.
+for j in BENCH_threads.json BENCH_kernels.json BENCH_serve.json; do
   if [ -f "/root/repo/$j" ]; then
     echo "archived $j" >> /root/repo/bench_output.txt
   else

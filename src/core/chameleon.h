@@ -14,6 +14,8 @@
 // off-chip DRAM traffic, mirroring the paper's hardware mapping.
 #pragma once
 
+#include <iosfwd>
+
 #include "core/head_learner.h"
 #include "core/long_term_memory.h"
 #include "core/preference_tracker.h"
@@ -70,6 +72,17 @@ class ChameleonLearner : public HeadLearner {
   // PreferenceTracker, OpStats ledger). Run automatically after every
   // observe() under -DCHAM_CHECKS=full; callable any time from tests.
   util::AuditReport check_invariants() const;
+
+  // Full mid-stream state serialisation: head weights, ST and LT contents,
+  // preference statistics (including mid-window counters), the staged LT
+  // burst and its cursor, the RNG state, the step counter and the traffic
+  // ledger. load_state() into a learner constructed with the same config and
+  // environment resumes the stream bit-identically — the contract the
+  // serving runtime's checkpoint-backed session eviction (src/serve/) is
+  // built on. Implemented in core/checkpoint.cpp.
+  bool save_state(std::ostream& os) const;
+  bool load_state(std::istream& is);
+  int64_t steps_observed() const { return step_; }
 
  private:
   // Throws CheckError on any audit violation, including a non-monotone

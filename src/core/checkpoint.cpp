@@ -1,6 +1,9 @@
 #include "core/checkpoint.h"
 
+#include <array>
 #include <fstream>
+#include <type_traits>
+#include <vector>
 
 #include "nn/model_io.h"
 #include "replay/serialize.h"
@@ -8,75 +11,118 @@
 namespace cham::core {
 namespace {
 
-constexpr uint32_t kMagic = 0x4348434B;  // "CHCK"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMagic = 0x43485332;  // "CHS2"
+// Version 2: single-blob full state (v1 stored only head-by-side-file,
+// buffers, and no preference/RNG/staging state, so a restored learner
+// diverged from an uninterrupted run at the next stochastic decision).
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
 bool read_pod(std::istream& is, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   return is.good();
 }
 
 }  // namespace
 
-bool save_checkpoint(const ChameleonLearner& learner,
-                     const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
+bool ChameleonLearner::save_state(std::ostream& os) const {
   write_pod(os, kMagic);
   write_pod(os, kVersion);
 
-  // Head parameters via a temporary side file would double I/O; reuse the
-  // model_io layout inline by serialising to the same stream.
-  auto& mutable_learner = const_cast<ChameleonLearner&>(learner);
-  {
-    // model_io works on files; write the head to <path>.head alongside.
-    if (!nn::save_params(mutable_learner.head(), path + ".head")) {
-      return false;
-    }
-  }
+  // Head parameters (values + BatchNorm running statistics), inline.
+  if (!nn::save_params(*g_, os)) return false;
 
-  // Short-term store.
-  if (!replay::save_buffer(learner.short_term().buffer(), os)) return false;
+  // RNG state: every stochastic decision after restore (ST slot choice,
+  // LT sampling, eviction victims) must continue the exact draw sequence.
+  const auto rs = rng_.state();
+  for (uint64_t word : rs) write_pod(os, word);
 
-  // Long-term store: flat sample list (class ids are inside the samples).
-  const auto lt = learner.long_term().all_samples();
-  write_pod(os, static_cast<int64_t>(lt.size()));
-  for (const auto& s : lt) {
-    if (!replay::save_sample(s, os)) return false;
-  }
+  write_pod(os, step_);
+
+  // Short-term store (contents + reservoir counter).
+  if (!replay::save_buffer(st_.buffer(), os)) return false;
+
+  // Long-term store: flat sample list in (class, slot) order; re-inserting
+  // in this order rebuilds the per-class slot arrays identically.
+  if (!replay::save_samples(lt_.all_samples(), os)) return false;
+
+  // Staged LT burst and its consumption cursor: a learner evicted mid-burst
+  // must keep consuming the same staged samples on restore.
+  if (!replay::save_samples(staged_lt_, os)) return false;
+  write_pod(os, static_cast<int64_t>(staged_pos_));
+
+  // Preference statistics, including mid-window counters.
+  if (!prefs_.save(os)) return false;
+
+  // Traffic ledger and the full-checks monotonicity snapshot, so restored
+  // sessions keep accumulating the same hardware cost model.
+  static_assert(std::is_trivially_copyable_v<OpStats>);
+  write_pod(os, stats_);
+  write_pod(os, audited_onchip_);
+  write_pod(os, audited_offchip_);
+  write_pod(os, audited_weight_);
   return os.good();
 }
 
-bool load_checkpoint(ChameleonLearner& learner, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
+bool ChameleonLearner::load_state(std::istream& is) {
   uint32_t magic = 0, version = 0;
   if (!read_pod(is, magic) || magic != kMagic) return false;
   if (!read_pod(is, version) || version != kVersion) return false;
 
-  if (!nn::load_params(learner.head(), path + ".head")) return false;
+  if (!nn::load_params(*g_, is)) return false;
 
-  if (!replay::load_buffer(learner.mutable_short_term().buffer(), is)) {
+  std::array<uint64_t, 4> rs{};
+  for (auto& word : rs) {
+    if (!read_pod(is, word)) return false;
+  }
+  rng_.set_state(rs);
+
+  if (!read_pod(is, step_) || step_ < 0) return false;
+
+  if (!replay::load_buffer(st_.buffer(), is)) return false;
+
+  std::vector<replay::ReplaySample> lt_samples;
+  if (!replay::load_samples(lt_samples, is)) return false;
+  lt_.clear();
+  Rng restore_rng(0xC0FFEE);  // below-quota inserts never hit the rng path
+  for (const auto& s : lt_samples) {
+    // Validate before insert: LongTermMemory contracts on the label range,
+    // and a corrupt file must fail the load, not trip a CHAM_CHECK.
+    if (s.label < 0 || s.label >= env_.data_cfg->num_classes) return false;
+    lt_.insert(s, restore_rng);
+  }
+
+  if (!replay::load_samples(staged_lt_, is)) return false;
+  int64_t staged_pos = 0;
+  if (!read_pod(is, staged_pos) || staged_pos < 0 ||
+      staged_pos > static_cast<int64_t>(staged_lt_.size())) {
     return false;
   }
+  staged_pos_ = static_cast<size_t>(staged_pos);
 
-  int64_t lt_count = 0;
-  if (!read_pod(is, lt_count) || lt_count < 0) return false;
-  auto& lt = learner.mutable_long_term();
-  lt.clear();
-  Rng restore_rng(0xC0FFEE);  // below-quota inserts never hit the rng path
-  for (int64_t i = 0; i < lt_count; ++i) {
-    replay::ReplaySample s;
-    if (!replay::load_sample(s, is)) return false;
-    lt.insert(s, restore_rng);
-  }
-  return true;
+  if (!prefs_.load(is)) return false;
+
+  if (!read_pod(is, stats_)) return false;
+  return read_pod(is, audited_onchip_) && read_pod(is, audited_offchip_) &&
+         read_pod(is, audited_weight_);
+}
+
+bool save_checkpoint(const ChameleonLearner& learner,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  return os && learner.save_state(os);
+}
+
+bool load_checkpoint(ChameleonLearner& learner, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return is && learner.load_state(is);
 }
 
 }  // namespace cham::core

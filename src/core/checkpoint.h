@@ -1,11 +1,21 @@
-// Full learner-state checkpointing for on-device deployment.
+// Full learner-state checkpointing for on-device deployment and serving.
 //
 // A power-cycled edge device must resume continual learning without losing
-// what its replay stores protect. A Chameleon checkpoint is small: the head
+// what its replay stores protect, and the multi-session serving runtime
+// (src/serve/) evicts cold sessions to disk and restores them on the next
+// request. Both paths need the SAME property: a restored learner continues
+// the stream bit-identically to one that was never interrupted. A checkpoint
+// therefore carries everything that influences future behaviour: the head
 // parameters (the backbone is a fixed artifact of the firmware image), the
-// short-term and long-term store contents, and the preference statistics'
-// observable state (the preferred set re-forms within one learning window,
-// so only the buffers and weights need persisting).
+// short-term and long-term store contents, the preference statistics
+// including mid-window counters, the staged LT replay burst and its cursor,
+// the RNG state, the step counter and the traffic ledger.
+//
+// The serialisation itself lives on the learner
+// (ChameleonLearner::save_state / load_state, implemented in this
+// translation unit); these file helpers wrap it for the single-device
+// reboot use case. The serving runtime's SessionStore uses the stream form
+// directly.
 #pragma once
 
 #include <string>
@@ -14,7 +24,7 @@
 
 namespace cham::core {
 
-// Saves head parameters + both replay stores. Returns false on I/O error.
+// Saves the complete learner state to one file. Returns false on I/O error.
 bool save_checkpoint(const ChameleonLearner& learner,
                      const std::string& path);
 

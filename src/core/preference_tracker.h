@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,65 @@ class PreferenceTracker {
 
   int64_t recalibrations() const { return recalibrations_; }
   int64_t samples_seen() const { return samples_seen_total_; }
+  // Samples recorded in the current (incomplete) learning window. Exposed so
+  // the checkpoint round-trip tests can assert mid-window counters survive a
+  // save/restore cycle exactly.
+  int64_t window_seen() const { return window_seen_; }
+
+  // Full observable-state serialisation (checkpoint / session eviction).
+  // Everything that influences future behaviour is included: the mid-window
+  // counters matter because an evicted-and-restored session must recalibrate
+  // at exactly the same stream position as an uninterrupted one.
+  bool save(std::ostream& os) const {
+    auto put = [&os](const auto& v) {
+      os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put(num_classes_);
+    put(top_k_);
+    put(learning_window_);
+    put(rho_);
+    for (int64_t c = 0; c < num_classes_; ++c) {
+      const auto ci = static_cast<size_t>(c);
+      put(window_counts_[ci]);
+      put(total_counts_[ci]);
+      const uint8_t pref = preferred_[ci] ? 1 : 0;
+      put(pref);
+    }
+    put(window_seen_);
+    put(samples_seen_total_);
+    put(recalibrations_);
+    put(delta_k_);
+    return os.good();
+  }
+
+  // Restores into a tracker constructed with the SAME configuration; returns
+  // false (tracker unspecified) on config mismatch or short read.
+  bool load(std::istream& is) {
+    auto get = [&is](auto& v) {
+      is.read(reinterpret_cast<char*>(&v), sizeof(v));
+      return is.good();
+    };
+    int64_t num_classes = 0, top_k = 0, learning_window = 0;
+    float rho = 0;
+    if (!get(num_classes) || !get(top_k) || !get(learning_window) ||
+        !get(rho)) {
+      return false;
+    }
+    if (num_classes != num_classes_ || top_k != top_k_ ||
+        learning_window != learning_window_ || rho != rho_) {
+      return false;
+    }
+    for (int64_t c = 0; c < num_classes_; ++c) {
+      const auto ci = static_cast<size_t>(c);
+      uint8_t pref = 0;
+      if (!get(window_counts_[ci]) || !get(total_counts_[ci]) || !get(pref)) {
+        return false;
+      }
+      preferred_[ci] = pref != 0;
+    }
+    return get(window_seen_) && get(samples_seen_total_) &&
+           get(recalibrations_) && get(delta_k_);
+  }
 
   // Structural audit (Eq. 2 bookkeeping): the Delta_k weight stays a usable
   // probability (clamped to [0.05, 0.95]), the preferred set never contains

@@ -27,19 +27,39 @@ const Tensor& LatentCache::insert(uint64_t packed, Tensor z) {
   return it->second.latent;
 }
 
+void LatentCache::check_owner() {
+  if (max_entries_ <= 0) return;
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+    return;
+  }
+  CHAM_CHECK(owner_ == std::this_thread::get_id(),
+             "LatentCache: bounded cache accessed from a second thread; "
+             "eviction invalidates references held by other threads, so "
+             "bounded caches are single-owner (use an unbounded cache for "
+             "multi-session serving)");
+}
+
 const Tensor& LatentCache::latent(const ImageKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_owner();
   const uint64_t k = key.packed();
   auto it = cache_.find(k);
   if (it != cache_.end()) {
     touch(it->second);
     return it->second.latent;
   }
+  // Miss path runs the backbone under the lock: concurrent misses would be
+  // numerically identical anyway (frozen f), but double-inserting the same
+  // key would break the LRU bookkeeping.
   const Tensor img = synthesize_batch(cfg_, {key});
   Tensor z = f_.forward(img, /*train=*/false);
   return insert(k, std::move(z));
 }
 
 void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_owner();
   std::vector<ImageKey> missing;
   for (const ImageKey& key : keys) {
     if (!cache_.contains(key.packed())) missing.push_back(key);

@@ -13,10 +13,24 @@
 // returned by latent() stay valid until that entry is evicted, so a bound
 // must be at least as large as the number of latents a caller holds at
 // once (one incoming batch for the learners; warm() batches internally).
+//
+// Concurrency contract (the serving runtime shares one cache across shard
+// workers): every public entry point is serialised by an internal mutex, so
+// an UNBOUNDED cache is safe to use from any number of threads — entries are
+// never erased, unordered_map references are stable under insertion, and a
+// concurrent miss at worst recomputes the same (bit-identical) latent. A
+// BOUNDED cache is single-owner: eviction invalidates references another
+// thread may still hold, a hazard no lock around the call can fix. The first
+// thread to touch a bounded cache becomes its owner and CHAM_CHECK rejects
+// access from any other thread. The serving runtime therefore requires its
+// shared cache to be unbounded (SessionManager contracts on this at
+// construction).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "data/dataset.h"
@@ -35,15 +49,22 @@ class LatentCache {
 
   // Latent activation (1 x C x H x W) of one image; computed on miss. The
   // reference is valid until this entry is evicted (forever when
-  // unbounded).
+  // unbounded). Thread-safe when unbounded; single-owner when bounded (see
+  // the concurrency contract above).
   const Tensor& latent(const ImageKey& key);
 
   // Precompute a set of keys in batches (faster GEMMs than one-by-one).
   void warm(const std::vector<ImageKey>& keys, int64_t batch = 32);
 
-  int64_t size() const { return static_cast<int64_t>(cache_.size()); }
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(cache_.size());
+  }
   int64_t max_entries() const { return max_entries_; }
-  int64_t evictions() const { return evictions_; }
+  int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   struct Entry {
@@ -52,9 +73,12 @@ class LatentCache {
   };
 
   // Inserts under the capacity bound (evicting the LRU tail first when at
-  // the bound) and marks the entry most recently used.
+  // the bound) and marks the entry most recently used. Caller holds mu_.
   const Tensor& insert(uint64_t packed, Tensor z);
   void touch(Entry& e);
+  // Bounded caches: CHAM_CHECK that every access comes from the owning
+  // (first-touching) thread. Caller holds mu_.
+  void check_owner();
 
   DatasetConfig cfg_;
   nn::Sequential& f_;
@@ -62,6 +86,8 @@ class LatentCache {
   int64_t evictions_ = 0;
   std::list<uint64_t> lru_;  // front = most recently used
   std::unordered_map<uint64_t, Entry> cache_;
+  mutable std::mutex mu_;
+  std::thread::id owner_;  // set on first access when bounded
 };
 
 // Stacks per-sample latents (each 1 x C x H x W) into an N x C x H x W batch.

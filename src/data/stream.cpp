@@ -1,6 +1,9 @@
 #include "data/stream.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
 
 namespace cham::data {
 
@@ -117,6 +120,29 @@ ClassIncrementalStream::ClassIncrementalStream(
       batches_.push_back(std::move(b));
     }
   }
+}
+
+std::vector<SessionEvent> make_zipf_schedule(const MultiUserConfig& cfg) {
+  CHAM_CHECK(cfg.num_sessions > 0, "make_zipf_schedule: no sessions");
+  CHAM_CHECK(cfg.events >= 0, "make_zipf_schedule: negative event count");
+  Rng rng(cfg.seed * 0x9E3779B97F4A7C15ull + 0x5EED);
+
+  // Zipf weights over session rank (rank 0 hottest): w_r = 1 / (r+1)^s.
+  std::vector<double> weights(static_cast<size_t>(cfg.num_sessions));
+  for (int64_t r = 0; r < cfg.num_sessions; ++r) {
+    weights[static_cast<size_t>(r)] =
+        1.0 / std::pow(static_cast<double>(r + 1), cfg.zipf_s);
+  }
+
+  std::vector<SessionEvent> schedule;
+  schedule.reserve(static_cast<size_t>(cfg.events));
+  std::vector<int64_t> next_batch(static_cast<size_t>(cfg.num_sessions), 0);
+  for (int64_t e = 0; e < cfg.events; ++e) {
+    int64_t s = rng.sample_weighted(weights);
+    if (s < 0) s = rng.uniform_int(cfg.num_sessions);
+    schedule.push_back({s, next_batch[static_cast<size_t>(s)]++});
+  }
+  return schedule;
 }
 
 }  // namespace cham::data

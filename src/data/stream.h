@@ -67,6 +67,35 @@ class DomainIncrementalStream {
   int64_t total_samples_ = 0;
 };
 
+// --- Multi-user serving workloads -----------------------------------------
+//
+// The serving runtime (src/serve/) multiplexes many per-user learners; its
+// benchmarks and tests need a realistic arrival schedule. Web-scale traffic
+// is heavily skewed — a few hot users dominate while a long tail of cold
+// sessions trickles in — which is exactly the regime that exercises
+// checkpoint-backed eviction (cold sessions fall out of the resident pool
+// and must restore bit-identically later).
+
+struct MultiUserConfig {
+  int64_t num_sessions = 50;
+  int64_t events = 2000;  // total observe submissions across all sessions
+  double zipf_s = 1.1;    // Zipf exponent over session rank; 0 = uniform
+  uint64_t seed = 7;
+};
+
+// One serving arrival: session `session` submits its next batch, the
+// `batch_index`-th of its private stream (a per-session running counter, so
+// replaying the schedule through isolated learners is trivial).
+struct SessionEvent {
+  int64_t session = 0;
+  int64_t batch_index = 0;
+};
+
+// Draws `events` sessions i.i.d. from Zipf(zipf_s) over session ranks
+// 0..num_sessions-1 (rank 0 hottest) and assigns per-session batch indices
+// in arrival order. Deterministic in the seed.
+std::vector<SessionEvent> make_zipf_schedule(const MultiUserConfig& cfg);
+
 struct ClassIncrementalConfig {
   int64_t classes_per_task = 10;
   int64_t batch_size = 10;

@@ -28,38 +28,44 @@ std::vector<Tensor*> state_tensors(Sequential& net) {
 
 }  // namespace
 
-bool save_params(const Sequential& net, const std::string& path) {
+bool save_params(const Sequential& net, std::ostream& os) {
   auto tensors = state_tensors(const_cast<Sequential&>(net));
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return false;
-  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   const uint64_t count = tensors.size();
-  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (Tensor* t : tensors) {
     const uint64_t n = static_cast<uint64_t>(t->numel());
-    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    f.write(reinterpret_cast<const char*>(t->data()),
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  return os.good();
+}
+
+bool load_params(Sequential& net, std::istream& is) {
+  auto tensors = state_tensors(net);
+  uint64_t magic = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is.good() || magic != kMagic || count != tensors.size()) return false;
+  for (Tensor* t : tensors) {
+    uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!is.good() || n != static_cast<uint64_t>(t->numel())) return false;
+    is.read(reinterpret_cast<char*>(t->data()),
             static_cast<std::streamsize>(n * sizeof(float)));
   }
-  return f.good();
+  return is.good();
+}
+
+bool save_params(const Sequential& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  return f && save_params(net, f);
 }
 
 bool load_params(Sequential& net, const std::string& path) {
-  auto tensors = state_tensors(net);
   std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  uint64_t magic = 0, count = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  f.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (magic != kMagic || count != tensors.size()) return false;
-  for (Tensor* t : tensors) {
-    uint64_t n = 0;
-    f.read(reinterpret_cast<char*>(&n), sizeof(n));
-    if (n != static_cast<uint64_t>(t->numel())) return false;
-    f.read(reinterpret_cast<char*>(t->data()),
-           static_cast<std::streamsize>(n * sizeof(float)));
-  }
-  return f.good();
+  return f && load_params(net, f);
 }
 
 }  // namespace cham::nn

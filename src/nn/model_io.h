@@ -3,6 +3,8 @@
 // tensors in pipeline order plus BatchNorm running statistics.
 #pragma once
 
+#include <istream>
+#include <ostream>
 #include <string>
 
 #include "nn/sequential.h"
@@ -12,5 +14,12 @@ namespace cham::nn {
 // Returns false on I/O failure or architecture mismatch.
 bool save_params(const Sequential& net, const std::string& path);
 bool load_params(Sequential& net, const std::string& path);
+
+// Stream variants, for embedding the parameter block inside a larger
+// artefact (the learner-state checkpoints in core/checkpoint.h store head
+// weights inline so a session is a single blob). Same format as the file
+// variants, which delegate here.
+bool save_params(const Sequential& net, std::ostream& os);
+bool load_params(Sequential& net, std::istream& is);
 
 }  // namespace cham::nn

@@ -80,6 +80,27 @@ bool load_sample(ReplaySample& sample, std::istream& is) {
   return true;
 }
 
+bool save_samples(const std::vector<ReplaySample>& samples, std::ostream& os) {
+  write_pod(os, static_cast<int64_t>(samples.size()));
+  for (const auto& s : samples) {
+    if (!save_sample(s, os)) return false;
+  }
+  return os.good();
+}
+
+bool load_samples(std::vector<ReplaySample>& samples, std::istream& is) {
+  int64_t count = 0;
+  if (!read_pod(is, count) || count < 0 || count > (int64_t{1} << 32)) {
+    return false;
+  }
+  samples.clear();
+  samples.resize(static_cast<size_t>(count));
+  for (auto& s : samples) {
+    if (!load_sample(s, is)) return false;
+  }
+  return true;
+}
+
 bool save_buffer(const ReplayBuffer& buffer, std::ostream& os) {
   write_pod(os, kMagic);
   write_pod(os, kVersion);

@@ -31,4 +31,11 @@ bool load_buffer_file(ReplayBuffer& buffer, const std::string& path);
 bool save_sample(const ReplaySample& sample, std::ostream& os);
 bool load_sample(ReplaySample& sample, std::istream& is);
 
+// Flat sample lists (count-prefixed). Used for the long-term store contents
+// and the staged LT burst inside learner-state checkpoints; order is
+// preserved exactly, which the bit-identical session-restore contract in
+// src/serve/ depends on.
+bool save_samples(const std::vector<ReplaySample>& samples, std::ostream& os);
+bool load_samples(std::vector<ReplaySample>& samples, std::istream& is);
+
 }  // namespace cham::replay

@@ -1,0 +1,86 @@
+// Serving-runtime counters, exported alongside the per-learner OpStats.
+//
+// OpStats describes what one learner's algorithm costs per image; ServeStats
+// describes what the multi-session runtime around the learners does —
+// admission control, queue pressure, and the checkpoint traffic of moving
+// session state across the residency hierarchy (resident learners are the
+// paper's on-chip tier, the disk-backed SessionStore the off-chip tier; see
+// DESIGN.md "Serving runtime").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cham::serve {
+
+struct ServeStats {
+  // Admission control.
+  int64_t submitted = 0;   // observe + predict submissions
+  int64_t admissions = 0;  // accepted into a shard queue
+  int64_t rejections = 0;  // bounded queue full: rejected with a retry hint
+
+  // Dispatch.
+  int64_t observes = 0;  // observe requests executed
+  int64_t predicts = 0;  // predict requests executed
+
+  // Residency / eviction.
+  int64_t creates = 0;    // sessions constructed fresh (first contact)
+  int64_t evictions = 0;  // resident learner serialised to the store
+  int64_t restores = 0;   // store blob deserialised back to residency
+  int64_t resident_high_water = 0;
+  int64_t queue_depth_high_water = 0;  // max depth over all shards
+
+  // Store round-trip latency (wall milliseconds).
+  double save_ms_total = 0;
+  double save_ms_max = 0;
+  double restore_ms_total = 0;
+  double restore_ms_max = 0;
+
+  double save_ms_avg() const {
+    return evictions > 0 ? save_ms_total / static_cast<double>(evictions)
+                         : 0.0;
+  }
+  double restore_ms_avg() const {
+    return restores > 0 ? restore_ms_total / static_cast<double>(restores)
+                        : 0.0;
+  }
+
+  void record_save_ms(double ms) {
+    save_ms_total += ms;
+    save_ms_max = std::max(save_ms_max, ms);
+  }
+  void record_restore_ms(double ms) {
+    restore_ms_total += ms;
+    restore_ms_max = std::max(restore_ms_max, ms);
+  }
+
+  std::string to_json() const {
+    auto num = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", v);
+      return std::string(buf);
+    };
+    std::string j = "{";
+    j += "\"submitted\": " + std::to_string(submitted);
+    j += ", \"admissions\": " + std::to_string(admissions);
+    j += ", \"rejections\": " + std::to_string(rejections);
+    j += ", \"observes\": " + std::to_string(observes);
+    j += ", \"predicts\": " + std::to_string(predicts);
+    j += ", \"creates\": " + std::to_string(creates);
+    j += ", \"evictions\": " + std::to_string(evictions);
+    j += ", \"restores\": " + std::to_string(restores);
+    j += ", \"resident_high_water\": " + std::to_string(resident_high_water);
+    j += ", \"queue_depth_high_water\": " +
+         std::to_string(queue_depth_high_water);
+    j += ", \"save_ms_avg\": " + num(save_ms_avg());
+    j += ", \"save_ms_max\": " + num(save_ms_max);
+    j += ", \"restore_ms_avg\": " + num(restore_ms_avg());
+    j += ", \"restore_ms_max\": " + num(restore_ms_max);
+    j += "}";
+    return j;
+  }
+};
+
+}  // namespace cham::serve

@@ -1,0 +1,318 @@
+#include "serve/session_manager.h"
+
+#include <chrono>
+
+#include "tensor/rng.h"
+#include "tensor/thread_pool.h"
+#include "util/check.h"
+
+namespace cham::serve {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(ServeConfig cfg, LearnerFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)), store_(cfg_.store_dir) {
+  CHAM_CHECK(cfg_.num_shards >= 1, "SessionManager: need at least one shard");
+  CHAM_CHECK(cfg_.queue_capacity >= 1,
+             "SessionManager: queue capacity must be positive");
+  CHAM_CHECK(cfg_.max_resident >= cfg_.num_shards,
+             "SessionManager: max_resident " +
+                 std::to_string(cfg_.max_resident) + " below num_shards " +
+                 std::to_string(cfg_.num_shards) +
+                 " (each shard dispatcher may pin one session)");
+  CHAM_CHECK(static_cast<bool>(factory_),
+             "SessionManager: learner factory is empty");
+  shards_.reserve(static_cast<size_t>(cfg_.num_shards));
+  for (int64_t i = 0; i < cfg_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (cfg_.mode == ServeMode::kThreaded) {
+    // Shard-level parallelism replaces intra-op parallelism: with the pool
+    // at 1 thread, parallel_for short-circuits to an inline call, which is
+    // safe from any number of shard workers and bit-identical to every
+    // other thread count.
+    prev_num_threads_ = num_threads();
+    set_num_threads(1);
+    for (auto& shard : shards_) {
+      shard->worker = std::thread([this, &shard] { worker_loop(*shard); });
+    }
+  }
+}
+
+SessionManager::~SessionManager() {
+  flush();
+  if (cfg_.mode == ServeMode::kThreaded) {
+    stop_.store(true);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->cv.notify_all();
+    }
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    set_num_threads(prev_num_threads_);
+  }
+}
+
+int64_t SessionManager::shard_of(uint64_t session_id) const {
+  // splitmix64 spreads adjacent ids across shards uniformly.
+  return static_cast<int64_t>(splitmix64(session_id) %
+                              static_cast<uint64_t>(cfg_.num_shards));
+}
+
+uint64_t SessionManager::session_seed(uint64_t session_id) const {
+  return split_seed(cfg_.base_seed, session_id);
+}
+
+Admission SessionManager::enqueue(int64_t shard_idx, Request r) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    depth = static_cast<int64_t>(shard.queue.size());
+    if (depth >= cfg_.queue_capacity) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.submitted;
+      ++stats_.rejections;
+      return {false, cfg_.retry_hint_ms, depth};
+    }
+    shard.queue.push_back(std::move(r));
+    ++depth;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.admissions;
+    stats_.queue_depth_high_water =
+        std::max(stats_.queue_depth_high_water, depth);
+  }
+  if (cfg_.mode == ServeMode::kThreaded) shard.cv.notify_one();
+  return {true, 0, depth};
+}
+
+Admission SessionManager::submit_observe(uint64_t session_id,
+                                         const data::Batch& batch) {
+  Request r;
+  r.kind = Request::Kind::kObserve;
+  r.session_id = session_id;
+  r.batch = batch;
+  return enqueue(shard_of(session_id), std::move(r));
+}
+
+std::optional<std::vector<int64_t>> SessionManager::predict(
+    uint64_t session_id, const std::vector<data::ImageKey>& keys,
+    Admission* admission) {
+  std::promise<std::vector<int64_t>> reply;
+  std::future<std::vector<int64_t>> result = reply.get_future();
+  Request r;
+  r.kind = Request::Kind::kPredict;
+  r.session_id = session_id;
+  r.keys = &keys;
+  r.reply = &reply;
+  const int64_t shard_idx = shard_of(session_id);
+  const Admission adm = enqueue(shard_idx, std::move(r));
+  if (admission) *admission = adm;
+  if (!adm.accepted) return std::nullopt;
+  // The promise lives on this stack frame, so the request must be fully
+  // dispatched before returning — deterministically by draining the shard
+  // here, or by blocking on the worker in threaded mode.
+  if (cfg_.mode == ServeMode::kDeterministic) drain_shard(shard_idx);
+  return result.get();
+}
+
+void SessionManager::drain() {
+  if (cfg_.mode == ServeMode::kDeterministic) {
+    // Round-robin one request per shard per pass: a deterministic
+    // interleaving that exercises cross-session switching (and therefore
+    // eviction) harder than draining shard-by-shard would.
+    bool any = true;
+    while (any) {
+      any = false;
+      for (auto& shard : shards_) {
+        Request r;
+        {
+          std::lock_guard<std::mutex> lock(shard->mu);
+          // cham-lint: begin(dispatch)
+          if (shard->queue.empty()) continue;
+          r = std::move(shard->queue.front());
+          shard->queue.pop_front();
+          // cham-lint: end(dispatch)
+        }
+        dispatch(r);
+        any = true;
+      }
+    }
+    return;
+  }
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_idle.wait(lock, [&shard] {
+      return shard->queue.empty() && shard->in_flight == 0;
+    });
+  }
+}
+
+void SessionManager::drain_shard(int64_t shard_idx) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
+  for (;;) {
+    Request r;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // cham-lint: begin(dispatch)
+      if (shard.queue.empty()) return;
+      r = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      // cham-lint: end(dispatch)
+    }
+    dispatch(r);
+  }
+}
+
+void SessionManager::worker_loop(Shard& shard) {
+  for (;;) {
+    Request r;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [this, &shard] {
+        return stop_ || !shard.queue.empty();
+      });
+      // cham-lint: begin(dispatch)
+      if (shard.queue.empty()) return;  // stop_ set and no work left
+      r = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      ++shard.in_flight;
+      // cham-lint: end(dispatch)
+    }
+    dispatch(r);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      --shard.in_flight;
+      if (shard.queue.empty() && shard.in_flight == 0) {
+        shard.cv_idle.notify_all();
+      }
+    }
+  }
+}
+
+void SessionManager::dispatch(Request& r) {
+  core::ChameleonLearner* learner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    learner = acquire_session(r.session_id);
+  }
+  // Execute unpinned from sessions_mu_: other shards keep admitting and
+  // evicting while this session trains (it is protected by its in_use pin).
+  if (r.kind == Request::Kind::kObserve) {
+    learner->observe(r.batch);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.observes;
+  } else {
+    r.reply->set_value(learner->predict(*r.keys));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.predicts;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_op_stats_[r.session_id] = learner->stats();
+    release_session(r.session_id);
+  }
+}
+
+core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
+  Session& session = sessions_[session_id];
+  if (!session.learner) {
+    while (resident_ >= cfg_.max_resident) evict_one_locked();
+    auto fresh = factory_(session_id, session_seed(session_id));
+    CHAM_CHECK(fresh != nullptr, "SessionManager: factory returned null");
+    if (store_.contains(session_id)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ok = store_.load(session_id, *fresh);
+      CHAM_CHECK(ok, "SessionManager: corrupt session blob for id " +
+                         std::to_string(session_id));
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.restores;
+      stats_.record_restore_ms(ms_since(t0));
+    } else {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.creates;
+    }
+    session.learner = std::move(fresh);
+    ++resident_;
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.resident_high_water =
+        std::max(stats_.resident_high_water, resident_);
+  }
+  CHAM_CHECK(!session.in_use,
+             "SessionManager: session " + std::to_string(session_id) +
+                 " dispatched concurrently (shard routing broken)");
+  session.in_use = true;
+  session.last_used = ++tick_;
+  return session.learner.get();
+}
+
+void SessionManager::release_session(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  CHAM_CHECK(it != sessions_.end(),
+             "SessionManager: releasing unknown session");
+  it->second.in_use = false;
+}
+
+void SessionManager::evict_one_locked() {
+  uint64_t victim_id = 0;
+  Session* victim = nullptr;
+  for (auto& [id, session] : sessions_) {
+    if (!session.learner || session.in_use) continue;
+    if (!victim || session.last_used < victim->last_used) {
+      victim = &session;
+      victim_id = id;
+    }
+  }
+  // max_resident >= num_shards guarantees a spare: at most num_shards - 1
+  // other sessions are pinned while one dispatcher is admitting.
+  CHAM_CHECK(victim != nullptr,
+             "SessionManager: no evictable session (all pinned)");
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = store_.save(victim_id, *victim->learner);
+  CHAM_CHECK(ok, "SessionManager: failed to serialise session " +
+                     std::to_string(victim_id));
+  victim->learner.reset();
+  --resident_;
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.evictions;
+  stats_.record_save_ms(ms_since(t0));
+}
+
+void SessionManager::flush() {
+  drain();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  while (resident_ > 0) evict_one_locked();
+}
+
+ServeStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+core::OpStats SessionManager::aggregate_op_stats() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  core::OpStats total;
+  for (const auto& [id, ops] : session_op_stats_) {
+    (void)id;
+    total += ops;
+  }
+  return total;
+}
+
+int64_t SessionManager::resident_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return resident_;
+}
+
+}  // namespace cham::serve

@@ -1,0 +1,191 @@
+// Multi-session serving runtime: a sharded pool of resident per-user
+// learners with checkpoint-backed eviction.
+//
+// The paper trains one Chameleon learner on one user's stream; a production
+// deployment serves many users at once, each with private head weights,
+// replay stores and preference statistics. The SessionManager multiplexes
+// those per-user learners over a bounded residency pool:
+//
+//   * Requests (observe / predict) enter per-shard bounded FIFO queues.
+//     Sessions are hashed to shards, so one session's requests are always
+//     dispatched in submission order by a single dispatcher — the property
+//     that makes any cross-session interleaving produce per-session results
+//     identical to N isolated learners.
+//   * Admission is explicit backpressure: a full shard queue REJECTS the
+//     request with a retry hint instead of growing without bound. Callers
+//     re-submit after the hint; nothing is silently dropped or buffered.
+//   * At most `max_resident` learners are in memory. Admitting a request
+//     for a non-resident session evicts the least-recently-used idle
+//     session first: its full state is serialised through the checkpoint
+//     layer into the disk-backed SessionStore and the learner is destroyed.
+//     The next request for that session restores it bit-identically.
+//   * Each session's learner is seeded with split_seed(base_seed, id), so
+//     per-session randomness is independent of admission order.
+//
+// Two scheduler modes:
+//
+//   kDeterministic  No threads. submit_observe() enqueues; drain() (or a
+//                   synchronous predict()) dispatches queued requests in
+//                   round-robin shard order on the calling thread. Tests use
+//                   this to replay any interleaving reproducibly.
+//   kThreaded       One worker thread per shard. The manager forces the
+//                   tensor pool to 1 thread for its lifetime (shard-level
+//                   parallelism replaces intra-op parallelism; kernels are
+//                   bit-identical at any thread count, so per-session
+//                   results do not change). The shared LatentCache must be
+//                   unbounded (see data/latent_cache.h).
+//
+// Hierarchy mapping (DESIGN.md "Serving runtime"): resident learners are
+// the on-chip tier (fast, capacity-bounded), the SessionStore the off-chip
+// tier (large, paid for per eviction/restore round-trip) — the same
+// two-tier cost structure the paper's ST/LT split reasons about, one level
+// up.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/chameleon.h"
+#include "data/stream.h"
+#include "serve/serve_stats.h"
+#include "serve/session_store.h"
+
+namespace cham::serve {
+
+enum class ServeMode {
+  kDeterministic,  // caller-driven dispatch, no threads
+  kThreaded,       // one worker per shard
+};
+
+struct ServeConfig {
+  int64_t num_shards = 4;
+  // Resident learner bound. Must be >= num_shards: each shard dispatcher
+  // pins at most one session while executing, and eviction only considers
+  // unpinned sessions, so num_shards residents must always be spare.
+  int64_t max_resident = 8;
+  int64_t queue_capacity = 32;  // pending requests per shard
+  int64_t retry_hint_ms = 5;    // backpressure hint returned on rejection
+  ServeMode mode = ServeMode::kDeterministic;
+  std::string store_dir = "/tmp/cham_sessions";
+  uint64_t base_seed = 42;
+};
+
+struct Admission {
+  bool accepted = false;
+  int64_t retry_after_ms = 0;  // when rejected: back off at least this long
+  int64_t queue_depth = 0;     // shard queue depth after the decision
+};
+
+// Builds a fresh learner for a session. `seed` is the session's derived
+// seed (split_seed(base_seed, session_id)); the factory must pass it to the
+// ChameleonLearner constructor unchanged, or restores lose bit-identity
+// with an isolated run of the same session.
+using LearnerFactory = std::function<std::unique_ptr<core::ChameleonLearner>(
+    uint64_t session_id, uint64_t seed)>;
+
+class SessionManager {
+ public:
+  SessionManager(ServeConfig cfg, LearnerFactory factory);
+  // Drains every queue, then evicts all resident sessions to the store.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Enqueues one online-learning step for the session. Never blocks: a full
+  // shard queue rejects with a retry hint.
+  Admission submit_observe(uint64_t session_id, const data::Batch& batch);
+
+  // Synchronous prediction, FIFO-ordered after the session's pending
+  // observes (read-your-writes). Subject to the same admission control;
+  // returns nullopt on rejection (admission, if given, carries the hint).
+  std::optional<std::vector<int64_t>> predict(
+      uint64_t session_id, const std::vector<data::ImageKey>& keys,
+      Admission* admission = nullptr);
+
+  // Deterministic mode: dispatches every queued request, round-robin across
+  // shards, on the calling thread. Threaded mode: blocks until all queues
+  // are empty and in-flight requests have finished.
+  void drain();
+
+  // Drains, then evicts every resident session to the store.
+  void flush();
+
+  // The seed a session's learner is constructed with.
+  uint64_t session_seed(uint64_t session_id) const;
+
+  ServeStats stats() const;
+  // Sum of OpStats over every session this manager has served (resident
+  // learners live, evicted sessions from their last dispatch snapshot).
+  core::OpStats aggregate_op_stats() const;
+  int64_t resident_count() const;
+  const SessionStore& store() const { return store_; }
+  const ServeConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    enum class Kind { kObserve, kPredict };
+    Kind kind = Kind::kObserve;
+    uint64_t session_id = 0;
+    data::Batch batch;                              // kObserve payload
+    const std::vector<data::ImageKey>* keys = nullptr;  // kPredict payload
+    std::promise<std::vector<int64_t>>* reply = nullptr;  // kPredict result
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;       // work available / stop
+    std::condition_variable cv_idle;  // queue empty and nothing in flight
+    std::deque<Request> queue;
+    int64_t in_flight = 0;
+    std::thread worker;
+  };
+
+  struct Session {
+    std::unique_ptr<core::ChameleonLearner> learner;  // null when evicted
+    uint64_t last_used = 0;  // residency LRU tick
+    bool in_use = false;     // pinned by a dispatcher
+  };
+
+  int64_t shard_of(uint64_t session_id) const;
+  Admission enqueue(int64_t shard_idx, Request r);
+  // Pops and dispatches until the shard queue is empty (deterministic mode).
+  void drain_shard(int64_t shard_idx);
+  void worker_loop(Shard& shard);
+  void dispatch(Request& r);
+  // Makes the session resident (evicting/restoring as needed), pins it, and
+  // returns its learner. Runs under sessions_mu_.
+  core::ChameleonLearner* acquire_session(uint64_t session_id);
+  void release_session(uint64_t session_id);
+  void evict_one_locked();  // evicts the LRU unpinned resident session
+
+  ServeConfig cfg_;
+  LearnerFactory factory_;
+  SessionStore store_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, Session> sessions_;
+  std::unordered_map<uint64_t, core::OpStats> session_op_stats_;
+  int64_t resident_ = 0;
+  uint64_t tick_ = 0;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+
+  std::atomic<bool> stop_{false};
+  int prev_num_threads_ = 0;  // tensor pool size to restore (threaded mode)
+};
+
+}  // namespace cham::serve

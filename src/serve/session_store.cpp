@@ -1,0 +1,141 @@
+#include "serve/session_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace cham::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+// session_<id>.chk — the id is rendered in decimal so `ls` output sorts
+// usefully and the name parses back without ambiguity.
+constexpr const char* kPrefix = "session_";
+constexpr const char* kSuffix = ".chk";
+
+}  // namespace
+
+SessionStore::SessionStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  CHAM_CHECK(!ec, "SessionStore: cannot create directory " + dir_ + ": " +
+                      ec.message());
+}
+
+std::string SessionStore::path_for(uint64_t session_id) const {
+  return dir_ + "/" + kPrefix + std::to_string(session_id) + kSuffix;
+}
+
+bool SessionStore::save(uint64_t session_id,
+                        const core::ChameleonLearner& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Write to a temp name then rename: a crash mid-write must not leave a
+  // truncated blob where a valid (older) one used to be.
+  const std::string final_path = path_for(session_id);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os || !learner.save_state(os)) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  const auto blob_bytes = fs::file_size(tmp_path, ec);
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  bytes_written_ += static_cast<int64_t>(blob_bytes);
+  return true;
+}
+
+bool SessionStore::load(uint64_t session_id,
+                        core::ChameleonLearner& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = path_for(session_id);
+  std::ifstream is(path, std::ios::binary);
+  if (!is || !learner.load_state(is)) return false;
+  std::error_code ec;
+  const auto blob_bytes = fs::file_size(path, ec);
+  if (!ec) bytes_read_ += static_cast<int64_t>(blob_bytes);
+  return true;
+}
+
+bool SessionStore::contains(uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  return fs::exists(path_for(session_id), ec);
+}
+
+bool SessionStore::erase(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  return fs::remove(path_for(session_id), ec);
+}
+
+void SessionStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) == 0 &&
+        name.size() > std::string(kSuffix).size() &&
+        name.compare(name.size() - std::string(kSuffix).size(),
+                     std::string::npos, kSuffix) == 0) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+std::vector<uint64_t> SessionStore::session_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  std::error_code ec;
+  const std::string suffix = kSuffix;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) != 0 || name.size() <= suffix.size()) continue;
+    if (name.compare(name.size() - suffix.size(), std::string::npos,
+                     suffix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        std::string(kPrefix).size(),
+        name.size() - std::string(kPrefix).size() - suffix.size());
+    uint64_t id = 0;
+    bool numeric = !digits.empty();
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (numeric) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int64_t SessionStore::size() const {
+  return static_cast<int64_t>(session_ids().size());
+}
+
+int64_t SessionStore::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+int64_t SessionStore::bytes_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_read_;
+}
+
+}  // namespace cham::serve

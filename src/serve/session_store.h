@@ -1,0 +1,60 @@
+// Disk-backed store of evicted session state.
+//
+// The serving runtime keeps a bounded pool of resident learners; everything
+// else lives here as one binary blob per session (the full
+// ChameleonLearner::save_state payload: head weights, ST/LT contents,
+// preference statistics, staged LT burst, RNG state, step counter, traffic
+// ledger). In the paper's memory-hierarchy terms the resident pool is the
+// on-chip tier and this store the off-chip tier: capacity is cheap, access
+// costs a serialisation round-trip, and the round-trip must be lossless —
+// a restored session continues bit-identically (tests/test_serve.cpp gates
+// this).
+//
+// Thread-safety: all methods are serialised by an internal mutex. Blob I/O
+// happens under the lock; the store is accessed from the eviction/restore
+// path, which the SessionManager already treats as its slow path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/chameleon.h"
+
+namespace cham::serve {
+
+class SessionStore {
+ public:
+  // Creates `dir` (and parents) if missing. Existing session blobs in the
+  // directory are visible immediately (a restarted server re-adopts them).
+  explicit SessionStore(std::string dir);
+
+  // Serialises the learner's full state to the session's blob (overwrites).
+  bool save(uint64_t session_id, const core::ChameleonLearner& learner);
+
+  // Restores a blob into a learner constructed with the same config and
+  // environment. False if absent or malformed.
+  bool load(uint64_t session_id, core::ChameleonLearner& learner);
+
+  bool contains(uint64_t session_id) const;
+  bool erase(uint64_t session_id);
+  void clear();  // removes every session blob
+
+  std::vector<uint64_t> session_ids() const;
+  int64_t size() const;  // stored session count
+
+  const std::string& dir() const { return dir_; }
+  int64_t bytes_written() const;
+  int64_t bytes_read() const;
+
+ private:
+  std::string path_for(uint64_t session_id) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  int64_t bytes_written_ = 0;
+  int64_t bytes_read_ = 0;
+};
+
+}  // namespace cham::serve

@@ -6,12 +6,33 @@
 // has well-understood statistical quality.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace cham {
+
+// One SplitMix64 step: the standard finaliser used to both spread seeds over
+// generator state and to derive independent sub-seeds.
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Derives an independent seed for stream `stream_id` from `base`. Each
+// (base, id) pair lands in an unrelated region of the SplitMix64 sequence,
+// so per-stream generators are decorrelated no matter how ids are assigned —
+// the serving runtime uses this to give every session its own RNG stream
+// whose draws do not depend on admission order.
+inline uint64_t split_seed(uint64_t base, uint64_t stream_id) {
+  return splitmix64(splitmix64(base) ^
+                    splitmix64(stream_id * 0xD1B54A32D192ED03ull + 1));
+}
 
 class Rng {
  public:
@@ -21,11 +42,8 @@ class Rng {
     // SplitMix64 to spread the seed over the state.
     uint64_t x = seed;
     for (auto& si : s_) {
+      si = splitmix64(x);
       x += 0x9E3779B97F4A7C15ull;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      si = z ^ (z >> 31);
     }
   }
 
@@ -113,6 +131,14 @@ class Rng {
 
   // Sample k distinct indices from [0, n) (k <= n), order unspecified.
   std::vector<int64_t> sample_without_replacement(int64_t n, int64_t k);
+
+  // Raw generator state, for checkpointing: a restored Rng continues the
+  // exact draw sequence of the saved one (bit-identical resume is part of
+  // the session-eviction contract in src/serve/).
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/checkpoint.h"
 #include "metrics/experiment.h"
+#include "serve/session_store.h"
 
 namespace cham {
 namespace {
@@ -61,7 +63,6 @@ TEST_F(CheckpointSuite, RoundTripRestoresPredictionsAndBuffers) {
   }
 
   std::remove(path.c_str());
-  std::remove((path + ".head").c_str());
 }
 
 TEST_F(CheckpointSuite, RestoredLearnerKeepsLearning) {
@@ -82,7 +83,90 @@ TEST_F(CheckpointSuite, RestoredLearnerKeepsLearning) {
   const double acc = exp_->evaluate(resumed).acc_all;
   EXPECT_GT(acc, 100.0 / 6.0);  // above chance after the resumed half
   std::remove(path.c_str());
-  std::remove((path + ".head").c_str());
+}
+
+// The serving-runtime contract (src/serve/): a learner evicted mid-stream
+// through the SessionStore and restored later continues the stream
+// BIT-IDENTICALLY to a run that was never interrupted — including the
+// mid-window preference counters and the staged LT burst cursor, whose loss
+// would silently change every subsequent replay draw.
+TEST_F(CheckpointSuite, MidStreamResumeViaSessionStoreIsBitIdentical) {
+  core::ChameleonConfig cc;
+  cc.lt_capacity = 18;
+  cc.lt_period_h = 4;  // short period so the 6-batch stream spans a burst
+  const auto& batches = stream_->batches();
+  // Cut INSIDE an LT period (not on a multiple of h) and inside a learning
+  // window, so the staged burst cursor and window counters are mid-flight.
+  const size_t cut = static_cast<size_t>(cc.lt_period_h) + 1;
+  ASSERT_LT(cut, batches.size());
+
+  core::ChameleonLearner uninterrupted(exp_->env(), cc, 5);
+  for (const auto& b : batches) uninterrupted.observe(b);
+
+  core::ChameleonLearner first_half(exp_->env(), cc, 5);
+  for (size_t i = 0; i < cut; ++i) first_half.observe(batches[i]);
+  EXPECT_GT(first_half.preferences().window_seen(), 0)
+      << "cut point must land mid-window for this test to bite";
+
+  serve::SessionStore store("/tmp/cham_test_midstream");
+  store.clear();
+  ASSERT_TRUE(store.save(/*session_id=*/1, first_half));
+
+  core::ChameleonLearner resumed(exp_->env(), cc, 4242);  // different seed
+  ASSERT_TRUE(store.load(1, resumed));
+  EXPECT_EQ(resumed.steps_observed(), static_cast<int64_t>(cut));
+  EXPECT_EQ(resumed.preferences().window_seen(),
+            first_half.preferences().window_seen());
+  EXPECT_EQ(resumed.preferences().samples_seen(),
+            first_half.preferences().samples_seen());
+  EXPECT_EQ(resumed.preferences().recalibrations(),
+            first_half.preferences().recalibrations());
+  for (size_t i = cut; i < batches.size(); ++i) resumed.observe(batches[i]);
+
+  // Predictions, head weights, replay stores and the traffic ledger all
+  // match the never-interrupted run exactly.
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+  EXPECT_EQ(resumed.predict(test_keys), uninterrupted.predict(test_keys));
+  auto pa = uninterrupted.head().params();
+  auto pb = resumed.head().params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(std::memcmp(pa[i]->value.data(), pb[i]->value.data(),
+                          static_cast<size_t>(pa[i]->value.numel()) *
+                              sizeof(float)),
+              0)
+        << "head param " << i << " diverged after resume";
+  }
+  ASSERT_EQ(resumed.short_term().size(), uninterrupted.short_term().size());
+  for (int64_t i = 0; i < resumed.short_term().size(); ++i) {
+    const auto& sa = uninterrupted.short_term().buffer().item(i);
+    const auto& sb = resumed.short_term().buffer().item(i);
+    EXPECT_EQ(sa.label, sb.label);
+    EXPECT_EQ(std::memcmp(sa.latent.data(), sb.latent.data(),
+                          static_cast<size_t>(sa.latent.numel()) *
+                              sizeof(float)),
+              0)
+        << "ST slot " << i << " diverged after resume";
+  }
+  const auto la = uninterrupted.long_term().all_samples();
+  const auto lb = resumed.long_term().all_samples();
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].label, lb[i].label);
+    EXPECT_EQ(std::memcmp(la[i].latent.data(), lb[i].latent.data(),
+                          static_cast<size_t>(la[i].latent.numel()) *
+                              sizeof(float)),
+              0)
+        << "LT slot " << i << " diverged after resume";
+  }
+  EXPECT_EQ(resumed.preferences().delta_k(),
+            uninterrupted.preferences().delta_k());
+  EXPECT_EQ(resumed.preferences().window_seen(),
+            uninterrupted.preferences().window_seen());
+  EXPECT_EQ(resumed.stats().onchip_bytes, uninterrupted.stats().onchip_bytes);
+  EXPECT_EQ(resumed.stats().offchip_bytes,
+            uninterrupted.stats().offchip_bytes);
+  store.clear();
 }
 
 TEST_F(CheckpointSuite, RejectsMissingOrCorrupt) {

@@ -1,0 +1,491 @@
+// Multi-session serving runtime: sharded learner pool with
+// checkpoint-backed session eviction (src/serve/).
+//
+// The load-bearing property is EVICTION FIDELITY: for a randomized schedule
+// of many sessions with forced evictions, every session's final head
+// weights, replay-store contents and prediction outputs must be
+// bit-identical to the same session run in isolation. Everything else
+// (backpressure, RNG independence, threaded dispatch) supports that
+// contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/chameleon.h"
+#include "metrics/experiment.h"
+#include "serve/session_manager.h"
+#include "serve/session_store.h"
+#include "util/check.h"
+
+namespace cham {
+namespace {
+
+class ServeSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    metrics::ExperimentConfig cfg = metrics::core50_experiment();
+    cfg.data.num_classes = 6;
+    cfg.data.num_domains = 2;
+    cfg.data.train_instances = 5;
+    cfg.pretrain_num_classes = 12;
+    cfg.pretrain_epochs = 4;
+    cfg.learner_lr = 0.02f;
+    exp_ = new metrics::Experiment(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete exp_;
+    exp_ = nullptr;
+  }
+
+  static core::ChameleonConfig learner_config() {
+    core::ChameleonConfig cc;
+    cc.lt_capacity = 18;
+    return cc;
+  }
+
+  static serve::LearnerFactory factory() {
+    return [](uint64_t /*session_id*/, uint64_t seed) {
+      return std::make_unique<core::ChameleonLearner>(exp_->env(),
+                                                      learner_config(), seed);
+    };
+  }
+
+  // One private stream per session (distinct orderings over the shared
+  // pool, so the latent cache warms once).
+  static std::vector<data::Batch> session_batches(int64_t session,
+                                                  uint64_t salt = 0) {
+    data::StreamConfig sc = exp_->config().stream;
+    sc.seed = 1000 + static_cast<uint64_t>(session) * 7919 + salt;
+    data::DomainIncrementalStream stream(exp_->config().data, sc);
+    exp_->warm_latents(stream);
+    return stream.batches();
+  }
+
+  // Submits with drain-on-reject: backpressure tells us to make room, the
+  // deterministic scheduler makes room by dispatching.
+  static void submit_or_drain(serve::SessionManager& mgr, uint64_t sid,
+                              const data::Batch& batch) {
+    for (;;) {
+      const serve::Admission adm = mgr.submit_observe(sid, batch);
+      if (adm.accepted) return;
+      EXPECT_GT(adm.retry_after_ms, 0);
+      mgr.drain();
+    }
+  }
+
+  static void expect_bit_identical(core::ChameleonLearner& a,
+                                   core::ChameleonLearner& b,
+                                   const std::string& what) {
+    SCOPED_TRACE(what);
+    // Head weights, byte for byte.
+    auto pa = a.head().params();
+    auto pb = b.head().params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel());
+      EXPECT_EQ(std::memcmp(pa[i]->value.data(), pb[i]->value.data(),
+                            static_cast<size_t>(pa[i]->value.numel()) *
+                                sizeof(float)),
+                0)
+          << "head param " << i << " differs";
+    }
+    // Short-term store contents.
+    ASSERT_EQ(a.short_term().size(), b.short_term().size());
+    for (int64_t i = 0; i < a.short_term().size(); ++i) {
+      const auto& sa = a.short_term().buffer().item(i);
+      const auto& sb = b.short_term().buffer().item(i);
+      EXPECT_EQ(sa.label, sb.label) << "ST slot " << i;
+      ASSERT_EQ(sa.latent.numel(), sb.latent.numel());
+      EXPECT_EQ(std::memcmp(sa.latent.data(), sb.latent.data(),
+                            static_cast<size_t>(sa.latent.numel()) *
+                                sizeof(float)),
+                0)
+          << "ST latent " << i << " differs";
+    }
+    // Long-term store contents (per class, slot order).
+    const auto la = a.long_term().all_samples();
+    const auto lb = b.long_term().all_samples();
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].label, lb[i].label) << "LT slot " << i;
+      ASSERT_EQ(la[i].latent.numel(), lb[i].latent.numel());
+      EXPECT_EQ(std::memcmp(la[i].latent.data(), lb[i].latent.data(),
+                            static_cast<size_t>(la[i].latent.numel()) *
+                                sizeof(float)),
+                0)
+          << "LT latent " << i << " differs";
+    }
+    // Preference statistics, including mid-window counters.
+    EXPECT_EQ(a.preferences().samples_seen(), b.preferences().samples_seen());
+    EXPECT_EQ(a.preferences().window_seen(), b.preferences().window_seen());
+    EXPECT_EQ(a.preferences().recalibrations(),
+              b.preferences().recalibrations());
+    EXPECT_EQ(a.preferences().delta_k(), b.preferences().delta_k());
+    EXPECT_EQ(a.preferences().preferred_classes(),
+              b.preferences().preferred_classes());
+    EXPECT_EQ(a.steps_observed(), b.steps_observed());
+    // Traffic ledger.
+    EXPECT_EQ(a.stats().onchip_bytes, b.stats().onchip_bytes);
+    EXPECT_EQ(a.stats().offchip_bytes, b.stats().offchip_bytes);
+  }
+
+  static metrics::Experiment* exp_;
+};
+
+metrics::Experiment* ServeSuite::exp_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Acceptance gate: randomized schedule of >= 20 sessions, a resident pool
+// far smaller than the session count (forced evictions), every session
+// bit-identical to isolation at the end.
+TEST_F(ServeSuite, EvictionFidelityAcrossRandomizedSchedule) {
+  constexpr int64_t kSessions = 22;
+  serve::ServeConfig sc;
+  sc.num_shards = 3;
+  sc.max_resident = 4;  // << kSessions: every session cycles through disk
+  sc.queue_capacity = 8;
+  sc.store_dir = "/tmp/cham_serve_fidelity";
+  sc.base_seed = 7;
+  sc.mode = serve::ServeMode::kDeterministic;
+  serve::SessionStore(sc.store_dir).clear();
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s));
+  }
+
+  // Zipf-skewed randomized interleaving, plus one guaranteed event per
+  // session so every session participates.
+  data::MultiUserConfig mc;
+  mc.num_sessions = kSessions;
+  mc.events = 140;
+  mc.zipf_s = 0.9;
+  mc.seed = 11;
+  auto schedule = data::make_zipf_schedule(mc);
+  std::vector<int64_t> next_index(kSessions, 0);
+  std::vector<std::vector<data::Batch>> submitted(kSessions);
+  {
+    serve::SessionManager mgr(sc, factory());
+    auto submit_next = [&](int64_t session) {
+      const auto& pool = batches[static_cast<size_t>(session)];
+      const auto& batch = pool[static_cast<size_t>(
+          next_index[static_cast<size_t>(session)] %
+          static_cast<int64_t>(pool.size()))];
+      ++next_index[static_cast<size_t>(session)];
+      submitted[static_cast<size_t>(session)].push_back(batch);
+      submit_or_drain(mgr, static_cast<uint64_t>(session), batch);
+    };
+    for (const auto& ev : schedule) submit_next(ev.session);
+    for (int64_t s = 0; s < kSessions; ++s) submit_next(s);
+    mgr.flush();
+
+    const serve::ServeStats st = mgr.stats();
+    EXPECT_GT(st.evictions, kSessions);  // pool of 4 must thrash
+    EXPECT_GT(st.restores, 0);
+    EXPECT_EQ(st.observes, st.admissions);
+    EXPECT_LE(st.resident_high_water, sc.max_resident);
+
+    // Every session: restore from the store and compare against the same
+    // stream run in isolation with the session's derived seed.
+    serve::SessionStore reader(sc.store_dir);
+    const auto test_keys = data::all_test_keys(exp_->config().data);
+    for (int64_t s = 0; s < kSessions; ++s) {
+      core::ChameleonLearner restored(exp_->env(), learner_config(),
+                                      /*seed=*/0xDEAD);
+      ASSERT_TRUE(reader.load(static_cast<uint64_t>(s), restored))
+          << "session " << s << " missing from store";
+      core::ChameleonLearner isolated(
+          exp_->env(), learner_config(),
+          mgr.session_seed(static_cast<uint64_t>(s)));
+      for (const auto& b : submitted[static_cast<size_t>(s)]) {
+        isolated.observe(b);
+      }
+      expect_bit_identical(restored, isolated,
+                           "session " + std::to_string(s));
+      EXPECT_EQ(restored.predict(test_keys), isolated.predict(test_keys))
+          << "prediction outputs differ for session " << s;
+    }
+  }
+}
+
+// Per-session results must not depend on how sessions interleave: the same
+// per-session work submitted in two very different global orders produces
+// byte-identical per-session state.
+TEST_F(ServeSuite, AdmissionOrderDoesNotChangePerSessionResults) {
+  constexpr int64_t kSessions = 6;
+  constexpr int64_t kBatchesPerSession = 4;
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s, /*salt=*/77));
+  }
+
+  auto run_order = [&](const std::string& dir, bool reversed) {
+    serve::ServeConfig sc;
+    sc.num_shards = 2;
+    sc.max_resident = 2;
+    sc.queue_capacity = 4;
+    sc.store_dir = dir;
+    sc.base_seed = 21;
+    serve::SessionStore(dir).clear();
+    serve::SessionManager mgr(sc, factory());
+    for (int64_t b = 0; b < kBatchesPerSession; ++b) {
+      for (int64_t i = 0; i < kSessions; ++i) {
+        const int64_t s = reversed ? kSessions - 1 - i : i;
+        submit_or_drain(mgr, static_cast<uint64_t>(s),
+                        batches[static_cast<size_t>(s)][static_cast<size_t>(
+                            b % static_cast<int64_t>(
+                                    batches[static_cast<size_t>(s)].size()))]);
+      }
+      if (b % 2 == 1) mgr.drain();
+    }
+    mgr.flush();
+  };
+
+  run_order("/tmp/cham_serve_order_a", false);
+  run_order("/tmp/cham_serve_order_b", true);
+
+  serve::SessionStore a("/tmp/cham_serve_order_a");
+  serve::SessionStore b("/tmp/cham_serve_order_b");
+  for (int64_t s = 0; s < kSessions; ++s) {
+    core::ChameleonLearner la(exp_->env(), learner_config(), 0x1);
+    core::ChameleonLearner lb(exp_->env(), learner_config(), 0x2);
+    ASSERT_TRUE(a.load(static_cast<uint64_t>(s), la));
+    ASSERT_TRUE(b.load(static_cast<uint64_t>(s), lb));
+    expect_bit_identical(la, lb, "session " + std::to_string(s));
+  }
+}
+
+// Satellite: per-session RNG streams are derived by hashing, not by
+// admission order — distinct ids get distinct seeds, and the same id always
+// gets the same seed.
+TEST_F(ServeSuite, SessionSeedsAreStableAndDistinct) {
+  serve::ServeConfig sc;
+  sc.num_shards = 1;
+  sc.max_resident = 1;
+  sc.store_dir = "/tmp/cham_serve_seeds";
+  sc.base_seed = 123;
+  serve::SessionManager mgr(sc, factory());
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 0; s < 256; ++s) seeds.push_back(mgr.session_seed(s));
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t j = i + 1; j < seeds.size(); ++j) {
+      ASSERT_NE(seeds[i], seeds[j]) << "seed collision " << i << "," << j;
+    }
+  }
+  EXPECT_EQ(mgr.session_seed(42), mgr.session_seed(42));
+  // Different base seeds decorrelate the whole pool.
+  EXPECT_NE(split_seed(1, 42), split_seed(2, 42));
+}
+
+// Backpressure: a full shard queue rejects with a retry hint instead of
+// growing; draining makes room again.
+TEST_F(ServeSuite, BoundedQueueRejectsWithRetryHint) {
+  serve::ServeConfig sc;
+  sc.num_shards = 1;
+  sc.max_resident = 1;
+  sc.queue_capacity = 2;
+  sc.retry_hint_ms = 9;
+  sc.store_dir = "/tmp/cham_serve_backpressure";
+  serve::SessionStore(sc.store_dir).clear();
+  serve::SessionManager mgr(sc, factory());
+
+  const auto batches = session_batches(0);
+  EXPECT_TRUE(mgr.submit_observe(5, batches[0]).accepted);
+  EXPECT_TRUE(mgr.submit_observe(5, batches[1]).accepted);
+  const serve::Admission rejected = mgr.submit_observe(5, batches[2]);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.retry_after_ms, 9);
+  EXPECT_EQ(rejected.queue_depth, 2);
+
+  mgr.drain();
+  EXPECT_TRUE(mgr.submit_observe(5, batches[2]).accepted);
+  mgr.drain();
+
+  const serve::ServeStats st = mgr.stats();
+  EXPECT_EQ(st.rejections, 1);
+  EXPECT_EQ(st.admissions, 3);
+  EXPECT_EQ(st.observes, 3);
+  EXPECT_EQ(st.queue_depth_high_water, 2);
+}
+
+// Predict is FIFO-ordered behind the session's pending observes
+// (read-your-writes) and matches an isolated learner's outputs.
+TEST_F(ServeSuite, PredictSeesPendingObserves) {
+  serve::ServeConfig sc;
+  sc.num_shards = 2;
+  sc.max_resident = 2;
+  sc.queue_capacity = 16;
+  sc.store_dir = "/tmp/cham_serve_predict";
+  sc.base_seed = 5;
+  serve::SessionStore(sc.store_dir).clear();
+  serve::SessionManager mgr(sc, factory());
+
+  const auto batches = session_batches(3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.submit_observe(9, batches[static_cast<size_t>(i)])
+                    .accepted);
+  }
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+  const auto served = mgr.predict(9, test_keys);  // no explicit drain
+  ASSERT_TRUE(served.has_value());
+
+  core::ChameleonLearner isolated(exp_->env(), learner_config(),
+                                  mgr.session_seed(9));
+  for (int i = 0; i < 3; ++i) {
+    isolated.observe(batches[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(*served, isolated.predict(test_keys));
+
+  const serve::ServeStats st = mgr.stats();
+  EXPECT_EQ(st.observes, 3);
+  EXPECT_EQ(st.predicts, 1);
+}
+
+// Threaded mode: per-session results stay bit-identical to isolation even
+// with real cross-shard concurrency.
+TEST_F(ServeSuite, ThreadedModeMatchesIsolation) {
+  constexpr int64_t kSessions = 8;
+  constexpr int64_t kBatchesPerSession = 3;
+  serve::ServeConfig sc;
+  sc.num_shards = 4;
+  sc.max_resident = 5;
+  sc.queue_capacity = 8;
+  sc.store_dir = "/tmp/cham_serve_threaded";
+  sc.base_seed = 31;
+  sc.mode = serve::ServeMode::kThreaded;
+  serve::SessionStore(sc.store_dir).clear();
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s, /*salt=*/31));
+  }
+  {
+    serve::SessionManager mgr(sc, factory());
+    for (int64_t b = 0; b < kBatchesPerSession; ++b) {
+      for (int64_t s = 0; s < kSessions; ++s) {
+        for (;;) {
+          if (mgr.submit_observe(static_cast<uint64_t>(s),
+                                 batches[static_cast<size_t>(s)]
+                                        [static_cast<size_t>(b)])
+                  .accepted) {
+            break;
+          }
+          // Workers drain continuously; brief yield and retry.
+          std::this_thread::yield();
+        }
+      }
+    }
+    mgr.flush();
+
+    serve::SessionStore reader(sc.store_dir);
+    for (int64_t s = 0; s < kSessions; ++s) {
+      core::ChameleonLearner restored(exp_->env(), learner_config(), 0xF00);
+      ASSERT_TRUE(reader.load(static_cast<uint64_t>(s), restored));
+      core::ChameleonLearner isolated(
+          exp_->env(), learner_config(),
+          mgr.session_seed(static_cast<uint64_t>(s)));
+      for (int64_t b = 0; b < kBatchesPerSession; ++b) {
+        isolated.observe(batches[static_cast<size_t>(s)]
+                                [static_cast<size_t>(b)]);
+      }
+      expect_bit_identical(restored, isolated,
+                           "threaded session " + std::to_string(s));
+    }
+  }
+}
+
+// SessionStore basics: blobs round-trip, enumerate, and erase.
+TEST_F(ServeSuite, SessionStoreLifecycle) {
+  const std::string dir = "/tmp/cham_serve_store";
+  serve::SessionStore store(dir);
+  store.clear();
+  EXPECT_EQ(store.size(), 0);
+  EXPECT_FALSE(store.contains(4));
+
+  core::ChameleonLearner learner(exp_->env(), learner_config(), 17);
+  const auto batches = session_batches(1);
+  learner.observe(batches[0]);
+  ASSERT_TRUE(store.save(4, learner));
+  ASSERT_TRUE(store.save(9000000007ull, learner));
+  EXPECT_TRUE(store.contains(4));
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.session_ids(),
+            (std::vector<uint64_t>{4, 9000000007ull}));
+  EXPECT_GT(store.bytes_written(), 0);
+
+  core::ChameleonLearner other(exp_->env(), learner_config(), 99);
+  ASSERT_TRUE(store.load(4, other));
+  expect_bit_identical(learner, other, "store round trip");
+  EXPECT_GT(store.bytes_read(), 0);
+
+  EXPECT_TRUE(store.erase(4));
+  EXPECT_FALSE(store.contains(4));
+  EXPECT_FALSE(store.erase(4));
+  store.clear();
+  EXPECT_EQ(store.size(), 0);
+}
+
+// Satellite: bounded LatentCache is single-owner — access from a second
+// thread trips the contract instead of silently racing the LRU list.
+TEST_F(ServeSuite, BoundedLatentCacheRejectsSecondThread) {
+  data::LatentCache bounded(exp_->config().data, exp_->backbone(),
+                            /*max_entries=*/4);
+  const auto batches = session_batches(0);
+  (void)bounded.latent(batches[0].keys[0]);  // this thread becomes the owner
+
+  bool threw = false;
+  std::thread second([&] {
+    try {
+      (void)bounded.latent(batches[0].keys[1]);
+    } catch (const util::CheckError&) {
+      threw = true;
+    }
+  });
+  second.join();
+  EXPECT_TRUE(threw);
+
+  // Unbounded caches are shared freely (the serving default).
+  data::LatentCache unbounded(exp_->config().data, exp_->backbone());
+  (void)unbounded.latent(batches[0].keys[0]);
+  bool second_ok = true;
+  std::thread third([&] {
+    try {
+      (void)unbounded.latent(batches[0].keys[1]);
+    } catch (...) {
+      second_ok = false;
+    }
+  });
+  third.join();
+  EXPECT_TRUE(second_ok);
+}
+
+// The Zipf schedule helper: deterministic in the seed, skewed toward low
+// ranks, and per-session batch indices count up densely.
+TEST_F(ServeSuite, ZipfScheduleShape) {
+  data::MultiUserConfig mc;
+  mc.num_sessions = 20;
+  mc.events = 2000;
+  mc.zipf_s = 1.2;
+  mc.seed = 3;
+  const auto a = data::make_zipf_schedule(mc);
+  const auto b = data::make_zipf_schedule(mc);
+  ASSERT_EQ(a.size(), 2000u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].session, b[i].session);
+    EXPECT_EQ(a[i].batch_index, b[i].batch_index);
+  }
+  std::vector<int64_t> counts(20, 0), next(20, 0);
+  for (const auto& ev : a) {
+    ASSERT_GE(ev.session, 0);
+    ASSERT_LT(ev.session, 20);
+    EXPECT_EQ(ev.batch_index, next[static_cast<size_t>(ev.session)]++);
+    ++counts[static_cast<size_t>(ev.session)];
+  }
+  EXPECT_GT(counts[0], counts[19] * 2) << "rank 0 should dominate the tail";
+}
+
+}  // namespace
+}  // namespace cham

@@ -29,6 +29,17 @@ are about *this* codebase's contracts:
                       steady-state zero-alloc contract; take scratch from
                       the per-thread arena (ws::ArenaScope) or hoist the
                       buffer out of the loop.
+  blocking-in-dispatch
+                      Blocking I/O (file streams, fopen, std::filesystem,
+                      sleep) or heap allocation inside a scheduler dispatch
+                      critical section — the code between
+                      `// cham-lint: begin(dispatch)` and
+                      `// cham-lint: end(dispatch)` markers. These regions
+                      run under a shard queue mutex in the serving runtime
+                      (src/serve/session_manager.cpp); anything slow there
+                      stalls admission for every session on the shard.
+                      Checkpoint I/O belongs outside the markers, after the
+                      request has been popped and the lock released.
 
 Suppression: append `// cham-lint: allow(<rule>)` to the offending line.
 
@@ -49,6 +60,8 @@ RULES = {
     "bit-identity across thread counts",
     "alloc-in-parallel-for": "allocation inside a parallel_for body; use "
     "ws::ArenaScope scratch or hoist the buffer",
+    "blocking-in-dispatch": "blocking I/O or heap allocation inside a "
+    "dispatch critical section (runs under a shard queue mutex)",
 }
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -73,6 +86,21 @@ ALLOC_RE = re.compile(
     r"|(?<![_A-Za-z0-9])Tensor\s+[A-Za-z_]\w*\s*[({]"
     r"|(?:std\s*::\s*)?vector\s*<"
     r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|assign)\s*\("
+)
+# Dispatch critical sections (under a shard queue mutex) are delimited by
+# marker comments; markers live in comments so they are matched on the raw
+# source, while the rules below run on the stripped code.
+DISPATCH_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(dispatch\)")
+DISPATCH_END_RE = re.compile(r"cham-lint:\s*end\(dispatch\)")
+BLOCKING_RE = re.compile(
+    r"(?<![_A-Za-z0-9])(?:i|o)?fstream(?![A-Za-z0-9])"
+    r"|(?<![_A-Za-z0-9])f(?:open|close|read|write|printf|flush)\s*\("
+    r"|(?:std\s*::\s*)?filesystem\s*::"
+    r"|(?<![_A-Za-z0-9])sleep_(?:for|until)\s*\("
+    r"|(?<![_A-Za-z0-9])system\s*\("
+)
+DISPATCH_ALLOC_RE = re.compile(
+    r"(?<![_A-Za-z0-9])make_(?:unique|shared)\s*<"
 )
 
 
@@ -166,6 +194,26 @@ def lint_file(path, raw):
             report(lineno, "raw-assert")
         if in_src and (NEW_RE.search(line) or DELETE_RE.search(line)):
             report(lineno, "naked-new")
+
+    # Blocking I/O or allocation inside marked dispatch critical sections.
+    # An unmatched begin(dispatch) extends to end of file (better to
+    # over-flag a malformed region than to silently skip it).
+    in_dispatch = False
+    for lineno, raw_line in enumerate(raw_lines, start=1):
+        begin = DISPATCH_BEGIN_RE.search(raw_line)
+        end = DISPATCH_END_RE.search(raw_line)
+        if begin:
+            in_dispatch = True
+            continue
+        if end:
+            in_dispatch = False
+            continue
+        if not in_dispatch or lineno > len(code_lines):
+            continue
+        line = code_lines[lineno - 1]
+        if (BLOCKING_RE.search(line) or ALLOC_RE.search(line) or
+                DISPATCH_ALLOC_RE.search(line) or NEW_RE.search(line)):
+            report(lineno, "blocking-in-dispatch")
 
     # Rng use inside the lexical extent of a parallel_for(...) call. The body
     # is a lambda argument, so the balanced-paren extent of the call covers it.
