@@ -1,17 +1,26 @@
 // Serving-runtime report (writes BENCH_serve.json): a Zipf-skewed
-// multi-user workload through the sharded SessionManager with a residency
-// pool far smaller than the session count, so sessions continuously cycle
-// through checkpoint-backed eviction.
+// multi-user workload (observe + predict mix) through the sharded
+// SessionManager with a residency pool far smaller than the session count,
+// so sessions continuously cycle through write-behind checkpoint eviction.
 //
-// Two gates are recorded in the JSON artefact:
-//   * fidelity_exact  — spot-checked sessions restored from the store have
+// Gates recorded in the JSON artefact:
+//   * fidelity_exact   — spot-checked sessions restored from the store have
 //     bit-identical head weights and predictions to the same per-session
 //     stream run in an isolated learner (the eviction round-trip contract).
-//   * throughput_ok   — steady-state dispatch throughput stays above a
-//     conservative floor (events/s), catching pathological regressions in
-//     the admission/eviction path.
+//   * throughput_ok    — steady-state dispatch throughput stays above a
+//     conservative floor (events/s).
+//   * evict_lock_ok    — the lock-held portion of eviction (victim select +
+//     unlink, the part that stalls every shard) stays under 1ms at the max.
+//     Serialisation and disk I/O run outside the lock (write-behind).
+//   * delta_ratio_ok   — steady-state eviction writes are deltas: the
+//     average delta frame is <= 1/5 of the average full blob.
+//
+// An int8 blob-precision ablation sub-run reports the bytes/accuracy trade:
+// smaller checkpoints, predictions compared against the fp32 run of the
+// same schedule.
 //
 //   ./build/bench/bench_serve [--events N] [--sessions N] [--out PATH]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +56,69 @@ bool params_bit_identical(ChameleonLearner& a, ChameleonLearner& b) {
     }
   }
   return true;
+}
+
+// One small serve run at a given blob precision; returns per-session final
+// predictions (restored from the store) and the average full-blob size.
+struct AblationResult {
+  std::vector<std::vector<int64_t>> preds;
+  double avg_full_blob_bytes = 0;
+  double avg_delta_bytes = 0;
+};
+
+AblationResult run_precision_ablation(
+    cham::metrics::Experiment& exp,
+    const std::vector<std::vector<cham::data::Batch>>& streams,
+    const std::vector<cham::data::SessionEvent>& schedule,
+    int64_t num_sessions, cham::quant::Precision precision,
+    const std::string& dir,
+    const std::vector<cham::data::ImageKey>& test_keys) {
+  cham::serve::ServeConfig sc;
+  sc.num_shards = 2;
+  sc.max_resident = 3;  // constant eviction pressure
+  sc.queue_capacity = 16;
+  sc.store_dir = dir;
+  sc.base_seed = 97;
+  sc.blob_precision = precision;
+  cham::serve::SessionStore(dir).clear();
+  auto factory = [&exp](uint64_t /*session_id*/, uint64_t seed) {
+    return std::make_unique<ChameleonLearner>(exp.env(), learner_config(),
+                                              seed);
+  };
+  cham::serve::SessionManager mgr(sc, factory);
+  for (const auto& ev : schedule) {
+    const auto& pool = streams[static_cast<size_t>(ev.session)];
+    const auto& batch =
+        pool[static_cast<size_t>(ev.batch_index) % pool.size()];
+    while (!mgr.submit_observe(static_cast<uint64_t>(ev.session), batch)
+                .accepted) {
+      mgr.drain();
+    }
+  }
+  mgr.drain();
+  mgr.flush();
+  const cham::serve::ServeStats st = mgr.stats();
+
+  AblationResult r;
+  if (st.wb_full_saves > 0) {
+    r.avg_full_blob_bytes = static_cast<double>(st.wb_full_bytes) /
+                            static_cast<double>(st.wb_full_saves);
+  }
+  const int64_t delta_saves = st.wb_chunk_saves + st.wb_oplog_saves;
+  if (delta_saves > 0) {
+    r.avg_delta_bytes = static_cast<double>(st.wb_delta_bytes) /
+                        static_cast<double>(delta_saves);
+  }
+  cham::serve::SessionStore reader(dir);
+  for (int64_t s = 0; s < num_sessions; ++s) {
+    ChameleonLearner restored(exp.env(), learner_config(), 0xAB1);
+    if (reader.load(static_cast<uint64_t>(s), restored)) {
+      r.preds.push_back(restored.predict(test_keys));
+    } else {
+      r.preds.emplace_back();  // session got no traffic
+    }
+  }
+  return r;
 }
 
 }  // namespace
@@ -90,6 +162,7 @@ int main(int argc, char** argv) {
   mc.events = events;
   mc.zipf_s = 1.1;
   mc.seed = 13;
+  mc.predict_fraction = 0.15;  // realistic read mix in the serve path
   const auto schedule = cham::data::make_zipf_schedule(mc);
 
   cham::serve::ServeConfig sc;
@@ -108,16 +181,27 @@ int main(int argc, char** argv) {
   cham::serve::SessionManager mgr(sc, factory);
 
   std::printf("bench_serve: %lld events over %lld sessions, shards=%lld, "
-              "max_resident=%lld\n",
+              "max_resident=%lld, predict mix %.0f%%\n",
               static_cast<long long>(events),
               static_cast<long long>(sessions),
               static_cast<long long>(sc.num_shards),
-              static_cast<long long>(sc.max_resident));
+              static_cast<long long>(sc.max_resident),
+              100.0 * mc.predict_fraction);
 
+  const auto test_keys = cham::data::all_test_keys(cfg.data);
   std::vector<std::vector<const cham::data::Batch*>> submitted(
       static_cast<size_t>(sessions));
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& ev : schedule) {
+    if (ev.predict) {
+      // Synchronous read: FIFO-ordered behind the session's pending
+      // observes, retried through the same backpressure protocol.
+      while (!mgr.predict(static_cast<uint64_t>(ev.session), test_keys)
+                  .has_value()) {
+        mgr.drain();
+      }
+      continue;
+    }
     const auto& pool = streams[static_cast<size_t>(ev.session)];
     const auto& batch =
         pool[static_cast<size_t>(ev.batch_index) % pool.size()];
@@ -137,11 +221,13 @@ int main(int argc, char** argv) {
   const cham::serve::ServeStats st = mgr.stats();
   const cham::core::OpStats ops = mgr.aggregate_op_stats();
   const double throughput =
-      serve_ms > 0 ? 1000.0 * static_cast<double>(st.observes) / serve_ms
-                   : 0.0;
+      serve_ms > 0
+          ? 1000.0 * static_cast<double>(st.observes + st.predicts) / serve_ms
+          : 0.0;
 
   // Fidelity spot-check: hottest rank, two mid ranks, and the coldest rank
-  // that actually received traffic.
+  // that actually received traffic. Predicts are state-neutral, so the
+  // isolated learner replays the observes only.
   std::vector<int64_t> probes;
   probes.push_back(0);
   probes.push_back(sessions / 4);
@@ -152,7 +238,6 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  const auto test_keys = cham::data::all_test_keys(cfg.data);
   cham::serve::SessionStore reader(sc.store_dir);
   bool fidelity_exact = true;
   int64_t probes_checked = 0;
@@ -180,19 +265,90 @@ int main(int argc, char** argv) {
 
   constexpr double kThroughputFloor = 5.0;  // events/s, deliberately slack
   const bool throughput_ok = throughput >= kThroughputFloor;
+  // The lock-held portion of eviction must never approach the old
+  // serialise-under-lock cost (63ms in the seed): victim select + pointer
+  // moves only.
+  constexpr double kEvictLockCeilingMs = 1.0;
+  const bool evict_lock_ok =
+      st.evictions > 0 && st.evict_lock_ms_max < kEvictLockCeilingMs;
+  // Steady state must write deltas, and small ones: avg delta <= 1/5 of
+  // the avg full blob.
+  const int64_t delta_saves = st.wb_chunk_saves + st.wb_oplog_saves;
+  const double avg_delta =
+      delta_saves > 0 ? static_cast<double>(st.wb_delta_bytes) /
+                            static_cast<double>(delta_saves)
+                      : 0.0;
+  const double avg_full =
+      st.wb_full_saves > 0 ? static_cast<double>(st.wb_full_bytes) /
+                                 static_cast<double>(st.wb_full_saves)
+                           : 0.0;
+  const bool delta_ratio_ok =
+      delta_saves > 0 && avg_full > 0 && avg_delta * 5.0 <= avg_full;
 
   std::printf(
-      "  served %lld observes in %.1f ms (%.1f events/s)\n"
-      "  evictions %lld, restores %lld, save avg %.3f ms, restore avg %.3f "
-      "ms\n"
-      "  fidelity spot-check: %lld sessions, %s; throughput gate (>=%.0f/s) "
-      "%s\n",
-      static_cast<long long>(st.observes), serve_ms, throughput,
+      "  served %lld observes + %lld predicts in %.1f ms (%.1f events/s)\n"
+      "  evictions %lld, restores %lld (pending %lld / cache %lld / disk "
+      "%lld), replayed ops %lld\n"
+      "  snapshot serialise avg %.3f ms, evict lock max %.3f ms, flush max "
+      "%.3f ms\n"
+      "  flushes %lld: full %lld (avg %.0f B), chunk %lld, oplog %lld (avg "
+      "delta %.0f B)\n"
+      "  gates: fidelity %s, throughput(>=%.0f/s) %s, evict_lock(<%.1fms) "
+      "%s, delta_ratio(<=1/5) %s\n",
+      static_cast<long long>(st.observes),
+      static_cast<long long>(st.predicts), serve_ms, throughput,
       static_cast<long long>(st.evictions),
-      static_cast<long long>(st.restores), st.save_ms_avg(),
-      st.restore_ms_avg(), static_cast<long long>(probes_checked),
+      static_cast<long long>(st.restores),
+      static_cast<long long>(st.pending_restores),
+      static_cast<long long>(st.cache_restores),
+      static_cast<long long>(st.disk_restores),
+      static_cast<long long>(st.replayed_ops), st.save_ms_avg(),
+      st.evict_lock_ms_max, st.flush_ms_max,
+      static_cast<long long>(st.wb_flushes),
+      static_cast<long long>(st.wb_full_saves), avg_full,
+      static_cast<long long>(st.wb_chunk_saves),
+      static_cast<long long>(st.wb_oplog_saves), avg_delta,
       fidelity_exact ? "PASS" : "FAIL", kThroughputFloor,
-      throughput_ok ? "PASS" : "FAIL");
+      throughput_ok ? "PASS" : "FAIL", kEvictLockCeilingMs,
+      evict_lock_ok ? "PASS" : "FAIL", delta_ratio_ok ? "PASS" : "FAIL");
+
+  // --- int8 blob-precision ablation: same small schedule at fp32 and int8,
+  // compare checkpoint size and restored-prediction agreement. ---
+  const int64_t abl_sessions = std::min<int64_t>(12, sessions);
+  cham::data::MultiUserConfig amc;
+  amc.num_sessions = abl_sessions;
+  amc.events = 80;
+  amc.zipf_s = 1.1;
+  amc.seed = 29;
+  const auto abl_schedule = cham::data::make_zipf_schedule(amc);
+  const AblationResult fp32 = run_precision_ablation(
+      exp, streams, abl_schedule, abl_sessions,
+      cham::quant::Precision::kFp32, "/tmp/cham_bench_abl_fp32", test_keys);
+  const AblationResult int8 = run_precision_ablation(
+      exp, streams, abl_schedule, abl_sessions,
+      cham::quant::Precision::kInt8, "/tmp/cham_bench_abl_int8", test_keys);
+  int64_t agree = 0, total = 0;
+  for (int64_t s = 0; s < abl_sessions; ++s) {
+    const auto& pa = fp32.preds[static_cast<size_t>(s)];
+    const auto& pb = int8.preds[static_cast<size_t>(s)];
+    if (pa.size() != pb.size()) continue;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      agree += pa[i] == pb[i];
+      ++total;
+    }
+  }
+  const double agreement =
+      total > 0 ? static_cast<double>(agree) / static_cast<double>(total)
+                : 0.0;
+  const double blob_shrink =
+      int8.avg_full_blob_bytes > 0
+          ? fp32.avg_full_blob_bytes / int8.avg_full_blob_bytes
+          : 0.0;
+  std::printf(
+      "  int8 ablation: full blob %.0f B vs %.0f B fp32 (%.2fx), "
+      "prediction agreement %.4f\n",
+      int8.avg_full_blob_bytes, fp32.avg_full_blob_bytes, blob_shrink,
+      agreement);
 
   std::FILE* json = std::fopen(out_path.c_str(), "w");
   if (!json) {
@@ -202,11 +358,11 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"bench_serve\",\n"
                "  \"sessions\": %lld,\n  \"events\": %lld,\n"
-               "  \"zipf_s\": %.2f,\n"
+               "  \"zipf_s\": %.2f,\n  \"predict_fraction\": %.2f,\n"
                "  \"num_shards\": %lld,\n  \"max_resident\": %lld,\n"
                "  \"queue_capacity\": %lld,\n",
                static_cast<long long>(sessions),
-               static_cast<long long>(events), mc.zipf_s,
+               static_cast<long long>(events), mc.zipf_s, mc.predict_fraction,
                static_cast<long long>(sc.num_shards),
                static_cast<long long>(sc.max_resident),
                static_cast<long long>(sc.queue_capacity));
@@ -222,14 +378,30 @@ int main(int argc, char** argv) {
                static_cast<long long>(ops.images), ops.g_fwd_macs,
                ops.g_bwd_macs, ops.onchip_bytes, ops.offchip_bytes);
   std::fprintf(json,
+               "  \"avg_full_blob_bytes\": %.0f,\n"
+               "  \"avg_delta_bytes\": %.0f,\n"
+               "  \"ablation_int8\": {\"avg_full_blob_bytes_fp32\": %.0f, "
+               "\"avg_full_blob_bytes_int8\": %.0f, \"blob_shrink\": %.2f, "
+               "\"prediction_agreement\": %.4f, \"keys_compared\": %lld},\n",
+               avg_full, avg_delta, fp32.avg_full_blob_bytes,
+               int8.avg_full_blob_bytes, blob_shrink, agreement,
+               static_cast<long long>(total));
+  std::fprintf(json,
                "  \"fidelity_sessions_checked\": %lld,\n"
                "  \"gate_fidelity_exact\": %s,\n"
                "  \"throughput_floor_events_per_s\": %.1f,\n"
-               "  \"gate_throughput_ok\": %s\n}\n",
+               "  \"gate_throughput_ok\": %s,\n"
+               "  \"evict_lock_ceiling_ms\": %.1f,\n"
+               "  \"gate_evict_lock_ok\": %s,\n"
+               "  \"gate_delta_ratio_ok\": %s\n}\n",
                static_cast<long long>(probes_checked),
                fidelity_exact ? "true" : "false", kThroughputFloor,
-               throughput_ok ? "true" : "false");
+               throughput_ok ? "true" : "false", kEvictLockCeilingMs,
+               evict_lock_ok ? "true" : "false",
+               delta_ratio_ok ? "true" : "false");
   std::fclose(json);
   std::printf("wrote %s\n", out_path.c_str());
-  return fidelity_exact && throughput_ok ? 0 : 1;
+  return fidelity_exact && throughput_ok && evict_lock_ok && delta_ratio_ok
+             ? 0
+             : 1;
 }

@@ -1,12 +1,15 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
 #include <array>
+#include <cstring>
 #include <fstream>
 #include <type_traits>
 #include <vector>
 
 #include "nn/model_io.h"
 #include "replay/serialize.h"
+#include "util/check.h"
 
 namespace cham::core {
 namespace {
@@ -15,7 +18,13 @@ constexpr uint32_t kMagic = 0x43485332;  // "CHS2"
 // Version 2: single-blob full state (v1 stored only head-by-side-file,
 // buffers, and no preference/RNG/staging state, so a restored learner
 // diverged from an uninterrupted run at the next stochastic decision).
-constexpr uint32_t kVersion = 2;
+// Version 3: a quant::Precision byte follows the version; ST/LT/staged
+// latent payloads are precision-tagged (replay::*_q framing), so blobs can
+// store latents at int8/fp16/bfp8 density. kFp32 stays lossless.
+constexpr uint32_t kVersion = 3;
+
+constexpr uint32_t kDeltaMagic = 0x43485333;  // "CHS3"
+constexpr uint32_t kDeltaVersion = 1;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -30,13 +39,64 @@ bool read_pod(std::istream& is, T& v) {
   return is.good();
 }
 
+// Raw-buffer cursor for the delta frames (they are always encoded into and
+// decoded from complete in-memory blobs, so stream machinery is overhead).
+struct Cursor {
+  const char* p;
+  size_t left;
+
+  template <typename T>
+  bool read(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (left < sizeof(T)) return false;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return true;
+  }
+};
+
+template <typename T>
+void append_pod(ByteBuf& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void append_delta_header(ByteBuf& out, const DeltaHeader& h) {
+  append_pod(out, kDeltaMagic);
+  append_pod(out, kDeltaVersion);
+  append_pod(out, static_cast<uint8_t>(h.kind));
+  append_pod(out, h.base_hash);
+  append_pod(out, h.base_len);
+  append_pod(out, h.next_hash);
+  append_pod(out, h.next_len);
+}
+
+bool read_delta_header(Cursor& c, DeltaHeader& out) {
+  uint32_t magic = 0, version = 0;
+  uint8_t kind = 0;
+  if (!c.read(magic) || magic != kDeltaMagic) return false;
+  if (!c.read(version) || version != kDeltaVersion) return false;
+  if (!c.read(kind) || kind > static_cast<uint8_t>(DeltaKind::kOpLog)) {
+    return false;
+  }
+  out.kind = static_cast<DeltaKind>(kind);
+  return c.read(out.base_hash) && c.read(out.base_len) &&
+         c.read(out.next_hash) && c.read(out.next_len);
+}
+
 }  // namespace
 
-bool ChameleonLearner::save_state(std::ostream& os) const {
+bool ChameleonLearner::save_state(std::ostream& os,
+                                  quant::Precision blob_precision) const {
   write_pod(os, kMagic);
   write_pod(os, kVersion);
+  write_pod(os, static_cast<uint8_t>(blob_precision));
 
   // Head parameters (values + BatchNorm running statistics), inline.
+  // Always fp32: this is live training state (weights + BN statistics), and
+  // the optimizer must resume from exactly the values it left.
   if (!nn::save_params(*g_, os)) return false;
 
   // RNG state: every stochastic decision after restore (ST slot choice,
@@ -47,24 +107,35 @@ bool ChameleonLearner::save_state(std::ostream& os) const {
   write_pod(os, step_);
 
   // Short-term store (contents + reservoir counter).
-  if (!replay::save_buffer(st_.buffer(), os)) return false;
+  if (!replay::save_buffer_q(st_.buffer(), os, blob_precision)) return false;
 
   // Long-term store: flat sample list in (class, slot) order; re-inserting
   // in this order rebuilds the per-class slot arrays identically.
-  if (!replay::save_samples(lt_.all_samples(), os)) return false;
+  if (!replay::save_samples_q(lt_.all_samples(), os, blob_precision)) {
+    return false;
+  }
 
   // Staged LT burst and its consumption cursor: a learner evicted mid-burst
   // must keep consuming the same staged samples on restore.
-  if (!replay::save_samples(staged_lt_, os)) return false;
+  if (!replay::save_samples_q(staged_lt_, os, blob_precision)) return false;
   write_pod(os, static_cast<int64_t>(staged_pos_));
 
   // Preference statistics, including mid-window counters.
   if (!prefs_.save(os)) return false;
 
   // Traffic ledger and the full-checks monotonicity snapshot, so restored
-  // sessions keep accumulating the same hardware cost model.
+  // sessions keep accumulating the same hardware cost model. The host
+  // workspace gauges (ws_*) are process-global introspection, not logical
+  // learner state — they vary with allocator history, so they are
+  // canonicalised to zero to keep serialisation a pure function of the
+  // stream (the op-log delta restore hash-verifies exactly this). The next
+  // observe() after restore re-mirrors the live gauges.
   static_assert(std::is_trivially_copyable_v<OpStats>);
-  write_pod(os, stats_);
+  OpStats canonical = stats_;
+  canonical.ws_pool_heap_allocs = 0;
+  canonical.ws_pool_high_water_bytes = 0;
+  canonical.ws_arena_high_water_bytes = 0;
+  write_pod(os, canonical);
   write_pod(os, audited_onchip_);
   write_pod(os, audited_offchip_);
   write_pod(os, audited_weight_);
@@ -75,6 +146,11 @@ bool ChameleonLearner::load_state(std::istream& is) {
   uint32_t magic = 0, version = 0;
   if (!read_pod(is, magic) || magic != kMagic) return false;
   if (!read_pod(is, version) || version != kVersion) return false;
+  uint8_t precision = 0;
+  if (!read_pod(is, precision) ||
+      precision > static_cast<uint8_t>(quant::Precision::kInt8)) {
+    return false;
+  }
 
   if (!nn::load_params(*g_, is)) return false;
 
@@ -86,10 +162,10 @@ bool ChameleonLearner::load_state(std::istream& is) {
 
   if (!read_pod(is, step_) || step_ < 0) return false;
 
-  if (!replay::load_buffer(st_.buffer(), is)) return false;
+  if (!replay::load_buffer_q(st_.buffer(), is)) return false;
 
   std::vector<replay::ReplaySample> lt_samples;
-  if (!replay::load_samples(lt_samples, is)) return false;
+  if (!replay::load_samples_q(lt_samples, is)) return false;
   lt_.clear();
   Rng restore_rng(0xC0FFEE);  // below-quota inserts never hit the rng path
   for (const auto& s : lt_samples) {
@@ -99,7 +175,7 @@ bool ChameleonLearner::load_state(std::istream& is) {
     lt_.insert(s, restore_rng);
   }
 
-  if (!replay::load_samples(staged_lt_, is)) return false;
+  if (!replay::load_samples_q(staged_lt_, is)) return false;
   int64_t staged_pos = 0;
   if (!read_pod(is, staged_pos) || staged_pos < 0 ||
       staged_pos > static_cast<int64_t>(staged_lt_.size())) {
@@ -123,6 +199,123 @@ bool save_checkpoint(const ChameleonLearner& learner,
 bool load_checkpoint(ChameleonLearner& learner, const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   return is && learner.load_state(is);
+}
+
+// --------------------------------------------------------- CHS3 deltas
+
+uint64_t blob_hash(const char* data, std::size_t n) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool is_delta_blob(const char* data, std::size_t n) {
+  uint32_t magic = 0;
+  if (n < sizeof(magic)) return false;
+  std::memcpy(&magic, data, sizeof(magic));
+  return magic == kDeltaMagic;
+}
+
+bool read_delta_header(const char* data, std::size_t n, DeltaHeader& out) {
+  Cursor c{data, n};
+  return read_delta_header(c, out);
+}
+
+ByteBuf encode_chunk_delta(const char* base, std::size_t base_n,
+                           const char* next, std::size_t next_n,
+                           int64_t chunk_bytes) {
+  CHAM_CHECK(chunk_bytes > 0, "encode_chunk_delta: chunk_bytes must be > 0");
+  const auto chunk = static_cast<std::size_t>(chunk_bytes);
+
+  DeltaHeader h;
+  h.kind = DeltaKind::kChunkDiff;
+  h.base_hash = blob_hash(base, base_n);
+  h.base_len = base_n;
+  h.next_hash = blob_hash(next, next_n);
+  h.next_len = next_n;
+
+  ByteBuf out;
+  // Worst case every chunk is dirty; reserving the ceiling keeps the encode
+  // single-allocation (pool-recycled, same size class every eviction).
+  const std::size_t nchunks = next_n == 0 ? 0 : (next_n - 1) / chunk + 1;
+  out.reserve(64 + next_n + nchunks * sizeof(uint32_t));
+  append_delta_header(out, h);
+  append_pod(out, static_cast<uint32_t>(chunk));
+
+  // Dirty-count placeholder, patched after the scan.
+  const std::size_t count_pos = out.size();
+  append_pod(out, uint32_t{0});
+
+  uint32_t ndirty = 0;
+  for (std::size_t i = 0; i < nchunks; ++i) {
+    const std::size_t off = i * chunk;
+    const std::size_t len = std::min(chunk, next_n - off);
+    const bool clean = off + len <= base_n &&
+                       std::memcmp(base + off, next + off, len) == 0;
+    if (clean) continue;
+    append_pod(out, static_cast<uint32_t>(i));
+    out.insert(out.end(), next + off, next + off + len);
+    ++ndirty;
+  }
+  std::memcpy(out.data() + count_pos, &ndirty, sizeof(ndirty));
+  return out;
+}
+
+bool apply_chunk_delta(const char* base, std::size_t base_n,
+                       const char* delta, std::size_t delta_n, ByteBuf& out) {
+  Cursor c{delta, delta_n};
+  DeltaHeader h;
+  if (!read_delta_header(c, h) || h.kind != DeltaKind::kChunkDiff) {
+    return false;
+  }
+  if (h.base_len != base_n || h.base_hash != blob_hash(base, base_n)) {
+    return false;  // stale delta: it diffs against some other base blob
+  }
+  uint32_t chunk = 0, ndirty = 0;
+  if (!c.read(chunk) || chunk == 0 || !c.read(ndirty)) return false;
+
+  const auto next_n = static_cast<std::size_t>(h.next_len);
+  out.assign(next_n, 0);
+  // Start from the base (truncated/extended to the new length); dirty
+  // chunks then overwrite their ranges.
+  std::memcpy(out.data(), base, std::min(base_n, next_n));
+
+  const std::size_t nchunks = next_n == 0 ? 0 : (next_n - 1) / chunk + 1;
+  for (uint32_t k = 0; k < ndirty; ++k) {
+    uint32_t idx = 0;
+    if (!c.read(idx) || idx >= nchunks) return false;
+    const std::size_t off = static_cast<std::size_t>(idx) * chunk;
+    const std::size_t len = std::min<std::size_t>(chunk, next_n - off);
+    if (c.left < len) return false;
+    std::memcpy(out.data() + off, c.p, len);
+    c.p += len;
+    c.left -= len;
+  }
+  return blob_hash(out.data(), out.size()) == h.next_hash;
+}
+
+ByteBuf encode_op_log(const DeltaHeader& header,
+                      const std::vector<data::ServeOp>& ops) {
+  DeltaHeader h = header;
+  h.kind = DeltaKind::kOpLog;
+  ByteBuf out;
+  append_delta_header(out, h);
+  ByteBufWriter os(out);
+  const bool ok = data::save_ops(ops, os);
+  CHAM_CHECK(ok, "encode_op_log: op serialisation failed");
+  return out;
+}
+
+bool read_op_log(const char* delta, std::size_t delta_n,
+                 std::vector<data::ServeOp>& out) {
+  Cursor c{delta, delta_n};
+  DeltaHeader h;
+  if (!read_delta_header(c, h) || h.kind != DeltaKind::kOpLog) return false;
+  ByteBufReader is(c.p, c.left);
+  return data::load_ops(out, is);
 }
 
 }  // namespace cham::core

@@ -11,18 +11,93 @@
 // including mid-window counters, the staged LT replay burst and its cursor,
 // the RNG state, the step counter and the traffic ledger.
 //
-// The serialisation itself lives on the learner
-// (ChameleonLearner::save_state / load_state, implemented in this
-// translation unit); these file helpers wrap it for the single-device
-// reboot use case. The serving runtime's SessionStore uses the stream form
-// directly.
+// Two wire formats live here:
+//
+//   CHS2 v3 (full blob)   The complete state, as ChameleonLearner::
+//                         save_state / load_state. v3 adds a latent-storage
+//                         precision tag: ST/LT/staged latents can be stored
+//                         int8/fp16/bfp8 (quant/quantize.h) for denser
+//                         blobs; kFp32 is the default and round-trips
+//                         bit-exactly.
+//   CHS3 (delta frame)    A delta against a previously flushed full blob,
+//                         in one of two kinds:
+//                           kChunkDiff   dirty fixed-size chunks of the new
+//                                        blob vs the base blob. Wins when
+//                                        little state changed (predict-only
+//                                        or idle evictions; LT edits are
+//                                        in-place at capacity, so they stay
+//                                        local).
+//                           kOpLog       the observe/predict requests the
+//                                        session served since the base blob
+//                                        was captured. Restore replays them
+//                                        through the learner; the repo-wide
+//                                        bit-determinism contract makes the
+//                                        result byte-identical to the state
+//                                        that was evicted, and the frame's
+//                                        hash of that state verifies it.
+//                                        Wins after training steps, where a
+//                                        single SGD step dirties ~85% of
+//                                        the head chunks (measured; the
+//                                        head is ~94% of the blob).
+//                         Both kinds carry FNV-1a hashes of the base and
+//                         reconstructed blobs, so a mismatched or stale
+//                         delta is detected, never silently applied.
+//
+// The serialisation itself lives on the learner (core/chameleon.h); the
+// file helpers below wrap it for the single-device reboot use case. The
+// serving runtime's SessionStore/WriteBehind use the in-memory forms.
 #pragma once
 
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <streambuf>
 #include <string>
+#include <vector>
 
 #include "core/chameleon.h"
+#include "data/stream.h"
+#include "tensor/workspace.h"
 
 namespace cham::core {
+
+// Checkpoint bytes live in pool-backed buffers: eviction snapshots are the
+// same size every cycle, so after warm-up the serving runtime's snapshot
+// path never touches the heap (the pool freelist recycles the blob class).
+using ByteBuf = std::vector<char, ws::PoolAllocator<char>>;
+
+// std::ostream writing into a growing ByteBuf (for serialising a learner to
+// memory instead of a file).
+class ByteBufWriter : private std::streambuf, public std::ostream {
+ public:
+  explicit ByteBufWriter(ByteBuf& out) : std::ostream(this), out_(out) {}
+
+ protected:
+  std::streambuf::int_type overflow(std::streambuf::int_type ch) override {
+    if (ch != std::streambuf::traits_type::eof()) {
+      out_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_.insert(out_.end(), s, s + n);
+    return n;
+  }
+
+ private:
+  ByteBuf& out_;
+};
+
+// std::istream reading a borrowed byte span (no copy; the span must outlive
+// the reader).
+class ByteBufReader : private std::streambuf, public std::istream {
+ public:
+  ByteBufReader(const char* data, std::size_t n) : std::istream(this) {
+    // std::streambuf wants mutable pointers; we only ever read.
+    char* p = const_cast<char*>(data);
+    setg(p, p, p + n);
+  }
+};
 
 // Saves the complete learner state to one file. Returns false on I/O error.
 bool save_checkpoint(const ChameleonLearner& learner,
@@ -32,5 +107,50 @@ bool save_checkpoint(const ChameleonLearner& learner,
 // environment. Returns false on mismatch or I/O error (learner untouched
 // on magic/version mismatch, best-effort on payload mismatch).
 bool load_checkpoint(ChameleonLearner& learner, const std::string& path);
+
+// --------------------------------------------------------- CHS3 deltas
+
+enum class DeltaKind : uint8_t {
+  kChunkDiff = 0,  // dirty fixed-size chunks of next vs base
+  kOpLog = 1,      // serve requests to replay on top of base
+};
+
+struct DeltaHeader {
+  DeltaKind kind = DeltaKind::kChunkDiff;
+  uint64_t base_hash = 0;  // FNV-1a of the full base blob
+  uint64_t base_len = 0;
+  uint64_t next_hash = 0;  // FNV-1a of the full blob this delta reconstructs
+  uint64_t next_len = 0;
+};
+
+// FNV-1a 64 over a byte range (the hash used by the delta frames).
+uint64_t blob_hash(const char* data, std::size_t n);
+
+// True if the bytes start with the CHS3 delta magic (vs a full CHS2 blob).
+bool is_delta_blob(const char* data, std::size_t n);
+
+// Reads the frame header; false on malformed input.
+bool read_delta_header(const char* data, std::size_t n, DeltaHeader& out);
+
+// kChunkDiff: encodes `next` as the chunks that differ from `base`
+// (chunk_bytes granularity; a length change marks the tail dirty).
+ByteBuf encode_chunk_delta(const char* base, std::size_t base_n,
+                           const char* next, std::size_t next_n,
+                           int64_t chunk_bytes);
+
+// Applies a kChunkDiff frame to `base`; verifies both hashes. False on
+// malformed frame, base mismatch, or reconstruction hash mismatch.
+bool apply_chunk_delta(const char* base, std::size_t base_n,
+                       const char* delta, std::size_t delta_n, ByteBuf& out);
+
+// kOpLog: frames the serve requests executed between the base blob and the
+// state described by (next_hash, next_len). Replay + verification is the
+// caller's job (the SessionManager owns learners; see read_op_log).
+ByteBuf encode_op_log(const DeltaHeader& header,
+                      const std::vector<data::ServeOp>& ops);
+
+// Extracts the replay ops from a kOpLog frame. False on malformed input.
+bool read_op_log(const char* delta, std::size_t delta_n,
+                 std::vector<data::ServeOp>& out);
 
 }  // namespace cham::core

@@ -125,6 +125,8 @@ ClassIncrementalStream::ClassIncrementalStream(
 std::vector<SessionEvent> make_zipf_schedule(const MultiUserConfig& cfg) {
   CHAM_CHECK(cfg.num_sessions > 0, "make_zipf_schedule: no sessions");
   CHAM_CHECK(cfg.events >= 0, "make_zipf_schedule: negative event count");
+  CHAM_CHECK(cfg.predict_fraction >= 0.0 && cfg.predict_fraction <= 1.0,
+             "make_zipf_schedule: predict_fraction outside [0, 1]");
   Rng rng(cfg.seed * 0x9E3779B97F4A7C15ull + 0x5EED);
 
   // Zipf weights over session rank (rank 0 hottest): w_r = 1 / (r+1)^s.
@@ -140,9 +142,111 @@ std::vector<SessionEvent> make_zipf_schedule(const MultiUserConfig& cfg) {
   for (int64_t e = 0; e < cfg.events; ++e) {
     int64_t s = rng.sample_weighted(weights);
     if (s < 0) s = rng.uniform_int(cfg.num_sessions);
-    schedule.push_back({s, next_batch[static_cast<size_t>(s)]++});
+    // Draw the kind even when predict_fraction == 0 so enabling predicts
+    // does not perturb which sessions the remaining events land on.
+    const bool predict = rng.bernoulli(cfg.predict_fraction);
+    auto& next = next_batch[static_cast<size_t>(s)];
+    schedule.push_back({s, predict ? next : next++, predict});
   }
   return schedule;
+}
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return is.good();
+}
+
+void write_keys(std::ostream& os, const std::vector<ImageKey>& keys) {
+  write_pod(os, static_cast<int64_t>(keys.size()));
+  for (const auto& k : keys) {
+    write_pod(os, k.class_id);
+    write_pod(os, k.domain_id);
+    write_pod(os, k.instance_id);
+    write_pod(os, static_cast<uint8_t>(k.test));
+  }
+}
+
+bool read_keys(std::istream& is, std::vector<ImageKey>& keys) {
+  int64_t count = 0;
+  if (!read_pod(is, count) || count < 0 || count > (int64_t{1} << 32)) {
+    return false;
+  }
+  keys.clear();
+  keys.resize(static_cast<size_t>(count));
+  for (auto& k : keys) {
+    uint8_t test = 0;
+    if (!read_pod(is, k.class_id) || !read_pod(is, k.domain_id) ||
+        !read_pod(is, k.instance_id) || !read_pod(is, test)) {
+      return false;
+    }
+    k.test = test != 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_batch(const Batch& batch, std::ostream& os) {
+  write_keys(os, batch.keys);
+  write_pod(os, static_cast<int64_t>(batch.labels.size()));
+  for (int64_t label : batch.labels) write_pod(os, label);
+  write_pod(os, batch.domain);
+  return os.good();
+}
+
+bool load_batch(Batch& batch, std::istream& is) {
+  if (!read_keys(is, batch.keys)) return false;
+  int64_t count = 0;
+  if (!read_pod(is, count) || count < 0 || count > (int64_t{1} << 32)) {
+    return false;
+  }
+  batch.labels.clear();
+  batch.labels.resize(static_cast<size_t>(count));
+  for (auto& label : batch.labels) {
+    if (!read_pod(is, label)) return false;
+  }
+  return read_pod(is, batch.domain);
+}
+
+bool save_ops(const std::vector<ServeOp>& ops, std::ostream& os) {
+  write_pod(os, static_cast<int64_t>(ops.size()));
+  for (const auto& op : ops) {
+    write_pod(os, static_cast<uint8_t>(op.predict));
+    if (op.predict) {
+      write_keys(os, op.keys);
+    } else if (!save_batch(op.batch, os)) {
+      return false;
+    }
+  }
+  return os.good();
+}
+
+bool load_ops(std::vector<ServeOp>& ops, std::istream& is) {
+  int64_t count = 0;
+  if (!read_pod(is, count) || count < 0 || count > (int64_t{1} << 32)) {
+    return false;
+  }
+  ops.clear();
+  ops.resize(static_cast<size_t>(count));
+  for (auto& op : ops) {
+    uint8_t predict = 0;
+    if (!read_pod(is, predict)) return false;
+    op.predict = predict != 0;
+    if (op.predict) {
+      if (!read_keys(is, op.keys)) return false;
+    } else if (!load_batch(op.batch, is)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace cham::data

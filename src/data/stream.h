@@ -16,6 +16,8 @@
 // paper's learning-window recalibration.
 #pragma once
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "data/dataset.h"
@@ -37,6 +39,26 @@ struct Batch {
   std::vector<int64_t> labels;
   int64_t domain = 0;
 };
+
+// One request a serving session executed: an observe (carrying its batch) or
+// a predict (carrying its query keys). The write-behind checkpoint pipeline
+// (src/serve/) logs these between full-blob flushes; replaying the log on
+// top of the base blob reconstructs the evicted state bit-identically, which
+// is usually far smaller than shipping the state itself. Predicts are logged
+// too because they charge the traffic ledger, which is part of the state.
+struct ServeOp {
+  bool predict = false;
+  Batch batch;                 // observe payload (unused for predicts)
+  std::vector<ImageKey> keys;  // predict payload (unused for observes)
+};
+
+// Byte-stable (de)serialisation of batches and serve-op logs, used by the
+// CHS3 op-log delta frames (core/checkpoint.h). Return false on malformed
+// input or stream failure.
+bool save_batch(const Batch& batch, std::ostream& os);
+bool load_batch(Batch& batch, std::istream& is);
+bool save_ops(const std::vector<ServeOp>& ops, std::ostream& os);
+bool load_ops(std::vector<ServeOp>& ops, std::istream& is);
 
 // Materialised stream: the full ordered list of batches for one experiment
 // run. Total length matches one pass over the training pool (paper: each
@@ -78,17 +100,24 @@ class DomainIncrementalStream {
 
 struct MultiUserConfig {
   int64_t num_sessions = 50;
-  int64_t events = 2000;  // total observe submissions across all sessions
+  int64_t events = 2000;  // total submissions across all sessions
   double zipf_s = 1.1;    // Zipf exponent over session rank; 0 = uniform
+  // Fraction of events that are predicts instead of observes (drawn i.i.d.
+  // per event). Predict-heavy traffic is the regime where chunk-diff delta
+  // checkpoints win: predicts mutate only the traffic ledger.
+  double predict_fraction = 0.0;
   uint64_t seed = 7;
 };
 
 // One serving arrival: session `session` submits its next batch, the
 // `batch_index`-th of its private stream (a per-session running counter, so
-// replaying the schedule through isolated learners is trivial).
+// replaying the schedule through isolated learners is trivial). Predict
+// events do not consume a batch index; batch_index then counts the observes
+// submitted so far (the stream position the predict sees).
 struct SessionEvent {
   int64_t session = 0;
   int64_t batch_index = 0;
+  bool predict = false;
 };
 
 // Draws `events` sessions i.i.d. from Zipf(zipf_s) over session ranks

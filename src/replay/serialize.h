@@ -12,6 +12,7 @@
 #include <ostream>
 #include <string>
 
+#include "quant/quantize.h"
 #include "replay/buffer.h"
 
 namespace cham::replay {
@@ -37,5 +38,23 @@ bool load_sample(ReplaySample& sample, std::istream& is);
 // src/serve/ depends on.
 bool save_samples(const std::vector<ReplaySample>& samples, std::ostream& os);
 bool load_samples(std::vector<ReplaySample>& samples, std::istream& is);
+
+// Precision-tagged variants: latent/logits payloads are stored through
+// quant::encode at the given precision (each tensor carries its own
+// precision byte, so the loaders need no out-of-band information).
+// kFp32 round-trips bit-exactly and writes the same payload bytes as the
+// untagged functions plus the tags; the reduced precisions shrink the
+// dominant checkpoint payload 2x-4x at the usual quantisation error
+// (bench_serve's ablation measures the accuracy cost). Used by CHS2 v3
+// learner blobs (core/checkpoint.cpp).
+bool save_sample_q(const ReplaySample& sample, std::ostream& os,
+                   quant::Precision precision);
+bool load_sample_q(ReplaySample& sample, std::istream& is);
+bool save_samples_q(const std::vector<ReplaySample>& samples,
+                    std::ostream& os, quant::Precision precision);
+bool load_samples_q(std::vector<ReplaySample>& samples, std::istream& is);
+bool save_buffer_q(const ReplayBuffer& buffer, std::ostream& os,
+                   quant::Precision precision);
+bool load_buffer_q(ReplayBuffer& buffer, std::istream& is);
 
 }  // namespace cham::replay

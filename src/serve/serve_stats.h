@@ -24,19 +24,43 @@ struct ServeStats {
   // Dispatch.
   int64_t observes = 0;  // observe requests executed
   int64_t predicts = 0;  // predict requests executed
+  int64_t dispatch_errors = 0;  // requests whose execution threw
 
   // Residency / eviction.
   int64_t creates = 0;    // sessions constructed fresh (first contact)
-  int64_t evictions = 0;  // resident learner serialised to the store
-  int64_t restores = 0;   // store blob deserialised back to residency
+  int64_t evictions = 0;  // resident learner snapshotted out of residency
+  int64_t restores = 0;   // sessions rematerialised (any source)
+  int64_t pending_restores = 0;  // served from an in-flight write-behind blob
+  int64_t cache_restores = 0;    // served from the flushed-snapshot cache
+  int64_t disk_restores = 0;     // served from the SessionStore
+  int64_t replayed_ops = 0;      // ops replayed applying op-log deltas
   int64_t resident_high_water = 0;
   int64_t queue_depth_high_water = 0;  // max depth over all shards
 
-  // Store round-trip latency (wall milliseconds).
+  // Eviction latency split (wall milliseconds). save_ms is the in-memory
+  // snapshot serialisation on the dispatch thread (unpinned, no locks
+  // held); evict_lock_ms is the portion under sessions_mu_ — victim
+  // selection and unlink only, the number the <1ms bench gate watches.
   double save_ms_total = 0;
   double save_ms_max = 0;
+  double evict_lock_ms_total = 0;
+  double evict_lock_ms_max = 0;
   double restore_ms_total = 0;
   double restore_ms_max = 0;
+
+  // Write-behind pipeline (mirrored from WriteBehindStats by the manager).
+  int64_t wb_flushes = 0;
+  int64_t wb_flush_errors = 0;
+  int64_t wb_full_saves = 0;
+  int64_t wb_chunk_saves = 0;
+  int64_t wb_oplog_saves = 0;
+  int64_t wb_full_bytes = 0;
+  int64_t wb_delta_bytes = 0;
+  int64_t wb_compactions = 0;
+  int64_t wb_queue_depth_high_water = 0;
+  int64_t wb_cache_bytes_high_water = 0;
+  double flush_ms_total = 0;  // background IO per flush (encode + write)
+  double flush_ms_max = 0;
 
   double save_ms_avg() const {
     return evictions > 0 ? save_ms_total / static_cast<double>(evictions)
@@ -50,6 +74,10 @@ struct ServeStats {
   void record_save_ms(double ms) {
     save_ms_total += ms;
     save_ms_max = std::max(save_ms_max, ms);
+  }
+  void record_evict_lock_ms(double ms) {
+    evict_lock_ms_total += ms;
+    evict_lock_ms_max = std::max(evict_lock_ms_max, ms);
   }
   void record_restore_ms(double ms) {
     restore_ms_total += ms;
@@ -68,16 +96,39 @@ struct ServeStats {
     j += ", \"rejections\": " + std::to_string(rejections);
     j += ", \"observes\": " + std::to_string(observes);
     j += ", \"predicts\": " + std::to_string(predicts);
+    j += ", \"dispatch_errors\": " + std::to_string(dispatch_errors);
     j += ", \"creates\": " + std::to_string(creates);
     j += ", \"evictions\": " + std::to_string(evictions);
     j += ", \"restores\": " + std::to_string(restores);
+    j += ", \"pending_restores\": " + std::to_string(pending_restores);
+    j += ", \"cache_restores\": " + std::to_string(cache_restores);
+    j += ", \"disk_restores\": " + std::to_string(disk_restores);
+    j += ", \"replayed_ops\": " + std::to_string(replayed_ops);
     j += ", \"resident_high_water\": " + std::to_string(resident_high_water);
     j += ", \"queue_depth_high_water\": " +
          std::to_string(queue_depth_high_water);
     j += ", \"save_ms_avg\": " + num(save_ms_avg());
     j += ", \"save_ms_max\": " + num(save_ms_max);
+    j += ", \"evict_lock_ms_avg\": " +
+         num(evictions > 0
+                 ? evict_lock_ms_total / static_cast<double>(evictions)
+                 : 0.0);
+    j += ", \"evict_lock_ms_max\": " + num(evict_lock_ms_max);
     j += ", \"restore_ms_avg\": " + num(restore_ms_avg());
     j += ", \"restore_ms_max\": " + num(restore_ms_max);
+    j += ", \"wb_flushes\": " + std::to_string(wb_flushes);
+    j += ", \"wb_flush_errors\": " + std::to_string(wb_flush_errors);
+    j += ", \"wb_full_saves\": " + std::to_string(wb_full_saves);
+    j += ", \"wb_chunk_saves\": " + std::to_string(wb_chunk_saves);
+    j += ", \"wb_oplog_saves\": " + std::to_string(wb_oplog_saves);
+    j += ", \"wb_full_bytes\": " + std::to_string(wb_full_bytes);
+    j += ", \"wb_delta_bytes\": " + std::to_string(wb_delta_bytes);
+    j += ", \"wb_compactions\": " + std::to_string(wb_compactions);
+    j += ", \"wb_queue_depth_high_water\": " +
+         std::to_string(wb_queue_depth_high_water);
+    j += ", \"wb_cache_bytes_high_water\": " +
+         std::to_string(wb_cache_bytes_high_water);
+    j += ", \"flush_ms_max\": " + num(flush_ms_max);
     j += "}";
     return j;
   }

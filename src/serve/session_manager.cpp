@@ -1,6 +1,7 @@
 #include "serve/session_manager.h"
 
 #include <chrono>
+#include <utility>
 
 #include "tensor/rng.h"
 #include "tensor/thread_pool.h"
@@ -29,6 +30,18 @@ SessionManager::SessionManager(ServeConfig cfg, LearnerFactory factory)
                  " (each shard dispatcher may pin one session)");
   CHAM_CHECK(static_cast<bool>(factory_),
              "SessionManager: learner factory is empty");
+  WriteBehindConfig wb;
+  wb.enabled = cfg_.write_behind;
+  wb.delta = cfg_.delta_checkpoints;
+  wb.chunk_bytes = cfg_.delta_chunk_bytes;
+  wb.compact_ratio = cfg_.delta_compact_ratio;
+  wb.compact_every = cfg_.delta_compact_every;
+  wb.max_replay_ops = cfg_.max_replay_ops;
+  wb.snapshot_cache_bytes = cfg_.snapshot_cache_bytes;
+  // Op-log replay is verified against a hash of the exact target blob;
+  // that only holds when blobs round-trip losslessly.
+  wb.lossless = cfg_.blob_precision == quant::Precision::kFp32;
+  write_behind_ = std::make_unique<WriteBehind>(store_, wb);
   shards_.reserve(static_cast<size_t>(cfg_.num_shards));
   for (int64_t i = 0; i < cfg_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -109,20 +122,23 @@ Admission SessionManager::submit_observe(uint64_t session_id,
 std::optional<std::vector<int64_t>> SessionManager::predict(
     uint64_t session_id, const std::vector<data::ImageKey>& keys,
     Admission* admission) {
-  std::promise<std::vector<int64_t>> reply;
-  std::future<std::vector<int64_t>> result = reply.get_future();
+  // The promise is shared with the queued request: if dispatch throws (or
+  // this frame unwinds), neither side holds a dangling pointer, and an
+  // exception set by the dispatcher re-surfaces from result.get() here.
+  auto reply = std::make_shared<std::promise<std::vector<int64_t>>>();
+  std::future<std::vector<int64_t>> result = reply->get_future();
   Request r;
   r.kind = Request::Kind::kPredict;
   r.session_id = session_id;
-  r.keys = &keys;
-  r.reply = &reply;
+  r.keys = keys;
+  r.reply = reply;
   const int64_t shard_idx = shard_of(session_id);
   const Admission adm = enqueue(shard_idx, std::move(r));
   if (admission) *admission = adm;
   if (!adm.accepted) return std::nullopt;
-  // The promise lives on this stack frame, so the request must be fully
-  // dispatched before returning — deterministically by draining the shard
-  // here, or by blocking on the worker in threaded mode.
+  // FIFO ordering: the request must be dispatched before returning —
+  // deterministically by draining the shard here, or by blocking on the
+  // worker in threaded mode.
   if (cfg_.mode == ServeMode::kDeterministic) drain_shard(shard_idx);
   return result.get();
 }
@@ -153,8 +169,11 @@ void SessionManager::drain() {
   }
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mu);
-    shard->cv_idle.wait(lock, [&shard] {
-      return shard->queue.empty() && shard->in_flight == 0;
+    // Stop-aware: a worker that exited on shutdown can no longer drain its
+    // queue, so waiting for emptiness would hang forever.
+    shard->cv_idle.wait(lock, [this, &shard] {
+      return stop_.load() ||
+             (shard->queue.empty() && shard->in_flight == 0);
     });
   }
 }
@@ -184,7 +203,12 @@ void SessionManager::worker_loop(Shard& shard) {
         return stop_ || !shard.queue.empty();
       });
       // cham-lint: begin(dispatch)
-      if (shard.queue.empty()) return;  // stop_ set and no work left
+      if (shard.queue.empty()) {
+        // stop_ set and no work left. Wake any drain() racing shutdown:
+        // nobody will notify cv_idle after this thread exits.
+        shard.cv_idle.notify_all();
+        return;
+      }
       r = std::move(shard.queue.front());
       shard.queue.pop_front();
       ++shard.in_flight;
@@ -201,70 +225,256 @@ void SessionManager::worker_loop(Shard& shard) {
   }
 }
 
+void SessionManager::note_dispatch_error() {
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.dispatch_errors;
+}
+
 void SessionManager::dispatch(Request& r) {
   core::ChameleonLearner* learner = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+  try {
     learner = acquire_session(r.session_id);
+  } catch (...) {
+    // acquire_session un-reserves on its way out; nothing is pinned here.
+    note_dispatch_error();
+    if (r.reply) {
+      r.reply->set_exception(std::current_exception());
+      return;  // the predict() caller rethrows from result.get()
+    }
+    if (cfg_.mode == ServeMode::kDeterministic) throw;
+    return;  // threaded observe: counted; the worker must survive
   }
   // Execute unpinned from sessions_mu_: other shards keep admitting and
   // evicting while this session trains (it is protected by its in_use pin).
+  std::vector<int64_t> out;
+  try {
+    if (r.kind == Request::Kind::kObserve) {
+      learner->observe(r.batch);
+    } else {
+      out = learner->predict(r.keys);
+    }
+  } catch (...) {
+    // Release the pin FIRST (a permanently pinned session deadlocks
+    // eviction and flush), then surface the error: through the promise for
+    // predicts, to the caller in deterministic mode, counted in threaded
+    // mode (the worker thread must not die).
+    finish_dispatch(r, learner, /*ok=*/false);
+    note_dispatch_error();
+    if (r.reply) {
+      r.reply->set_exception(std::current_exception());
+      return;
+    }
+    if (cfg_.mode == ServeMode::kDeterministic) throw;
+    return;
+  }
+  finish_dispatch(r, learner, /*ok=*/true);
+  if (r.reply) r.reply->set_value(std::move(out));
+  std::lock_guard<std::mutex> slock(stats_mu_);
   if (r.kind == Request::Kind::kObserve) {
-    learner->observe(r.batch);
-    std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.observes;
   } else {
-    r.reply->set_value(learner->predict(*r.keys));
-    std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.predicts;
-  }
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    session_op_stats_[r.session_id] = learner->stats();
-    release_session(r.session_id);
   }
 }
 
-core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
-  Session& session = sessions_[session_id];
-  if (!session.learner) {
-    while (resident_ >= cfg_.max_resident) evict_one_locked();
-    auto fresh = factory_(session_id, session_seed(session_id));
-    CHAM_CHECK(fresh != nullptr, "SessionManager: factory returned null");
-    if (store_.contains(session_id)) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const bool ok = store_.load(session_id, *fresh);
-      CHAM_CHECK(ok, "SessionManager: corrupt session blob for id " +
-                         std::to_string(session_id));
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.restores;
-      stats_.record_restore_ms(ms_since(t0));
+void SessionManager::finish_dispatch(Request& r,
+                                     core::ChameleonLearner* learner,
+                                     bool ok) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // cham-lint: begin(sessions_mu)
+  auto it = sessions_.find(r.session_id);
+  CHAM_CHECK(it != sessions_.end(),
+             "SessionManager: releasing unknown session");
+  Session& session = it->second;
+  session_op_stats_[r.session_id] = learner->stats();
+  if (!ok) {
+    // The op may have mutated state without completing; an op-log replay
+    // would diverge. Force the next snapshot to chunk/full form.
+    session.ops_valid = false;
+    session.ops.clear();
+  } else if (session.ops_valid) {
+    if (static_cast<int64_t>(session.ops.size()) >= cfg_.max_replay_ops) {
+      // Bounded log: past the replay cap an op-log delta would never be
+      // encoded anyway; stop accumulating (chunk/full still available).
+      session.ops_valid = false;
+      session.ops.clear();
     } else {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.creates;
+      data::ServeOp op;
+      op.predict = r.kind == Request::Kind::kPredict;
+      if (op.predict) {
+        op.keys = std::move(r.keys);
+      } else {
+        op.batch = std::move(r.batch);
+      }
+      session.ops.push_back(std::move(op));
     }
-    session.learner = std::move(fresh);
-    ++resident_;
+  }
+  session.in_use = false;
+  // cham-lint: end(sessions_mu)
+}
+
+core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  // cham-lint: begin(sessions_mu)
+  for (;;) {
+    // Re-look-up every iteration: evict_one releases the lock mid-loop and
+    // the map may rehash under concurrent admissions.
+    Session& session = sessions_[session_id];
+    if (session.learner) {
+      CHAM_CHECK(!session.in_use,
+                 "SessionManager: session " + std::to_string(session_id) +
+                     " dispatched concurrently (shard routing broken)");
+      session.in_use = true;
+      session.last_used = ++tick_;
+      return session.learner.get();
+    }
+    if (resident_ < cfg_.max_resident) break;
+    // Evict before reserving: this dispatcher must hold no pin while
+    // evicting, or the max_resident >= num_shards spare-victim invariant
+    // breaks.
+    evict_one(lock, /*force_full=*/false);
+  }
+  // Reserve the residency slot and pin it before dropping the lock: other
+  // dispatchers must neither evict this slot (no learner yet -> eviction
+  // scans skip it) nor overfill the pool while this one materialises.
+  {
+    Session& session = sessions_[session_id];
+    session.in_use = true;
+    session.last_used = ++tick_;
+  }
+  ++resident_;
+  {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.resident_high_water =
         std::max(stats_.resident_high_water, resident_);
   }
-  CHAM_CHECK(!session.in_use,
-             "SessionManager: session " + std::to_string(session_id) +
-                 " dispatched concurrently (shard routing broken)");
-  session.in_use = true;
+  // cham-lint: end(sessions_mu)
+  lock.unlock();
+
+  // Materialise with no locks held: factory construction, restore I/O and
+  // op-log replay are the slow path.
+  std::unique_ptr<core::ChameleonLearner> fresh;
+  try {
+    fresh = materialize_session(session_id);
+  } catch (...) {
+    // Un-reserve so the slot does not leak (the session stays evicted /
+    // absent; a later request may retry).
+    lock.lock();
+    Session& session = sessions_[session_id];
+    session.in_use = false;
+    --resident_;
+    throw;
+  }
+
+  lock.lock();
+  Session& session = sessions_[session_id];
+  session.learner = std::move(fresh);
+  session.ops.clear();
+  session.ops_valid = true;
   session.last_used = ++tick_;
   return session.learner.get();
 }
 
-void SessionManager::release_session(uint64_t session_id) {
-  auto it = sessions_.find(session_id);
-  CHAM_CHECK(it != sessions_.end(),
-             "SessionManager: releasing unknown session");
-  it->second.in_use = false;
+std::unique_ptr<core::ChameleonLearner> SessionManager::materialize_session(
+    uint64_t session_id) {
+  auto fresh = factory_(session_id, session_seed(session_id));
+  CHAM_CHECK(fresh != nullptr, "SessionManager: factory returned null");
+
+  // Restore priority: the write-behind pipeline's newest copy (pending,
+  // mid-flush, or cached) is authoritative — a restore racing its own
+  // flush must read the exact bytes eviction produced.
+  bool pending = false;
+  if (auto blob = write_behind_->newest_blob(session_id, &pending)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ByteBufReader is(blob->data(), blob->size());
+    const bool ok = fresh->load_state(is);
+    CHAM_CHECK(ok, "SessionManager: corrupt in-memory snapshot for id " +
+                       std::to_string(session_id));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.restores;
+    ++(pending ? stats_.pending_restores : stats_.cache_restores);
+    stats_.record_restore_ms(ms_since(t0));
+    return fresh;
+  }
+
+  if (!store_.contains(session_id)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.creates;
+    return fresh;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int64_t replayed = 0;
+  core::ByteBuf delta;
+  core::DeltaHeader h;
+  const bool oplog_delta =
+      store_.get_delta(session_id, delta) &&
+      core::read_delta_header(delta.data(), delta.size(), h) &&
+      h.kind == core::DeltaKind::kOpLog;
+  if (!oplog_delta) {
+    // Full blob, possibly with a chunk delta (applied inside the store).
+    const bool ok = store_.load(session_id, *fresh);
+    CHAM_CHECK(ok, "SessionManager: corrupt session blob for id " +
+                       std::to_string(session_id));
+  } else {
+    core::ByteBuf base;
+    const bool have_base = store_.get_blob(session_id, base);
+    CHAM_CHECK(have_base, "SessionManager: op-log delta without base blob "
+                          "for id " +
+                              std::to_string(session_id));
+    const bool stale =
+        h.base_len != base.size() ||
+        h.base_hash != core::blob_hash(base.data(), base.size());
+    core::ByteBufReader is(base.data(), base.size());
+    const bool ok = fresh->load_state(is);
+    CHAM_CHECK(ok, "SessionManager: corrupt session blob for id " +
+                       std::to_string(session_id));
+    if (!stale) {
+      // Replay the logged requests on top of the base state. The repo-wide
+      // determinism contract makes this reproduce the evicted state
+      // byte-for-byte; the frame's hash of that state proves it.
+      std::vector<data::ServeOp> ops;
+      const bool parsed = core::read_op_log(delta.data(), delta.size(), ops);
+      CHAM_CHECK(parsed, "SessionManager: malformed op-log delta for id " +
+                             std::to_string(session_id));
+      for (const auto& op : ops) {
+        if (op.predict) {
+          (void)fresh->predict(op.keys);
+        } else {
+          fresh->observe(op.batch);
+        }
+      }
+      replayed = static_cast<int64_t>(ops.size());
+      core::ByteBuf replayed_blob;
+      {
+        core::ByteBufWriter os(replayed_blob);
+        const bool saved = fresh->save_state(os, cfg_.blob_precision);
+        CHAM_CHECK(saved, "SessionManager: reserialize after replay failed");
+      }
+      CHAM_CHECK(
+          replayed_blob.size() == h.next_len &&
+              core::blob_hash(replayed_blob.data(), replayed_blob.size()) ==
+                  h.next_hash,
+          "SessionManager: op-log replay hash mismatch for id " +
+              std::to_string(session_id) +
+              " (determinism contract violated or delta corrupt)");
+    }
+    // Stale op-log (crash between a full flush and the delta unlink): the
+    // base IS the newest state; nothing to replay.
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.restores;
+  ++stats_.disk_restores;
+  stats_.replayed_ops += replayed;
+  stats_.record_restore_ms(ms_since(t0));
+  return fresh;
 }
 
-void SessionManager::evict_one_locked() {
+void SessionManager::evict_one(std::unique_lock<std::mutex>& lock,
+                               bool force_full) {
+  // --- Lock-held portion: victim selection and unlink. Pointer moves
+  // only; the <1ms bench gate watches this segment. ---
+  const auto t_lock = std::chrono::steady_clock::now();
   uint64_t victim_id = 0;
   Session* victim = nullptr;
   for (auto& [id, session] : sessions_) {
@@ -278,26 +488,79 @@ void SessionManager::evict_one_locked() {
   // other sessions are pinned while one dispatcher is admitting.
   CHAM_CHECK(victim != nullptr,
              "SessionManager: no evictable session (all pinned)");
-  const auto t0 = std::chrono::steady_clock::now();
-  const bool ok = store_.save(victim_id, *victim->learner);
-  CHAM_CHECK(ok, "SessionManager: failed to serialise session " +
-                     std::to_string(victim_id));
-  victim->learner.reset();
+  std::unique_ptr<core::ChameleonLearner> learner =
+      std::move(victim->learner);
+  std::vector<data::ServeOp> ops = std::move(victim->ops);
+  const bool ops_valid = victim->ops_valid;
+  victim->ops.clear();
+  victim->ops_valid = true;
   --resident_;
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  ++stats_.evictions;
-  stats_.record_save_ms(ms_since(t0));
+  const double lock_ms = ms_since(t_lock);
+  lock.unlock();
+
+  // --- Unlocked portion: serialise into a pool-backed snapshot and hand
+  // it to the write-behind pipeline. Other shards admit/evict/dispatch
+  // freely during this. ---
+  const auto t0 = std::chrono::steady_clock::now();
+  auto blob = std::make_shared<core::ByteBuf>();
+  {
+    core::ByteBufWriter os(*blob);
+    const bool ok = learner->save_state(os, cfg_.blob_precision);
+    CHAM_CHECK(ok, "SessionManager: failed to serialise session " +
+                       std::to_string(victim_id));
+  }
+  learner.reset();  // destroy outside the lock too
+  const double save_ms = ms_since(t0);
+
+  WriteBehind::Snapshot snap;
+  snap.session_id = victim_id;
+  snap.blob = std::move(blob);
+  snap.ops = std::move(ops);
+  snap.ops_valid = ops_valid;
+  snap.force_full = force_full;
+  write_behind_->submit(std::move(snap));
+
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.evictions;
+    stats_.record_save_ms(save_ms);
+    stats_.record_evict_lock_ms(lock_ms);
+  }
+  lock.lock();
 }
 
 void SessionManager::flush() {
   drain();
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  while (resident_ > 0) evict_one_locked();
+  {
+    std::unique_lock<std::mutex> lock(sessions_mu_);
+    while (resident_ > 0) evict_one(lock, /*force_full=*/true);
+  }
+  // Settle the pipeline and compact any outstanding deltas so external
+  // SessionStore readers see complete, current blobs.
+  write_behind_->drain();
+  write_behind_->compact_all();
 }
 
 ServeStats SessionManager::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServeStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  const WriteBehindStats wb = write_behind_->stats();
+  snapshot.wb_flushes = wb.flushes;
+  snapshot.wb_flush_errors = wb.flush_errors;
+  snapshot.wb_full_saves = wb.full_saves;
+  snapshot.wb_chunk_saves = wb.chunk_saves;
+  snapshot.wb_oplog_saves = wb.oplog_saves;
+  snapshot.wb_full_bytes = wb.full_bytes;
+  snapshot.wb_delta_bytes = wb.delta_bytes;
+  snapshot.wb_compactions = wb.compactions;
+  snapshot.wb_queue_depth_high_water = wb.queue_depth_high_water;
+  snapshot.wb_cache_bytes_high_water = wb.cache_bytes_high_water;
+  snapshot.flush_ms_total = wb.flush_ms_total;
+  snapshot.flush_ms_max = wb.flush_ms_max;
+  return snapshot;
 }
 
 core::OpStats SessionManager::aggregate_op_stats() const {

@@ -16,9 +16,15 @@
 //     re-submit after the hint; nothing is silently dropped or buffered.
 //   * At most `max_resident` learners are in memory. Admitting a request
 //     for a non-resident session evicts the least-recently-used idle
-//     session first: its full state is serialised through the checkpoint
-//     layer into the disk-backed SessionStore and the learner is destroyed.
-//     The next request for that session restores it bit-identically.
+//     session first. Eviction is write-behind: the victim is unlinked
+//     under the session lock (pointer moves only), serialised to an
+//     in-memory snapshot with no locks held, and handed to the WriteBehind
+//     pipeline, whose background IO thread flushes it to the SessionStore
+//     as a full blob or a CHS3 delta (see serve/write_behind.h). The next
+//     request for that session restores it bit-identically — from the
+//     pipeline's pending/cached copy if its flush has not landed yet, from
+//     disk otherwise (replaying op-log deltas through the learner, hash
+//     verified).
 //   * Each session's learner is seeded with split_seed(base_seed, id), so
 //     per-session randomness is independent of admission order.
 //
@@ -58,8 +64,10 @@
 
 #include "core/chameleon.h"
 #include "data/stream.h"
+#include "quant/quantize.h"
 #include "serve/serve_stats.h"
 #include "serve/session_store.h"
+#include "serve/write_behind.h"
 
 namespace cham::serve {
 
@@ -79,6 +87,22 @@ struct ServeConfig {
   ServeMode mode = ServeMode::kDeterministic;
   std::string store_dir = "/tmp/cham_sessions";
   uint64_t base_seed = 42;
+
+  // Eviction pipeline (serve/write_behind.h). write_behind=false flushes
+  // synchronously on the evicting thread (still outside sessions_mu_);
+  // delta_checkpoints=false writes every flush as a full blob.
+  bool write_behind = true;
+  bool delta_checkpoints = true;
+  int64_t delta_chunk_bytes = 256;
+  double delta_compact_ratio = 0.5;
+  int64_t delta_compact_every = 8;
+  int64_t max_replay_ops = 64;
+  int64_t snapshot_cache_bytes = int64_t{128} << 20;
+  // Storage precision of ST/LT latents inside checkpoint blobs. kFp32 is
+  // the lossless default (bit-identical restore); reduced precisions trade
+  // restore exactness for smaller blobs and disable op-log deltas (replay
+  // over a lossy base cannot be hash-verified).
+  quant::Precision blob_precision = quant::Precision::kFp32;
 };
 
 struct Admission {
@@ -132,15 +156,21 @@ class SessionManager {
   int64_t resident_count() const;
   const SessionStore& store() const { return store_; }
   const ServeConfig& config() const { return cfg_; }
+  // The eviction pipeline (always constructed; synchronous when
+  // cfg.write_behind is false). Exposed for tests that need to freeze the
+  // IO thread to pin down restore-during-flush interleavings.
+  WriteBehind& write_behind() { return *write_behind_; }
 
  private:
   struct Request {
     enum class Kind { kObserve, kPredict };
     Kind kind = Kind::kObserve;
     uint64_t session_id = 0;
-    data::Batch batch;                              // kObserve payload
-    const std::vector<data::ImageKey>* keys = nullptr;  // kPredict payload
-    std::promise<std::vector<int64_t>>* reply = nullptr;  // kPredict result
+    data::Batch batch;                 // kObserve payload
+    std::vector<data::ImageKey> keys;  // kPredict payload (owned: a queued
+                                       // request must not dangle if the
+                                       // submitting frame unwinds early)
+    std::shared_ptr<std::promise<std::vector<int64_t>>> reply;  // kPredict
   };
 
   struct Shard {
@@ -155,7 +185,12 @@ class SessionManager {
   struct Session {
     std::unique_ptr<core::ChameleonLearner> learner;  // null when evicted
     uint64_t last_used = 0;  // residency LRU tick
-    bool in_use = false;     // pinned by a dispatcher
+    bool in_use = false;     // pinned by a dispatcher (or being materialised)
+    // Requests served since the last snapshot/restore, for op-log delta
+    // encoding. Dropped (ops_valid=false) past max_replay_ops or after a
+    // failed dispatch left the learner state unlogged.
+    std::vector<data::ServeOp> ops;
+    bool ops_valid = true;
   };
 
   int64_t shard_of(uint64_t session_id) const;
@@ -165,14 +200,26 @@ class SessionManager {
   void worker_loop(Shard& shard);
   void dispatch(Request& r);
   // Makes the session resident (evicting/restoring as needed), pins it, and
-  // returns its learner. Runs under sessions_mu_.
+  // returns its learner. Takes sessions_mu_ internally; eviction
+  // serialisation and restore I/O both run with the lock released.
   core::ChameleonLearner* acquire_session(uint64_t session_id);
-  void release_session(uint64_t session_id);
-  void evict_one_locked();  // evicts the LRU unpinned resident session
+  // Restores/creates the learner for a reserved slot (no locks held).
+  std::unique_ptr<core::ChameleonLearner> materialize_session(
+      uint64_t session_id);
+  // Records op stats, appends the request to the session's op log, and
+  // releases the pin. `ok=false` marks the log invalid (state mutated
+  // without a completed op).
+  void finish_dispatch(Request& r, core::ChameleonLearner* learner, bool ok);
+  // Evicts the LRU unpinned resident session: unlink under `lock`,
+  // serialise + hand off to the write-behind pipeline with it released
+  // (`lock` is re-held on return).
+  void evict_one(std::unique_lock<std::mutex>& lock, bool force_full);
+  void note_dispatch_error();
 
   ServeConfig cfg_;
   LearnerFactory factory_;
   SessionStore store_;
+  std::unique_ptr<WriteBehind> write_behind_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex sessions_mu_;

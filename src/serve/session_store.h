@@ -1,7 +1,7 @@
 // Disk-backed store of evicted session state.
 //
 // The serving runtime keeps a bounded pool of resident learners; everything
-// else lives here as one binary blob per session (the full
+// else lives here as one blob per session (the full
 // ChameleonLearner::save_state payload: head weights, ST/LT contents,
 // preference statistics, staged LT burst, RNG state, step counter, traffic
 // ledger). In the paper's memory-hierarchy terms the resident pool is the
@@ -10,17 +10,36 @@
 // a restored session continues bit-identically (tests/test_serve.cpp gates
 // this).
 //
+// On-disk layout per session:
+//   session_<id>.chk     the last FULL blob (CHS2)
+//   session_<id>.delta   optional CHS3 delta against that blob — at most
+//                        one; each delta write replaces the previous, and
+//                        a full write removes it. The pair (.chk, .delta)
+//                        is the session's newest state.
+//
+// Durability: every write goes through write+fsync to a temp name, then
+// rename, then a best-effort directory fsync. Write errors (disk full,
+// short write) are detected BEFORE the rename, so a failed save never
+// replaces a valid blob with a truncated one. Crash-consistency of the
+// pair: a full write renames .chk first and unlinks .delta second, so a
+// crash in between leaves a .delta whose base hash no longer matches —
+// load() detects that and serves the (newer) base alone.
+//
 // Thread-safety: all methods are serialised by an internal mutex. Blob I/O
-// happens under the lock; the store is accessed from the eviction/restore
-// path, which the SessionManager already treats as its slow path.
+// happens under the lock; callers on latency-sensitive paths (the
+// write-behind IO thread, cold restores) already treat this as the slow
+// tier.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/chameleon.h"
+#include "core/checkpoint.h"
+#include "quant/quantize.h"
 
 namespace cham::serve {
 
@@ -30,16 +49,43 @@ class SessionStore {
   // directory are visible immediately (a restarted server re-adopts them).
   explicit SessionStore(std::string dir);
 
-  // Serialises the learner's full state to the session's blob (overwrites).
-  bool save(uint64_t session_id, const core::ChameleonLearner& learner);
+  // --- Raw blob interface (the write-behind pipeline's entry points). ---
 
-  // Restores a blob into a learner constructed with the same config and
-  // environment. False if absent or malformed.
+  // Durably installs `data` as the session's full blob and removes any
+  // delta. False on any I/O error, in which case the previous blob (and
+  // delta) remain intact and readable.
+  bool put_full(uint64_t session_id, const char* data, std::size_t n);
+
+  // Durably installs a CHS3 delta frame next to the existing full blob
+  // (which must exist). Replaces any previous delta.
+  bool put_delta(uint64_t session_id, const char* data, std::size_t n);
+
+  // Raw bytes of the full blob / the delta frame. False if absent or
+  // unreadable.
+  bool get_blob(uint64_t session_id, core::ByteBuf& out) const;
+  bool get_delta(uint64_t session_id, core::ByteBuf& out) const;
+  bool has_delta(uint64_t session_id) const;
+
+  // --- Learner convenience wrappers. ---
+
+  // Serialises the learner's full state (in memory, then one durable
+  // write). False on serialisation or I/O failure; never clobbers the
+  // previous blob on failure.
+  bool save(uint64_t session_id, const core::ChameleonLearner& learner,
+            quant::Precision precision = quant::Precision::kFp32);
+
+  // Restores the session's newest state into a learner constructed with
+  // the same config and environment. Applies a chunk delta if one is
+  // present; ignores a stale delta (base hash mismatch — see the
+  // crash-consistency note above). Returns false if absent or malformed,
+  // and also if the newest state is behind an op-log delta: replaying ops
+  // needs the SessionManager (it owns dispatch), so plain readers must
+  // only be pointed at compacted stores (SessionManager::flush compacts).
   bool load(uint64_t session_id, core::ChameleonLearner& learner);
 
   bool contains(uint64_t session_id) const;
   bool erase(uint64_t session_id);
-  void clear();  // removes every session blob
+  void clear();  // removes every session blob and delta
 
   std::vector<uint64_t> session_ids() const;
   int64_t size() const;  // stored session count
@@ -50,6 +96,11 @@ class SessionStore {
 
  private:
   std::string path_for(uint64_t session_id) const;
+  std::string delta_path_for(uint64_t session_id) const;
+  // write+fsync to path+".tmp", rename over path, fsync the directory.
+  bool write_atomic(const std::string& path, const char* data,
+                    std::size_t n);
+  bool read_file(const std::string& path, core::ByteBuf& out) const;
 
   std::string dir_;
   mutable std::mutex mu_;

@@ -9,11 +9,15 @@
 // contract.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "core/chameleon.h"
+#include "core/checkpoint.h"
 #include "metrics/experiment.h"
 #include "serve/session_manager.h"
 #include "serve/session_store.h"
@@ -485,6 +489,353 @@ TEST_F(ServeSuite, ZipfScheduleShape) {
     ++counts[static_cast<size_t>(ev.session)];
   }
   EXPECT_GT(counts[0], counts[19] * 2) << "rank 0 should dominate the tail";
+}
+
+// ---------------------------------------------------------------------------
+// Write-behind eviction pipeline + serve-path failure handling.
+
+// A learner whose predict() can be armed to throw, for fault injection
+// through the virtual dispatch path the manager uses.
+class ThrowingLearner : public core::ChameleonLearner {
+ public:
+  ThrowingLearner(const core::LearnerEnv& env,
+                  const core::ChameleonConfig& cfg, uint64_t seed,
+                  std::shared_ptr<std::atomic<bool>> arm)
+      : core::ChameleonLearner(env, cfg, seed), arm_(std::move(arm)) {}
+  std::vector<int64_t> predict(
+      const std::vector<data::ImageKey>& keys) override {
+    if (arm_->load()) throw util::CheckError("injected predict failure");
+    return core::ChameleonLearner::predict(keys);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> arm_;
+};
+
+// Satellite bugfix: a failed write (disk full) must never replace a valid
+// blob with a truncated one. The temp file is diverted to /dev/full so every
+// write fails with ENOSPC before the rename.
+TEST_F(ServeSuite, SaveFailureLeavesOldBlobIntact) {
+  const std::string dir = "/tmp/cham_serve_diskfull";
+  serve::SessionStore store(dir);
+  store.clear();
+  const auto batches = session_batches(2);
+  core::ChameleonLearner learner(exp_->env(), learner_config(), 17);
+  learner.observe(batches[0]);
+  ASSERT_TRUE(store.save(7, learner));
+
+  // Divert the next temp file to a device that rejects all writes.
+  const std::string tmp = dir + "/session_7.chk.tmp";
+  ASSERT_EQ(::symlink("/dev/full", tmp.c_str()), 0) << "symlink failed";
+  learner.observe(batches[1]);
+  EXPECT_FALSE(store.save(7, learner)) << "ENOSPC write must fail the save";
+
+  // The pre-failure blob is still installed, complete, and loadable.
+  core::ChameleonLearner as_of_first_save(exp_->env(), learner_config(), 17);
+  as_of_first_save.observe(batches[0]);
+  core::ChameleonLearner restored(exp_->env(), learner_config(), 99);
+  ASSERT_TRUE(store.load(7, restored));
+  expect_bit_identical(as_of_first_save, restored, "blob after failed save");
+
+  // The failed attempt cleaned up its temp link; a retry succeeds.
+  ASSERT_TRUE(store.save(7, learner));
+  core::ChameleonLearner after(exp_->env(), learner_config(), 98);
+  ASSERT_TRUE(store.load(7, after));
+  expect_bit_identical(learner, after, "blob after retried save");
+  store.clear();
+}
+
+// Satellite bugfix: an exception inside dispatch must reach the predict()
+// caller through the promise — not leave it unfulfilled (caller hangs
+// forever) or kill the shard worker. After the failure the session is
+// unpinned and both scheduler modes keep serving.
+TEST_F(ServeSuite, PredictExceptionPropagatesWithoutHanging) {
+  auto arm = std::make_shared<std::atomic<bool>>(false);
+  serve::LearnerFactory throwing_factory =
+      [arm](uint64_t /*session_id*/, uint64_t seed) {
+        return std::unique_ptr<core::ChameleonLearner>(
+            std::make_unique<ThrowingLearner>(exp_->env(), learner_config(),
+                                              seed, arm));
+      };
+  const auto batches = session_batches(4);
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+
+  for (const auto mode :
+       {serve::ServeMode::kDeterministic, serve::ServeMode::kThreaded}) {
+    SCOPED_TRACE(mode == serve::ServeMode::kThreaded ? "threaded"
+                                                     : "deterministic");
+    serve::ServeConfig sc;
+    sc.num_shards = 2;
+    sc.max_resident = 2;
+    sc.queue_capacity = 8;
+    sc.store_dir = "/tmp/cham_serve_throw";
+    sc.mode = mode;
+    serve::SessionStore(sc.store_dir).clear();
+    serve::SessionManager mgr(sc, throwing_factory);
+
+    while (!mgr.submit_observe(8, batches[0]).accepted) mgr.drain();
+    arm->store(true);
+    EXPECT_THROW((void)mgr.predict(8, test_keys), util::CheckError);
+    arm->store(false);
+
+    // Worker survived, pin released: the same session serves again.
+    const auto after = mgr.predict(8, test_keys);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->size(), test_keys.size());
+    mgr.flush();
+    const serve::ServeStats st = mgr.stats();
+    EXPECT_EQ(st.dispatch_errors, 1);
+    EXPECT_EQ(st.predicts, 1);  // only the successful one counts
+  }
+}
+
+// Tentpole: a restore racing its own write-behind flush must read the
+// pending snapshot bit-identically. The IO thread is frozen so every
+// eviction's flush stays pending and every restore is forced through the
+// in-memory pipeline, never disk.
+TEST_F(ServeSuite, RestoreDuringPendingFlushIsBitExact) {
+  constexpr int kRounds = 3;
+  serve::ServeConfig sc;
+  sc.num_shards = 1;
+  sc.max_resident = 1;  // every session switch evicts
+  sc.queue_capacity = 4;
+  sc.store_dir = "/tmp/cham_serve_pending";
+  sc.base_seed = 77;
+  serve::SessionStore(sc.store_dir).clear();
+  serve::SessionManager mgr(sc, factory());
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < 2; ++s) batches.push_back(session_batches(s));
+
+  mgr.write_behind().pause_for_test();
+  for (int round = 0; round < kRounds; ++round) {
+    for (uint64_t s = 0; s < 2; ++s) {
+      submit_or_drain(mgr, s, batches[s][static_cast<size_t>(round)]);
+      mgr.drain();
+    }
+  }
+  const serve::ServeStats mid = mgr.stats();
+  EXPECT_GT(mid.pending_restores, 0) << "restores must hit the frozen queue";
+  EXPECT_EQ(mid.disk_restores, 0);
+  mgr.write_behind().resume_for_test();
+  mgr.flush();
+
+  serve::SessionStore reader(sc.store_dir);
+  for (uint64_t s = 0; s < 2; ++s) {
+    core::ChameleonLearner restored(exp_->env(), learner_config(), 0xBEEF);
+    ASSERT_TRUE(reader.load(s, restored));
+    core::ChameleonLearner isolated(exp_->env(), learner_config(),
+                                    mgr.session_seed(s));
+    for (int round = 0; round < kRounds; ++round) {
+      isolated.observe(batches[s][static_cast<size_t>(round)]);
+    }
+    expect_bit_identical(restored, isolated,
+                         "pending-restore session " + std::to_string(s));
+  }
+}
+
+// Satellite bugfix: drain() racing shutdown must not hang, and a manager
+// destroyed with queued work must drain it. Completion of this test IS the
+// assertion.
+TEST_F(ServeSuite, ShutdownWithConcurrentDrainsDoesNotHang) {
+  serve::ServeConfig sc;
+  sc.num_shards = 2;
+  sc.max_resident = 3;
+  sc.queue_capacity = 16;
+  sc.store_dir = "/tmp/cham_serve_shutdown";
+  sc.mode = serve::ServeMode::kThreaded;
+  serve::SessionStore(sc.store_dir).clear();
+  const auto batches = session_batches(5);
+  {
+    serve::SessionManager mgr(sc, factory());
+    for (int i = 0; i < 6; ++i) {
+      while (!mgr.submit_observe(static_cast<uint64_t>(i % 3),
+                                 batches[static_cast<size_t>(i) %
+                                         batches.size()])
+                  .accepted) {
+        std::this_thread::yield();
+      }
+    }
+    std::vector<std::thread> drains;
+    for (int t = 0; t < 3; ++t) drains.emplace_back([&mgr] { mgr.drain(); });
+    for (auto& t : drains) t.join();
+    // Leave fresh work queued; the destructor must flush it.
+    while (!mgr.submit_observe(1, batches[0]).accepted) {
+      std::this_thread::yield();
+    }
+  }
+  serve::SessionStore reader(sc.store_dir);
+  EXPECT_EQ(reader.size(), 3);  // all three sessions landed on disk
+}
+
+// Tentpole: steady-state eviction writes shrink by >5x once a session's
+// base blob is on disk — each re-eviction after a single observe writes a
+// delta (op log or chunk diff), not the 2MB full blob.
+TEST_F(ServeSuite, SteadyStateEvictionWritesUseDeltas) {
+  constexpr int kRounds = 6;
+  serve::ServeConfig sc;
+  sc.num_shards = 1;
+  sc.max_resident = 1;
+  sc.queue_capacity = 4;
+  sc.store_dir = "/tmp/cham_serve_delta";
+  sc.base_seed = 13;
+  serve::SessionStore(sc.store_dir).clear();
+  serve::SessionManager mgr(sc, factory());
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < 2; ++s) batches.push_back(session_batches(s, 5));
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (uint64_t s = 0; s < 2; ++s) {
+      submit_or_drain(
+          mgr, s,
+          batches[s][static_cast<size_t>(round) % batches[s].size()]);
+      mgr.drain();
+    }
+  }
+  mgr.write_behind().drain();  // settle flushes WITHOUT forcing compaction
+
+  const serve::ServeStats st = mgr.stats();
+  const int64_t delta_saves = st.wb_chunk_saves + st.wb_oplog_saves;
+  ASSERT_GT(delta_saves, 0) << "steady state must produce delta writes";
+  ASSERT_GT(st.wb_full_saves, 0);
+  const double avg_delta =
+      static_cast<double>(st.wb_delta_bytes) / static_cast<double>(delta_saves);
+  const double avg_full = static_cast<double>(st.wb_full_bytes) /
+                          static_cast<double>(st.wb_full_saves);
+  EXPECT_LE(avg_delta * 5.0, avg_full)
+      << "avg delta " << avg_delta << "B vs avg full " << avg_full << "B";
+
+  // Fidelity still holds through the delta path.
+  mgr.flush();
+  serve::SessionStore reader(sc.store_dir);
+  for (uint64_t s = 0; s < 2; ++s) {
+    core::ChameleonLearner restored(exp_->env(), learner_config(), 0xACE);
+    ASSERT_TRUE(reader.load(s, restored));
+    core::ChameleonLearner isolated(exp_->env(), learner_config(),
+                                    mgr.session_seed(s));
+    for (int round = 0; round < kRounds; ++round) {
+      isolated.observe(
+          batches[s][static_cast<size_t>(round) % batches[s].size()]);
+    }
+    expect_bit_identical(restored, isolated,
+                         "delta-path session " + std::to_string(s));
+  }
+}
+
+// Disk restore through an op-log delta: base blob + logged requests on
+// disk (as after a crash that lost the RAM cache), the manager replays the
+// log through a fresh learner and lands, hash-verified, on the exact state.
+TEST_F(ServeSuite, OpLogDeltaRestoreReplaysFromDisk) {
+  serve::ServeConfig sc;
+  sc.num_shards = 1;
+  sc.max_resident = 2;
+  sc.store_dir = "/tmp/cham_serve_oplog";
+  sc.base_seed = 55;
+  serve::SessionStore(sc.store_dir).clear();
+
+  const uint64_t sid = 3;
+  const uint64_t seed = split_seed(sc.base_seed, sid);
+  const auto batches = session_batches(6);
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+
+  // Hand-craft the on-disk state: full blob after batch 0, op-log delta
+  // covering batches 1 and 2 plus one predict (predicts charge eval MACs,
+  // so they are part of the logged state transition).
+  core::ChameleonLearner source(exp_->env(), learner_config(), seed);
+  source.observe(batches[0]);
+  core::ByteBuf base;
+  {
+    core::ByteBufWriter os(base);
+    ASSERT_TRUE(source.save_state(os));
+  }
+  std::vector<data::ServeOp> ops(3);
+  ops[0].batch = batches[1];
+  ops[1].predict = true;
+  ops[1].keys = test_keys;
+  ops[2].batch = batches[2];
+  source.observe(batches[1]);
+  (void)source.predict(test_keys);
+  source.observe(batches[2]);
+  core::ByteBuf target;
+  {
+    core::ByteBufWriter os(target);
+    ASSERT_TRUE(source.save_state(os));
+  }
+  core::DeltaHeader h;
+  h.kind = core::DeltaKind::kOpLog;
+  h.base_hash = core::blob_hash(base.data(), base.size());
+  h.base_len = base.size();
+  h.next_hash = core::blob_hash(target.data(), target.size());
+  h.next_len = target.size();
+  const core::ByteBuf frame = core::encode_op_log(h, ops);
+  {
+    serve::SessionStore writer(sc.store_dir);
+    ASSERT_TRUE(writer.put_full(sid, base.data(), base.size()));
+    ASSERT_TRUE(writer.put_delta(sid, frame.data(), frame.size()));
+    EXPECT_TRUE(writer.has_delta(sid));
+  }
+
+  // A cold manager must reconstruct the target state by replay.
+  serve::SessionManager mgr(sc, factory());
+  const auto served = mgr.predict(sid, test_keys);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(*served, source.predict(test_keys));
+  const serve::ServeStats st = mgr.stats();
+  EXPECT_EQ(st.disk_restores, 1);
+  EXPECT_EQ(st.replayed_ops, 3);
+}
+
+// Crash consistency: a full write renames .chk before unlinking .delta; a
+// crash in between leaves a stale delta whose base hash mismatches. load()
+// must serve the (newer) base alone, never apply the stale delta.
+TEST_F(ServeSuite, StaleDeltaIsIgnoredOnLoad) {
+  serve::SessionStore store("/tmp/cham_serve_stale");
+  store.clear();
+  const auto batches = session_batches(7);
+
+  core::ChameleonLearner learner(exp_->env(), learner_config(), 27);
+  learner.observe(batches[0]);
+  core::ByteBuf blob_a;
+  {
+    core::ByteBufWriter os(blob_a);
+    ASSERT_TRUE(learner.save_state(os));
+  }
+  learner.observe(batches[1]);
+  core::ByteBuf blob_b;
+  {
+    core::ByteBufWriter os(blob_b);
+    ASSERT_TRUE(learner.save_state(os));
+  }
+  const core::ByteBuf delta_ab = core::encode_chunk_delta(
+      blob_a.data(), blob_a.size(), blob_b.data(), blob_b.size(), 256);
+
+  // Live pair: base A + delta A->B loads as B.
+  ASSERT_TRUE(store.put_full(1, blob_a.data(), blob_a.size()));
+  ASSERT_TRUE(store.put_delta(1, delta_ab.data(), delta_ab.size()));
+  core::ChameleonLearner as_b(exp_->env(), learner_config(), 0x11);
+  ASSERT_TRUE(store.load(1, as_b));
+  core::ChameleonLearner want_b(exp_->env(), learner_config(), 27);
+  want_b.observe(batches[0]);
+  want_b.observe(batches[1]);
+  expect_bit_identical(as_b, want_b, "chunk delta applied from store");
+
+  // Advance the base past the delta (a put_full removes it), then
+  // re-install the stale delta as a crash between rename and unlink would.
+  learner.observe(batches[2]);
+  core::ByteBuf blob_c;
+  {
+    core::ByteBufWriter os(blob_c);
+    ASSERT_TRUE(learner.save_state(os));
+  }
+  ASSERT_TRUE(store.put_full(1, blob_c.data(), blob_c.size()));
+  EXPECT_FALSE(store.has_delta(1)) << "put_full must remove the delta";
+  ASSERT_TRUE(store.put_delta(1, delta_ab.data(), delta_ab.size()));
+
+  core::ChameleonLearner as_c(exp_->env(), learner_config(), 0x22);
+  ASSERT_TRUE(store.load(1, as_c));
+  expect_bit_identical(as_c, learner, "stale delta ignored, base served");
+  store.clear();
 }
 
 }  // namespace

@@ -40,6 +40,16 @@ are about *this* codebase's contracts:
                       stalls admission for every session on the shard.
                       Checkpoint I/O belongs outside the markers, after the
                       request has been popped and the lock released.
+  io-in-sessions-mu   Filesystem/stream calls or checkpoint (de)serialisation
+                      inside a sessions_mu_ critical section — the code
+                      between `// cham-lint: begin(sessions_mu)` and
+                      `// cham-lint: end(sessions_mu)` markers. sessions_mu_
+                      is the serving runtime's GLOBAL residency lock; a
+                      save_state or disk write held under it stalls
+                      admission, restore and eviction on EVERY shard (the
+                      seed's 63ms save_ms_max was exactly this bug).
+                      Eviction must unlink under the lock and serialise /
+                      flush with it released (see serve/write_behind.h).
 
 Suppression: append `// cham-lint: allow(<rule>)` to the offending line.
 
@@ -62,6 +72,9 @@ RULES = {
     "ws::ArenaScope scratch or hoist the buffer",
     "blocking-in-dispatch": "blocking I/O or heap allocation inside a "
     "dispatch critical section (runs under a shard queue mutex)",
+    "io-in-sessions-mu": "filesystem/stream or checkpoint serialisation call "
+    "inside a sessions_mu_ critical section (stalls every shard); unlink "
+    "under the lock, serialise/flush with it released",
 }
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -87,11 +100,14 @@ ALLOC_RE = re.compile(
     r"|(?:std\s*::\s*)?vector\s*<"
     r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|assign)\s*\("
 )
-# Dispatch critical sections (under a shard queue mutex) are delimited by
-# marker comments; markers live in comments so they are matched on the raw
-# source, while the rules below run on the stripped code.
+# Critical sections are delimited by marker comments; markers live in
+# comments so they are matched on the raw source, while the rules below run
+# on the stripped code. Two marked region kinds exist: `dispatch` (shard
+# queue mutex) and `sessions_mu` (global residency lock).
 DISPATCH_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(dispatch\)")
 DISPATCH_END_RE = re.compile(r"cham-lint:\s*end\(dispatch\)")
+SESSIONS_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(sessions_mu\)")
+SESSIONS_END_RE = re.compile(r"cham-lint:\s*end\(sessions_mu\)")
 BLOCKING_RE = re.compile(
     r"(?<![_A-Za-z0-9])(?:i|o)?fstream(?![A-Za-z0-9])"
     r"|(?<![_A-Za-z0-9])f(?:open|close|read|write|printf|flush)\s*\("
@@ -101,6 +117,15 @@ BLOCKING_RE = re.compile(
 )
 DISPATCH_ALLOC_RE = re.compile(
     r"(?<![_A-Za-z0-9])make_(?:unique|shared)\s*<"
+)
+# Checkpoint (de)serialisation entry points: slow whole-state walks that
+# must never run under the global residency lock.
+SERIALIZE_RE = re.compile(
+    r"(?:\.|->)\s*(?:save_state|load_state|save|load)\s*\("
+    r"|(?<![_A-Za-z0-9])(?:save|load)_checkpoint\s*\("
+    r"|(?:\.|->)\s*(?:put_full|put_delta|get_blob|get_delta)\s*\("
+    r"|(?<![_A-Za-z0-9])(?:encode_chunk_delta|apply_chunk_delta|"
+    r"encode_op_log|read_op_log)\s*\("
 )
 
 
@@ -195,25 +220,37 @@ def lint_file(path, raw):
         if in_src and (NEW_RE.search(line) or DELETE_RE.search(line)):
             report(lineno, "naked-new")
 
-    # Blocking I/O or allocation inside marked dispatch critical sections.
-    # An unmatched begin(dispatch) extends to end of file (better to
-    # over-flag a malformed region than to silently skip it).
-    in_dispatch = False
-    for lineno, raw_line in enumerate(raw_lines, start=1):
-        begin = DISPATCH_BEGIN_RE.search(raw_line)
-        end = DISPATCH_END_RE.search(raw_line)
-        if begin:
-            in_dispatch = True
-            continue
-        if end:
-            in_dispatch = False
-            continue
-        if not in_dispatch or lineno > len(code_lines):
-            continue
-        line = code_lines[lineno - 1]
-        if (BLOCKING_RE.search(line) or ALLOC_RE.search(line) or
-                DISPATCH_ALLOC_RE.search(line) or NEW_RE.search(line)):
-            report(lineno, "blocking-in-dispatch")
+    # Rule checks inside marked critical sections. An unmatched begin(...)
+    # extends to end of file (better to over-flag a malformed region than to
+    # silently skip it).
+    def check_region(begin_re, end_re, rule, bad):
+        inside = False
+        for lineno, raw_line in enumerate(raw_lines, start=1):
+            if begin_re.search(raw_line):
+                inside = True
+                continue
+            if end_re.search(raw_line):
+                inside = False
+                continue
+            if not inside or lineno > len(code_lines):
+                continue
+            if bad(code_lines[lineno - 1]):
+                report(lineno, rule)
+
+    # Dispatch sections run under a shard queue mutex: no blocking I/O, no
+    # heap allocation.
+    check_region(
+        DISPATCH_BEGIN_RE, DISPATCH_END_RE, "blocking-in-dispatch",
+        lambda line: bool(BLOCKING_RE.search(line) or ALLOC_RE.search(line) or
+                          DISPATCH_ALLOC_RE.search(line) or
+                          NEW_RE.search(line)))
+    # sessions_mu_ sections hold the global residency lock: no filesystem /
+    # stream traffic and no whole-state (de)serialisation. (Container growth
+    # is fine here — these regions bookkeep the session map.)
+    check_region(
+        SESSIONS_BEGIN_RE, SESSIONS_END_RE, "io-in-sessions-mu",
+        lambda line: bool(BLOCKING_RE.search(line) or
+                          SERIALIZE_RE.search(line)))
 
     # Rng use inside the lexical extent of a parallel_for(...) call. The body
     # is a lambda argument, so the balanced-paren extent of the call covers it.
