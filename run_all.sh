@@ -8,11 +8,17 @@
 # Sanitizer hook: CHAM_SANITIZE=thread|address runs the test suite in a
 # dedicated sanitizer build first (build-tsan/ or build-asan/) and aborts on
 # any sanitizer-reported failure before touching the regular outputs.
+# CHAM_RUN_TSAN=1 is shorthand for the thread leg: it builds build-tsan/
+# (which also registers the TSan-gated serve race stress test,
+# tests/test_serve_race.cpp) and runs the suite under TSan.
 cd /root/repo
 if [ -z "${CHAM_SKIP_STATIC:-}" ]; then
   ./run_static.sh || { echo "run_all.sh: static analysis failed" >&2; exit 1; }
 fi
-if [ -n "$CHAM_SANITIZE" ]; then
+if [ -n "${CHAM_RUN_TSAN:-}" ] && [ -z "${CHAM_SANITIZE:-}" ]; then
+  CHAM_SANITIZE=thread
+fi
+if [ -n "${CHAM_SANITIZE:-}" ]; then
   case "$CHAM_SANITIZE" in
     thread) SAN_DIR=build-tsan ;;
     address) SAN_DIR=build-asan ;;

@@ -1,15 +1,23 @@
 #!/bin/bash
 # Static-analysis gate for the Chameleon tree. Runs, in order:
 #
-#   1. tools/cham_lint.py       repo-specific contract rules (src/bench/tests)
-#   2. clang-tidy               bugprone/concurrency/performance checks over
+#   1. tools/test_cham_lint.py  self-tests of the lint rules themselves (a
+#                               broken regex must fail the gate, not silently
+#                               stop catching violations)
+#   2. tools/cham_lint.py       repo-specific contract rules (src/bench/tests)
+#   3. clang-tidy               bugprone/concurrency/performance checks over
 #                               src/, if clang-tidy is installed (skipped with
 #                               a notice otherwise -- the container ships only
 #                               gcc; the lint + -Werror + UBSan stages still
 #                               gate every commit)
-#   3. -Werror build            full tree (default CHAM_CHECKS=cheap tier)
+#   4. thread-safety analysis   clang -Werror=thread-safety build of the
+#                               concurrent components (capability annotations
+#                               in util/sync.h), if clang++ is installed
+#                               (skipped with a notice otherwise; the
+#                               annotations are no-ops under gcc)
+#   5. -Werror build            full tree (default CHAM_CHECKS=cheap tier)
 #                               with warnings promoted to errors
-#   4. UBSan test pass          -fsanitize=undefined -fno-sanitize-recover,
+#   6. UBSan test pass          -fsanitize=undefined -fno-sanitize-recover,
 #                               whole suite must pass with zero UB reports
 #
 # Exits non-zero on the first failing stage. run_all.sh invokes this before
@@ -20,10 +28,13 @@ cd "$(dirname "$0")"
 
 fail() { echo "run_static.sh: FAILED at stage: $1" >&2; exit 1; }
 
-echo "=== [1/4] cham_lint ==="
+echo "=== [1/6] cham_lint self-tests ==="
+python3 tools/test_cham_lint.py || fail "cham_lint self-tests"
+
+echo "=== [2/6] cham_lint ==="
 python3 tools/cham_lint.py src bench tests || fail "cham_lint"
 
-echo "=== [2/4] clang-tidy ==="
+echo "=== [3/6] clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # clang-tidy needs a compilation database; any configured build dir has one
   # (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt).
@@ -36,12 +47,22 @@ else
   echo "clang-tidy not installed; skipping (gcc-only container)."
 fi
 
-echo "=== [3/4] -Werror build ==="
+echo "=== [4/6] clang thread-safety analysis ==="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCHAM_THREAD_SAFETY=ON >/dev/null \
+    || fail "thread-safety (cmake configure)"
+  cmake --build build-tsa -j"$(nproc)" || fail "thread-safety analysis"
+else
+  echo "clang++ not installed; skipping (annotations are no-ops under gcc)."
+fi
+
+echo "=== [5/6] -Werror build ==="
 cmake -B build-werror -S . -DCHAM_WERROR=ON >/dev/null \
   || fail "-Werror (cmake configure)"
 cmake --build build-werror -j"$(nproc)" || fail "-Werror build"
 
-echo "=== [4/4] UBSan test pass ==="
+echo "=== [6/6] UBSan test pass ==="
 cmake -B build-ubsan -S . -DCHAM_SANITIZE=undefined >/dev/null \
   || fail "UBSan (cmake configure)"
 cmake --build build-ubsan -j"$(nproc)" || fail "UBSan build"

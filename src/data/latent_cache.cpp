@@ -41,7 +41,7 @@ void LatentCache::check_owner() {
 }
 
 const Tensor& LatentCache::latent(const ImageKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   check_owner();
   const uint64_t k = key.packed();
   auto it = cache_.find(k);
@@ -58,7 +58,7 @@ const Tensor& LatentCache::latent(const ImageKey& key) {
 }
 
 void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   check_owner();
   std::vector<ImageKey> missing;
   for (const ImageKey& key : keys) {

@@ -29,12 +29,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "data/dataset.h"
 #include "nn/sequential.h"
+#include "util/sync.h"
 
 namespace cham::data {
 
@@ -51,18 +51,19 @@ class LatentCache {
   // reference is valid until this entry is evicted (forever when
   // unbounded). Thread-safe when unbounded; single-owner when bounded (see
   // the concurrency contract above).
-  const Tensor& latent(const ImageKey& key);
+  const Tensor& latent(const ImageKey& key) CHAM_EXCLUDES(mu_);
 
   // Precompute a set of keys in batches (faster GEMMs than one-by-one).
-  void warm(const std::vector<ImageKey>& keys, int64_t batch = 32);
+  void warm(const std::vector<ImageKey>& keys, int64_t batch = 32)
+      CHAM_EXCLUDES(mu_);
 
-  int64_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t size() const CHAM_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return static_cast<int64_t>(cache_.size());
   }
   int64_t max_entries() const { return max_entries_; }
-  int64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t evictions() const CHAM_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return evictions_;
   }
 
@@ -73,21 +74,22 @@ class LatentCache {
   };
 
   // Inserts under the capacity bound (evicting the LRU tail first when at
-  // the bound) and marks the entry most recently used. Caller holds mu_.
-  const Tensor& insert(uint64_t packed, Tensor z);
-  void touch(Entry& e);
+  // the bound) and marks the entry most recently used.
+  const Tensor& insert(uint64_t packed, Tensor z) CHAM_REQUIRES(mu_);
+  void touch(Entry& e) CHAM_REQUIRES(mu_);
   // Bounded caches: CHAM_CHECK that every access comes from the owning
-  // (first-touching) thread. Caller holds mu_.
-  void check_owner();
+  // (first-touching) thread.
+  void check_owner() CHAM_REQUIRES(mu_);
 
-  DatasetConfig cfg_;
-  nn::Sequential& f_;
-  int64_t max_entries_;
-  int64_t evictions_ = 0;
-  std::list<uint64_t> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, Entry> cache_;
-  mutable std::mutex mu_;
-  std::thread::id owner_;  // set on first access when bounded
+  DatasetConfig cfg_;      // immutable after construction
+  nn::Sequential& f_;      // frozen backbone; forward() is const-safe
+  int64_t max_entries_;    // immutable after construction
+  int64_t evictions_ CHAM_GUARDED_BY(mu_) = 0;
+  std::list<uint64_t> lru_ CHAM_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<uint64_t, Entry> cache_ CHAM_GUARDED_BY(mu_);
+  mutable util::Mutex mu_;
+  // Set on first access when bounded.
+  std::thread::id owner_ CHAM_GUARDED_BY(mu_);
 };
 
 // Stacks per-sample latents (each 1 x C x H x W) into an N x C x H x W batch.

@@ -15,6 +15,9 @@ AccuracyReport evaluate(core::ContinualLearner& learner,
   // predict() itself batches through the parallel tensor backend; the
   // per-key tally below splits across the pool with atomic counters
   // (integer sums are order-independent, so this stays deterministic).
+  // All accesses are relaxed (ordering policy case 3, util/sync.h): the
+  // parallel_for join barrier synchronises before any read below, so the
+  // atomics only need atomicity, never ordering.
   const auto preds = learner.predict(keys);
 
   int64_t max_class = 0;
@@ -38,23 +41,24 @@ AccuracyReport evaluate(core::ContinualLearner& learner,
         }
       },
       /*grain=*/1024);
-  rep.acc_all = 100.0 * static_cast<double>(hit) /
+  rep.acc_all = 100.0 *
+                static_cast<double>(hit.load(std::memory_order_relaxed)) /
                 static_cast<double>(keys.size());
 
   rep.per_class.resize(total.size(), 0.0);
   for (size_t c = 0; c < total.size(); ++c) {
+    const int64_t t = total[c].load(std::memory_order_relaxed);
+    const int64_t k = correct[c].load(std::memory_order_relaxed);
     rep.per_class[c] =
-        total[c] > 0 ? 100.0 * static_cast<double>(correct[c]) /
-                           static_cast<double>(total[c])
-                     : 0.0;
+        t > 0 ? 100.0 * static_cast<double>(k) / static_cast<double>(t) : 0.0;
   }
 
   if (!preferred.empty()) {
     int64_t phit = 0, ptotal = 0;
     for (int64_t c : preferred) {
       if (c <= max_class) {
-        phit += correct[static_cast<size_t>(c)];
-        ptotal += total[static_cast<size_t>(c)];
+        phit += correct[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+        ptotal += total[static_cast<size_t>(c)].load(std::memory_order_relaxed);
       }
     }
     rep.acc_preferred =

@@ -6,6 +6,13 @@
 // session state across the residency hierarchy (resident learners are the
 // paper's on-chip tier, the disk-backed SessionStore the off-chip tier; see
 // DESIGN.md "Serving runtime").
+//
+// Deliberately plain (non-atomic) fields: every instance is either local to
+// one thread (returned snapshots) or CHAM_GUARDED_BY a stats mutex
+// (SessionManager::stats_, WriteBehind::stats_). Per the memory-ordering
+// policy in util/sync.h, counters behind a mutex need no atomics at all —
+// atomics here would only hide a missing-lock bug from TSan and the
+// thread-safety analysis.
 #pragma once
 
 #include <algorithm>

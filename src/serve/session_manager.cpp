@@ -62,9 +62,12 @@ SessionManager::SessionManager(ServeConfig cfg, LearnerFactory factory)
 SessionManager::~SessionManager() {
   flush();
   if (cfg_.mode == ServeMode::kThreaded) {
-    stop_.store(true);
+    // Relaxed store: every worker loads stop_ while holding its shard mutex,
+    // which this thread locks (below) after the store — the mutex hand-off
+    // publishes the flag (memory-ordering policy case 1, util/sync.h).
+    stop_.store(true, std::memory_order_relaxed);
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       shard->cv.notify_all();
     }
     for (auto& shard : shards_) {
@@ -87,25 +90,32 @@ uint64_t SessionManager::session_seed(uint64_t session_id) const {
 Admission SessionManager::enqueue(int64_t shard_idx, Request r) {
   Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   int64_t depth = 0;
+  bool accepted = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     depth = static_cast<int64_t>(shard.queue.size());
-    if (depth >= cfg_.queue_capacity) {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.submitted;
-      ++stats_.rejections;
-      return {false, cfg_.retry_hint_ms, depth};
+    if (depth < cfg_.queue_capacity) {
+      shard.queue.push_back(std::move(r));
+      ++depth;
+      accepted = true;
     }
-    shard.queue.push_back(std::move(r));
-    ++depth;
   }
+  // Stats are recorded with shard.mu released: the rejection path used to
+  // take stats_mu_ while still holding the queue mutex, stretching the
+  // admission critical section over an unrelated lock. stats_mu_ is a leaf
+  // that never needs to nest under a Shard::mu.
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    util::MutexLock slock(stats_mu_);
     ++stats_.submitted;
-    ++stats_.admissions;
-    stats_.queue_depth_high_water =
-        std::max(stats_.queue_depth_high_water, depth);
+    if (accepted) {
+      ++stats_.admissions;
+      stats_.queue_depth_high_water =
+          std::max(stats_.queue_depth_high_water, depth);
+    } else {
+      ++stats_.rejections;
+    }
   }
+  if (!accepted) return {false, cfg_.retry_hint_ms, depth};
   if (cfg_.mode == ServeMode::kThreaded) shard.cv.notify_one();
   return {true, 0, depth};
 }
@@ -154,7 +164,7 @@ void SessionManager::drain() {
       for (auto& shard : shards_) {
         Request r;
         {
-          std::lock_guard<std::mutex> lock(shard->mu);
+          util::MutexLock lock(shard->mu);
           // cham-lint: begin(dispatch)
           if (shard->queue.empty()) continue;
           r = std::move(shard->queue.front());
@@ -168,11 +178,11 @@ void SessionManager::drain() {
     return;
   }
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     // Stop-aware: a worker that exited on shutdown can no longer drain its
     // queue, so waiting for emptiness would hang forever.
-    shard->cv_idle.wait(lock, [this, &shard] {
-      return stop_.load() ||
+    shard->cv_idle.wait(lock, [this, &shard]() CHAM_REQUIRES(shard->mu) {
+      return stop_.load(std::memory_order_relaxed) ||
              (shard->queue.empty() && shard->in_flight == 0);
     });
   }
@@ -183,7 +193,7 @@ void SessionManager::drain_shard(int64_t shard_idx) {
   for (;;) {
     Request r;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       // cham-lint: begin(dispatch)
       if (shard.queue.empty()) return;
       r = std::move(shard.queue.front());
@@ -198,9 +208,9 @@ void SessionManager::worker_loop(Shard& shard) {
   for (;;) {
     Request r;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(lock, [this, &shard] {
-        return stop_ || !shard.queue.empty();
+      util::MutexLock lock(shard.mu);
+      shard.cv.wait(lock, [this, &shard]() CHAM_REQUIRES(shard.mu) {
+        return stop_.load(std::memory_order_relaxed) || !shard.queue.empty();
       });
       // cham-lint: begin(dispatch)
       if (shard.queue.empty()) {
@@ -216,7 +226,7 @@ void SessionManager::worker_loop(Shard& shard) {
     }
     dispatch(r);
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       --shard.in_flight;
       if (shard.queue.empty() && shard.in_flight == 0) {
         shard.cv_idle.notify_all();
@@ -226,7 +236,7 @@ void SessionManager::worker_loop(Shard& shard) {
 }
 
 void SessionManager::note_dispatch_error() {
-  std::lock_guard<std::mutex> slock(stats_mu_);
+  util::MutexLock slock(stats_mu_);
   ++stats_.dispatch_errors;
 }
 
@@ -269,7 +279,7 @@ void SessionManager::dispatch(Request& r) {
   }
   finish_dispatch(r, learner, /*ok=*/true);
   if (r.reply) r.reply->set_value(std::move(out));
-  std::lock_guard<std::mutex> slock(stats_mu_);
+  util::MutexLock slock(stats_mu_);
   if (r.kind == Request::Kind::kObserve) {
     ++stats_.observes;
   } else {
@@ -280,7 +290,7 @@ void SessionManager::dispatch(Request& r) {
 void SessionManager::finish_dispatch(Request& r,
                                      core::ChameleonLearner* learner,
                                      bool ok) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  util::MutexLock lock(sessions_mu_);
   // cham-lint: begin(sessions_mu)
   auto it = sessions_.find(r.session_id);
   CHAM_CHECK(it != sessions_.end(),
@@ -314,10 +324,10 @@ void SessionManager::finish_dispatch(Request& r,
 }
 
 core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
-  std::unique_lock<std::mutex> lock(sessions_mu_);
+  util::MutexLock lock(sessions_mu_);
   // cham-lint: begin(sessions_mu)
   for (;;) {
-    // Re-look-up every iteration: evict_one releases the lock mid-loop and
+    // Re-look-up every iteration: eviction releases the lock mid-loop and
     // the map may rehash under concurrent admissions.
     Session& session = sessions_[session_id];
     if (session.learner) {
@@ -331,8 +341,14 @@ core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
     if (resident_ < cfg_.max_resident) break;
     // Evict before reserving: this dispatcher must hold no pin while
     // evicting, or the max_resident >= num_shards spare-victim invariant
-    // breaks.
-    evict_one(lock, /*force_full=*/false);
+    // breaks. Unlink under the lock (pointer moves only), serialise and
+    // hand off with it released.
+    EvictedVictim victim = unlink_victim();
+    // cham-lint: end(sessions_mu)
+    lock.unlock();
+    snapshot_and_submit(std::move(victim), /*force_full=*/false);
+    lock.lock();
+    // cham-lint: begin(sessions_mu)
   }
   // Reserve the residency slot and pin it before dropping the lock: other
   // dispatchers must neither evict this slot (no learner yet -> eviction
@@ -344,7 +360,7 @@ core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
   }
   ++resident_;
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    util::MutexLock slock(stats_mu_);
     stats_.resident_high_water =
         std::max(stats_.resident_high_water, resident_);
   }
@@ -367,12 +383,14 @@ core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
   }
 
   lock.lock();
+  // cham-lint: begin(sessions_mu)
   Session& session = sessions_[session_id];
   session.learner = std::move(fresh);
   session.ops.clear();
   session.ops_valid = true;
   session.last_used = ++tick_;
   return session.learner.get();
+  // cham-lint: end(sessions_mu)
 }
 
 std::unique_ptr<core::ChameleonLearner> SessionManager::materialize_session(
@@ -390,7 +408,7 @@ std::unique_ptr<core::ChameleonLearner> SessionManager::materialize_session(
     const bool ok = fresh->load_state(is);
     CHAM_CHECK(ok, "SessionManager: corrupt in-memory snapshot for id " +
                        std::to_string(session_id));
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    util::MutexLock slock(stats_mu_);
     ++stats_.restores;
     ++(pending ? stats_.pending_restores : stats_.cache_restores);
     stats_.record_restore_ms(ms_since(t0));
@@ -398,7 +416,7 @@ std::unique_ptr<core::ChameleonLearner> SessionManager::materialize_session(
   }
 
   if (!store_.contains(session_id)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    util::MutexLock slock(stats_mu_);
     ++stats_.creates;
     return fresh;
   }
@@ -462,7 +480,7 @@ std::unique_ptr<core::ChameleonLearner> SessionManager::materialize_session(
     // Stale op-log (crash between a full flush and the delta unlink): the
     // base IS the newest state; nothing to replay.
   }
-  std::lock_guard<std::mutex> slock(stats_mu_);
+  util::MutexLock slock(stats_mu_);
   ++stats_.restores;
   ++stats_.disk_restores;
   stats_.replayed_ops += replayed;
@@ -470,10 +488,10 @@ std::unique_ptr<core::ChameleonLearner> SessionManager::materialize_session(
   return fresh;
 }
 
-void SessionManager::evict_one(std::unique_lock<std::mutex>& lock,
-                               bool force_full) {
-  // --- Lock-held portion: victim selection and unlink. Pointer moves
-  // only; the <1ms bench gate watches this segment. ---
+SessionManager::EvictedVictim SessionManager::unlink_victim() {
+  // Lock-held portion of an eviction: victim selection and unlink. Pointer
+  // moves only; the <1ms bench gate watches lock_ms. The caller releases
+  // sessions_mu_ before serialising the returned victim.
   const auto t_lock = std::chrono::steady_clock::now();
   uint64_t victim_id = 0;
   Session* victim = nullptr;
@@ -488,52 +506,62 @@ void SessionManager::evict_one(std::unique_lock<std::mutex>& lock,
   // other sessions are pinned while one dispatcher is admitting.
   CHAM_CHECK(victim != nullptr,
              "SessionManager: no evictable session (all pinned)");
-  std::unique_ptr<core::ChameleonLearner> learner =
-      std::move(victim->learner);
-  std::vector<data::ServeOp> ops = std::move(victim->ops);
-  const bool ops_valid = victim->ops_valid;
+  EvictedVictim out;
+  out.session_id = victim_id;
+  out.learner = std::move(victim->learner);
+  out.ops = std::move(victim->ops);
+  out.ops_valid = victim->ops_valid;
   victim->ops.clear();
   victim->ops_valid = true;
   --resident_;
-  const double lock_ms = ms_since(t_lock);
-  lock.unlock();
+  out.lock_ms = ms_since(t_lock);
+  return out;
+}
 
-  // --- Unlocked portion: serialise into a pool-backed snapshot and hand
-  // it to the write-behind pipeline. Other shards admit/evict/dispatch
-  // freely during this. ---
+void SessionManager::snapshot_and_submit(EvictedVictim victim,
+                                         bool force_full) {
+  // Unlocked portion of an eviction: serialise into a pool-backed snapshot
+  // and hand it to the write-behind pipeline. Other shards admit/evict/
+  // dispatch freely during this.
   const auto t0 = std::chrono::steady_clock::now();
   auto blob = std::make_shared<core::ByteBuf>();
   {
     core::ByteBufWriter os(*blob);
-    const bool ok = learner->save_state(os, cfg_.blob_precision);
+    const bool ok = victim.learner->save_state(os, cfg_.blob_precision);
     CHAM_CHECK(ok, "SessionManager: failed to serialise session " +
-                       std::to_string(victim_id));
+                       std::to_string(victim.session_id));
   }
-  learner.reset();  // destroy outside the lock too
+  victim.learner.reset();  // destroy outside the lock too
   const double save_ms = ms_since(t0);
 
   WriteBehind::Snapshot snap;
-  snap.session_id = victim_id;
+  snap.session_id = victim.session_id;
   snap.blob = std::move(blob);
-  snap.ops = std::move(ops);
-  snap.ops_valid = ops_valid;
+  snap.ops = std::move(victim.ops);
+  snap.ops_valid = victim.ops_valid;
   snap.force_full = force_full;
   write_behind_->submit(std::move(snap));
 
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    ++stats_.evictions;
-    stats_.record_save_ms(save_ms);
-    stats_.record_evict_lock_ms(lock_ms);
-  }
-  lock.lock();
+  util::MutexLock slock(stats_mu_);
+  ++stats_.evictions;
+  stats_.record_save_ms(save_ms);
+  stats_.record_evict_lock_ms(victim.lock_ms);
 }
 
 void SessionManager::flush() {
   drain();
   {
-    std::unique_lock<std::mutex> lock(sessions_mu_);
-    while (resident_ > 0) evict_one(lock, /*force_full=*/true);
+    util::MutexLock lock(sessions_mu_);
+    // cham-lint: begin(sessions_mu)
+    while (resident_ > 0) {
+      EvictedVictim victim = unlink_victim();
+      // cham-lint: end(sessions_mu)
+      lock.unlock();
+      snapshot_and_submit(std::move(victim), /*force_full=*/true);
+      lock.lock();
+      // cham-lint: begin(sessions_mu)
+    }
+    // cham-lint: end(sessions_mu)
   }
   // Settle the pipeline and compact any outstanding deltas so external
   // SessionStore readers see complete, current blobs.
@@ -544,7 +572,7 @@ void SessionManager::flush() {
 ServeStats SessionManager::stats() const {
   ServeStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     snapshot = stats_;
   }
   const WriteBehindStats wb = write_behind_->stats();
@@ -564,7 +592,7 @@ ServeStats SessionManager::stats() const {
 }
 
 core::OpStats SessionManager::aggregate_op_stats() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  util::MutexLock lock(sessions_mu_);
   core::OpStats total;
   for (const auto& [id, ops] : session_op_stats_) {
     (void)id;
@@ -574,7 +602,7 @@ core::OpStats SessionManager::aggregate_op_stats() const {
 }
 
 int64_t SessionManager::resident_count() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  util::MutexLock lock(sessions_mu_);
   return resident_;
 }
 

@@ -49,13 +49,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -68,6 +66,7 @@
 #include "serve/serve_stats.h"
 #include "serve/session_store.h"
 #include "serve/write_behind.h"
+#include "util/sync.h"
 
 namespace cham::serve {
 
@@ -144,16 +143,16 @@ class SessionManager {
   void drain();
 
   // Drains, then evicts every resident session to the store.
-  void flush();
+  void flush() CHAM_EXCLUDES(sessions_mu_);
 
   // The seed a session's learner is constructed with.
   uint64_t session_seed(uint64_t session_id) const;
 
-  ServeStats stats() const;
+  ServeStats stats() const CHAM_EXCLUDES(stats_mu_);
   // Sum of OpStats over every session this manager has served (resident
   // learners live, evicted sessions from their last dispatch snapshot).
-  core::OpStats aggregate_op_stats() const;
-  int64_t resident_count() const;
+  core::OpStats aggregate_op_stats() const CHAM_EXCLUDES(sessions_mu_);
+  int64_t resident_count() const CHAM_EXCLUDES(sessions_mu_);
   const SessionStore& store() const { return store_; }
   const ServeConfig& config() const { return cfg_; }
   // The eviction pipeline (always constructed; synchronous when
@@ -174,11 +173,11 @@ class SessionManager {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;       // work available / stop
-    std::condition_variable cv_idle;  // queue empty and nothing in flight
-    std::deque<Request> queue;
-    int64_t in_flight = 0;
+    util::Mutex mu;
+    util::CondVar cv;       // work available / stop
+    util::CondVar cv_idle;  // queue empty and nothing in flight
+    std::deque<Request> queue CHAM_GUARDED_BY(mu);
+    int64_t in_flight CHAM_GUARDED_BY(mu) = 0;
     std::thread worker;
   };
 
@@ -193,6 +192,17 @@ class SessionManager {
     bool ops_valid = true;
   };
 
+  // One eviction victim, unlinked from the residency pool but not yet
+  // serialised. Moves between the locked unlink and the unlocked
+  // serialise/hand-off phases of an eviction.
+  struct EvictedVictim {
+    uint64_t session_id = 0;
+    std::unique_ptr<core::ChameleonLearner> learner;
+    std::vector<data::ServeOp> ops;
+    bool ops_valid = true;
+    double lock_ms = 0;  // time spent under sessions_mu_ (bench-gated < 1ms)
+  };
+
   int64_t shard_of(uint64_t session_id) const;
   Admission enqueue(int64_t shard_idx, Request r);
   // Pops and dispatches until the shard queue is empty (deterministic mode).
@@ -202,19 +212,26 @@ class SessionManager {
   // Makes the session resident (evicting/restoring as needed), pins it, and
   // returns its learner. Takes sessions_mu_ internally; eviction
   // serialisation and restore I/O both run with the lock released.
-  core::ChameleonLearner* acquire_session(uint64_t session_id);
+  core::ChameleonLearner* acquire_session(uint64_t session_id)
+      CHAM_EXCLUDES(sessions_mu_);
   // Restores/creates the learner for a reserved slot (no locks held).
   std::unique_ptr<core::ChameleonLearner> materialize_session(
-      uint64_t session_id);
+      uint64_t session_id) CHAM_EXCLUDES(sessions_mu_);
   // Records op stats, appends the request to the session's op log, and
   // releases the pin. `ok=false` marks the log invalid (state mutated
   // without a completed op).
-  void finish_dispatch(Request& r, core::ChameleonLearner* learner, bool ok);
-  // Evicts the LRU unpinned resident session: unlink under `lock`,
-  // serialise + hand off to the write-behind pipeline with it released
-  // (`lock` is re-held on return).
-  void evict_one(std::unique_lock<std::mutex>& lock, bool force_full);
-  void note_dispatch_error();
+  void finish_dispatch(Request& r, core::ChameleonLearner* learner, bool ok)
+      CHAM_EXCLUDES(sessions_mu_);
+  // Eviction, split so the analysis can prove the lock discipline: the
+  // LRU unpinned victim is selected and unlinked under sessions_mu_
+  // (pointer moves only — the <1ms bench gate watches this), then
+  // serialised and handed to the write-behind pipeline with NO locks held.
+  // Callers sandwich: unlink_victim(); lock.unlock();
+  // snapshot_and_submit(...); lock.lock();
+  EvictedVictim unlink_victim() CHAM_REQUIRES(sessions_mu_);
+  void snapshot_and_submit(EvictedVictim victim, bool force_full)
+      CHAM_EXCLUDES(sessions_mu_, stats_mu_);
+  void note_dispatch_error() CHAM_EXCLUDES(stats_mu_);
 
   ServeConfig cfg_;
   LearnerFactory factory_;
@@ -222,15 +239,22 @@ class SessionManager {
   std::unique_ptr<WriteBehind> write_behind_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<uint64_t, Session> sessions_;
-  std::unordered_map<uint64_t, core::OpStats> session_op_stats_;
-  int64_t resident_ = 0;
-  uint64_t tick_ = 0;
+  mutable util::Mutex sessions_mu_;
+  std::unordered_map<uint64_t, Session> sessions_ CHAM_GUARDED_BY(sessions_mu_);
+  std::unordered_map<uint64_t, core::OpStats> session_op_stats_
+      CHAM_GUARDED_BY(sessions_mu_);
+  int64_t resident_ CHAM_GUARDED_BY(sessions_mu_) = 0;
+  uint64_t tick_ CHAM_GUARDED_BY(sessions_mu_) = 0;
 
-  mutable std::mutex stats_mu_;
-  ServeStats stats_;
+  // Leaf lock: may be taken under sessions_mu_ or a Shard::mu, never the
+  // reverse (DESIGN.md "Lock hierarchy").
+  mutable util::Mutex stats_mu_ CHAM_ACQUIRED_AFTER(sessions_mu_);
+  ServeStats stats_ CHAM_GUARDED_BY(stats_mu_);
 
+  // Shutdown flag. Relaxed ordering on both sides (memory-ordering policy
+  // case 1, util/sync.h): every reader holds a Shard::mu while loading, and
+  // the writer locks that same mutex (to notify) after the store, so the
+  // mutex hand-off publishes the flag.
   std::atomic<bool> stop_{false};
   int prev_num_threads_ = 0;  // tensor pool size to restore (threaded mode)
 };

@@ -98,7 +98,7 @@ bool SessionStore::read_file(const std::string& path,
 
 bool SessionStore::put_full(uint64_t session_id, const char* data,
                             std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (!write_atomic(path_for(session_id), data, n)) return false;
   // Unlink the delta AFTER the new full blob is installed: a crash in
   // between leaves a stale delta whose base hash mismatches, which load()
@@ -111,7 +111,7 @@ bool SessionStore::put_full(uint64_t session_id, const char* data,
 
 bool SessionStore::put_delta(uint64_t session_id, const char* data,
                              std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::error_code ec;
   if (!fs::exists(path_for(session_id), ec)) return false;  // no base blob
   if (!write_atomic(delta_path_for(session_id), data, n)) return false;
@@ -120,17 +120,17 @@ bool SessionStore::put_delta(uint64_t session_id, const char* data,
 }
 
 bool SessionStore::get_blob(uint64_t session_id, core::ByteBuf& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return read_file(path_for(session_id), out);
 }
 
 bool SessionStore::get_delta(uint64_t session_id, core::ByteBuf& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return read_file(delta_path_for(session_id), out);
 }
 
 bool SessionStore::has_delta(uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::error_code ec;
   return fs::exists(delta_path_for(session_id), ec);
 }
@@ -152,7 +152,7 @@ bool SessionStore::load(uint64_t session_id,
   const char* state = nullptr;
   std::size_t state_n = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!read_file(path_for(session_id), base)) return false;
     state = base.data();
     state_n = base.size();
@@ -187,20 +187,20 @@ bool SessionStore::load(uint64_t session_id,
 }
 
 bool SessionStore::contains(uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::error_code ec;
   return fs::exists(path_for(session_id), ec);
 }
 
 bool SessionStore::erase(uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::error_code ec;
   fs::remove(delta_path_for(session_id), ec);
   return fs::remove(path_for(session_id), ec);
 }
 
 void SessionStore::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
@@ -213,7 +213,7 @@ void SessionStore::clear() {
 }
 
 std::vector<uint64_t> SessionStore::session_ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<uint64_t> ids;
   std::error_code ec;
   const std::string suffix = kSuffix;
@@ -243,12 +243,12 @@ int64_t SessionStore::size() const {
 }
 
 int64_t SessionStore::bytes_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return bytes_written_;
 }
 
 int64_t SessionStore::bytes_read() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return bytes_read_;
 }
 

@@ -33,13 +33,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/chameleon.h"
 #include "core/checkpoint.h"
 #include "quant/quantize.h"
+#include "util/sync.h"
 
 namespace cham::serve {
 
@@ -54,17 +54,21 @@ class SessionStore {
   // Durably installs `data` as the session's full blob and removes any
   // delta. False on any I/O error, in which case the previous blob (and
   // delta) remain intact and readable.
-  bool put_full(uint64_t session_id, const char* data, std::size_t n);
+  bool put_full(uint64_t session_id, const char* data, std::size_t n)
+      CHAM_EXCLUDES(mu_);
 
   // Durably installs a CHS3 delta frame next to the existing full blob
   // (which must exist). Replaces any previous delta.
-  bool put_delta(uint64_t session_id, const char* data, std::size_t n);
+  bool put_delta(uint64_t session_id, const char* data, std::size_t n)
+      CHAM_EXCLUDES(mu_);
 
   // Raw bytes of the full blob / the delta frame. False if absent or
   // unreadable.
-  bool get_blob(uint64_t session_id, core::ByteBuf& out) const;
-  bool get_delta(uint64_t session_id, core::ByteBuf& out) const;
-  bool has_delta(uint64_t session_id) const;
+  bool get_blob(uint64_t session_id, core::ByteBuf& out) const
+      CHAM_EXCLUDES(mu_);
+  bool get_delta(uint64_t session_id, core::ByteBuf& out) const
+      CHAM_EXCLUDES(mu_);
+  bool has_delta(uint64_t session_id) const CHAM_EXCLUDES(mu_);
 
   // --- Learner convenience wrappers. ---
 
@@ -72,7 +76,8 @@ class SessionStore {
   // write). False on serialisation or I/O failure; never clobbers the
   // previous blob on failure.
   bool save(uint64_t session_id, const core::ChameleonLearner& learner,
-            quant::Precision precision = quant::Precision::kFp32);
+            quant::Precision precision = quant::Precision::kFp32)
+      CHAM_EXCLUDES(mu_);
 
   // Restores the session's newest state into a learner constructed with
   // the same config and environment. Applies a chunk delta if one is
@@ -81,31 +86,39 @@ class SessionStore {
   // and also if the newest state is behind an op-log delta: replaying ops
   // needs the SessionManager (it owns dispatch), so plain readers must
   // only be pointed at compacted stores (SessionManager::flush compacts).
-  bool load(uint64_t session_id, core::ChameleonLearner& learner);
+  bool load(uint64_t session_id, core::ChameleonLearner& learner)
+      CHAM_EXCLUDES(mu_);
 
-  bool contains(uint64_t session_id) const;
-  bool erase(uint64_t session_id);
-  void clear();  // removes every session blob and delta
+  bool contains(uint64_t session_id) const CHAM_EXCLUDES(mu_);
+  bool erase(uint64_t session_id) CHAM_EXCLUDES(mu_);
+  void clear() CHAM_EXCLUDES(mu_);  // removes every session blob and delta
 
-  std::vector<uint64_t> session_ids() const;
-  int64_t size() const;  // stored session count
+  std::vector<uint64_t> session_ids() const CHAM_EXCLUDES(mu_);
+  int64_t size() const CHAM_EXCLUDES(mu_);  // stored session count
 
   const std::string& dir() const { return dir_; }
-  int64_t bytes_written() const;
-  int64_t bytes_read() const;
+  int64_t bytes_written() const CHAM_EXCLUDES(mu_);
+  int64_t bytes_read() const CHAM_EXCLUDES(mu_);
 
  private:
   std::string path_for(uint64_t session_id) const;
   std::string delta_path_for(uint64_t session_id) const;
   // write+fsync to path+".tmp", rename over path, fsync the directory.
+  // Filesystem state is guarded state too: mu_ serialises every read and
+  // write of the blob/delta pair, so these carry CHAM_REQUIRES(mu_) even
+  // though they touch no data member directly.
   bool write_atomic(const std::string& path, const char* data,
-                    std::size_t n);
-  bool read_file(const std::string& path, core::ByteBuf& out) const;
+                    std::size_t n) CHAM_REQUIRES(mu_);
+  bool read_file(const std::string& path, core::ByteBuf& out) const
+      CHAM_REQUIRES(mu_);
 
   std::string dir_;
-  mutable std::mutex mu_;
-  int64_t bytes_written_ = 0;
-  int64_t bytes_read_ = 0;
+  // Guards the byte counters AND the on-disk blob/delta pair: the two-file
+  // update protocols (rename-then-unlink) are atomic only because every
+  // accessor serialises here.
+  mutable util::Mutex mu_;
+  int64_t bytes_written_ CHAM_GUARDED_BY(mu_) = 0;
+  int64_t bytes_read_ CHAM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cham::serve

@@ -36,7 +36,7 @@ WriteBehind::WriteBehind(SessionStore& store, WriteBehindConfig cfg)
 WriteBehind::~WriteBehind() {
   if (cfg_.enabled) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -51,7 +51,7 @@ void WriteBehind::submit(Snapshot snap) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = pending_.find(snap.session_id);
     if (it != pending_.end()) {
       // Coalesce: only the newest state matters; the op logs concatenate
@@ -81,7 +81,7 @@ void WriteBehind::submit(Snapshot snap) {
 
 std::shared_ptr<const core::ByteBuf> WriteBehind::newest_blob(
     uint64_t session_id, bool* pending) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (pending) *pending = false;
   if (auto it = pending_.find(session_id); it != pending_.end()) {
     if (pending) *pending = true;
@@ -101,8 +101,8 @@ std::shared_ptr<const core::ByteBuf> WriteBehind::newest_blob(
 
 void WriteBehind::drain() {
   if (!cfg_.enabled) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] {
+  util::MutexLock lock(mu_);
+  cv_idle_.wait(lock, [this]() CHAM_REQUIRES(mu_) {
     return queue_.empty() && inflight_.empty();
   });
 }
@@ -111,9 +111,9 @@ void WriteBehind::io_loop() {
   for (;;) {
     Snapshot snap;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       // Pause is a test hook and yields to stop: shutdown always drains.
-      cv_.wait(lock, [this] {
+      cv_.wait(lock, [this]() CHAM_REQUIRES(mu_) {
         return stop_ || (!queue_.empty() && !paused_);
       });
       if (queue_.empty()) {
@@ -132,7 +132,7 @@ void WriteBehind::io_loop() {
     }
     flush_one(std::move(snap));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (queue_.empty() && inflight_.empty()) cv_idle_.notify_all();
     }
   }
@@ -141,7 +141,7 @@ void WriteBehind::io_loop() {
 void WriteBehind::flush_one(Snapshot snap) {
   // Serialises synchronous-mode callers (threaded-mode evictors may race);
   // the IO thread is single, so this is uncontended there.
-  std::lock_guard<std::mutex> io_lock(io_mu_);
+  util::MutexLock io_lock(io_mu_);
   const auto t0 = std::chrono::steady_clock::now();
   const uint64_t id = snap.session_id;
   const core::ByteBuf& blob = *snap.blob;
@@ -154,7 +154,7 @@ void WriteBehind::flush_one(Snapshot snap) {
   std::vector<data::ServeOp> ops;
   bool ops_ok = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (auto it = meta_.find(id); it != meta_.end()) {
       const Meta& m = it->second;
       base = m.base;
@@ -217,7 +217,7 @@ void WriteBehind::flush_one(Snapshot snap) {
 
   const double flush_ms = ms_since(t0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     Meta& m = meta_[id];
     m.lru_tick = ++lru_tick_;
     m.latest = snap.blob;
@@ -322,8 +322,8 @@ void WriteBehind::enforce_cache_budget_locked() {
 }
 
 void WriteBehind::compact_all() {
-  std::lock_guard<std::mutex> io_lock(io_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock io_lock(io_mu_);
+  util::MutexLock lock(mu_);
   CHAM_CHECK(queue_.empty() && inflight_.empty(),
              "WriteBehind: compact_all before drain");
   for (auto& [id, m] : meta_) {
@@ -350,18 +350,18 @@ void WriteBehind::compact_all() {
 }
 
 WriteBehindStats WriteBehind::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 void WriteBehind::pause_for_test() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   paused_ = true;
 }
 
 void WriteBehind::resume_for_test() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     paused_ = false;
   }
   cv_.notify_all();

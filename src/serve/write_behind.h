@@ -47,11 +47,9 @@
 // never into lost state.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +57,7 @@
 #include "core/checkpoint.h"
 #include "data/stream.h"
 #include "serve/session_store.h"
+#include "util/sync.h"
 
 namespace cham::serve {
 
@@ -113,7 +112,7 @@ class WriteBehind {
   // Hands a snapshot to the pipeline. Never blocks on disk when enabled
   // (synchronous mode flushes inline). Snapshots for a session already
   // queued coalesce: blobs replace, op logs concatenate.
-  void submit(Snapshot snap);
+  void submit(Snapshot snap) CHAM_EXCLUDES(io_mu_, mu_);
 
   // The newest state bytes the pipeline holds for the session (pending,
   // mid-flush, or cached last-flushed), or null if it holds none and the
@@ -122,22 +121,23 @@ class WriteBehind {
   // flushing yet (pending or mid-flush) — i.e. the restore raced its own
   // write-behind.
   std::shared_ptr<const core::ByteBuf> newest_blob(uint64_t session_id,
-                                                   bool* pending = nullptr);
+                                                   bool* pending = nullptr)
+      CHAM_EXCLUDES(mu_);
 
   // Blocks until every queued snapshot has been flushed (or failed).
-  void drain();
+  void drain() CHAM_EXCLUDES(mu_);
 
   // Writes a full blob for every session whose newest flushed state is a
   // delta, so plain SessionStore readers see complete state. Call after
   // drain().
-  void compact_all();
+  void compact_all() CHAM_EXCLUDES(io_mu_, mu_);
 
-  WriteBehindStats stats() const;
+  WriteBehindStats stats() const CHAM_EXCLUDES(mu_);
 
   // Test hooks: freeze/unfreeze the IO thread so restore-during-flush
   // interleavings can be produced deterministically, without sleeps.
-  void pause_for_test();
-  void resume_for_test();
+  void pause_for_test() CHAM_EXCLUDES(mu_);
+  void resume_for_test() CHAM_EXCLUDES(mu_);
 
  private:
   struct Meta {
@@ -160,31 +160,35 @@ class WriteBehind {
     uint64_t lru_tick = 0;
   };
 
-  void io_loop();
+  void io_loop() CHAM_EXCLUDES(io_mu_, mu_);
   // Encodes + writes one snapshot. Takes mu_ internally; never holds it
   // across the encode. `mu_` must NOT be held by the caller.
-  void flush_one(Snapshot snap);
+  void flush_one(Snapshot snap) CHAM_EXCLUDES(io_mu_, mu_);
   // Under mu_: recompute cached bytes and evict/compact down to budget.
-  void enforce_cache_budget_locked();
-  int64_t cached_bytes_locked() const;
+  void enforce_cache_budget_locked() CHAM_REQUIRES(mu_);
+  int64_t cached_bytes_locked() const CHAM_REQUIRES(mu_);
 
   SessionStore& store_;
   WriteBehindConfig cfg_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;       // IO thread: work available / stop
-  std::condition_variable cv_idle_;  // drain(): queue empty, nothing mid-flush
-  std::deque<uint64_t> queue_;       // flush order (session ids)
-  std::unordered_map<uint64_t, Snapshot> pending_;   // newest unflushed state
+  // Lock order: io_mu_ before mu_ (flush_one holds io_mu_ across the encode
+  // and takes mu_ twice inside; compact_all takes both). Never the reverse.
+  mutable util::Mutex mu_;
+  util::CondVar cv_;       // IO thread: work available / stop
+  util::CondVar cv_idle_;  // drain(): queue empty, nothing mid-flush
+  std::deque<uint64_t> queue_ CHAM_GUARDED_BY(mu_);  // flush order
+  std::unordered_map<uint64_t, Snapshot> pending_
+      CHAM_GUARDED_BY(mu_);  // newest unflushed state
   std::unordered_map<uint64_t, std::shared_ptr<const core::ByteBuf>>
-      inflight_;                     // blob currently being written
-  std::unordered_map<uint64_t, Meta> meta_;
-  WriteBehindStats stats_;
-  uint64_t lru_tick_ = 0;
-  bool paused_ = false;
-  bool stop_ = false;
+      inflight_ CHAM_GUARDED_BY(mu_);  // blob currently being written
+  std::unordered_map<uint64_t, Meta> meta_ CHAM_GUARDED_BY(mu_);
+  WriteBehindStats stats_ CHAM_GUARDED_BY(mu_);
+  uint64_t lru_tick_ CHAM_GUARDED_BY(mu_) = 0;
+  bool paused_ CHAM_GUARDED_BY(mu_) = false;
+  bool stop_ CHAM_GUARDED_BY(mu_) = false;
 
-  std::mutex io_mu_;  // serialises flush_one in synchronous mode
+  // Serialises flush_one in synchronous mode.
+  util::Mutex io_mu_ CHAM_ACQUIRED_BEFORE(mu_);
   std::thread io_thread_;
 };
 

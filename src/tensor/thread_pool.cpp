@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cham {
 namespace {
@@ -45,25 +45,25 @@ class Pool {
     return *pool;
   }
 
-  void set_size(int n) {
-    std::lock_guard<std::mutex> lock(api_mutex_);
+  void set_size(int n) CHAM_EXCLUDES(api_mutex_) {
+    util::MutexLock lock(api_mutex_);
     target_size_ = n;
   }
 
-  int size() {
-    std::lock_guard<std::mutex> lock(api_mutex_);
+  int size() CHAM_EXCLUDES(api_mutex_) {
+    util::MutexLock lock(api_mutex_);
     return target_size_;
   }
 
   void run(int64_t begin, int64_t end, detail::ChunkFn fn, void* ctx,
-           int64_t grain) {
+           int64_t grain) CHAM_EXCLUDES(api_mutex_, job_mutex_, done_mutex_) {
     const int64_t n = end - begin;
     if (n <= 0) return;
     if (t_in_parallel) {  // nested region: already inside a worker chunk
       fn(ctx, begin, end);
       return;
     }
-    std::lock_guard<std::mutex> lock(api_mutex_);
+    util::MutexLock lock(api_mutex_);
     const int chunks = static_cast<int>(
         std::min<int64_t>(target_size_, (n + grain - 1) / grain));
     if (chunks <= 1) {
@@ -74,7 +74,7 @@ class Pool {
     }
     ensure_workers(chunks - 1);
     {
-      std::lock_guard<std::mutex> jl(job_mutex_);
+      util::MutexLock jl(job_mutex_);
       job_fn_ = fn;
       job_ctx_ = ctx;
       job_begin_ = begin;
@@ -85,7 +85,11 @@ class Pool {
     }
     job_cv_.notify_all();
     run_chunk(0);
-    std::unique_lock<std::mutex> dl(done_mutex_);
+    util::MutexLock dl(done_mutex_);
+    // The predicate reads only the atomic countdown (no guarded state); the
+    // acquire load pairs with the workers' acq_rel fetch_sub so every chunk's
+    // writes are visible once the wait returns (ordering policy case 2,
+    // util/sync.h).
     done_cv_.wait(dl,
                   [&] { return pending_.load(std::memory_order_acquire) == 0; });
   }
@@ -93,7 +97,7 @@ class Pool {
  private:
   Pool() = default;
 
-  void ensure_workers(int n) {
+  void ensure_workers(int n) CHAM_REQUIRES(api_mutex_) {
     while (static_cast<int>(workers_.size()) < n) {
       const int index = static_cast<int>(workers_.size());
       workers_.emplace_back([this, index] { worker_loop(index); });
@@ -101,13 +105,15 @@ class Pool {
     }
   }
 
-  void worker_loop(int index) {
+  void worker_loop(int index) CHAM_EXCLUDES(job_mutex_, done_mutex_) {
     uint64_t seen_job = 0;
     for (;;) {
       int chunks;
       {
-        std::unique_lock<std::mutex> jl(job_mutex_);
-        job_cv_.wait(jl, [&] { return job_id_ != seen_job; });
+        util::MutexLock jl(job_mutex_);
+        job_cv_.wait(jl, [&]() CHAM_REQUIRES(job_mutex_) {
+          return job_id_ != seen_job;
+        });
         seen_job = job_id_;
         chunks = job_chunks_;
       }
@@ -115,33 +121,44 @@ class Pool {
     }
   }
 
-  void run_chunk(int c) {
+  // Reads the job_mutex_-guarded job fields WITHOUT the lock. The protocol
+  // that replaces it: run() publishes the fields and pending_ = chunks under
+  // job_mutex_ before notifying; a worker enters here only after observing
+  // the new job_id_ under job_mutex_ (mutex hand-off publishes the fields),
+  // and run() itself holds api_mutex_, so no new job can overwrite them
+  // until every chunk has fetch_sub'd pending_ to zero and the acquire wait
+  // in run() has returned.
+  void run_chunk(int c) CHAM_NO_THREAD_SAFETY_ANALYSIS {
     const auto [b, e] = detail::static_chunk(job_n_, job_chunks_, c);
     t_in_parallel = true;
     job_fn_(job_ctx_, job_begin_ + b, job_begin_ + e);
     t_in_parallel = false;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> dl(done_mutex_);
+      util::MutexLock dl(done_mutex_);
       done_cv_.notify_all();
     }
   }
 
-  std::mutex api_mutex_;  // serialises parallel regions and resizes
-  int target_size_ = default_threads();
-  std::vector<std::thread> workers_;
+  // Serialises parallel regions and resizes; held by run() for the whole
+  // region, including the completion wait.
+  util::Mutex api_mutex_ CHAM_ACQUIRED_BEFORE(job_mutex_, done_mutex_);
+  int target_size_ CHAM_GUARDED_BY(api_mutex_) = default_threads();
+  std::vector<std::thread> workers_ CHAM_GUARDED_BY(api_mutex_);
 
-  std::mutex job_mutex_;
-  std::condition_variable job_cv_;
-  uint64_t job_id_ = 0;
-  detail::ChunkFn job_fn_ = nullptr;
-  void* job_ctx_ = nullptr;
-  int64_t job_begin_ = 0;
-  int64_t job_n_ = 0;
-  int job_chunks_ = 0;
+  util::Mutex job_mutex_;
+  util::CondVar job_cv_;
+  uint64_t job_id_ CHAM_GUARDED_BY(job_mutex_) = 0;
+  detail::ChunkFn job_fn_ CHAM_GUARDED_BY(job_mutex_) = nullptr;
+  void* job_ctx_ CHAM_GUARDED_BY(job_mutex_) = nullptr;
+  int64_t job_begin_ CHAM_GUARDED_BY(job_mutex_) = 0;
+  int64_t job_n_ CHAM_GUARDED_BY(job_mutex_) = 0;
+  int job_chunks_ CHAM_GUARDED_BY(job_mutex_) = 0;
 
+  // Completion countdown: workers fetch_sub(acq_rel) after their chunk's
+  // writes, run() loads acquire (ordering policy case 2, util/sync.h).
   std::atomic<int> pending_{0};
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
+  util::Mutex done_mutex_;
+  util::CondVar done_cv_;
 };
 
 }  // namespace

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <bit>
-#include <mutex>
 #include <new>
 
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace cham::ws {
 namespace {
@@ -28,12 +28,12 @@ std::size_t class_bytes(int cls) {
 }
 
 struct PoolImpl {
-  std::mutex mu;
-  std::array<std::vector<void*>, kNumClasses> free_lists;
-  int64_t heap_allocs = 0;
-  int64_t freelist_hits = 0;
-  int64_t bytes_in_use = 0;
-  int64_t high_water = 0;
+  util::Mutex mu;
+  std::array<std::vector<void*>, kNumClasses> free_lists CHAM_GUARDED_BY(mu);
+  int64_t heap_allocs CHAM_GUARDED_BY(mu) = 0;
+  int64_t freelist_hits CHAM_GUARDED_BY(mu) = 0;
+  int64_t bytes_in_use CHAM_GUARDED_BY(mu) = 0;
+  int64_t high_water CHAM_GUARDED_BY(mu) = 0;
 };
 
 PoolImpl& pool() {
@@ -48,8 +48,8 @@ PoolImpl& pool() {
 // --------------------------------------------------------- arena registry
 
 struct ArenaRegistry {
-  std::mutex mu;
-  std::vector<Arena*> arenas;
+  util::Mutex mu;
+  std::vector<Arena*> arenas CHAM_GUARDED_BY(mu);
 };
 
 ArenaRegistry& registry() {
@@ -76,7 +76,7 @@ void* pool_acquire(std::size_t bytes) {
   PoolImpl& p = pool();
   void* block = nullptr;
   {
-    std::lock_guard<std::mutex> lock(p.mu);
+    util::MutexLock lock(p.mu);
     auto& list = p.free_lists[static_cast<std::size_t>(cls)];
     if (!list.empty()) {
       block = list.back();
@@ -99,7 +99,7 @@ void pool_release(void* ptr, std::size_t bytes) {
   const int cls = size_class(bytes);
   const std::size_t cap = class_bytes(cls);
   PoolImpl& p = pool();
-  std::lock_guard<std::mutex> lock(p.mu);
+  util::MutexLock lock(p.mu);
   p.free_lists[static_cast<std::size_t>(cls)].push_back(ptr);
   p.bytes_in_use -= static_cast<int64_t>(cap);
 }
@@ -113,13 +113,13 @@ Arena& Arena::local() {
 
 Arena::Arena() {
   ArenaRegistry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   r.arenas.push_back(this);
 }
 
 Arena::~Arena() {
   ArenaRegistry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   std::erase(r.arenas, this);
 }
 
@@ -132,6 +132,7 @@ void Arena::add_chunk(std::size_t min_bytes) {
   const std::uintptr_t aligned = (addr + kArenaAlign - 1) & ~(kArenaAlign - 1);
   c.base = c.raw.data() + (aligned - addr);
   c.used = 0;
+  reserved_.fetch_add(c.cap, std::memory_order_relaxed);
   chunks_.push_back(std::move(c));
 }
 
@@ -140,8 +141,10 @@ float* Arena::alloc_floats(std::size_t n) {
   // Fully idle with fragmented chunks: consolidate into one block sized for
   // the high-water mark, so the steady state bumps inside a single chunk.
   if (active_ == 0 && chunk_used_ == 0 && chunks_.size() > 1) {
-    const std::size_t want = std::max(align_up(high_water_), bytes);
+    const std::size_t want = std::max(
+        align_up(high_water_.load(std::memory_order_relaxed)), bytes);
     chunks_.clear();
+    reserved_.store(0, std::memory_order_relaxed);
     add_chunk(want);
   }
   while (active_ < chunks_.size() && chunk_used_ + bytes > chunks_[active_].cap) {
@@ -153,7 +156,12 @@ float* Arena::alloc_floats(std::size_t n) {
   float* out = reinterpret_cast<float*>(chunks_[active_].base + chunk_used_);
   chunk_used_ += bytes;
   chunks_[active_].used = chunk_used_;
-  high_water_ = std::max(high_water_, live_bytes());
+  // Single-writer max; relaxed load+store is race-free because only the
+  // owner thread writes (ordering policy case 3, util/sync.h).
+  const std::size_t live = live_bytes();
+  if (live > high_water_.load(std::memory_order_relaxed)) {
+    high_water_.store(live, std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -175,19 +183,13 @@ std::size_t Arena::live_bytes() const {
   return total + chunk_used_;
 }
 
-std::size_t Arena::reserved_bytes() const {
-  std::size_t total = 0;
-  for (const Chunk& c : chunks_) total += c.cap;
-  return total;
-}
-
 // ------------------------------------------------------------------ stats
 
 WorkspaceStats stats() {
   WorkspaceStats s;
   {
     PoolImpl& p = pool();
-    std::lock_guard<std::mutex> lock(p.mu);
+    util::MutexLock lock(p.mu);
     s.pool_heap_allocs = p.heap_allocs;
     s.pool_freelist_hits = p.freelist_hits;
     s.pool_bytes_in_use = p.bytes_in_use;
@@ -195,7 +197,7 @@ WorkspaceStats stats() {
   }
   {
     ArenaRegistry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    util::MutexLock lock(r.mu);
     for (const Arena* a : r.arenas) {
       s.arena_reserved_bytes += static_cast<int64_t>(a->reserved_bytes());
       s.arena_high_water_bytes =
@@ -209,14 +211,14 @@ WorkspaceStats stats() {
 void reset_stats() {
   {
     PoolImpl& p = pool();
-    std::lock_guard<std::mutex> lock(p.mu);
+    util::MutexLock lock(p.mu);
     p.heap_allocs = 0;
     p.freelist_hits = 0;
     p.high_water = p.bytes_in_use;
   }
   {
     ArenaRegistry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    util::MutexLock lock(r.mu);
     for (Arena* a : r.arenas) a->rebase_high_water();
   }
 }

@@ -26,6 +26,7 @@
 // concurrently with use.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -101,10 +102,21 @@ class Arena {
   Mark mark() const { return {active_, chunk_used_}; }
   void rewind(Mark m);
 
+  // Owner-thread only: walks chunks_, which the owner mutates freely.
   std::size_t live_bytes() const;
-  std::size_t reserved_bytes() const;
-  std::size_t high_water_bytes() const { return high_water_; }
-  void rebase_high_water() { high_water_ = live_bytes(); }
+  // Safe from any thread (reads the atomic gauge, not chunks_).
+  std::size_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  // Owner-thread only (live_bytes walks chunks_): reset_stats() callers
+  // must be quiescent — no other thread allocating — which tests and
+  // benchmarks measuring steady-state deltas are by construction.
+  void rebase_high_water() {
+    high_water_.store(live_bytes(), std::memory_order_relaxed);
+  }
 
  private:
   struct Chunk {
@@ -118,7 +130,13 @@ class Arena {
   std::vector<Chunk> chunks_;
   std::size_t active_ = 0;      // index of the chunk being bumped
   std::size_t chunk_used_ = 0;  // bytes used in the active chunk
-  std::size_t high_water_ = 0;
+  // Monitoring gauges, written only by the owner thread but polled by
+  // ws::stats() from any thread (ordering policy case 3, util/sync.h:
+  // relaxed is enough — stats never gate control flow). stats() used to
+  // walk chunks_ cross-thread for reserved bytes, racing the owner's
+  // add_chunk/consolidation; the gauge removes that race.
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> reserved_{0};
 };
 
 // RAII scratch scope: everything allocated through it is reclaimed when the

@@ -1,0 +1,232 @@
+// TSan stress tests for the concurrent serving stack.
+//
+// Registered by tests/CMakeLists.txt ONLY when the build is configured with
+// -DCHAM_SANITIZE=thread: the assertions here are deliberately weak (counters
+// add up, nothing crashes) because the real oracle is ThreadSanitizer
+// watching every interleaving the stress produces. Each test targets a
+// distinct raced surface:
+//
+//   ServeRaceSuite.MultiShardEvictRestoreFlushStress
+//       N shard workers + multiple submitter threads + forced evictions
+//       (max_resident << sessions) + a pause/resume thread that freezes the
+//       write-behind IO thread so restores race their own flush, + pollers
+//       hammering every read-only stats surface for ~2 seconds.
+//   WorkspaceRace.StatsPolledDuringOwnerAllocation
+//       Regression for the PR 7 audit finding: ws::stats() used to walk
+//       every arena's chunk vector cross-thread while owner threads were
+//       growing/consolidating it (and read the non-atomic high-water mark).
+//       Both gauges are relaxed atomics now; this pins the fix under TSan.
+//   ThreadPoolRace.StatsAndResizeDuringParallelFor
+//       num_threads()/set_num_threads() racing live parallel_for regions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "metrics/experiment.h"
+#include "serve/session_manager.h"
+#include "serve/session_store.h"
+#include "tensor/thread_pool.h"
+#include "tensor/workspace.h"
+
+namespace cham {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class ServeRaceSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    metrics::ExperimentConfig cfg = metrics::core50_experiment();
+    cfg.data.num_classes = 6;
+    cfg.data.num_domains = 2;
+    cfg.data.train_instances = 5;
+    cfg.pretrain_num_classes = 12;
+    cfg.pretrain_epochs = 2;  // stress needs a learner, not accuracy
+    exp_ = new metrics::Experiment(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete exp_;
+    exp_ = nullptr;
+  }
+
+  static serve::LearnerFactory factory() {
+    return [](uint64_t /*session_id*/, uint64_t seed) {
+      core::ChameleonConfig cc;
+      cc.lt_capacity = 18;
+      return std::make_unique<core::ChameleonLearner>(exp_->env(), cc, seed);
+    };
+  }
+
+  static metrics::Experiment* exp_;
+};
+
+metrics::Experiment* ServeRaceSuite::exp_ = nullptr;
+
+TEST_F(ServeRaceSuite, MultiShardEvictRestoreFlushStress) {
+  constexpr int64_t kSessions = 12;
+  constexpr int kSubmitters = 3;
+  constexpr auto kDuration = std::chrono::milliseconds(2000);
+
+  serve::ServeConfig sc;
+  sc.num_shards = 4;
+  sc.max_resident = 4;  // << kSessions: evictions and restores are constant
+  sc.queue_capacity = 8;
+  sc.store_dir = "/tmp/cham_serve_race";
+  sc.base_seed = 11;
+  sc.mode = serve::ServeMode::kThreaded;
+  sc.snapshot_cache_bytes = int64_t{4} << 20;  // cache pressure compactions
+  serve::SessionStore(sc.store_dir).clear();
+
+  // One small per-session request stream, reused round-robin.
+  data::StreamConfig stream_cfg = exp_->config().stream;
+  stream_cfg.seed = 4242;
+  data::DomainIncrementalStream stream(exp_->config().data, stream_cfg);
+  exp_->warm_latents(stream);
+  const std::vector<data::Batch> batches = stream.batches();
+  ASSERT_FALSE(batches.empty());
+
+  serve::SessionManager mgr(sc, factory());
+  const auto deadline = Clock::now() + kDuration;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> submitted{0};
+  std::vector<std::thread> threads;
+
+  // Submitters: observes with a predict mixed in, spread over all sessions
+  // so shard queues, eviction, and restores all stay hot.
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t step = static_cast<uint64_t>(t) * 7919;
+      while (Clock::now() < deadline) {
+        const uint64_t sid = step % kSessions;
+        const data::Batch& b = batches[step % batches.size()];
+        if (step % 5 == 4) {
+          (void)mgr.predict(sid, b.keys);  // nullopt on rejection is fine
+        } else if (mgr.submit_observe(sid, b).accepted) {
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();  // backpressure: let workers drain
+        }
+        ++step;
+      }
+    });
+  }
+
+  // Freeze/unfreeze the write-behind IO thread so restores keep racing
+  // their own flush (the pending/in-flight map paths).
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      mgr.write_behind().pause_for_test();
+      std::this_thread::sleep_for(std::chrono::milliseconds(7));
+      mgr.write_behind().resume_for_test();
+      std::this_thread::sleep_for(std::chrono::milliseconds(13));
+    }
+  });
+
+  // Pollers: every read-only surface that may legally race the dispatchers.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const serve::ServeStats s = mgr.stats();
+      EXPECT_GE(s.submitted, s.admissions);
+      (void)mgr.resident_count();
+      (void)mgr.aggregate_op_stats();
+      (void)mgr.write_behind().stats();
+      const ws::WorkspaceStats w = ws::stats();
+      EXPECT_GE(w.pool_high_water_bytes, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Concurrent drains exercise the cv_idle wait against live submitters.
+  threads.emplace_back([&] {
+    while (Clock::now() < deadline) {
+      mgr.drain();
+      std::this_thread::sleep_for(std::chrono::milliseconds(29));
+    }
+  });
+
+  for (int t = 0; t < kSubmitters; ++t) threads[t].join();
+  threads.back().join();  // drain thread shares the deadline
+  done.store(true, std::memory_order_relaxed);
+  for (size_t t = kSubmitters; t + 1 < threads.size(); ++t) threads[t].join();
+  mgr.write_behind().resume_for_test();  // never leave the IO thread frozen
+
+  // Deterministic coda: one more observe per session. TSan slows dispatch
+  // enough that the timed phase alone cannot promise a request ever found
+  // its session evicted; visiting all kSessions with only max_resident
+  // resident forces at least kSessions - max_resident restores.
+  for (uint64_t sid = 0; sid < static_cast<uint64_t>(kSessions); ++sid) {
+    while (!mgr.submit_observe(sid, batches[sid % batches.size()]).accepted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mgr.flush();
+  const serve::ServeStats s = mgr.stats();
+  EXPECT_EQ(s.observes, submitted.load());
+  EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
+  EXPECT_GT(s.restores, 0) << "stress never restored; raise the load";
+  EXPECT_EQ(s.dispatch_errors, 0);
+}
+
+TEST(WorkspaceRace, StatsPolledDuringOwnerAllocation) {
+  constexpr auto kDuration = std::chrono::milliseconds(500);
+  const auto deadline = Clock::now() + kDuration;
+  std::atomic<bool> stop{false};
+
+  // Owner threads: grow, rewind and consolidate their thread-local arenas
+  // as fast as possible (every alloc updates the gauges ws::stats reads).
+  std::vector<std::thread> owners;
+  for (int t = 0; t < 2; ++t) {
+    owners.emplace_back([&] {
+      uint64_t n = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ws::ArenaScope scope;
+        float* p = scope.floats(64 + (n % 4096));
+        p[0] = 1.0f;  // touch so the alloc is not optimised out
+        ++n;
+      }
+    });
+  }
+
+  while (Clock::now() < deadline) {
+    const ws::WorkspaceStats s = ws::stats();
+    EXPECT_GE(s.arena_reserved_bytes, 0);
+    EXPECT_GE(s.arena_high_water_bytes, 0);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : owners) t.join();
+}
+
+TEST(ThreadPoolRace, StatsAndResizeDuringParallelFor) {
+  constexpr auto kDuration = std::chrono::milliseconds(500);
+  const auto deadline = Clock::now() + kDuration;
+  const int prev = num_threads();
+  std::atomic<bool> stop{false};
+
+  std::thread poller([&] {
+    int flip = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_GE(num_threads(), 1);
+      set_num_threads(2 + (flip++ % 3));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<int64_t> out(1 << 14, 0);
+  while (Clock::now() < deadline) {
+    parallel_for(0, static_cast<int64_t>(out.size()), [&](int64_t b,
+                                                          int64_t e) {
+      for (int64_t i = b; i < e; ++i) out[static_cast<size_t>(i)] += i;
+    });
+  }
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  set_num_threads(prev);
+}
+
+}  // namespace
+}  // namespace cham

@@ -50,6 +50,26 @@ are about *this* codebase's contracts:
                       seed's 63ms save_ms_max was exactly this bug).
                       Eviction must unlink under the lock and serialise /
                       flush with it released (see serve/write_behind.h).
+  raw-mutex           Bare std::mutex / lock_guard / unique_lock /
+                      condition_variable (and friends) in src/ outside
+                      util/sync.h. Concurrency goes through the annotated
+                      cham::util wrappers (Mutex / MutexLock / CondVar) so
+                      Clang's thread-safety analysis sees every lock; a raw
+                      std primitive is invisible to it.
+  naked-cv-wait       A condition-variable wait(lock) with no predicate.
+                      Spurious wakeups and lost-notify races make a naked
+                      wait return without its condition holding; every wait
+                      must be the predicate form wait(lock, pred)
+                      (zero-argument waits, e.g. std::future::wait(), are
+                      fine; so are wait_for / wait_until).
+  unguarded-shared-member
+                      A write to a `name_` member inside a
+                      `// cham-lint: begin(...)` / `end(...)` marker region
+                      whose declaration (this file or the sibling header)
+                      does not carry CHAM_GUARDED_BY. Marker regions are
+                      lock-held critical sections; a member mutated there is
+                      shared state and must be declared guarded, or the
+                      thread-safety analysis cannot check its other uses.
 
 Suppression: append `// cham-lint: allow(<rule>)` to the offending line.
 
@@ -75,6 +95,13 @@ RULES = {
     "io-in-sessions-mu": "filesystem/stream or checkpoint serialisation call "
     "inside a sessions_mu_ critical section (stalls every shard); unlink "
     "under the lock, serialise/flush with it released",
+    "raw-mutex": "bare std synchronisation primitive in src/; use the "
+    "annotated cham::util::Mutex / MutexLock / CondVar (util/sync.h)",
+    "naked-cv-wait": "condition-variable wait without a predicate; use "
+    "wait(lock, pred) so spurious wakeups re-check the condition",
+    "unguarded-shared-member": "member written inside a lock-held marker "
+    "region but not declared CHAM_GUARDED_BY; annotate the declaration so "
+    "the thread-safety analysis can check it",
 }
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -126,6 +153,33 @@ SERIALIZE_RE = re.compile(
     r"|(?:\.|->)\s*(?:put_full|put_delta|get_blob|get_delta)\s*\("
     r"|(?<![_A-Za-z0-9])(?:encode_chunk_delta|apply_chunk_delta|"
     r"encode_op_log|read_op_log)\s*\("
+)
+# Raw std synchronisation primitives (with or without the std:: prefix —
+# `using std::mutex` would otherwise dodge the rule). The annotated wrappers
+# in util/sync.h are the only sanctioned spelling in src/.
+RAW_MUTEX_RE = re.compile(
+    r"(?<![_A-Za-z0-9])(?:std\s*::\s*)?"
+    r"(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)"
+    r"(?![_A-Za-z0-9])"
+)
+# `.wait(` / `->wait(` — wait_for / wait_until do not match (the char after
+# `wait` must be `(`). The argument count decides the verdict.
+CV_WAIT_RE = re.compile(r"(?:\.|->)\s*wait\s*\(")
+# Any marker region, regardless of tag: `// cham-lint: begin(<tag>)`.
+REGION_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(([A-Za-z_][\w]*)\)")
+REGION_END_RE = re.compile(r"cham-lint:\s*end\(([A-Za-z_][\w]*)\)")
+# Declarations annotated guarded: `Type name_ CHAM_GUARDED_BY(mu)`.
+GUARDED_DECL_RE = re.compile(r"(\w+_)\s+CHAM_GUARDED_BY\s*\(")
+# Writes to trailing-underscore members: prefix/postfix ++/--, compound
+# assignment, plain assignment (also through one [subscript]). Comparison
+# operators (==, <=, !=, ...) do not match.
+MEMBER_WRITE_RES = (
+    re.compile(r"(?:\+\+|--)\s*(\w+_)(?![\w])"),
+    re.compile(r"(?<![\w])(\w+_)\s*(?:\+\+|--)"),
+    re.compile(r"(?<![\w])(\w+_)\s*(?:\[[^\]]*\]\s*)?"
+               r"(?:[+\-*/%&|^]=(?!=)|<<=|>>=|=(?!=))"),
 )
 
 
@@ -202,6 +256,7 @@ def lint_file(path, raw):
 
     in_src = "src" + os.sep in path or path.startswith("src/")
     is_check_header = path.replace(os.sep, "/").endswith("util/check.h")
+    is_sync_header = path.replace(os.sep, "/").endswith("util/sync.h")
 
     violations = []
 
@@ -219,6 +274,8 @@ def lint_file(path, raw):
             report(lineno, "raw-assert")
         if in_src and (NEW_RE.search(line) or DELETE_RE.search(line)):
             report(lineno, "naked-new")
+        if in_src and not is_sync_header and RAW_MUTEX_RE.search(line):
+            report(lineno, "raw-mutex")
 
     # Rule checks inside marked critical sections. An unmatched begin(...)
     # extends to end of file (better to over-flag a malformed region than to
@@ -251,6 +308,52 @@ def lint_file(path, raw):
         SESSIONS_BEGIN_RE, SESSIONS_END_RE, "io-in-sessions-mu",
         lambda line: bool(BLOCKING_RE.search(line) or
                           SERIALIZE_RE.search(line)))
+
+    # Condition-variable waits must pass a predicate: exactly one top-level
+    # argument (just the lock) is the lost-wakeup-prone form. Zero arguments
+    # (std::future::wait()) and two (lock + predicate) are fine.
+    for m in CV_WAIT_RE.finditer(code):
+        open_paren = code.index("(", m.end() - 1)
+        end = call_extent(code, open_paren)
+        inner = code[open_paren + 1:end - 1]
+        depth, commas = 0, 0
+        for ch in inner:
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                commas += 1
+        if inner.strip() and commas == 0:
+            report(code.count("\n", 0, m.start()) + 1, "naked-cv-wait")
+
+    # Writes to `name_` members inside ANY marker region must be declared
+    # CHAM_GUARDED_BY — in this file or the sibling header (members of a
+    # .cpp's class are declared in its .h).
+    guarded = set(GUARDED_DECL_RE.findall(code))
+    root, ext = os.path.splitext(path)
+    if ext in (".cc", ".cpp", ".cxx"):
+        for hext in (".h", ".hpp"):
+            sibling = root + hext
+            if os.path.isfile(sibling):
+                with open(sibling, encoding="utf-8",
+                          errors="replace") as fh:
+                    guarded |= set(GUARDED_DECL_RE.findall(
+                        strip_comments_and_strings(fh.read())))
+    region_depth = 0
+    for lineno, raw_line in enumerate(raw_lines, start=1):
+        if REGION_BEGIN_RE.search(raw_line):
+            region_depth += 1
+            continue
+        if REGION_END_RE.search(raw_line):
+            region_depth = max(0, region_depth - 1)
+            continue
+        if region_depth == 0 or lineno > len(code_lines):
+            continue
+        for write_re in MEMBER_WRITE_RES:
+            for w in write_re.finditer(code_lines[lineno - 1]):
+                if w.group(1) not in guarded:
+                    report(lineno, "unguarded-shared-member")
 
     # Rng use inside the lexical extent of a parallel_for(...) call. The body
     # is a lambda argument, so the balanced-paren extent of the call covers it.
