@@ -30,10 +30,14 @@ if [ -n "${CHAM_SANITIZE:-}" ]; then
   echo "sanitizer ($CHAM_SANITIZE) suite passed"
 fi
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+# Gated benches (bench_serve: fidelity/batched-bit-exact/throughput/
+# evict-lock/delta-ratio; bench_threads: bit-identity/speedup-or-skip/
+# no-subgrain-wakeup) exit non-zero when a gate fails; record the failure
+# in the archive and fail the whole regeneration at the end.
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "===== $b ====="
-    "$b"
+    "$b" || echo "GATE_FAILURE $b"
   fi
 done 2>&1 | tee /root/repo/bench_output.txt
 # bench_threads, bench_kernels and bench_serve emit JSON perf artefacts into
@@ -47,4 +51,9 @@ for j in BENCH_threads.json BENCH_kernels.json BENCH_serve.json; do
     echo "MISSING $j" >> /root/repo/bench_output.txt
   fi
 done
+if grep -q "^GATE_FAILURE" /root/repo/bench_output.txt; then
+  echo "run_all.sh: bench gate failure (see bench_output.txt)" >&2
+  echo BENCH_GATE_FAILED >> /root/repo/bench_output.txt
+  exit 1
+fi
 echo ALL_DONE >> /root/repo/bench_output.txt

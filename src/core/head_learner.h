@@ -3,6 +3,8 @@
 // helpers shared by Chameleon and the replay baselines.
 #pragma once
 
+#include <span>
+
 #include "core/learner.h"
 #include "nn/loss.h"
 #include "nn/mobilenet.h"
@@ -29,10 +31,30 @@ class HeadLearner : public ContinualLearner {
 
   std::vector<int64_t> predict(
       const std::vector<data::ImageKey>& keys) override {
-    // Chunked batch inference: stacking latents lets one forward pass feed
-    // the parallel kernels instead of issuing per-sample gemms. Every layer
-    // in the head treats batch rows independently in eval mode, so the
-    // logits are bit-identical to the per-key loop this replaces.
+    return predict_batch(std::span<const data::ImageKey>(keys));
+  }
+
+  // One eval-mode forward of the head over an already-stacked latent batch
+  // (NxCxHxW), returning the NxK logits. State- and stats-pure: eval mode
+  // touches no weights, BN running stats are frozen, and no MACs are
+  // charged (the serve path logs predicts as replayable no-ops). Every
+  // layer treats batch rows independently in eval mode, so ANY regrouping
+  // of rows across eval_batch calls — merging several requests, splitting
+  // one — yields bit-identical logits per row. That row-independence is
+  // the correctness basis of the serve-path batch planner.
+  Tensor eval_batch(const Tensor& latent_batch) {
+    return g_->forward(latent_batch, /*train=*/false);
+  }
+
+  // Argmax predictions for `keys`, evaluated in stacked chunks: one forward
+  // pass feeds the parallel kernels instead of issuing per-sample gemms.
+  // Takes a span so batch plans can evaluate merged key runs without
+  // copying; bit-identical to a per-key loop (see eval_batch). Virtual
+  // because this is the single funnel every predict path (plain predict(),
+  // serve batch plans) flows through — fault-injecting subclasses override
+  // here to intercept both.
+  virtual std::vector<int64_t> predict_batch(
+      std::span<const data::ImageKey> keys) {
     constexpr int64_t kEvalChunk = 256;
     const int64_t total = static_cast<int64_t>(keys.size());
     std::vector<int64_t> out;
@@ -45,7 +67,7 @@ class HeadLearner : public ContinualLearner {
         chunk.push_back(&env_.latents->latent(keys[static_cast<size_t>(i)]));
       }
       const Tensor z = data::stack_latents(chunk);
-      const Tensor logits = g_->forward(z, /*train=*/false);
+      const Tensor logits = eval_batch(z);
       for (int64_t i = 0; i < end - begin; ++i) {
         out.push_back(cham::ops::argmax(logits.row(i)));
       }

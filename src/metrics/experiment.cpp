@@ -153,8 +153,13 @@ core::LearnerEnv Experiment::env() {
   // Learners re-initialise the classifier themselves, seeded by their own
   // learner seed (HeadLearner / FullNetLearner constructors).
   e.head_factory = [this]() {
+    // Skip-init build: every parameter (and BN running stat) is overwritten
+    // by copy_params below, so the He draws would be dead work — and this
+    // factory runs on every serve-path session create AND restore, where
+    // the draw loop used to dominate materialisation cost.
     Rng rng(cfg_.data.seed ^ 0x6EAD);
-    nn::MobileNetV1 m = nn::build_mobilenet_v1(cfg_.model, rng);
+    nn::MobileNetV1 m =
+        nn::build_mobilenet_v1(cfg_.model, rng, /*init_weights=*/false);
     auto split = nn::split_at_conv_layer(std::move(m),
                                          cfg_.model.latent_conv_layer);
     nn::copy_params(*g_template_, *split.g);

@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "tensor/gemm.h"
@@ -34,13 +35,13 @@ constexpr int64_t kElemGrain = 16384;
 
 Conv2d::Conv2d(int64_t in_c, int64_t out_c, int64_t in_h, int64_t in_w,
                int64_t kernel, int64_t stride, int64_t pad, bool bias,
-               Rng& rng)
+               Rng& rng, bool init)
     : geo_{in_c, in_h, in_w, kernel, stride, pad},
       out_c_(out_c),
       has_bias_(bias),
       weight_(Shape{{out_c, in_c * kernel * kernel}}),
       bias_(Shape{{out_c}}) {
-  he_init(weight_.value, in_c * kernel * kernel, rng);
+  if (init) he_init(weight_.value, in_c * kernel * kernel, rng);
 }
 
 int64_t Conv2d::macs_per_sample() const {
@@ -64,25 +65,60 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
       for (int64_t i = 0; i < opix; ++i) plane[i] += b;
     }
   };
-  // Samples write disjoint output planes: parallel over the batch, each
-  // worker with its own scratch. A batch of one skips the outer dispatch
-  // entirely so the per-sample gemm parallelises across its rows instead
-  // (a region entered with one chunk still counts as nested and would
-  // serialise the gemm).
+  // Pointwise convs merge the whole batch into ONE gemm along the column
+  // dimension: column (n, p) of the concatenated operand is pixel p of
+  // sample n, so C[c][(n,p)] accumulates the same k-ascending fma chain as
+  // the per-sample call — bit-identical output, but the weight panel is
+  // packed once per row chunk instead of once per sample, and the kernel
+  // sees n = batch*opix wide tiles instead of the n = opix (often 1..4)
+  // slivers that defeat the SIMD path.
   if (is_pointwise(geo_)) {
-    const auto body = [&](int64_t n0, int64_t n1) {
-      for (int64_t n = n0; n < n1; ++n) {
-        gemm(out_c_, opix, geo_.in_c, 1.0f, weight_.value.data(),
-             x.data() + n * geo_.in_c * ipix, 0.0f,
-             out.data() + n * out_c_ * opix);
-        if (has_bias_) add_bias(n);
-      }
-    };
     if (batch == 1) {
-      body(0, 1);
-    } else {
-      parallel_for(0, batch, body);
+      // Plane layout already matches the merged operand: zero-copy.
+      gemm(out_c_, opix, geo_.in_c, 1.0f, weight_.value.data(), x.data(),
+           0.0f, out.data());
+      if (has_bias_) add_bias(0);
+      return out;
     }
+    const int64_t cols = batch * opix;
+    ws::ArenaScope scratch;
+    float* xcat = scratch.floats(static_cast<size_t>(geo_.in_c * cols));
+    float* ocat = scratch.floats(static_cast<size_t>(out_c_ * cols));
+    const int64_t row_grain = (kElemGrain + cols - 1) / cols;
+    // Gather x[n][c][:] -> xcat[c][n*opix..]: disjoint rows per chunk.
+    parallel_for(
+        0, geo_.in_c,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            for (int64_t n = 0; n < batch; ++n) {
+              std::memcpy(xcat + c * cols + n * opix,
+                          x.data() + (n * geo_.in_c + c) * ipix,
+                          static_cast<size_t>(opix) * sizeof(float));
+            }
+          }
+        },
+        row_grain);
+    gemm(out_c_, cols, geo_.in_c, 1.0f, weight_.value.data(), xcat, 0.0f,
+         ocat);
+    // Scatter ocat[c][n*opix..] -> out[n][c][:], folding the bias add.
+    parallel_for(
+        0, out_c_,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            const float b = has_bias_ ? bias_.value[c] : 0.0f;
+            for (int64_t n = 0; n < batch; ++n) {
+              const float* src = ocat + c * cols + n * opix;
+              float* dst = out.data() + (n * out_c_ + c) * opix;
+              if (has_bias_) {
+                for (int64_t i = 0; i < opix; ++i) dst[i] = src[i] + b;
+              } else {
+                std::memcpy(dst, src,
+                            static_cast<size_t>(opix) * sizeof(float));
+              }
+            }
+          }
+        },
+        row_grain);
     return out;
   }
   const auto body = [&](int64_t n0, int64_t n1) {
@@ -127,19 +163,75 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   // parallelism lives inside the gemms (and col2im), which split rows.
   if (is_pointwise(geo_)) {
     // The column matrix is the input plane, so dW and dX come straight
-    // from the operands: no im2col, no gcol, no col2im scatter. The gemm
-    // calls see the exact operand values of the im2col path, so gradients
-    // are bit-identical to it.
-    for (int64_t n = 0; n < batch; ++n) {
-      const float* go = grad_out.data() + n * out_c_ * opix;
-      const float* xn = x.data() + n * geo_.in_c * ipix;
-      // dW += dY @ X^T  (out_c x opix) @ (opix x in_c)
-      gemm_a_bt(out_c_, geo_.in_c, opix, 1.0f, go, xn, 1.0f,
+    // from the operands: no im2col, no gcol, no col2im scatter. The batch
+    // is merged into single gemms along the contraction (dW) and column
+    // (dX) dimensions: the merged k axis of dW runs n-major/pixel-minor,
+    // which is exactly the order the per-sample accumulation chained
+    // through the C slot, so gradients are bit-identical to the sample
+    // loop (and to the im2col path).
+    const int64_t cols = batch * opix;
+    if (batch == 1) {
+      const float* go = grad_out.data();
+      gemm_a_bt(out_c_, geo_.in_c, opix, 1.0f, go, x.data(), 1.0f,
                 weight_.grad.data());
-      // dX = W^T @ dY  (in_c x out_c) @ (out_c x opix)
       gemm_at_b(geo_.in_c, opix, out_c_, 1.0f, weight_.value.data(), go, 0.0f,
-                grad_in.data() + n * geo_.in_c * ipix);
+                grad_in.data());
       if (has_bias_) add_bias_grad(go);
+      return grad_in;
+    }
+    ws::ArenaScope scratch;
+    float* gocat = scratch.floats(static_cast<size_t>(out_c_ * cols));
+    float* xcat = scratch.floats(static_cast<size_t>(geo_.in_c * cols));
+    float* gicat = scratch.floats(static_cast<size_t>(geo_.in_c * cols));
+    const int64_t row_grain = (kElemGrain + cols - 1) / cols;
+    parallel_for(
+        0, out_c_,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            for (int64_t n = 0; n < batch; ++n) {
+              std::memcpy(gocat + c * cols + n * opix,
+                          grad_out.data() + (n * out_c_ + c) * opix,
+                          static_cast<size_t>(opix) * sizeof(float));
+            }
+          }
+        },
+        row_grain);
+    parallel_for(
+        0, geo_.in_c,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            for (int64_t n = 0; n < batch; ++n) {
+              std::memcpy(xcat + c * cols + n * opix,
+                          x.data() + (n * geo_.in_c + c) * ipix,
+                          static_cast<size_t>(opix) * sizeof(float));
+            }
+          }
+        },
+        row_grain);
+    // dW += dYcat @ Xcat^T  (out_c x cols) @ (cols x in_c)
+    gemm_a_bt(out_c_, geo_.in_c, cols, 1.0f, gocat, xcat, 1.0f,
+              weight_.grad.data());
+    // dXcat = W^T @ dYcat  (in_c x out_c) @ (out_c x cols)
+    gemm_at_b(geo_.in_c, cols, out_c_, 1.0f, weight_.value.data(), gocat, 0.0f,
+              gicat);
+    parallel_for(
+        0, geo_.in_c,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            for (int64_t n = 0; n < batch; ++n) {
+              std::memcpy(grad_in.data() + (n * geo_.in_c + c) * ipix,
+                          gicat + c * cols + n * opix,
+                          static_cast<size_t>(opix) * sizeof(float));
+            }
+          }
+        },
+        row_grain);
+    // Bias gradient keeps the serial per-sample order (double accumulator
+    // per channel, sample-major) so its bits match the previous loop.
+    if (has_bias_) {
+      for (int64_t n = 0; n < batch; ++n) {
+        add_bias_grad(grad_out.data() + n * out_c_ * opix);
+      }
     }
     return grad_in;
   }
@@ -172,10 +264,10 @@ std::vector<Param*> Conv2d::params() {
 
 DepthwiseConv2d::DepthwiseConv2d(int64_t channels, int64_t in_h, int64_t in_w,
                                  int64_t kernel, int64_t stride, int64_t pad,
-                                 Rng& rng)
+                                 Rng& rng, bool init)
     : geo_{channels, in_h, in_w, kernel, stride, pad},
       weight_(Shape{{channels, kernel * kernel}}) {
-  he_init(weight_.value, kernel * kernel, rng);
+  if (init) he_init(weight_.value, kernel * kernel, rng);
 }
 
 int64_t DepthwiseConv2d::macs_per_sample() const {
@@ -470,12 +562,12 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
 
 // ---------------------------------------------------------------- Linear
 
-Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng)
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool init)
     : in_dim_(in_dim),
       out_dim_(out_dim),
       weight_(Shape{{out_dim, in_dim}}),
       bias_(Shape{{out_dim}}) {
-  he_init(weight_.value, in_dim, rng);
+  if (init) he_init(weight_.value, in_dim, rng);
 }
 
 Tensor Linear::forward(const Tensor& x, bool train) {

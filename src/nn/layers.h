@@ -11,8 +11,12 @@ namespace cham::nn {
 // Standard convolution lowered to GEMM via im2col (per sample).
 class Conv2d : public Layer {
  public:
+  // `init=false` skips the He weight draw (leaves weights zero) for nets
+  // whose parameters are about to be overwritten by copy_params — the
+  // normal-draw loop dominates network construction cost otherwise.
   Conv2d(int64_t in_c, int64_t out_c, int64_t in_h, int64_t in_w,
-         int64_t kernel, int64_t stride, int64_t pad, bool bias, Rng& rng);
+         int64_t kernel, int64_t stride, int64_t pad, bool bias, Rng& rng,
+         bool init = true);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -37,7 +41,7 @@ class Conv2d : public Layer {
 class DepthwiseConv2d : public Layer {
  public:
   DepthwiseConv2d(int64_t channels, int64_t in_h, int64_t in_w, int64_t kernel,
-                  int64_t stride, int64_t pad, Rng& rng);
+                  int64_t stride, int64_t pad, Rng& rng, bool init = true);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -117,7 +121,7 @@ class GlobalAvgPool : public Layer {
 // Fully connected layer on NxD inputs.
 class Linear : public Layer {
  public:
-  Linear(int64_t in_dim, int64_t out_dim, Rng& rng);
+  Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool init = true);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;

@@ -27,7 +27,8 @@ constexpr BlockSpec kBlocks[] = {
 
 }  // namespace
 
-MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
+MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng,
+                               bool init_weights) {
   MobileNetV1 m;
   m.config = cfg;
   m.net = std::make_unique<Sequential>();
@@ -44,7 +45,7 @@ MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
   // Conv layer 1: standard 3x3 stride-2 convolution.
   const int64_t c1 = scaled(32, cfg.width_mult);
   net.add(std::make_unique<Conv2d>(in_c, c1, h, w, 3, 2, 1, /*bias=*/false,
-                                   rng));
+                                   rng, init_weights));
   h = (h + 2 * 1 - 3) / 2 + 1;
   w = h;
   net.add(std::make_unique<BatchNorm2d>(c1, cfg.bn_momentum));
@@ -55,7 +56,8 @@ MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
   // Conv layers 2..27: 13 (depthwise, pointwise) pairs.
   for (const BlockSpec& b : kBlocks) {
     // Depthwise.
-    net.add(std::make_unique<DepthwiseConv2d>(in_c, h, w, 3, b.stride, 1, rng));
+    net.add(std::make_unique<DepthwiseConv2d>(in_c, h, w, 3, b.stride, 1, rng,
+                                              init_weights));
     h = (h + 2 * 1 - 3) / b.stride + 1;
     w = h;
     net.add(std::make_unique<BatchNorm2d>(in_c, cfg.bn_momentum));
@@ -64,7 +66,7 @@ MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
     // Pointwise.
     const int64_t out_c = scaled(b.out_channels, cfg.width_mult);
     net.add(std::make_unique<Conv2d>(in_c, out_c, h, w, 1, 1, 0,
-                                     /*bias=*/false, rng));
+                                     /*bias=*/false, rng, init_weights));
     net.add(std::make_unique<BatchNorm2d>(out_c, cfg.bn_momentum));
     net.add(std::make_unique<ReLU>(6.0f));
     end_unit(out_c);
@@ -73,7 +75,7 @@ MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng) {
 
   // Classifier.
   net.add(std::make_unique<GlobalAvgPool>());
-  net.add(std::make_unique<Linear>(in_c, cfg.num_classes, rng));
+  net.add(std::make_unique<Linear>(in_c, cfg.num_classes, rng, init_weights));
 
   return m;
 }

@@ -47,7 +47,12 @@ struct MobileNetV1 {
   }
 };
 
-MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng);
+// `init_weights=false` skips every He weight draw (weights left zero): the
+// right mode when the caller immediately overwrites all parameters via
+// copy_params/load_params. The serving runtime materialises a head per
+// session create/restore, and the normal-draw loop dominated that path.
+MobileNetV1 build_mobilenet_v1(const MobileNetConfig& cfg, Rng& rng,
+                               bool init_weights = true);
 
 // Destructively splits `model.net` after conv-like layer `conv_layer`.
 struct SplitModel {

@@ -1,0 +1,55 @@
+#include "serve/batch_planner.h"
+
+#include <algorithm>
+
+namespace cham::serve {
+
+void BatchPlanner::take_eligible(std::deque<Request>& queue,
+                                 std::vector<Request>& out) const {
+  if (queue.empty()) return;
+  // Sessions with a request left in the queue: later requests of the same
+  // session must stay behind it. A flat vector beats a hash set at shard
+  // queue depths (tens of entries, very few distinct sessions).
+  std::vector<uint64_t> blocked;
+  auto is_blocked = [&](uint64_t id) {
+    return std::find(blocked.begin(), blocked.end(), id) != blocked.end();
+  };
+  std::deque<Request> keep;
+  for (Request& r : queue) {
+    if (r.kind == Request::Kind::kPredict && !is_blocked(r.session_id)) {
+      out.push_back(std::move(r));
+      continue;
+    }
+    // Anything left in place — an observe, or a predict behind one —
+    // blocks every later request of its session.
+    if (!is_blocked(r.session_id)) blocked.push_back(r.session_id);
+    keep.push_back(std::move(r));
+  }
+  queue.swap(keep);
+}
+
+BatchPlan BatchPlanner::finalize(std::vector<Request> items) const {
+  BatchPlan plan;
+  plan.items = std::move(items);
+  // Stable: same-session items keep their submission order (they all came
+  // from one shard's extraction pass in queue order). The sorted order is
+  // therefore a pure function of per-session request sequences.
+  std::stable_sort(plan.items.begin(), plan.items.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.session_id < b.session_id;
+                   });
+  for (std::size_t i = 0; i < plan.items.size();) {
+    PlanGroup g;
+    g.session_id = plan.items[i].session_id;
+    g.begin = i;
+    for (; i < plan.items.size() && plan.items[i].session_id == g.session_id;
+         ++i) {
+      g.rows += static_cast<int64_t>(plan.items[i].keys.size());
+    }
+    g.end = i;
+    plan.groups.push_back(g);
+  }
+  return plan;
+}
+
+}  // namespace cham::serve

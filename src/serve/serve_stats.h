@@ -33,6 +33,17 @@ struct ServeStats {
   int64_t predicts = 0;  // predict requests executed
   int64_t dispatch_errors = 0;  // requests whose execution threw
 
+  // Batched predict dispatch (serve/batch_planner.h).
+  int64_t predict_batches = 0;   // merged eval windows executed (>= 2 reqs)
+  int64_t batched_predicts = 0;  // predict requests served inside those
+  int64_t batch_size_max = 0;    // largest window, in requests
+
+  // Backpressure retry hints actually returned on rejection (ms). The avg
+  // tracks how hard admission control is pushing callers back; scales with
+  // observed queue drain rate, so it grows under sustained overload.
+  double retry_hint_ms_sum = 0;
+  double retry_hint_ms_max = 0;
+
   // Residency / eviction.
   int64_t creates = 0;    // sessions constructed fresh (first contact)
   int64_t evictions = 0;  // resident learner snapshotted out of residency
@@ -90,6 +101,14 @@ struct ServeStats {
     restore_ms_total += ms;
     restore_ms_max = std::max(restore_ms_max, ms);
   }
+  void record_retry_hint_ms(double ms) {
+    retry_hint_ms_sum += ms;
+    retry_hint_ms_max = std::max(retry_hint_ms_max, ms);
+  }
+  double retry_hint_ms_avg() const {
+    return rejections > 0 ? retry_hint_ms_sum / static_cast<double>(rejections)
+                          : 0.0;
+  }
 
   std::string to_json() const {
     auto num = [](double v) {
@@ -104,6 +123,11 @@ struct ServeStats {
     j += ", \"observes\": " + std::to_string(observes);
     j += ", \"predicts\": " + std::to_string(predicts);
     j += ", \"dispatch_errors\": " + std::to_string(dispatch_errors);
+    j += ", \"predict_batches\": " + std::to_string(predict_batches);
+    j += ", \"batched_predicts\": " + std::to_string(batched_predicts);
+    j += ", \"batch_size_max\": " + std::to_string(batch_size_max);
+    j += ", \"retry_hint_ms_avg\": " + num(retry_hint_ms_avg());
+    j += ", \"retry_hint_ms_max\": " + num(retry_hint_ms_max);
     j += ", \"creates\": " + std::to_string(creates);
     j += ", \"evictions\": " + std::to_string(evictions);
     j += ", \"restores\": " + std::to_string(restores);

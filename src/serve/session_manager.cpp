@@ -1,6 +1,9 @@
 #include "serve/session_manager.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <span>
 #include <utility>
 
 #include "tensor/rng.h"
@@ -19,10 +22,15 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 SessionManager::SessionManager(ServeConfig cfg, LearnerFactory factory)
-    : cfg_(std::move(cfg)), factory_(std::move(factory)), store_(cfg_.store_dir) {
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      planner_(BatchPlannerConfig{cfg_.max_batch, cfg_.max_wait_us}),
+      store_(cfg_.store_dir) {
   CHAM_CHECK(cfg_.num_shards >= 1, "SessionManager: need at least one shard");
   CHAM_CHECK(cfg_.queue_capacity >= 1,
              "SessionManager: queue capacity must be positive");
+  CHAM_CHECK(cfg_.max_batch >= 1,
+             "SessionManager: max_batch must be positive");
   CHAM_CHECK(cfg_.max_resident >= cfg_.num_shards,
              "SessionManager: max_resident " +
                  std::to_string(cfg_.max_resident) + " below num_shards " +
@@ -91,6 +99,7 @@ Admission SessionManager::enqueue(int64_t shard_idx, Request r) {
   Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   int64_t depth = 0;
   bool accepted = false;
+  double hint_ms = 0;
   {
     util::MutexLock lock(shard.mu);
     depth = static_cast<int64_t>(shard.queue.size());
@@ -98,6 +107,14 @@ Admission SessionManager::enqueue(int64_t shard_idx, Request r) {
       shard.queue.push_back(std::move(r));
       ++depth;
       accepted = true;
+    } else {
+      // Backpressure hint scaled to the observed drain rate: roughly one
+      // full queue-drain at this shard's EWMA per-request dispatch time,
+      // floored at the configured hint and capped so a stalled shard never
+      // tells callers to go away for minutes.
+      hint_ms = std::clamp(static_cast<double>(depth) * shard.ewma_dispatch_ms,
+                           static_cast<double>(cfg_.retry_hint_ms),
+                           static_cast<double>(cfg_.retry_hint_max_ms));
     }
   }
   // Stats are recorded with shard.mu released: the rejection path used to
@@ -113,9 +130,12 @@ Admission SessionManager::enqueue(int64_t shard_idx, Request r) {
           std::max(stats_.queue_depth_high_water, depth);
     } else {
       ++stats_.rejections;
+      stats_.record_retry_hint_ms(hint_ms);
     }
   }
-  if (!accepted) return {false, cfg_.retry_hint_ms, depth};
+  if (!accepted) {
+    return {false, static_cast<int64_t>(std::ceil(hint_ms)), depth};
+  }
   if (cfg_.mode == ServeMode::kThreaded) shard.cv.notify_one();
   return {true, 0, depth};
 }
@@ -129,38 +149,64 @@ Admission SessionManager::submit_observe(uint64_t session_id,
   return enqueue(shard_of(session_id), std::move(r));
 }
 
-std::optional<std::vector<int64_t>> SessionManager::predict(
+Admission SessionManager::submit_predict(
     uint64_t session_id, const std::vector<data::ImageKey>& keys,
-    Admission* admission) {
+    std::future<std::vector<int64_t>>* result) {
   // The promise is shared with the queued request: if dispatch throws (or
-  // this frame unwinds), neither side holds a dangling pointer, and an
-  // exception set by the dispatcher re-surfaces from result.get() here.
+  // the submitting frame unwinds), neither side holds a dangling pointer,
+  // and an exception set by the dispatcher re-surfaces from result.get().
   auto reply = std::make_shared<std::promise<std::vector<int64_t>>>();
-  std::future<std::vector<int64_t>> result = reply->get_future();
+  std::future<std::vector<int64_t>> future = reply->get_future();
   Request r;
   r.kind = Request::Kind::kPredict;
   r.session_id = session_id;
   r.keys = keys;
-  r.reply = reply;
-  const int64_t shard_idx = shard_of(session_id);
-  const Admission adm = enqueue(shard_idx, std::move(r));
+  r.reply = std::move(reply);
+  const Admission adm = enqueue(shard_of(session_id), std::move(r));
+  if (adm.accepted && result) *result = std::move(future);
+  return adm;
+}
+
+std::optional<std::vector<int64_t>> SessionManager::predict(
+    uint64_t session_id, const std::vector<data::ImageKey>& keys,
+    Admission* admission) {
+  std::future<std::vector<int64_t>> result;
+  const Admission adm = submit_predict(session_id, keys, &result);
   if (admission) *admission = adm;
   if (!adm.accepted) return std::nullopt;
   // FIFO ordering: the request must be dispatched before returning —
   // deterministically by draining the shard here, or by blocking on the
   // worker in threaded mode.
-  if (cfg_.mode == ServeMode::kDeterministic) drain_shard(shard_idx);
+  if (cfg_.mode == ServeMode::kDeterministic) {
+    drain_shard(shard_of(session_id));
+  }
   return result.get();
 }
 
 void SessionManager::drain() {
   if (cfg_.mode == ServeMode::kDeterministic) {
-    // Round-robin one request per shard per pass: a deterministic
-    // interleaving that exercises cross-session switching (and therefore
-    // eviction) harder than draining shard-by-shard would.
     bool any = true;
     while (any) {
       any = false;
+      // Cross-shard steal pass: pool every shard's eligible predicts into
+      // ONE global plan. Single-threaded dispatch makes cross-shard
+      // coalescing safe (a session never spans shards, so per-session FIFO
+      // is untouched), and the planner's session_id ordering makes the
+      // plan independent of both shard count and arrival interleaving.
+      std::vector<Request> eligible;
+      for (auto& shard : shards_) {
+        util::MutexLock lock(shard->mu);
+        // cham-lint: begin(batch_plan)
+        planner_.take_eligible(shard->queue, eligible);
+        // cham-lint: end(batch_plan)
+      }
+      if (!eligible.empty()) {
+        dispatch_plan(planner_.finalize(std::move(eligible)), nullptr);
+        any = true;
+      }
+      // Round-robin one remaining request per shard per pass: a
+      // deterministic interleaving that exercises cross-session switching
+      // (and therefore eviction) harder than draining shard-by-shard would.
       for (auto& shard : shards_) {
         Request r;
         {
@@ -171,7 +217,7 @@ void SessionManager::drain() {
           shard->queue.pop_front();
           // cham-lint: end(dispatch)
         }
-        dispatch(r);
+        dispatch_timed(*shard, r);
         any = true;
       }
     }
@@ -191,43 +237,90 @@ void SessionManager::drain() {
 void SessionManager::drain_shard(int64_t shard_idx) {
   Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   for (;;) {
+    std::vector<Request> eligible;
     Request r;
+    bool have_single = false;
     {
       util::MutexLock lock(shard.mu);
-      // cham-lint: begin(dispatch)
-      if (shard.queue.empty()) return;
-      r = std::move(shard.queue.front());
-      shard.queue.pop_front();
-      // cham-lint: end(dispatch)
+      // cham-lint: begin(batch_plan)
+      planner_.take_eligible(shard.queue, eligible);
+      // cham-lint: end(batch_plan)
+      if (eligible.empty()) {
+        // cham-lint: begin(dispatch)
+        if (shard.queue.empty()) return;
+        r = std::move(shard.queue.front());
+        shard.queue.pop_front();
+        // cham-lint: end(dispatch)
+        have_single = true;
+      }
     }
-    dispatch(r);
+    if (have_single) {
+      dispatch_timed(shard, r);
+    } else {
+      dispatch_plan(planner_.finalize(std::move(eligible)), &shard);
+    }
   }
 }
 
 void SessionManager::worker_loop(Shard& shard) {
   for (;;) {
+    std::vector<Request> eligible;
     Request r;
+    bool have_single = false;
+    int64_t work_items = 0;
     {
       util::MutexLock lock(shard.mu);
       shard.cv.wait(lock, [this, &shard]() CHAM_REQUIRES(shard.mu) {
         return stop_.load(std::memory_order_relaxed) || !shard.queue.empty();
       });
-      // cham-lint: begin(dispatch)
-      if (shard.queue.empty()) {
-        // stop_ set and no work left. Wake any drain() racing shutdown:
-        // nobody will notify cv_idle after this thread exits.
-        shard.cv_idle.notify_all();
-        return;
+      // cham-lint: begin(batch_plan)
+      planner_.take_eligible(shard.queue, eligible);
+      // cham-lint: end(batch_plan)
+      if (!eligible.empty() &&
+          static_cast<int64_t>(eligible.size()) < cfg_.max_batch &&
+          cfg_.max_wait_us > 0) {
+        // Bounded coalescing: hold the undersized plan open for at most
+        // max_wait_us to admit straggler predicts. Purely a latency/
+        // throughput trade — merged or not, results are bit-identical.
+        const int64_t want = cfg_.max_batch -
+                             static_cast<int64_t>(eligible.size());
+        shard.cv.wait_for(
+            lock, std::chrono::microseconds(cfg_.max_wait_us),
+            [this, &shard, want]() CHAM_REQUIRES(shard.mu) {
+              return stop_.load(std::memory_order_relaxed) ||
+                     static_cast<int64_t>(shard.queue.size()) >= want;
+            });
+        // cham-lint: begin(batch_plan)
+        planner_.take_eligible(shard.queue, eligible);
+        // cham-lint: end(batch_plan)
       }
-      r = std::move(shard.queue.front());
-      shard.queue.pop_front();
-      ++shard.in_flight;
-      // cham-lint: end(dispatch)
+      if (eligible.empty()) {
+        // cham-lint: begin(dispatch)
+        if (shard.queue.empty()) {
+          // stop_ set and no work left. Wake any drain() racing shutdown:
+          // nobody will notify cv_idle after this thread exits.
+          shard.cv_idle.notify_all();
+          return;
+        }
+        r = std::move(shard.queue.front());
+        shard.queue.pop_front();
+        ++shard.in_flight;
+        // cham-lint: end(dispatch)
+        have_single = true;
+        work_items = 1;
+      } else {
+        work_items = static_cast<int64_t>(eligible.size());
+        shard.in_flight += work_items;
+      }
     }
-    dispatch(r);
+    if (have_single) {
+      dispatch_timed(shard, r);
+    } else {
+      dispatch_plan(planner_.finalize(std::move(eligible)), &shard);
+    }
     {
       util::MutexLock lock(shard.mu);
-      --shard.in_flight;
+      shard.in_flight -= work_items;
       if (shard.queue.empty() && shard.in_flight == 0) {
         shard.cv_idle.notify_all();
       }
@@ -238,6 +331,122 @@ void SessionManager::worker_loop(Shard& shard) {
 void SessionManager::note_dispatch_error() {
   util::MutexLock slock(stats_mu_);
   ++stats_.dispatch_errors;
+}
+
+void SessionManager::note_dispatch_ms(Shard& shard, double total_ms,
+                                      int64_t items) {
+  if (items <= 0) return;
+  const double per_item = total_ms / static_cast<double>(items);
+  util::MutexLock lock(shard.mu);
+  shard.ewma_dispatch_ms = shard.ewma_dispatch_ms == 0
+                               ? per_item
+                               : 0.8 * shard.ewma_dispatch_ms + 0.2 * per_item;
+}
+
+void SessionManager::dispatch_timed(Shard& shard, Request& r) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // May throw (deterministic-mode observe): that sample simply goes
+  // unrecorded — the EWMA is a hint, not an invariant.
+  dispatch(r);
+  note_dispatch_ms(shard, ms_since(t0), 1);
+}
+
+void SessionManager::dispatch_plan(BatchPlan plan, Shard* timing_shard) {
+  if (plan.items.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Groups run strictly one at a time: acquire, evaluate, release. Lazy
+  // acquisition means this dispatcher never holds more than one pin — the
+  // budget the max_resident >= num_shards spare-victim invariant allots it
+  // — so every acquire is free to evict (possibly a session a LATER group
+  // of this very plan needs; the restore is bit-exact, so that only costs
+  // a round-trip, never a result bit).
+  int64_t served = 0, windows = 0, merged = 0, max_window = 0;
+  for (const PlanGroup& g : plan.groups) {
+    core::ChameleonLearner* learner = nullptr;
+    try {
+      learner = acquire_session(g.session_id);
+    } catch (...) {
+      // Nothing is pinned (acquire un-reserves on its way out). Fail just
+      // this group; the rest of the plan still runs.
+      for (size_t i = g.begin; i < g.end; ++i) {
+        plan.items[i].reply->set_exception(std::current_exception());
+        note_dispatch_error();
+      }
+      continue;
+    }
+    const size_t n_reqs = g.end - g.begin;
+    // All results are computed before any finish_dispatch: finishing moves
+    // a request's keys into the session op log.
+    std::vector<std::vector<int64_t>> results(n_reqs);
+    bool ok = true;
+    try {
+      // Merged evaluation in windows of <= max_batch requests. Splitting a
+      // stacked eval is row-exact (eval-mode layers are row-independent),
+      // so the window size never changes any request's result.
+      for (size_t w0 = g.begin; w0 < g.end;) {
+        const size_t w1 =
+            std::min(g.end, w0 + static_cast<size_t>(cfg_.max_batch));
+        if (w1 - w0 == 1) {
+          results[w0 - g.begin] = learner->predict_batch(
+              std::span<const data::ImageKey>(plan.items[w0].keys));
+        } else {
+          std::vector<data::ImageKey> keys;
+          size_t rows = 0;
+          for (size_t i = w0; i < w1; ++i) rows += plan.items[i].keys.size();
+          keys.reserve(rows);
+          for (size_t i = w0; i < w1; ++i) {
+            keys.insert(keys.end(), plan.items[i].keys.begin(),
+                        plan.items[i].keys.end());
+          }
+          const std::vector<int64_t> out = learner->predict_batch(
+              std::span<const data::ImageKey>(keys));
+          // Scatter: each request owns a contiguous run of rows.
+          size_t off = 0;
+          for (size_t i = w0; i < w1; ++i) {
+            const size_t len = plan.items[i].keys.size();
+            results[i - g.begin].assign(out.begin() + static_cast<ptrdiff_t>(off),
+                                        out.begin() +
+                                            static_cast<ptrdiff_t>(off + len));
+            off += len;
+          }
+          ++windows;
+          merged += static_cast<int64_t>(w1 - w0);
+          max_window = std::max(max_window, static_cast<int64_t>(w1 - w0));
+        }
+        w0 = w1;
+      }
+    } catch (...) {
+      ok = false;
+      for (size_t i = g.begin; i < g.end; ++i) {
+        finish_dispatch(plan.items[i], learner, /*ok=*/false,
+                        /*release_pin=*/i + 1 == g.end);
+        plan.items[i].reply->set_exception(std::current_exception());
+        note_dispatch_error();
+      }
+    }
+    if (!ok) continue;
+    for (size_t i = g.begin; i < g.end; ++i) {
+      // The pin drops only with the LAST request of the group; after that
+      // another shard may evict and free the learner.
+      finish_dispatch(plan.items[i], learner, /*ok=*/true,
+                      /*release_pin=*/i + 1 == g.end);
+      plan.items[i].reply->set_value(std::move(results[i - g.begin]));
+      ++served;
+    }
+  }
+
+  {
+    util::MutexLock slock(stats_mu_);
+    stats_.predicts += served;
+    stats_.predict_batches += windows;
+    stats_.batched_predicts += merged;
+    stats_.batch_size_max = std::max(stats_.batch_size_max, max_window);
+  }
+  if (timing_shard != nullptr) {
+    note_dispatch_ms(*timing_shard, ms_since(t0),
+                     static_cast<int64_t>(plan.items.size()));
+  }
 }
 
 void SessionManager::dispatch(Request& r) {
@@ -289,7 +498,7 @@ void SessionManager::dispatch(Request& r) {
 
 void SessionManager::finish_dispatch(Request& r,
                                      core::ChameleonLearner* learner,
-                                     bool ok) {
+                                     bool ok, bool release_pin) {
   util::MutexLock lock(sessions_mu_);
   // cham-lint: begin(sessions_mu)
   auto it = sessions_.find(r.session_id);
@@ -319,7 +528,7 @@ void SessionManager::finish_dispatch(Request& r,
       session.ops.push_back(std::move(op));
     }
   }
-  session.in_use = false;
+  if (release_pin) session.in_use = false;
   // cham-lint: end(sessions_mu)
 }
 
@@ -330,6 +539,17 @@ core::ChameleonLearner* SessionManager::acquire_session(uint64_t session_id) {
     // Re-look-up every iteration: eviction releases the lock mid-loop and
     // the map may rehash under concurrent admissions.
     Session& session = sessions_[session_id];
+    if (session.evicting) {
+      // This session's learner was just unlinked by an eviction whose
+      // snapshot has not reached the write-behind pipeline yet. Restoring
+      // now would read the PREVIOUS flush's bytes — silently stale state.
+      // Wait for snapshot_and_submit to publish, then re-look-up.
+      evict_cv_.wait(lock, [this, session_id]() CHAM_REQUIRES(sessions_mu_) {
+        auto it = sessions_.find(session_id);
+        return it == sessions_.end() || !it->second.evicting;
+      });
+      continue;
+    }
     if (session.learner) {
       CHAM_CHECK(!session.in_use,
                  "SessionManager: session " + std::to_string(session_id) +
@@ -513,6 +733,7 @@ SessionManager::EvictedVictim SessionManager::unlink_victim() {
   out.ops_valid = victim->ops_valid;
   victim->ops.clear();
   victim->ops_valid = true;
+  victim->evicting = true;
   --resident_;
   out.lock_ms = ms_since(t_lock);
   return out;
@@ -541,6 +762,14 @@ void SessionManager::snapshot_and_submit(EvictedVictim victim,
   snap.ops_valid = victim.ops_valid;
   snap.force_full = force_full;
   write_behind_->submit(std::move(snap));
+
+  // The pipeline now owns the newest bytes; unblock any dispatcher that
+  // queued up to rematerialise this session.
+  {
+    util::MutexLock lock(sessions_mu_);
+    sessions_[victim.session_id].evicting = false;
+  }
+  evict_cv_.notify_all();
 
   util::MutexLock slock(stats_mu_);
   ++stats_.evictions;

@@ -63,6 +63,7 @@
 #include "core/chameleon.h"
 #include "data/stream.h"
 #include "quant/quantize.h"
+#include "serve/batch_planner.h"
 #include "serve/serve_stats.h"
 #include "serve/session_store.h"
 #include "serve/write_behind.h"
@@ -82,7 +83,18 @@ struct ServeConfig {
   // unpinned sessions, so num_shards residents must always be spare.
   int64_t max_resident = 8;
   int64_t queue_capacity = 32;  // pending requests per shard
-  int64_t retry_hint_ms = 5;    // backpressure hint returned on rejection
+  // Floor of the backpressure hint returned on rejection. The actual hint
+  // scales with the observed per-shard drain rate: depth x the shard's
+  // EWMA dispatch time, clamped to [retry_hint_ms, retry_hint_max_ms] — a
+  // loaded shard tells callers to back off for roughly one queue-drain.
+  int64_t retry_hint_ms = 5;
+  int64_t retry_hint_max_ms = 1000;
+  // Batched predict dispatch (serve/batch_planner.h): max predict requests
+  // coalesced into one stacked head evaluation, and how long a threaded
+  // shard worker may wait to fill an undersized plan. max_batch = 1
+  // disables cross-request merging; results are bit-identical either way.
+  int64_t max_batch = 8;
+  int64_t max_wait_us = 0;
   ServeMode mode = ServeMode::kDeterministic;
   std::string store_dir = "/tmp/cham_sessions";
   uint64_t base_seed = 42;
@@ -137,6 +149,15 @@ class SessionManager {
       uint64_t session_id, const std::vector<data::ImageKey>& keys,
       Admission* admission = nullptr);
 
+  // Asynchronous prediction: enqueues and, when admitted, stores the result
+  // future in *result. Queued predicts from different sessions coalesce
+  // into batch plans — by the shard worker (threaded) or at the next
+  // drain()/predict() (deterministic). Per-session results are bit-exact
+  // vs the synchronous path.
+  Admission submit_predict(uint64_t session_id,
+                           const std::vector<data::ImageKey>& keys,
+                           std::future<std::vector<int64_t>>* result);
+
   // Deterministic mode: dispatches every queued request, round-robin across
   // shards, on the calling thread. Threaded mode: blocks until all queues
   // are empty and in-flight requests have finished.
@@ -161,23 +182,17 @@ class SessionManager {
   WriteBehind& write_behind() { return *write_behind_; }
 
  private:
-  struct Request {
-    enum class Kind { kObserve, kPredict };
-    Kind kind = Kind::kObserve;
-    uint64_t session_id = 0;
-    data::Batch batch;                 // kObserve payload
-    std::vector<data::ImageKey> keys;  // kPredict payload (owned: a queued
-                                       // request must not dangle if the
-                                       // submitting frame unwinds early)
-    std::shared_ptr<std::promise<std::vector<int64_t>>> reply;  // kPredict
-  };
-
+  // The queue element type (serve/batch_planner.h): shared with the
+  // planner so plan extraction can move requests straight out of a queue.
   struct Shard {
     util::Mutex mu;
     util::CondVar cv;       // work available / stop
     util::CondVar cv_idle;  // queue empty and nothing in flight
     std::deque<Request> queue CHAM_GUARDED_BY(mu);
     int64_t in_flight CHAM_GUARDED_BY(mu) = 0;
+    // EWMA of per-request dispatch wall time, fed into backpressure retry
+    // hints (depth x drain rate). 0 until the first dispatch completes.
+    double ewma_dispatch_ms CHAM_GUARDED_BY(mu) = 0;
     std::thread worker;
   };
 
@@ -190,6 +205,11 @@ class SessionManager {
     // failed dispatch left the learner state unlogged.
     std::vector<data::ServeOp> ops;
     bool ops_valid = true;
+    // True between unlink_victim() moving the learner out and
+    // snapshot_and_submit() handing the snapshot to the write-behind
+    // pipeline. Materialising in that window would restore stale bytes
+    // (the pipeline has no copy yet), so acquire_session waits it out.
+    bool evicting = false;
   };
 
   // One eviction victim, unlinked from the residency pool but not yet
@@ -209,6 +229,21 @@ class SessionManager {
   void drain_shard(int64_t shard_idx);
   void worker_loop(Shard& shard);
   void dispatch(Request& r);
+  // Dispatches `r` and folds its wall time into the shard's drain-rate
+  // EWMA (retry-hint scaling).
+  void dispatch_timed(Shard& shard, Request& r);
+  // Folds `total_ms` over `items` dispatched requests into the shard's
+  // per-request drain-rate EWMA.
+  void note_dispatch_ms(Shard& shard, double total_ms, int64_t items);
+  // Executes a batch plan: one group at a time — acquire the session,
+  // run its merged stacked evaluations in max_batch-request windows,
+  // scatter results to the per-request promises, release. Lazy per-group
+  // acquisition keeps this dispatcher at its one-pin budget (the
+  // max_resident >= num_shards spare-victim invariant), so any group's
+  // acquire may evict — including a later group's session, which then
+  // simply restores bit-exactly when its turn comes.
+  void dispatch_plan(BatchPlan plan, Shard* timing_shard)
+      CHAM_EXCLUDES(sessions_mu_);
   // Makes the session resident (evicting/restoring as needed), pins it, and
   // returns its learner. Takes sessions_mu_ internally; eviction
   // serialisation and restore I/O both run with the lock released.
@@ -217,11 +252,14 @@ class SessionManager {
   // Restores/creates the learner for a reserved slot (no locks held).
   std::unique_ptr<core::ChameleonLearner> materialize_session(
       uint64_t session_id) CHAM_EXCLUDES(sessions_mu_);
-  // Records op stats, appends the request to the session's op log, and
-  // releases the pin. `ok=false` marks the log invalid (state mutated
-  // without a completed op).
-  void finish_dispatch(Request& r, core::ChameleonLearner* learner, bool ok)
-      CHAM_EXCLUDES(sessions_mu_);
+  // Records op stats, appends the request to the session's op log, and —
+  // when `release_pin` — releases the pin. `ok=false` marks the log invalid
+  // (state mutated without a completed op). Batch plans finish a group's
+  // requests with release_pin=false until the LAST one: the moment the pin
+  // drops, another shard may evict and free the learner, so no call after
+  // the release may touch it.
+  void finish_dispatch(Request& r, core::ChameleonLearner* learner, bool ok,
+                       bool release_pin = true) CHAM_EXCLUDES(sessions_mu_);
   // Eviction, split so the analysis can prove the lock discipline: the
   // LRU unpinned victim is selected and unlinked under sessions_mu_
   // (pointer moves only — the <1ms bench gate watches this), then
@@ -235,12 +273,16 @@ class SessionManager {
 
   ServeConfig cfg_;
   LearnerFactory factory_;
+  BatchPlanner planner_;
   SessionStore store_;
   std::unique_ptr<WriteBehind> write_behind_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable util::Mutex sessions_mu_;
   std::unordered_map<uint64_t, Session> sessions_ CHAM_GUARDED_BY(sessions_mu_);
+  // Signalled when an eviction's snapshot reaches the write-behind pipeline
+  // (Session::evicting cleared); acquire_session waits on it.
+  util::CondVar evict_cv_;
   std::unordered_map<uint64_t, core::OpStats> session_op_stats_
       CHAM_GUARDED_BY(sessions_mu_);
   int64_t resident_ CHAM_GUARDED_BY(sessions_mu_) = 0;

@@ -200,6 +200,66 @@ void micro_kernel_avx2_8x4(int64_t depth, const float* CHAM_RESTRICT a_pack,
   }
   for (int r = 0; r < 8; ++r) _mm_storeu_ps(c + r * ldc, acc[r]);
 }
+
+// Edge tile of the wide path (rows <= 4, cols < 16): C lanes past `cols`
+// are masked out of the load and the store, valid lanes run the same
+// p-ascending fmadd chain as the full kernel. Masked-out accumulator lanes
+// start at exact zero and multiply the B panel's zero padding, so they stay
+// zero and are never written back. Row padding of the A pack is never read:
+// the row loops stop at `rows`.
+void micro_kernel_avx2_4xN(int64_t rows, int64_t cols, int64_t depth,
+                           const float* CHAM_RESTRICT a_pack,
+                           const float* CHAM_RESTRICT b_pack,
+                           float* CHAM_RESTRICT c, int64_t ldc) {
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i m0 =
+      _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(cols)), iota);
+  const __m256i m1 =
+      _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(cols) - 8), iota);
+  __m256 acc[4][2];
+  for (int64_t r = 0; r < rows; ++r) {
+    acc[r][0] = _mm256_maskload_ps(c + r * ldc, m0);
+    acc[r][1] = _mm256_maskload_ps(c + r * ldc + 8, m1);
+  }
+  for (int64_t p = 0; p < depth; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b_pack + p * 16);
+    const __m256 b1 = _mm256_loadu_ps(b_pack + p * 16 + 8);
+    const float* ap = a_pack + p * 4;
+    for (int64_t r = 0; r < rows; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ap + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    _mm256_maskstore_ps(c + r * ldc, m0, acc[r][0]);
+    _mm256_maskstore_ps(c + r * ldc + 8, m1, acc[r][1]);
+  }
+}
+
+// Edge tile of the narrow path (rows <= 8, cols < 4), same masking scheme.
+void micro_kernel_avx2_8xN(int64_t rows, int64_t cols, int64_t depth,
+                           const float* CHAM_RESTRICT a_pack,
+                           const float* CHAM_RESTRICT b_pack,
+                           float* CHAM_RESTRICT c, int64_t ldc) {
+  const __m128i iota = _mm_setr_epi32(0, 1, 2, 3);
+  const __m128i m =
+      _mm_cmpgt_epi32(_mm_set1_epi32(static_cast<int>(cols)), iota);
+  __m128 acc[8];
+  for (int64_t r = 0; r < rows; ++r) {
+    acc[r] = _mm_maskload_ps(c + r * ldc, m);
+  }
+  for (int64_t p = 0; p < depth; ++p) {
+    const __m128 bv = _mm_loadu_ps(b_pack + p * 4);
+    const float* ap = a_pack + p * 8;
+    for (int64_t r = 0; r < rows; ++r) {
+      acc[r] = _mm_fmadd_ps(_mm_broadcast_ss(ap + r), bv, acc[r]);
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    _mm_maskstore_ps(c + r * ldc, m, acc[r]);
+  }
+}
 #endif  // CHAM_GEMM_USE_AVX2
 
 #if defined(CHAM_GEMM_USE_NEON)
@@ -247,15 +307,21 @@ void micro_kernel(int64_t rows, int64_t cols, int64_t depth,
                   const float* a_pack, const float* b_pack, float* c,
                   int64_t ldc) {
 #if defined(CHAM_GEMM_USE_AVX2)
-  if (rows == MR && cols == NR) {
-    if constexpr (MR == 4 && NR == 16) {
+  if constexpr (MR == 4 && NR == 16) {
+    if (rows == MR && cols == NR) {
       micro_kernel_avx2_4x16(depth, a_pack, b_pack, c, ldc);
-      return;
+    } else {
+      micro_kernel_avx2_4xN(rows, cols, depth, a_pack, b_pack, c, ldc);
     }
-    if constexpr (MR == 8 && NR == 4) {
+    return;
+  }
+  if constexpr (MR == 8 && NR == 4) {
+    if (rows == MR && cols == NR) {
       micro_kernel_avx2_8x4(depth, a_pack, b_pack, c, ldc);
-      return;
+    } else {
+      micro_kernel_avx2_8xN(rows, cols, depth, a_pack, b_pack, c, ldc);
     }
+    return;
   }
 #elif defined(CHAM_GEMM_USE_NEON)
   if (rows == MR && cols == NR) {
@@ -272,29 +338,24 @@ void micro_kernel(int64_t rows, int64_t cols, int64_t depth,
   micro_kernel_generic<MR, NR>(rows, cols, depth, a_pack, b_pack, c, ldc);
 }
 
-// One worker's row range [i0, i1): packs the B panel per K strip, then
-// streams MR-row tiles of A through the micro-kernel. Pack scratch comes
-// from the thread's arena, so repeat calls never touch the heap.
-template <bool kATrans, bool kBTrans, int MR, int NR>
-void run_chunk(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
-               const float* a, int64_t lda, const float* b, int64_t ldb,
-               float* c) {
+// One worker's row range [i0, i1) of a single K strip: streams MR-row tiles
+// of A through the micro-kernel against the strip's shared packed B panel.
+// A-tile scratch comes from the worker's own arena, so repeat calls never
+// touch the heap.
+template <bool kATrans, int MR, int NR>
+void run_rows(int64_t i0, int64_t i1, int64_t n, int64_t pc, int64_t depth,
+              float alpha, const float* a, int64_t lda,
+              const float* CHAM_RESTRICT b_pack, float* c) {
   ws::ArenaScope scratch;
-  const int64_t jblocks = (n + NR - 1) / NR;
-  float* b_pack = scratch.floats(static_cast<size_t>(jblocks * kKc * NR));
   float* a_pack = scratch.floats(static_cast<size_t>(kKc * MR));
-  for (int64_t pc = 0; pc < k; pc += kKc) {
-    const int64_t depth = std::min(kKc, k - pc);
-    pack_b_panel<kBTrans, NR>(b, ldb, pc, depth, n, b_pack);
-    for (int64_t ic = i0; ic < i1; ic += MR) {
-      const int64_t rows = std::min<int64_t>(MR, i1 - ic);
-      pack_a_tile<kATrans, MR>(a, lda, ic, rows, pc, depth, alpha, a_pack);
-      for (int64_t jb = 0; jb < n; jb += NR) {
-        const int64_t cols = std::min<int64_t>(NR, n - jb);
-        micro_kernel<MR, NR>(rows, cols, depth, a_pack,
-                             b_pack + (jb / NR) * depth * NR, c + ic * n + jb,
-                             n);
-      }
+  for (int64_t ic = i0; ic < i1; ic += MR) {
+    const int64_t rows = std::min<int64_t>(MR, i1 - ic);
+    pack_a_tile<kATrans, MR>(a, lda, ic, rows, pc, depth, alpha, a_pack);
+    for (int64_t jb = 0; jb < n; jb += NR) {
+      const int64_t cols = std::min<int64_t>(NR, n - jb);
+      micro_kernel<MR, NR>(rows, cols, depth, a_pack,
+                           b_pack + (jb / NR) * depth * NR, c + ic * n + jb,
+                           n);
     }
   }
 }
@@ -307,6 +368,40 @@ void scale_c(float* c, int64_t count, float beta) {
   }
 }
 
+// Strip loop of the driver for one tile geometry: per K strip, pack the B
+// panel ONCE into the caller's arena, then hand row ranges to the pool.
+// Every worker chunk reads the same packed panel instead of re-packing its
+// own copy — the redundant per-chunk B pack was the dominant serial-work
+// multiplier that kept multi-thread GEMM scaling flat. The beta pass rides
+// on the first strip's dispatch, keeping one dispatch per strip.
+//
+// Determinism: the row partition is the same static_chunk arithmetic for
+// every strip, each element's operation order (beta scale, then p-ascending
+// fma chain across ascending strips) is untouched, and tile grouping never
+// mixes rows or columns — so bits remain independent of both thread count
+// and the strip barriers.
+template <bool kATrans, bool kBTrans, int MR, int NR>
+void run_strips(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                int64_t lda, const float* b, int64_t ldb, float beta,
+                float* c) {
+  ws::ArenaScope scratch;
+  const int64_t jblocks = (n + NR - 1) / NR;
+  float* b_pack = scratch.floats(static_cast<size_t>(jblocks * kKc * NR));
+  const int64_t grain = gemm_grain(n, k);
+  for (int64_t pc = 0; pc < k; pc += kKc) {
+    const int64_t depth = std::min(kKc, k - pc);
+    pack_b_panel<kBTrans, NR>(b, ldb, pc, depth, n, b_pack);
+    parallel_for(
+        0, m,
+        [&](int64_t i0, int64_t i1) {
+          if (pc == 0) scale_c(c + i0 * n, (i1 - i0) * n, beta);
+          run_rows<kATrans, MR, NR>(i0, i1, n, pc, depth, alpha, a, lda,
+                                    b_pack, c);
+        },
+        grain);
+  }
+}
+
 // Shared parallel driver. Chunks own contiguous row ranges of C: beta pass,
 // then K-strip accumulation. Per element the operations (and their order)
 // are the same for any partition, so results are bit-identical for every
@@ -315,20 +410,22 @@ template <bool kATrans, bool kBTrans>
 void gemm_driver(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                  int64_t lda, const float* b, int64_t ldb, float beta,
                  float* c) {
-  parallel_for(
-      0, m,
-      [&](int64_t i0, int64_t i1) {
-        scale_c(c + i0 * n, (i1 - i0) * n, beta);
-        if (alpha == 0.0f || k == 0) return;
-        if (n <= kNarrowCutoff) {
-          run_chunk<kATrans, kBTrans, kNarrowMr, kNarrowNr>(i0, i1, n, k, alpha,
-                                                            a, lda, b, ldb, c);
-        } else {
-          run_chunk<kATrans, kBTrans, kWideMr, kWideNr>(i0, i1, n, k, alpha, a,
-                                                        lda, b, ldb, c);
-        }
-      },
-      gemm_grain(n, k));
+  if (alpha == 0.0f || k == 0) {
+    parallel_for(
+        0, m,
+        [&](int64_t i0, int64_t i1) {
+          scale_c(c + i0 * n, (i1 - i0) * n, beta);
+        },
+        gemm_grain(n, k));
+    return;
+  }
+  if (n <= kNarrowCutoff) {
+    run_strips<kATrans, kBTrans, kNarrowMr, kNarrowNr>(m, n, k, alpha, a, lda,
+                                                       b, ldb, beta, c);
+  } else {
+    run_strips<kATrans, kBTrans, kWideMr, kWideNr>(m, n, k, alpha, a, lda, b,
+                                                   ldb, beta, c);
+  }
 }
 
 #if CHAM_CHECKS_LEVEL >= 1

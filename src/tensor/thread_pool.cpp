@@ -16,6 +16,10 @@ namespace {
 // calling the parallel gemm).
 thread_local bool t_in_parallel = false;
 
+// Dispatch accounting (relaxed: counters only, never synchronisation).
+std::atomic<uint64_t> g_inline_runs{0};
+std::atomic<uint64_t> g_pool_dispatches{0};
+
 int clamp_threads(long n) {
   if (n < 1) return 1;
   if (n > 256) return 256;
@@ -48,6 +52,7 @@ class Pool {
   void set_size(int n) CHAM_EXCLUDES(api_mutex_) {
     util::MutexLock lock(api_mutex_);
     target_size_ = n;
+    size_hint_.store(n, std::memory_order_relaxed);
   }
 
   int size() CHAM_EXCLUDES(api_mutex_) {
@@ -60,18 +65,36 @@ class Pool {
     const int64_t n = end - begin;
     if (n <= 0) return;
     if (t_in_parallel) {  // nested region: already inside a worker chunk
+      g_inline_runs.fetch_add(1, std::memory_order_relaxed);
       fn(ctx, begin, end);
+      return;
+    }
+    // Lock-free inline fast path: a sub-grain range (or a 1-thread pool)
+    // always resolves to a single chunk, so it never needs the pool — run
+    // it on the calling thread without touching api_mutex_ or the condvars.
+    // size_hint_ is a relaxed mirror of target_size_; a stale read only
+    // shifts where the 1-chunk decision is made, not what it computes,
+    // because the locked path below re-derives chunks from target_size_.
+    // This is what lets many serve shards issue small head GEMMs
+    // concurrently instead of convoying on the pool's API mutex.
+    if (n <= grain || size_hint_.load(std::memory_order_relaxed) <= 1) {
+      g_inline_runs.fetch_add(1, std::memory_order_relaxed);
+      t_in_parallel = true;
+      fn(ctx, begin, end);
+      t_in_parallel = false;
       return;
     }
     util::MutexLock lock(api_mutex_);
     const int chunks = static_cast<int>(
         std::min<int64_t>(target_size_, (n + grain - 1) / grain));
     if (chunks <= 1) {
+      g_inline_runs.fetch_add(1, std::memory_order_relaxed);
       t_in_parallel = true;
       fn(ctx, begin, end);
       t_in_parallel = false;
       return;
     }
+    g_pool_dispatches.fetch_add(1, std::memory_order_relaxed);
     ensure_workers(chunks - 1);
     {
       util::MutexLock jl(job_mutex_);
@@ -143,6 +166,8 @@ class Pool {
   // region, including the completion wait.
   util::Mutex api_mutex_ CHAM_ACQUIRED_BEFORE(job_mutex_, done_mutex_);
   int target_size_ CHAM_GUARDED_BY(api_mutex_) = default_threads();
+  // Relaxed mirror of target_size_ read by run()'s pre-lock fast path.
+  std::atomic<int> size_hint_{default_threads()};
   std::vector<std::thread> workers_ CHAM_GUARDED_BY(api_mutex_);
 
   util::Mutex job_mutex_;
@@ -164,6 +189,14 @@ class Pool {
 }  // namespace
 
 namespace detail {
+uint64_t pool_inline_runs() {
+  return g_inline_runs.load(std::memory_order_relaxed);
+}
+
+uint64_t pool_dispatches() {
+  return g_pool_dispatches.load(std::memory_order_relaxed);
+}
+
 Chunk static_chunk(int64_t n, int chunks, int c) {
   const int64_t base = n / chunks;
   const int64_t extra = n % chunks;

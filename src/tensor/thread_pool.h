@@ -48,6 +48,15 @@ struct Chunk {
   int64_t begin, end;
 };
 Chunk static_chunk(int64_t n, int chunks, int c);
+
+// Monotonic process-lifetime dispatch counters (relaxed loads; benches and
+// regression tests read deltas around a workload). A parallel_for call
+// increments exactly one of the two: `pool_inline_runs` when it executed on
+// the calling thread without waking the pool (sub-grain range, 1-thread
+// pool, or nested region resolved before the pool lock), `pool_dispatches`
+// when it published a job and signalled workers.
+uint64_t pool_inline_runs();
+uint64_t pool_dispatches();
 }  // namespace detail
 
 // Invokes fn(chunk_begin, chunk_end) over a static partition of [begin, end).

@@ -45,6 +45,43 @@ PoolImpl& pool() {
   return *p;
 }
 
+// --------------------------------------------- thread-pinned pool cache
+//
+// A small per-thread freelist in front of the global pool. Each serve
+// shard runs its sessions on one pinned worker thread, so the steady-state
+// allocation pattern is thread-periodic: the same activation and scratch
+// buffer sizes recycle on the same thread every step. Serving those repeats
+// from a thread-local cache makes the hot path lock-free and stops shard
+// workers convoying on the global pool mutex.
+//
+// Accounting: a parked block still counts as in-use in the global gauges
+// (it was acquired under p.mu and never globally released); only cache
+// overflow and thread exit return blocks to the global freelist. Local
+// hits are counted in a relaxed atomic reported as pool_local_hits.
+
+constexpr int kLocalClasses = 17;  // classes up to 4 MiB (2^22 bytes)
+constexpr std::size_t kLocalPerClass = 4;
+
+std::atomic<int64_t> g_local_hits{0};
+
+// Trivially-destructible tombstone: once the cache's destructor has run
+// (thread exit), later pool calls from this thread — e.g. other TLS
+// destructors releasing tensors — must fall through to the global path
+// instead of resurrecting the dead cache.
+thread_local bool t_cache_dead = false;
+
+struct LocalCache {
+  std::array<std::vector<void*>, static_cast<std::size_t>(kLocalClasses)>
+      lists;
+  ~LocalCache();
+};
+
+LocalCache* local_cache() {
+  if (t_cache_dead) return nullptr;
+  thread_local LocalCache cache;
+  return &cache;
+}
+
 // --------------------------------------------------------- arena registry
 
 struct ArenaRegistry {
@@ -66,12 +103,41 @@ std::size_t align_up(std::size_t n) {
   return (n + kArenaAlign - 1) & ~(kArenaAlign - 1);
 }
 
+// Returns one block to the global freelist (the only place cache-held
+// blocks give up their in-use accounting).
+void global_release(void* ptr, int cls) {
+  PoolImpl& p = pool();
+  util::MutexLock lock(p.mu);
+  p.free_lists[static_cast<std::size_t>(cls)].push_back(ptr);
+  p.bytes_in_use -= static_cast<int64_t>(class_bytes(cls));
+}
+
+LocalCache::~LocalCache() {
+  for (int cls = 0; cls < kLocalClasses; ++cls) {
+    for (void* ptr : lists[static_cast<std::size_t>(cls)]) {
+      global_release(ptr, cls);
+    }
+  }
+  t_cache_dead = true;
+}
+
 }  // namespace
 
 void* pool_acquire(std::size_t bytes) {
   const int cls = size_class(bytes);
   CHAM_CHECK(cls < kNumClasses, "pool_acquire: oversized request of " +
                                     std::to_string(bytes) + " bytes");
+  if (cls < kLocalClasses) {
+    if (LocalCache* cache = local_cache()) {
+      auto& list = cache->lists[static_cast<std::size_t>(cls)];
+      if (!list.empty()) {
+        void* block = list.back();
+        list.pop_back();
+        g_local_hits.fetch_add(1, std::memory_order_relaxed);
+        return block;
+      }
+    }
+  }
   const std::size_t cap = class_bytes(cls);
   PoolImpl& p = pool();
   void* block = nullptr;
@@ -97,11 +163,16 @@ void* pool_acquire(std::size_t bytes) {
 void pool_release(void* ptr, std::size_t bytes) {
   if (ptr == nullptr) return;
   const int cls = size_class(bytes);
-  const std::size_t cap = class_bytes(cls);
-  PoolImpl& p = pool();
-  util::MutexLock lock(p.mu);
-  p.free_lists[static_cast<std::size_t>(cls)].push_back(ptr);
-  p.bytes_in_use -= static_cast<int64_t>(cap);
+  if (cls < kLocalClasses) {
+    if (LocalCache* cache = local_cache()) {
+      auto& list = cache->lists[static_cast<std::size_t>(cls)];
+      if (list.size() < kLocalPerClass) {
+        list.push_back(ptr);
+        return;
+      }
+    }
+  }
+  global_release(ptr, cls);
 }
 
 // ------------------------------------------------------------------ arena
@@ -192,6 +263,7 @@ WorkspaceStats stats() {
     util::MutexLock lock(p.mu);
     s.pool_heap_allocs = p.heap_allocs;
     s.pool_freelist_hits = p.freelist_hits;
+    s.pool_local_hits = g_local_hits.load(std::memory_order_relaxed);
     s.pool_bytes_in_use = p.bytes_in_use;
     s.pool_high_water_bytes = p.high_water;
   }
@@ -214,6 +286,7 @@ void reset_stats() {
     util::MutexLock lock(p.mu);
     p.heap_allocs = 0;
     p.freelist_hits = 0;
+    g_local_hits.store(0, std::memory_order_relaxed);
     p.high_water = p.bytes_in_use;
   }
   {

@@ -35,7 +35,8 @@ namespace cham::ws {
 
 struct WorkspaceStats {
   int64_t pool_heap_allocs = 0;     // freelist misses that hit the heap
-  int64_t pool_freelist_hits = 0;   // allocations served from the freelist
+  int64_t pool_freelist_hits = 0;   // served from the global freelist
+  int64_t pool_local_hits = 0;      // served lock-free from a thread cache
   int64_t pool_bytes_in_use = 0;    // pool capacity currently handed out
   int64_t pool_high_water_bytes = 0;
   int64_t arena_reserved_bytes = 0;   // chunk capacity across all arenas

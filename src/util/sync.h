@@ -52,6 +52,7 @@
 // ---------------------------------------------------------------------------
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -181,6 +182,16 @@ class CondVar {
   template <typename Pred>
   void wait(MutexLock& lock, Pred pred) CHAM_NO_THREAD_SAFETY_ANALYSIS {
     cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  // Timed variant: blocks until pred() holds or `timeout` elapses. Returns
+  // pred()'s final value. Same predicate-only discipline as wait() (the
+  // bounded batch-coalescing wait in the serve worker is the archetype:
+  // the timeout bounds added latency, the predicate handles wakeups).
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(MutexLock& lock, std::chrono::duration<Rep, Period> timeout,
+                Pred pred) CHAM_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(lock.lock_, timeout, std::move(pred));
   }
 
  private:

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -502,10 +503,13 @@ class ThrowingLearner : public core::ChameleonLearner {
                   const core::ChameleonConfig& cfg, uint64_t seed,
                   std::shared_ptr<std::atomic<bool>> arm)
       : core::ChameleonLearner(env, cfg, seed), arm_(std::move(arm)) {}
-  std::vector<int64_t> predict(
-      const std::vector<data::ImageKey>& keys) override {
+  // predict_batch is the single funnel both the plain predict() path and
+  // the serve batch planner flow through — overriding it injects the
+  // failure into either.
+  std::vector<int64_t> predict_batch(
+      std::span<const data::ImageKey> keys) override {
     if (arm_->load()) throw util::CheckError("injected predict failure");
-    return core::ChameleonLearner::predict(keys);
+    return core::ChameleonLearner::predict_batch(keys);
   }
 
  private:
@@ -836,6 +840,284 @@ TEST_F(ServeSuite, StaleDeltaIsIgnoredOnLoad) {
   ASSERT_TRUE(store.load(1, as_c));
   expect_bit_identical(as_c, learner, "stale delta ignored, base served");
   store.clear();
+}
+
+// --- Batched predict dispatch (serve/batch_planner.h) ----------------------
+
+// Submits a predict with drain-on-reject and returns its future.
+std::future<std::vector<int64_t>> submit_predict_or_drain(
+    serve::SessionManager& mgr, uint64_t sid,
+    const std::vector<data::ImageKey>& keys) {
+  for (;;) {
+    std::future<std::vector<int64_t>> result;
+    if (mgr.submit_predict(sid, keys, &result).accepted) return result;
+    mgr.drain();
+  }
+}
+
+// Tentpole: a planned batch — merged windows included — returns exactly the
+// bits the unbatched per-request path returns, and a batch of one is just
+// the unbatched path. Reference results come from isolated learners run
+// with each session's derived seed.
+TEST_F(ServeSuite, BatchedPredictMatchesIsolatedLearner) {
+  constexpr int64_t kSessions = 5;
+  serve::ServeConfig sc;
+  sc.num_shards = 2;
+  sc.max_resident = 6;
+  sc.queue_capacity = 16;
+  sc.max_batch = 4;  // kSessions' predicts need > 1 window
+  sc.store_dir = "/tmp/cham_serve_batch_iso";
+  sc.base_seed = 33;
+  serve::SessionStore(sc.store_dir).clear();
+  serve::SessionManager mgr(sc, factory());
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s, /*salt=*/5));
+    submit_or_drain(mgr, static_cast<uint64_t>(s),
+                    batches[static_cast<size_t>(s)][0]);
+  }
+  mgr.drain();
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+
+  // Batch of one: a lone queued predict becomes a single-request plan.
+  auto lone = submit_predict_or_drain(mgr, 0, test_keys);
+  mgr.drain();
+  core::ChameleonLearner iso0(exp_->env(), learner_config(),
+                              mgr.session_seed(0));
+  iso0.observe(batches[0][0]);
+  EXPECT_EQ(lone.get(), iso0.predict(test_keys)) << "batch-of-one differs";
+  {
+    const serve::ServeStats st = mgr.stats();
+    EXPECT_EQ(st.predict_batches, 0) << "a lone predict must not be merged";
+  }
+
+  // Every session queues a run of predicts; one drain coalesces them all
+  // into a single cross-shard plan, merging each session's run into
+  // stacked eval windows (merging needs same-session requests: each
+  // session has private head weights, so rows from different sessions can
+  // never share a GEMM — the cross-session win is the one-sweep dispatch).
+  constexpr int64_t kReps = 3;
+  std::vector<std::future<std::vector<int64_t>>> futures;
+  for (int64_t rep = 0; rep < kReps; ++rep) {
+    for (int64_t s = 0; s < kSessions; ++s) {
+      futures.push_back(
+          submit_predict_or_drain(mgr, static_cast<uint64_t>(s), test_keys));
+    }
+  }
+  mgr.drain();
+  for (int64_t s = 0; s < kSessions; ++s) {
+    core::ChameleonLearner iso(exp_->env(), learner_config(),
+                               mgr.session_seed(static_cast<uint64_t>(s)));
+    iso.observe(batches[static_cast<size_t>(s)][0]);
+    const auto want = iso.predict(test_keys);
+    for (int64_t rep = 0; rep < kReps; ++rep) {
+      EXPECT_EQ(futures[static_cast<size_t>(rep * kSessions + s)].get(), want)
+          << "batched predict differs for session " << s << " rep " << rep;
+    }
+  }
+  const serve::ServeStats st = mgr.stats();
+  EXPECT_GT(st.predict_batches, 0) << "coalescing never merged a window";
+  EXPECT_GE(st.batched_predicts, 2);
+  EXPECT_GE(st.batch_size_max, 2);
+  EXPECT_LE(st.batch_size_max, sc.max_batch);
+  EXPECT_EQ(st.predicts, kReps * kSessions + 1);
+  EXPECT_EQ(st.dispatch_errors, 0);
+}
+
+// Tentpole gate (test half of bench_serve's gate_batched_bit_exact): the
+// same mixed observe/predict schedule run with coalescing on (max_batch=8)
+// and off (max_batch=1) yields byte-identical predictions everywhere, and
+// predicts always see their session's earlier observes (read-your-writes
+// through the planner's eligibility rule).
+TEST_F(ServeSuite, BatchedVsUnbatchedBitExactOnMixedInterleave) {
+  constexpr int64_t kSessions = 6;
+  constexpr int64_t kRounds = 3;
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s, /*salt=*/91));
+  }
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+
+  // Mixed interleave: each round submits an observe then TWO predicts per
+  // session before any drain, so every shard queue holds predict runs
+  // blocked behind same-session observes next to eligible cross-session
+  // runs (the runs merge once their observe dispatches).
+  auto run = [&](const std::string& dir, int64_t max_batch) {
+    serve::ServeConfig sc;
+    sc.num_shards = 3;
+    sc.max_resident = 4;  // below kSessions: plans race eviction
+    sc.queue_capacity = 16;
+    sc.max_batch = max_batch;
+    sc.store_dir = dir;
+    sc.base_seed = 55;
+    serve::SessionStore(dir).clear();
+    serve::SessionManager mgr(sc, factory());
+    std::vector<std::vector<int64_t>> out;
+    std::vector<std::future<std::vector<int64_t>>> futures;
+    for (int64_t r = 0; r < kRounds; ++r) {
+      for (int64_t s = 0; s < kSessions; ++s) {
+        submit_or_drain(mgr, static_cast<uint64_t>(s),
+                        batches[static_cast<size_t>(s)][static_cast<size_t>(
+                            r % static_cast<int64_t>(
+                                    batches[static_cast<size_t>(s)].size()))]);
+        futures.push_back(submit_predict_or_drain(
+            mgr, static_cast<uint64_t>(s), test_keys));
+        futures.push_back(submit_predict_or_drain(
+            mgr, static_cast<uint64_t>(s), test_keys));
+      }
+    }
+    mgr.drain();
+    for (auto& f : futures) out.push_back(f.get());
+    const serve::ServeStats st = mgr.stats();
+    EXPECT_EQ(st.predicts, 2 * kSessions * kRounds);
+    EXPECT_EQ(st.dispatch_errors, 0);
+    if (max_batch == 1) {
+      EXPECT_EQ(st.predict_batches, 0)
+          << "max_batch=1 must disable cross-request merging";
+    } else {
+      EXPECT_GT(st.batched_predicts, 0)
+          << "mixed schedule never exercised a merged window";
+    }
+    return out;
+  };
+
+  const auto batched = run("/tmp/cham_serve_batch_on", 8);
+  const auto unbatched = run("/tmp/cham_serve_batch_off", 1);
+  ASSERT_EQ(batched.size(), unbatched.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], unbatched[i])
+        << "batched vs unbatched predictions diverge at event " << i;
+  }
+}
+
+// Tentpole determinism: with only predicts queued, the deterministic drain
+// extracts every shard's eligible set into ONE plan whose order, grouping
+// and window structure are a pure function of per-session request
+// sequences — so any arrival permutation produces identical results AND
+// identical batching stats.
+TEST_F(ServeSuite, PlanStableAcrossArrivalPermutations) {
+  constexpr int64_t kSessions = 6;
+  constexpr int64_t kPredictsPerSession = 3;
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s, /*salt=*/13));
+  }
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+
+  // permutation: maps submission slot -> session, covering each session
+  // kPredictsPerSession times in different global orders.
+  auto run = [&](const std::string& dir,
+                 const std::vector<int64_t>& session_order) {
+    serve::ServeConfig sc;
+    sc.num_shards = 2;
+    sc.max_resident = 8;
+    sc.queue_capacity = 32;
+    sc.max_batch = 4;
+    sc.store_dir = dir;
+    sc.base_seed = 77;
+    serve::SessionStore(dir).clear();
+    serve::SessionManager mgr(sc, factory());
+    for (int64_t s = 0; s < kSessions; ++s) {
+      submit_or_drain(mgr, static_cast<uint64_t>(s),
+                      batches[static_cast<size_t>(s)][0]);
+    }
+    mgr.drain();
+    std::vector<std::future<std::vector<int64_t>>> futures(
+        session_order.size());
+    std::vector<int64_t> slot_of_session(kSessions, 0);
+    std::vector<size_t> slot(session_order.size());
+    for (size_t i = 0; i < session_order.size(); ++i) {
+      const int64_t s = session_order[i];
+      // Results are keyed (session, k-th predict), not arrival slot, so
+      // permutations compare like for like.
+      slot[i] = static_cast<size_t>(
+          s * kPredictsPerSession + slot_of_session[static_cast<size_t>(s)]++);
+      futures[slot[i]] = submit_predict_or_drain(
+          mgr, static_cast<uint64_t>(s), test_keys);
+    }
+    mgr.drain();
+    std::vector<std::vector<int64_t>> out;
+    for (auto& f : futures) out.push_back(f.get());
+    const serve::ServeStats st = mgr.stats();
+    return std::make_tuple(std::move(out), st.predict_batches,
+                           st.batched_predicts, st.batch_size_max);
+  };
+
+  std::vector<int64_t> forward, reversed, strided;
+  for (int64_t k = 0; k < kPredictsPerSession; ++k) {
+    for (int64_t s = 0; s < kSessions; ++s) {
+      forward.push_back(s);
+      reversed.push_back(kSessions - 1 - s);
+      strided.push_back((s * 5 + k) % kSessions);
+    }
+  }
+  const auto a = run("/tmp/cham_serve_perm_a", forward);
+  const auto b = run("/tmp/cham_serve_perm_b", reversed);
+  const auto c = run("/tmp/cham_serve_perm_c", strided);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<0>(a), std::get<0>(c));
+  // Identical plans, not just identical answers: window structure matches.
+  EXPECT_GT(std::get<1>(a), 0);
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(c));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(c));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(c));
+}
+
+// Tentpole: eviction racing a planned batch. A plan spanning more sessions
+// than max_resident forces evict/restore round-trips BETWEEN its own
+// groups (lazy per-group acquire); every result must still match the
+// isolated learner bit for bit.
+TEST_F(ServeSuite, EvictionRacesPlannedBatch) {
+  constexpr int64_t kSessions = 6;
+  serve::ServeConfig sc;
+  sc.num_shards = 2;
+  sc.max_resident = 2;  // every plan group past the 2nd evicts another
+  sc.queue_capacity = 32;
+  sc.max_batch = 8;
+  sc.store_dir = "/tmp/cham_serve_batch_evict";
+  sc.base_seed = 99;
+  serve::SessionStore(sc.store_dir).clear();
+  serve::SessionManager mgr(sc, factory());
+
+  std::vector<std::vector<data::Batch>> batches;
+  for (int64_t s = 0; s < kSessions; ++s) {
+    batches.push_back(session_batches(s, /*salt=*/37));
+    submit_or_drain(mgr, static_cast<uint64_t>(s),
+                    batches[static_cast<size_t>(s)][0]);
+  }
+  mgr.drain();
+  const int64_t evictions_before = mgr.stats().evictions;
+
+  const auto test_keys = data::all_test_keys(exp_->config().data);
+  std::vector<std::future<std::vector<int64_t>>> futures;
+  for (int64_t rep = 0; rep < 2; ++rep) {  // two per session: merged windows
+    for (int64_t s = 0; s < kSessions; ++s) {
+      futures.push_back(
+          submit_predict_or_drain(mgr, static_cast<uint64_t>(s), test_keys));
+    }
+  }
+  mgr.drain();
+
+  const serve::ServeStats st = mgr.stats();
+  EXPECT_GT(st.evictions, evictions_before)
+      << "plan over " << kSessions << " sessions with max_resident "
+      << sc.max_resident << " must evict mid-plan";
+  EXPECT_GT(st.batched_predicts, 0);
+  EXPECT_EQ(st.dispatch_errors, 0);
+  for (int64_t s = 0; s < kSessions; ++s) {
+    core::ChameleonLearner iso(exp_->env(), learner_config(),
+                               mgr.session_seed(static_cast<uint64_t>(s)));
+    iso.observe(batches[static_cast<size_t>(s)][0]);
+    const auto want = iso.predict(test_keys);
+    EXPECT_EQ(futures[static_cast<size_t>(s)].get(), want)
+        << "rep-0 predict differs for session " << s;
+    EXPECT_EQ(futures[static_cast<size_t>(kSessions + s)].get(), want)
+        << "rep-1 predict differs for session " << s;
+  }
 }
 
 }  // namespace

@@ -11,6 +11,13 @@
 //       (max_resident << sessions) + a pause/resume thread that freezes the
 //       write-behind IO thread so restores race their own flush, + pollers
 //       hammering every read-only stats surface for ~2 seconds.
+//   ServeRaceSuite.BatchPlanCoalesceStress
+//       The batch-planner path under contention: submitter threads issue
+//       BURSTS of async predicts (back-to-back same-session requests, the
+//       planner's merge fuel) interleaved with observes, while workers
+//       coalesce under the bounded max_wait_us window and evictions recycle
+//       the residency pool. Exercises take_eligible under the shard mutex,
+//       plan dispatch racing eviction, and the wait_for coalescing wakeup.
 //   WorkspaceRace.StatsPolledDuringOwnerAllocation
 //       Regression for the PR 7 audit finding: ws::stats() used to walk
 //       every arena's chunk vector cross-thread while owner threads were
@@ -22,6 +29,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -170,6 +178,108 @@ TEST_F(ServeRaceSuite, MultiShardEvictRestoreFlushStress) {
   EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
   EXPECT_GT(s.restores, 0) << "stress never restored; raise the load";
   EXPECT_EQ(s.dispatch_errors, 0);
+}
+
+TEST_F(ServeRaceSuite, BatchPlanCoalesceStress) {
+  constexpr int64_t kSessions = 10;
+  constexpr int kSubmitters = 3;
+  constexpr auto kDuration = std::chrono::milliseconds(1500);
+
+  serve::ServeConfig sc;
+  sc.num_shards = 4;
+  sc.max_resident = 4;  // evictions race planned batches throughout
+  sc.queue_capacity = 16;
+  sc.store_dir = "/tmp/cham_serve_race_plan";
+  sc.base_seed = 23;
+  sc.mode = serve::ServeMode::kThreaded;
+  sc.max_batch = 8;
+  sc.max_wait_us = 2000;  // workers hold undersized plans open
+  serve::SessionStore(sc.store_dir).clear();
+
+  data::StreamConfig stream_cfg = exp_->config().stream;
+  stream_cfg.seed = 777;
+  data::DomainIncrementalStream stream(exp_->config().data, stream_cfg);
+  exp_->warm_latents(stream);
+  const std::vector<data::Batch> batches = stream.batches();
+  ASSERT_FALSE(batches.empty());
+
+  serve::SessionManager mgr(sc, factory());
+  const auto deadline = Clock::now() + kDuration;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> predicts_accepted{0};
+  std::atomic<int64_t> observes_accepted{0};
+  std::atomic<int64_t> empty_results{0};
+  std::vector<std::thread> threads;
+
+  // Submitters: mostly predict bursts (2-4 back-to-back async predicts per
+  // session — leading same-session runs the planner merges), with observes
+  // mixed in so plans race training dispatch and eviction.
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t step = static_cast<uint64_t>(t) * 104729;
+      std::vector<std::future<std::vector<int64_t>>> pending;
+      while (Clock::now() < deadline) {
+        const uint64_t sid = step % kSessions;
+        const data::Batch& b = batches[step % batches.size()];
+        if (step % 3 != 0) {
+          const int burst = 2 + static_cast<int>(step % 3);
+          for (int i = 0; i < burst; ++i) {
+            std::future<std::vector<int64_t>> f;
+            if (mgr.submit_predict(sid, b.keys, &f).accepted) {
+              pending.push_back(std::move(f));
+              predicts_accepted.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else if (mgr.submit_observe(sid, b).accepted) {
+          observes_accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+        // Harvest settled futures so the pending list stays bounded.
+        if (pending.size() >= 64) {
+          for (auto& f : pending) {
+            if (f.get().empty()) {
+              empty_results.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          pending.clear();
+        }
+        ++step;
+      }
+      for (auto& f : pending) {
+        if (f.get().empty()) {
+          empty_results.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Poller: stats surface racing live plan execution.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const serve::ServeStats s = mgr.stats();
+      EXPECT_GE(s.batched_predicts, 0);
+      EXPECT_LE(s.batched_predicts, s.predicts);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (int t = 0; t < kSubmitters; ++t) threads[t].join();
+  done.store(true, std::memory_order_relaxed);
+  for (size_t t = kSubmitters; t < threads.size(); ++t) threads[t].join();
+
+  mgr.drain();
+  mgr.flush();
+  const serve::ServeStats s = mgr.stats();
+  EXPECT_EQ(s.predicts, predicts_accepted.load());
+  EXPECT_EQ(s.observes, observes_accepted.load());
+  EXPECT_EQ(s.dispatch_errors, 0);
+  EXPECT_EQ(empty_results.load(), 0) << "a predict future resolved empty";
+  EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
+  // Merging is opportunistic under TSan's scheduling, but bursts of 2-4
+  // same-session predicts with a 2ms coalescing window should produce at
+  // least one merged window over ~1.5s of load.
+  EXPECT_GT(s.predict_batches, 0) << "planner never merged a window";
 }
 
 TEST(WorkspaceRace, StatsPolledDuringOwnerAllocation) {

@@ -50,6 +50,19 @@ are about *this* codebase's contracts:
                       seed's 63ms save_ms_max was exactly this bug).
                       Eviction must unlink under the lock and serialise /
                       flush with it released (see serve/write_behind.h).
+  blocking-in-batch-plan
+                      Blocking I/O, checkpoint (de)serialisation, heap
+                      allocation via make_unique/make_shared, or any learner
+                      dispatch / eviction call inside a batch-plan critical
+                      section — between `// cham-lint: begin(batch_plan)`
+                      and `// cham-lint: end(batch_plan)` markers. Plan
+                      formation (BatchPlanner::take_eligible) runs under a
+                      shard queue mutex and may only MOVE queued requests
+                      between vectors; evaluating a head, acquiring or
+                      materialising a session, or serialising state there
+                      stalls admission for every session on the shard. Plan
+                      execution (dispatch_plan) belongs outside the markers
+                      with the queue lock released.
   raw-mutex           Bare std::mutex / lock_guard / unique_lock /
                       condition_variable (and friends) in src/ outside
                       util/sync.h. Concurrency goes through the annotated
@@ -95,6 +108,9 @@ RULES = {
     "io-in-sessions-mu": "filesystem/stream or checkpoint serialisation call "
     "inside a sessions_mu_ critical section (stalls every shard); unlink "
     "under the lock, serialise/flush with it released",
+    "blocking-in-batch-plan": "blocking I/O, serialisation, heap allocation "
+    "or learner dispatch inside a batch-plan critical section (runs under a "
+    "shard queue mutex; plan formation may only move queued requests)",
     "raw-mutex": "bare std synchronisation primitive in src/; use the "
     "annotated cham::util::Mutex / MutexLock / CondVar (util/sync.h)",
     "naked-cv-wait": "condition-variable wait without a predicate; use "
@@ -135,6 +151,15 @@ DISPATCH_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(dispatch\)")
 DISPATCH_END_RE = re.compile(r"cham-lint:\s*end\(dispatch\)")
 SESSIONS_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(sessions_mu\)")
 SESSIONS_END_RE = re.compile(r"cham-lint:\s*end\(sessions_mu\)")
+BATCH_PLAN_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(batch_plan\)")
+BATCH_PLAN_END_RE = re.compile(r"cham-lint:\s*end\(batch_plan\)")
+# Learner dispatch / residency calls: a batch-plan region may only move
+# queued requests, never evaluate, admit, or evict.
+PLAN_DISPATCH_RE = re.compile(
+    r"(?<![_A-Za-z0-9])(?:acquire_session|materialize_session|dispatch_plan|"
+    r"dispatch_timed|snapshot_and_submit|unlink_victim)\s*\("
+    r"|(?:\.|->)\s*(?:predict|predict_batch|observe|eval_batch)\s*\("
+)
 BLOCKING_RE = re.compile(
     r"(?<![_A-Za-z0-9])(?:i|o)?fstream(?![A-Za-z0-9])"
     r"|(?<![_A-Za-z0-9])f(?:open|close|read|write|printf|flush)\s*\("
@@ -308,6 +333,16 @@ def lint_file(path, raw):
         SESSIONS_BEGIN_RE, SESSIONS_END_RE, "io-in-sessions-mu",
         lambda line: bool(BLOCKING_RE.search(line) or
                           SERIALIZE_RE.search(line)))
+    # batch_plan sections run under a shard queue mutex while the planner
+    # selects coalescible predicts: no blocking I/O, no (de)serialisation,
+    # no make_unique/make_shared, and no learner dispatch of any kind.
+    # (Container moves are fine — selecting IS moving requests.)
+    check_region(
+        BATCH_PLAN_BEGIN_RE, BATCH_PLAN_END_RE, "blocking-in-batch-plan",
+        lambda line: bool(BLOCKING_RE.search(line) or
+                          SERIALIZE_RE.search(line) or
+                          DISPATCH_ALLOC_RE.search(line) or
+                          PLAN_DISPATCH_RE.search(line)))
 
     # Condition-variable waits must pass a predicate: exactly one top-level
     # argument (just the lock) is the lost-wakeup-prone form. Zero arguments

@@ -140,6 +140,46 @@ def main():
         check("guarded declaration found in sibling header",
               got == ["unguarded-shared-member"])  # other_ only
 
+    print("rule: blocking-in-batch-plan")
+    check("flags learner dispatch inside batch_plan region",
+          "blocking-in-batch-plan" in rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "learner->predict_batch(keys);\n"
+              "// cham-lint: end(batch_plan)\n")))
+    check("flags session acquisition inside batch_plan region",
+          "blocking-in-batch-plan" in rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "auto* l = acquire_session(sid);\n"
+              "// cham-lint: end(batch_plan)\n")))
+    check("flags serialisation inside batch_plan region",
+          "blocking-in-batch-plan" in rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "learner->save_state(os);\n"
+              "// cham-lint: end(batch_plan)\n")))
+    check("flags make_shared inside batch_plan region",
+          "blocking-in-batch-plan" in rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "auto b = std::make_shared<core::ByteBuf>();\n"
+              "// cham-lint: end(batch_plan)\n")))
+    check("request moves between containers are clean",
+          rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "planner_.take_eligible(shard.queue, eligible);\n"
+              "eligible.push_back(std::move(r));\n"
+              "// cham-lint: end(batch_plan)\n")) == [])
+    check("dispatch outside the region is clean",
+          rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "planner_.take_eligible(shard.queue, eligible);\n"
+              "// cham-lint: end(batch_plan)\n"
+              "dispatch_plan(planner_.finalize(std::move(eligible)), &s);\n"
+              )) == [])
+    check("suppressed by allow()",
+          rules_of(lint_src(
+              "// cham-lint: begin(batch_plan)\n"
+              "l->predict(k);  // cham-lint: allow(blocking-in-batch-plan)\n"
+              "// cham-lint: end(batch_plan)\n")) == [])
+
     print("pre-existing rules still fire (no regression)")
     check("io-in-sessions-mu",
           "io-in-sessions-mu" in rules_of(lint_src(
