@@ -40,10 +40,11 @@ for b in build/bench/*; do
     "$b" || echo "GATE_FAILURE $b"
   fi
 done 2>&1 | tee /root/repo/bench_output.txt
-# bench_threads, bench_kernels and bench_serve emit JSON perf artefacts into
-# the repo root (they run with cwd = /root/repo); record them next to the
-# text outputs so the kernel/scaling/serving trajectory is versioned per PR.
-for j in BENCH_threads.json BENCH_kernels.json BENCH_serve.json; do
+# bench_threads, bench_kernels, bench_observe and bench_serve emit JSON perf
+# artefacts into the repo root (they run with cwd = /root/repo); record them
+# next to the text outputs so the kernel/scaling/observe/serving trajectory
+# is versioned per PR.
+for j in BENCH_threads.json BENCH_kernels.json BENCH_observe.json BENCH_serve.json; do
   if [ -f "/root/repo/$j" ]; then
     echo "archived $j" >> /root/repo/bench_output.txt
   else
@@ -54,6 +55,15 @@ done
 if grep -q "^GATE_FAILURE" /root/repo/bench_output.txt; then
   echo "run_all.sh: bench gate failure (see bench_output.txt)" >&2
   echo BENCH_GATE_FAILED >> /root/repo/bench_output.txt
+  exit 1
+fi
+# Trend gate: fresh artefacts vs the committed bench/baselines/ snapshots.
+# Fails the regeneration on a >25% regression in any gated metric (see
+# tools/bench_compare.py for the metric list and directions).
+python3 tools/bench_compare.py 2>&1 | tee -a /root/repo/bench_output.txt
+if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+  echo "run_all.sh: bench_compare regression (see bench_output.txt)" >&2
+  echo BENCH_COMPARE_FAILED >> /root/repo/bench_output.txt
   exit 1
 fi
 echo ALL_DONE >> /root/repo/bench_output.txt

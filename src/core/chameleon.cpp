@@ -25,6 +25,7 @@ ChameleonLearner::ChameleonLearner(const LearnerEnv& env,
       st_(cfg.st_capacity, effective_sampling(cfg)),
       lt_(cfg.lt_capacity, env.data_cfg->num_classes) {}
 
+// cham-lint: begin(hot_path)
 void ChameleonLearner::observe(const data::Batch& batch) {
   ++step_;
   const int64_t bsz = static_cast<int64_t>(batch.keys.size());
@@ -34,12 +35,12 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   // [line 3] running per-class statistics.
   for (int64_t label : batch.labels) prefs_.update(label);
 
-  // [line 4] latent extraction for the incoming batch.
-  std::vector<const Tensor*>& latents = latents_scratch_;
-  latents.clear();
-  latents.reserve(static_cast<size_t>(bsz));
+  // [line 4] latent extraction for the incoming batch. The cache hands out
+  // stable references; the training gather reads the rows in place.
+  std::vector<const float*>& train_rows = train_rows_scratch_;
+  train_rows.clear();
   for (const auto& key : batch.keys) {
-    latents.push_back(&env_.latents->latent(key));
+    train_rows.push_back(env_.latents->latent(key).data());
   }
   charge_f(bsz);
 
@@ -47,65 +48,60 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   // short-term memory" — the incoming batch is concatenated with the full
   // ST store, plus an LT minibatch every h batches (iterative mini-batch
   // concatenation scheme). One weight update per batch (Algorithm 1 line 7).
-  // ST reads come from on-chip SRAM, LT reads from off-chip DRAM.
-  std::vector<const Tensor*>& train_latents = train_latents_scratch_;
-  train_latents.assign(latents.begin(), latents.end());
+  // ST reads come from on-chip SRAM, LT reads from off-chip DRAM. No row is
+  // copied: the batch is a list of row pointers into the latent cache, the
+  // ST slab and the LT slots, and the head's first layer packs its GEMM
+  // panels straight from those rows (nn::GatherBatch).
   std::vector<int64_t>& train_labels = train_labels_scratch_;
   train_labels.assign(batch.labels.begin(), batch.labels.end());
   for (int64_t i = 0; i < st_.size(); ++i) {
-    const auto& s = st_.buffer().item(i);
-    train_latents.push_back(&s.latent);
-    train_labels.push_back(s.label);
+    train_rows.push_back(st_.store().row(i));
+    train_labels.push_back(st_.store().label(i));
   }
   stats_.charge_onchip_st_replay(static_cast<double>(st_.size() * latent_sz));
 
   const bool lt_cycle = (step_ % cfg_.lt_period_h) == 0;
   if (lt_cycle && lt_.size() > 0) {
     // One off-chip burst: h batches' worth of LT replay fetched at once.
-    staged_lt_.clear();
+    // Staged as slot refs — the ledger still charges the full burst here
+    // (the hardware model DMAs the samples once), but the host keeps
+    // coordinates, not copies, and re-gathers rows at consume time.
     staged_pos_ = 0;
-    for (const auto* s :
-         lt_.sample(cfg_.lt_period_h * cfg_.lt_replay_per_batch, rng_)) {
-      staged_lt_.push_back(*s);
-    }
+    staged_refs_ = lt_.sample_refs(
+        cfg_.lt_period_h * cfg_.lt_replay_per_batch, rng_);
     stats_.charge_offchip_lt_burst(static_cast<double>(
-        static_cast<int64_t>(staged_lt_.size()) * latent_sz));
+        static_cast<int64_t>(staged_refs_.size()) * latent_sz));
   }
   // Consume the staged burst iteratively, lt_replay_per_batch per batch.
   const size_t take = std::min(
-      staged_lt_.size() - staged_pos_,
+      staged_refs_.size() - staged_pos_,
       static_cast<size_t>(cfg_.lt_replay_per_batch));
   for (size_t i = 0; i < take; ++i) {
-    const auto& s = staged_lt_[staged_pos_ + i];
-    train_latents.push_back(&s.latent);
+    const auto& s = lt_.entry(staged_refs_[staged_pos_ + i]);
+    train_rows.push_back(s.latent.data());
     train_labels.push_back(s.label);
   }
   staged_pos_ += take;
 
-  const Tensor z = data::stack_latents(train_latents);
-  const Tensor logits = train_step(z, train_labels);
+  nn::GatherBatch gb;
+  gb.rows = train_rows.data();
+  gb.n = static_cast<int64_t>(train_rows.size());
+  gb.sample_shape = env_.latent_shape;
+  const Tensor logits = train_step(gb, train_labels);
   charge_weight_traffic();
 
-  // The incoming samples' logits (first bsz rows) feed the Eq. 3 scores.
-  Tensor batch_logits({bsz, logits.dim(1)});
-  std::copy(logits.data(), logits.data() + bsz * logits.dim(1),
-            batch_logits.data());
-  std::vector<replay::ReplaySample>& candidates = candidates_scratch_;
-  candidates.resize(static_cast<size_t>(bsz));
-  for (int64_t i = 0; i < bsz; ++i) {
-    auto& c = candidates[static_cast<size_t>(i)];
-    c.key = batch.keys[static_cast<size_t>(i)];
-    c.label = batch.labels[static_cast<size_t>(i)];
-    // Latents pass through the configured storage precision on their way
-    // into the buffer (identity for fp32).
-    if (cfg_.buffer_precision == quant::Precision::kFp32) {
-      c.latent = *latents[static_cast<size_t>(i)];
-    } else {
-      c.latent = quant::decode(quant::encode(*latents[static_cast<size_t>(i)],
-                                             cfg_.buffer_precision));
-    }
-  }
-  st_.update(candidates, batch_logits, prefs_, rng_);
+  // [lines 8-10] ST selection. The incoming samples' logits are the first
+  // bsz rows of the training logits; Eq. 3 reads them in place (the label
+  // span bounds the scoring to those rows — no logits copy). The Eq. 4
+  // winner passes through the configured storage precision on its way into
+  // the slab (identity for fp32).
+  st_.update(std::span<const data::ImageKey>(batch.keys),
+             std::span<const int64_t>(batch.labels),
+             std::span<const float* const>(train_rows.data(),
+                                           static_cast<size_t>(bsz)),
+             Shape{1, env_.latent_shape[0], env_.latent_shape[1],
+                   env_.latent_shape[2]},
+             logits, prefs_, rng_, cfg_.buffer_precision);
   stats_.charge_onchip_st_write(static_cast<double>(latent_sz));
 
   // [lines 12-14] LT update from ST every h batches.
@@ -114,7 +110,11 @@ void ChameleonLearner::observe(const data::Batch& batch) {
     st_samples.clear();
     st_samples.reserve(static_cast<size_t>(st_.size()));
     for (int64_t i = 0; i < st_.size(); ++i) {
-      st_samples.push_back(st_.buffer().item(i));
+      replay::ReplaySample s;
+      s.key = st_.store().key(i);
+      s.label = st_.store().label(i);
+      s.latent = st_.store().latent_copy(i);  // off the steady path
+      st_samples.push_back(std::move(s));
     }
     stats_.charge_onchip_st_promote(
         static_cast<double>(st_.size() * latent_sz));  // ST reads
@@ -164,6 +164,7 @@ void ChameleonLearner::observe(const data::Batch& batch) {
   // -DCHAM_CHECKS=full.
   CHAM_AUDIT(audit_step());
 }
+// cham-lint: end(hot_path)
 
 util::AuditReport ChameleonLearner::check_invariants() const {
   util::AuditReport report;

@@ -104,17 +104,19 @@ class ChameleonLearner : public HeadLearner {
   // h * lt_replay_per_batch samples; they are consumed iteratively,
   // lt_replay_per_batch per subsequent batch ("iterative mini-batch
   // concatenation", paper Sec. IV-A). One off-chip transaction per burst.
-  std::vector<replay::ReplaySample> staged_lt_;
+  // Staged as slot refs, not deep copies: LT slots are stable between
+  // update_from calls (insert only appends or overwrites in place), so the
+  // consume path re-gathers the entry's latent row fresh each step instead
+  // of snapshotting h * lt_replay_per_batch tensors per burst.
+  std::vector<LongTermMemory::SlotRef> staged_refs_;
   size_t staged_pos_ = 0;
   // observe() scratch, reused across steps. After warm-up the steady-state
   // path allocates nothing from the heap: these vectors keep their
   // capacity, Tensor storage recycles through the workspace pool, and
   // kernel scratch lives in the per-thread arenas (test_workspace pins
   // this down with a global allocation counter).
-  std::vector<const Tensor*> latents_scratch_;
-  std::vector<const Tensor*> train_latents_scratch_;
+  std::vector<const float*> train_rows_scratch_;
   std::vector<int64_t> train_labels_scratch_;
-  std::vector<replay::ReplaySample> candidates_scratch_;
   std::vector<replay::ReplaySample> st_promote_scratch_;
   // Ledger snapshot from the previous full-checks audit (monotonicity:
   // traffic totals only ever grow).

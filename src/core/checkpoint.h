@@ -138,6 +138,16 @@ ByteBuf encode_chunk_delta(const char* base, std::size_t base_n,
                            const char* next, std::size_t next_n,
                            int64_t chunk_bytes);
 
+// Same, with caller-supplied blob hashes (the write-behind path already
+// tracks the base hash and hashes the next blob once per flush; rehashing
+// multi-MB blobs inside the encode dominated eviction cost). The hashes
+// MUST be blob_hash() of exactly (base, base_n) / (next, next_n) — they are
+// written into the frame header that apply_chunk_delta verifies against.
+ByteBuf encode_chunk_delta(const char* base, std::size_t base_n,
+                           const char* next, std::size_t next_n,
+                           int64_t chunk_bytes, uint64_t base_hash,
+                           uint64_t next_hash);
+
 // Applies a kChunkDiff frame to `base`; verifies both hashes. False on
 // malformed frame, base mismatch, or reconstruction hash mismatch.
 bool apply_chunk_delta(const char* base, std::size_t base_n,

@@ -161,6 +161,47 @@ class LongTermMemory {
     for (auto& s : proto_sums_) s.clear();
   }
 
+  // Stable coordinate of a stored entry: (class, slot index within the
+  // class). Valid across later update_from calls — insert() only appends to
+  // a class vector or overwrites a slot in place, never reorders or erases,
+  // so a ref taken at staging time still names a live same-class entry at
+  // consume time (possibly refreshed contents; the staged burst deliberately
+  // re-reads whatever the slot holds now instead of a deep-copied snapshot).
+  struct SlotRef {
+    int32_t cls = 0;
+    int32_t slot = 0;
+  };
+
+  const replay::ReplaySample& entry(SlotRef ref) const {
+    CHAM_DCHECK(ref.cls >= 0 && ref.cls < num_classes_ &&
+                    ref.slot >= 0 && ref.slot < class_count(ref.cls),
+                "LT entry ref out of range");
+    return slots_[static_cast<size_t>(ref.cls)][static_cast<size_t>(ref.slot)];
+  }
+
+  // Uniformly random minibatch of slot refs — the zero-copy counterpart of
+  // sample(). Enumerates entries in the SAME class-major order and consumes
+  // the SAME single sample_without_replacement draw, so switching a caller
+  // between the two leaves the RNG stream bit-identical.
+  std::vector<SlotRef> sample_refs(int64_t k, Rng& rng) const {
+    std::vector<SlotRef> all;
+    all.reserve(static_cast<size_t>(size()));
+    for (size_t c = 0; c < slots_.size(); ++c) {
+      for (size_t j = 0; j < slots_[c].size(); ++j) {
+        all.push_back(SlotRef{static_cast<int32_t>(c),
+                              static_cast<int32_t>(j)});
+      }
+    }
+    if (all.empty()) return {};
+    const auto idx = rng.sample_without_replacement(
+        static_cast<int64_t>(all.size()),
+        std::min<int64_t>(k, static_cast<int64_t>(all.size())));
+    std::vector<SlotRef> out;
+    out.reserve(idx.size());
+    for (int64_t i : idx) out.push_back(all[static_cast<size_t>(i)]);
+    return out;
+  }
+
   // Uniformly random minibatch across all stored entries.
   std::vector<const replay::ReplaySample*> sample(int64_t k, Rng& rng) const {
     std::vector<const replay::ReplaySample*> all;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/preference_tracker.h"
+#include "quant/quantize.h"
 #include "replay/buffer.h"
 #include "util/check.h"
 
@@ -28,7 +29,7 @@ struct StSamplingConfig {
 class ShortTermMemory {
  public:
   ShortTermMemory(int64_t capacity, StSamplingConfig cfg)
-      : buffer_(capacity), cfg_(cfg) {}
+      : store_(capacity), cfg_(cfg) {}
 
   // Eq. 3: per-sample uncertainty scores from logits (N x C) and labels,
   // written into caller-owned storage (resized to labels.size()). The
@@ -85,55 +86,85 @@ class ShortTermMemory {
 
   // Full update for one incoming batch: select one element by Eq. 4 and
   // replace a random ST slot. Returns the index selected from the batch.
+  //
+  // Zero-copy entry: the incoming batch arrives as parallel spans (keys,
+  // labels, per-sample latent row pointers of `latent_shape` elements each)
+  // and `logits` may be the FULL training logits — Eq. 3 reads only the
+  // first labels.size() rows, so no per-step row copy is needed. The Eq. 4
+  // winner (and only the winner) passes through `precision` on its way into
+  // the store, which stores the same bits as quantising every candidate
+  // up front — selection depends on logits alone.
+  int64_t update(std::span<const data::ImageKey> keys,
+                 std::span<const int64_t> labels,
+                 std::span<const float* const> latents,
+                 const Shape& latent_shape, const Tensor& logits,
+                 const PreferenceTracker& prefs, Rng& rng,
+                 quant::Precision precision = quant::Precision::kFp32) {
+    CHAM_CHECK(keys.size() == labels.size() && keys.size() == latents.size(),
+               "ShortTermMemory::update: span length mismatch");
+    CHAM_CHECK(!keys.empty(), "ShortTermMemory::update: empty batch");
+    uncertainty_scores_into(logits, labels, u_scratch_);
+    selection_probabilities_into(labels, u_scratch_, prefs, p_scratch_);
+    int64_t pick = rng.sample_weighted(p_scratch_);
+    if (pick < 0) pick = rng.uniform_int(static_cast<int64_t>(keys.size()));
+    const auto pi = static_cast<size_t>(pick);
+    if (precision == quant::Precision::kFp32) {
+      store_.random_replace_add(keys[pi], labels[pi], latent_shape,
+                                latents[pi], rng);
+    } else {
+      quant_scratch_ = Tensor(latent_shape);
+      std::memcpy(quant_scratch_.data(), latents[pi],
+                  static_cast<size_t>(latent_shape.numel()) * sizeof(float));
+      const Tensor q = quant::decode(quant::encode(quant_scratch_, precision));
+      store_.random_replace_add(keys[pi], labels[pi], latent_shape, q.data(),
+                                rng);
+    }
+    return pick;
+  }
+
+  // Compatibility wrapper over materialised samples (tests/bench). Same
+  // scoring, selection, and RNG draw order as the span entry.
   int64_t update(const std::vector<replay::ReplaySample>& batch,
                  const Tensor& logits, const PreferenceTracker& prefs,
                  Rng& rng) {
     labels_scratch_.resize(batch.size());
+    rows_scratch_.resize(batch.size());
+    keys_scratch_.resize(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       labels_scratch_[i] = batch[i].label;
+      rows_scratch_[i] = batch[i].latent.data();
+      keys_scratch_[i] = batch[i].key;
     }
-    uncertainty_scores_into(logits, labels_scratch_, u_scratch_);
-    selection_probabilities_into(labels_scratch_, u_scratch_, prefs,
-                                 p_scratch_);
-    int64_t pick = rng.sample_weighted(p_scratch_);
-    if (pick < 0) pick = rng.uniform_int(static_cast<int64_t>(batch.size()));
-    buffer_.random_replace_add(batch[static_cast<size_t>(pick)], rng);
-    return pick;
+    return update(keys_scratch_, labels_scratch_, rows_scratch_,
+                  batch.front().latent.shape(), logits, prefs, rng);
   }
 
-  const replay::ReplayBuffer& buffer() const { return buffer_; }
-  replay::ReplayBuffer& buffer() { return buffer_; }
-  int64_t size() const { return buffer_.size(); }
-  int64_t capacity() const { return buffer_.capacity(); }
+  const replay::SlotStore& store() const { return store_; }
+  replay::SlotStore& store() { return store_; }
+  int64_t size() const { return store_.size(); }
+  int64_t capacity() const { return store_.capacity(); }
 
-  // Structural audit: occupancy within capacity, the stream counter at least
-  // as large as the occupancy, and no dangling entries — every stored sample
-  // carries a latent (Chameleon is a latent-replay method; an empty latent
-  // here would silently train the head on garbage) of one consistent shape
-  // and a non-negative label.
+  // Structural audit: occupancy within capacity, the stream counter at
+  // least as large as the occupancy, and no dangling slots — an occupied
+  // store must have configured row geometry (Chameleon is a latent-replay
+  // method; an unconfigured slab here would train the head on garbage) and
+  // non-negative labels. Shape consistency per slot is structural now: all
+  // rows share the slab geometry by construction.
   util::AuditReport check_invariants() const {
     util::AuditReport report;
     if (size() > capacity()) {
       report.fail("ShortTermMemory: size " + std::to_string(size()) +
                   " exceeds capacity " + std::to_string(capacity()));
     }
-    if (buffer_.seen() < size()) {
-      report.fail("ShortTermMemory: seen " + std::to_string(buffer_.seen()) +
+    if (store_.seen() < size()) {
+      report.fail("ShortTermMemory: seen " + std::to_string(store_.seen()) +
                   " below occupancy " + std::to_string(size()));
     }
+    if (size() > 0 && !store_.configured()) {
+      report.fail("ShortTermMemory: occupied store has no row geometry");
+    }
     for (int64_t i = 0; i < size(); ++i) {
-      const auto& s = buffer_.item(i);
-      if (s.latent.empty()) {
-        report.fail("ShortTermMemory: dangling latent in slot " +
-                    std::to_string(i));
-        continue;
-      }
-      if (s.latent.shape() != buffer_.item(0).latent.shape()) {
-        report.fail("ShortTermMemory: slot " + std::to_string(i) +
-                    " latent shape " + s.latent.shape().to_string() +
-                    " differs from slot 0");
-      }
-      if (s.label < 0) {
+      if (store_.label(i) < 0) {
         report.fail("ShortTermMemory: negative label in slot " +
                     std::to_string(i));
       }
@@ -142,11 +173,14 @@ class ShortTermMemory {
   }
 
  private:
-  replay::ReplayBuffer buffer_;
+  replay::SlotStore store_;
   StSamplingConfig cfg_;
   // update() scratch, reused across batches (steady-state allocation-free).
   std::vector<int64_t> labels_scratch_;
   std::vector<double> u_scratch_, p_scratch_;
+  std::vector<const float*> rows_scratch_;
+  std::vector<data::ImageKey> keys_scratch_;
+  Tensor quant_scratch_;
 };
 
 }  // namespace cham::core

@@ -1,6 +1,7 @@
 #include "data/latent_cache.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
 
@@ -87,7 +88,16 @@ void LatentCache::warm(const std::vector<ImageKey>& keys, int64_t batch) {
   }
 }
 
+namespace {
+std::atomic<int64_t> g_stack_latents_calls{0};
+}  // namespace
+
+int64_t stack_latents_calls() {
+  return g_stack_latents_calls.load(std::memory_order_relaxed);
+}
+
 Tensor stack_latents(const std::vector<const Tensor*>& latents) {
+  g_stack_latents_calls.fetch_add(1, std::memory_order_relaxed);
   CHAM_CHECK(!latents.empty(), "stack of zero latents");
   const Tensor& first = *latents.front();
   CHAM_CHECK(first.rank() == 4 && first.dim(0) == 1,

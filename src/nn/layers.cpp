@@ -52,7 +52,10 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   CHAM_CHECK(x.rank() == 4 && x.dim(1) == geo_.in_c && x.dim(2) == geo_.in_h &&
                  x.dim(3) == geo_.in_w,
              "Conv2d input " + x.shape().to_string());
-  if (train) cached_input_ = x;
+  if (train) {
+    cached_input_ = x;
+    cached_gather_ = false;
+  }
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   const int64_t opix = oh * ow;
@@ -140,16 +143,114 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   return out;
 }
 
+Tensor Conv2d::forward_gather(const GatherBatch& gb, bool train) {
+  const int64_t ipix = geo_.in_h * geo_.in_w;
+  CHAM_CHECK(gb.sample_numel() == geo_.in_c * ipix,
+             "Conv2d gathered sample " + gb.sample_shape.to_string());
+  if (train) {
+    cached_rows_.assign(gb.rows, gb.rows + gb.n);
+    cached_gather_ = true;
+    cached_input_ = Tensor();
+  }
+  const int64_t batch = gb.n;
+  const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  const int64_t opix = oh * ow;
+  Tensor out({batch, out_c_, oh, ow});
+  const auto add_bias = [&](int64_t n) {
+    for (int64_t c = 0; c < out_c_; ++c) {
+      float* plane = out.data() + (n * out_c_ + c) * opix;
+      const float b = bias_.value[c];
+      for (int64_t i = 0; i < opix; ++i) plane[i] += b;
+    }
+  };
+  if (is_pointwise(geo_)) {
+    if (batch == 1) {
+      // A single gathered sample is already one contiguous plane.
+      gemm(out_c_, opix, geo_.in_c, 1.0f, weight_.value.data(), gb.rows[0],
+           0.0f, out.data());
+      if (has_bias_) add_bias(0);
+      return out;
+    }
+    // Same merged single-GEMM as the dense path, but the concatenated
+    // operand is never materialised: column (n, p) of the logical xcat
+    // reads sample n's plane in place through the column-gather pack.
+    // Values and accumulation order match the dense path exactly.
+    const int64_t cols = batch * opix;
+    colptr_scratch_.resize(static_cast<size_t>(cols));
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t p = 0; p < opix; ++p) {
+        colptr_scratch_[static_cast<size_t>(n * opix + p)] = gb.rows[n] + p;
+      }
+    }
+    ws::ArenaScope scratch;
+    float* ocat = scratch.floats(static_cast<size_t>(out_c_ * cols));
+    gemm_gather_cols(out_c_, cols, geo_.in_c, 1.0f, weight_.value.data(),
+                     colptr_scratch_.data(), ipix, 0.0f, ocat);
+    const int64_t row_grain = (kElemGrain + cols - 1) / cols;
+    parallel_for(
+        0, out_c_,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            const float b = has_bias_ ? bias_.value[c] : 0.0f;
+            for (int64_t n = 0; n < batch; ++n) {
+              const float* src = ocat + c * cols + n * opix;
+              float* dst = out.data() + (n * out_c_ + c) * opix;
+              if (has_bias_) {
+                for (int64_t i = 0; i < opix; ++i) dst[i] = src[i] + b;
+              } else {
+                std::memcpy(dst, src,
+                            static_cast<size_t>(opix) * sizeof(float));
+              }
+            }
+          }
+        },
+        row_grain);
+    return out;
+  }
+  // General path: per-sample im2col reads the gathered plane in place.
+  const auto body = [&](int64_t n0, int64_t n1) {
+    ws::ArenaScope scratch;
+    float* col =
+        scratch.floats(static_cast<size_t>(geo_.col_rows() * geo_.col_cols()));
+    for (int64_t n = n0; n < n1; ++n) {
+      im2col(gb.rows[n], geo_, col);
+      gemm(out_c_, geo_.col_cols(), geo_.col_rows(), 1.0f,
+           weight_.value.data(), col, 0.0f, out.data() + n * out_c_ * opix);
+      if (has_bias_) add_bias(n);
+    }
+  };
+  if (batch == 1) {
+    body(0, 1);
+  } else {
+    parallel_for(0, batch, body);
+  }
+  return out;
+}
+
+const float* Conv2d::cached_sample(int64_t n) const {
+  return cached_gather_
+             ? cached_rows_[static_cast<size_t>(n)]
+             : cached_input_.data() + n * geo_.in_c * geo_.in_h * geo_.in_w;
+}
+
+int64_t Conv2d::cached_batch() const {
+  return cached_gather_ ? static_cast<int64_t>(cached_rows_.size())
+                        : cached_input_.dim(0);
+}
+
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
-  const Tensor& x = cached_input_;
-  const int64_t batch = x.dim(0);
+  CHAM_CHECK(!cached_input_.empty() || cached_gather_,
+             "backward without train-mode forward");
+  const int64_t batch = cached_batch();
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   const int64_t opix = oh * ow;
   CHAM_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == out_c_,
              "Conv2d grad " + grad_out.shape().to_string());
 
-  Tensor grad_in(x.shape());
+  Tensor grad_in;
+  if (needs_input_grad_) {
+    grad_in = Tensor({batch, geo_.in_c, geo_.in_h, geo_.in_w});
+  }
   const int64_t ipix = geo_.in_h * geo_.in_w;
   const auto add_bias_grad = [&](const float* go) {
     for (int64_t c = 0; c < out_c_; ++c) {
@@ -168,21 +269,23 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     // (dX) dimensions: the merged k axis of dW runs n-major/pixel-minor,
     // which is exactly the order the per-sample accumulation chained
     // through the C slot, so gradients are bit-identical to the sample
-    // loop (and to the im2col path).
+    // loop (and to the im2col path). Eliding the input gradient drops the
+    // dX gemm and its scatter without touching the dW accumulation.
     const int64_t cols = batch * opix;
     if (batch == 1) {
       const float* go = grad_out.data();
-      gemm_a_bt(out_c_, geo_.in_c, opix, 1.0f, go, x.data(), 1.0f,
+      gemm_a_bt(out_c_, geo_.in_c, opix, 1.0f, go, cached_sample(0), 1.0f,
                 weight_.grad.data());
-      gemm_at_b(geo_.in_c, opix, out_c_, 1.0f, weight_.value.data(), go, 0.0f,
-                grad_in.data());
+      if (needs_input_grad_) {
+        gemm_at_b(geo_.in_c, opix, out_c_, 1.0f, weight_.value.data(), go,
+                  0.0f, grad_in.data());
+      }
       if (has_bias_) add_bias_grad(go);
       return grad_in;
     }
     ws::ArenaScope scratch;
     float* gocat = scratch.floats(static_cast<size_t>(out_c_ * cols));
     float* xcat = scratch.floats(static_cast<size_t>(geo_.in_c * cols));
-    float* gicat = scratch.floats(static_cast<size_t>(geo_.in_c * cols));
     const int64_t row_grain = (kElemGrain + cols - 1) / cols;
     parallel_for(
         0, out_c_,
@@ -202,7 +305,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           for (int64_t c = c0; c < c1; ++c) {
             for (int64_t n = 0; n < batch; ++n) {
               std::memcpy(xcat + c * cols + n * opix,
-                          x.data() + (n * geo_.in_c + c) * ipix,
+                          cached_sample(n) + c * ipix,
                           static_cast<size_t>(opix) * sizeof(float));
             }
           }
@@ -211,21 +314,24 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     // dW += dYcat @ Xcat^T  (out_c x cols) @ (cols x in_c)
     gemm_a_bt(out_c_, geo_.in_c, cols, 1.0f, gocat, xcat, 1.0f,
               weight_.grad.data());
-    // dXcat = W^T @ dYcat  (in_c x out_c) @ (out_c x cols)
-    gemm_at_b(geo_.in_c, cols, out_c_, 1.0f, weight_.value.data(), gocat, 0.0f,
-              gicat);
-    parallel_for(
-        0, geo_.in_c,
-        [&](int64_t c0, int64_t c1) {
-          for (int64_t c = c0; c < c1; ++c) {
-            for (int64_t n = 0; n < batch; ++n) {
-              std::memcpy(grad_in.data() + (n * geo_.in_c + c) * ipix,
-                          gicat + c * cols + n * opix,
-                          static_cast<size_t>(opix) * sizeof(float));
+    if (needs_input_grad_) {
+      float* gicat = scratch.floats(static_cast<size_t>(geo_.in_c * cols));
+      // dXcat = W^T @ dYcat  (in_c x out_c) @ (out_c x cols)
+      gemm_at_b(geo_.in_c, cols, out_c_, 1.0f, weight_.value.data(), gocat,
+                0.0f, gicat);
+      parallel_for(
+          0, geo_.in_c,
+          [&](int64_t c0, int64_t c1) {
+            for (int64_t c = c0; c < c1; ++c) {
+              for (int64_t n = 0; n < batch; ++n) {
+                std::memcpy(grad_in.data() + (n * geo_.in_c + c) * ipix,
+                            gicat + c * cols + n * opix,
+                            static_cast<size_t>(opix) * sizeof(float));
+              }
             }
-          }
-        },
-        row_grain);
+          },
+          row_grain);
+    }
     // Bias gradient keeps the serial per-sample order (double accumulator
     // per channel, sample-major) so its bits match the previous loop.
     if (has_bias_) {
@@ -239,17 +345,19 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const size_t col_elems =
       static_cast<size_t>(geo_.col_rows() * geo_.col_cols());
   float* col = scratch.floats(col_elems);
-  float* gcol = scratch.floats(col_elems);
+  float* gcol = needs_input_grad_ ? scratch.floats(col_elems) : nullptr;
   for (int64_t n = 0; n < batch; ++n) {
     const float* go = grad_out.data() + n * out_c_ * opix;
     // dW += dY @ col^T  (out_c x opix) @ (opix x col_rows)
-    im2col(x.data() + n * geo_.in_c * ipix, geo_, col);
+    im2col(cached_sample(n), geo_, col);
     gemm_a_bt(out_c_, geo_.col_rows(), opix, 1.0f, go, col, 1.0f,
               weight_.grad.data());
-    // dcol = W^T @ dY  (col_rows x out_c) @ (out_c x opix)
-    gemm_at_b(geo_.col_rows(), opix, out_c_, 1.0f, weight_.value.data(), go,
-              0.0f, gcol);
-    col2im(gcol, geo_, grad_in.data() + n * geo_.in_c * ipix);
+    if (needs_input_grad_) {
+      // dcol = W^T @ dY  (col_rows x out_c) @ (out_c x opix)
+      gemm_at_b(geo_.col_rows(), opix, out_c_, 1.0f, weight_.value.data(), go,
+                0.0f, gcol);
+      col2im(gcol, geo_, grad_in.data() + n * geo_.in_c * ipix);
+    }
     if (has_bias_) add_bias_grad(go);
   }
   return grad_in;
@@ -277,17 +385,21 @@ int64_t DepthwiseConv2d::macs_per_sample() const {
 Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
   CHAM_CHECK(x.rank() == 4 && x.dim(1) == geo_.in_c,
              "DepthwiseConv2d input " + x.shape().to_string());
-  if (train) cached_input_ = x;
+  if (train) {
+    cached_input_ = x;
+    cached_gather_ = false;
+  }
   const int64_t batch = x.dim(0);
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   Tensor out({batch, geo_.in_c, oh, ow});
   const int64_t k = geo_.kernel;
+  const int64_t ipix = geo_.in_h * geo_.in_w;
   // Every (sample, channel) plane is independent: parallel over the
   // flattened plane index.
   parallel_for(0, batch * geo_.in_c, [&](int64_t p0, int64_t p1) {
     for (int64_t pi = p0; pi < p1; ++pi) {
       const int64_t c = pi % geo_.in_c;
-      const float* plane = x.data() + pi * geo_.in_h * geo_.in_w;
+      const float* plane = x.data() + pi * ipix;
       const float* w = weight_.value.data() + c * k * k;
       float* o = out.data() + pi * oh * ow;
       for (int64_t y = 0; y < oh; ++y) {
@@ -311,26 +423,85 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool train) {
   return out;
 }
 
+Tensor DepthwiseConv2d::forward_gather(const GatherBatch& gb, bool train) {
+  const int64_t ipix = geo_.in_h * geo_.in_w;
+  CHAM_CHECK(gb.sample_numel() == geo_.in_c * ipix,
+             "DepthwiseConv2d gathered sample " + gb.sample_shape.to_string());
+  if (train) {
+    cached_rows_.assign(gb.rows, gb.rows + gb.n);
+    cached_gather_ = true;
+    cached_input_ = Tensor();
+  }
+  const int64_t batch = gb.n;
+  const int64_t oh = geo_.out_h(), ow = geo_.out_w();
+  Tensor out({batch, geo_.in_c, oh, ow});
+  const int64_t k = geo_.kernel;
+  // Identical arithmetic to forward(); the plane base is gathered per
+  // sample instead of read from one contiguous batch.
+  parallel_for(0, batch * geo_.in_c, [&](int64_t p0, int64_t p1) {
+    for (int64_t pi = p0; pi < p1; ++pi) {
+      const int64_t n = pi / geo_.in_c;
+      const int64_t c = pi % geo_.in_c;
+      const float* plane = gb.rows[n] + c * ipix;
+      const float* w = weight_.value.data() + c * k * k;
+      float* o = out.data() + pi * oh * ow;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t xo = 0; xo < ow; ++xo) {
+          double acc = 0;
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t iy = y * geo_.stride + kh - geo_.pad;
+            if (iy < 0 || iy >= geo_.in_h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t ix = xo * geo_.stride + kw - geo_.pad;
+              if (ix < 0 || ix >= geo_.in_w) continue;
+              acc += double(plane[iy * geo_.in_w + ix]) *
+                     double(w[kh * k + kw]);
+            }
+          }
+          o[y * ow + xo] = static_cast<float>(acc);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+const float* DepthwiseConv2d::cached_sample(int64_t n) const {
+  return cached_gather_
+             ? cached_rows_[static_cast<size_t>(n)]
+             : cached_input_.data() + n * geo_.in_c * geo_.in_h * geo_.in_w;
+}
+
+int64_t DepthwiseConv2d::cached_batch() const {
+  return cached_gather_ ? static_cast<int64_t>(cached_rows_.size())
+                        : cached_input_.dim(0);
+}
+
 Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
-  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
-  const Tensor& x = cached_input_;
-  const int64_t batch = x.dim(0);
+  CHAM_CHECK(!cached_input_.empty() || cached_gather_,
+             "backward without train-mode forward");
+  const int64_t batch = cached_batch();
   const int64_t oh = geo_.out_h(), ow = geo_.out_w();
   const int64_t k = geo_.kernel;
-  Tensor grad_in(x.shape());
+  const int64_t ipix = geo_.in_h * geo_.in_w;
+  Tensor grad_in;
+  if (needs_input_grad_) {
+    grad_in = Tensor({batch, geo_.in_c, geo_.in_h, geo_.in_w});
+  }
   // Channel-outer so each chunk owns its channels' weight grads outright;
   // the batch loop runs inside, preserving the per-element accumulation
-  // order of the serial kernel (n ascending, then y, x).
+  // order of the serial kernel (n ascending, then y, x). Elision drops the
+  // gi accumulation lines only; the gw chain is untouched.
   parallel_for(0, geo_.in_c, [&](int64_t c0, int64_t c1) {
     for (int64_t c = c0; c < c1; ++c) {
       const float* w = weight_.value.data() + c * k * k;
       float* gw = weight_.grad.data() + c * k * k;
       for (int64_t n = 0; n < batch; ++n) {
-        const float* plane =
-            x.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+        const float* plane = cached_sample(n) + c * ipix;
         const float* go = grad_out.data() + (n * geo_.in_c + c) * oh * ow;
-        float* gi =
-            grad_in.data() + (n * geo_.in_c + c) * geo_.in_h * geo_.in_w;
+        float* gi = needs_input_grad_
+                        ? grad_in.data() + (n * geo_.in_c + c) * ipix
+                        : nullptr;
         for (int64_t y = 0; y < oh; ++y) {
           for (int64_t xo = 0; xo < ow; ++xo) {
             const float g = go[y * ow + xo];
@@ -342,7 +513,7 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
                 const int64_t ix = xo * geo_.stride + kw - geo_.pad;
                 if (ix < 0 || ix >= geo_.in_w) continue;
                 gw[kh * k + kw] += g * plane[iy * geo_.in_w + ix];
-                gi[iy * geo_.in_w + ix] += g * w[kh * k + kw];
+                if (gi) gi[iy * geo_.in_w + ix] += g * w[kh * k + kw];
               }
             }
           }
@@ -543,6 +714,30 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
   return out;
 }
 
+Tensor GlobalAvgPool::forward_gather(const GatherBatch& gb, bool train) {
+  CHAM_CHECK(gb.sample_shape.rank() == 3,
+             "GlobalAvgPool gathered sample " + gb.sample_shape.to_string());
+  const int64_t ch = gb.sample_shape[0];
+  const int64_t hw = gb.sample_shape[1] * gb.sample_shape[2];
+  if (train) {
+    cached_in_shape_ =
+        Shape{gb.n, ch, gb.sample_shape[1], gb.sample_shape[2]};
+  }
+  Tensor out({gb.n, ch});
+  parallel_for(
+      0, gb.n * ch,
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t pi = p0; pi < p1; ++pi) {
+          const float* p = gb.rows[pi / ch] + (pi % ch) * hw;
+          double acc = 0;
+          for (int64_t i = 0; i < hw; ++i) acc += p[i];
+          out[pi] = static_cast<float>(acc / hw);
+        }
+      },
+      /*grain=*/8);
+  return out;
+}
+
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   CHAM_CHECK(cached_in_shape_.rank() == 4,
              "backward without train-mode forward");
@@ -574,7 +769,10 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   CHAM_CHECK(x.rank() == 2 && x.dim(1) == in_dim_,
              "Linear input " + x.shape().to_string() + ", expected cols " +
                  std::to_string(in_dim_));
-  if (train) cached_input_ = x;
+  if (train) {
+    cached_input_ = x;
+    cached_gather_ = false;
+  }
   const int64_t batch = x.dim(0);
   Tensor out({batch, out_dim_});
   // out = x @ W^T + b
@@ -587,17 +785,45 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   return out;
 }
 
+Tensor Linear::forward_gather(const GatherBatch& gb, bool train) {
+  CHAM_CHECK(gb.sample_numel() == in_dim_,
+             "Linear gathered sample " + gb.sample_shape.to_string() +
+                 ", expected " + std::to_string(in_dim_) + " elements");
+  if (train) {
+    cached_rows_.assign(gb.rows, gb.rows + gb.n);
+    cached_gather_ = true;
+    cached_input_ = Tensor();
+  }
+  Tensor out({gb.n, out_dim_});
+  // Same GEMM as forward(); row i of the A operand is gathered in place.
+  gemm_gather_a_bt(gb.n, out_dim_, in_dim_, 1.0f, gb.rows,
+                   weight_.value.data(), 0.0f, out.data());
+  for (int64_t n = 0; n < gb.n; ++n) {
+    float* o = out.data() + n * out_dim_;
+    for (int64_t j = 0; j < out_dim_; ++j) o[j] += bias_.value[j];
+  }
+  return out;
+}
+
 Tensor Linear::backward(const Tensor& grad_out) {
-  CHAM_CHECK(!cached_input_.empty(), "backward without train-mode forward");
-  const Tensor& x = cached_input_;
-  const int64_t batch = x.dim(0);
+  CHAM_CHECK(!cached_input_.empty() || cached_gather_,
+             "backward without train-mode forward");
+  const int64_t batch = cached_gather_
+                            ? static_cast<int64_t>(cached_rows_.size())
+                            : cached_input_.dim(0);
   // dW += dY^T @ X  (out x batch) @ (batch x in)
-  gemm_at_b(out_dim_, in_dim_, batch, 1.0f, grad_out.data(), x.data(), 1.0f,
-            weight_.grad.data());
+  if (cached_gather_) {
+    gemm_at_b_gather_b(out_dim_, in_dim_, batch, 1.0f, grad_out.data(),
+                       cached_rows_.data(), 1.0f, weight_.grad.data());
+  } else {
+    gemm_at_b(out_dim_, in_dim_, batch, 1.0f, grad_out.data(),
+              cached_input_.data(), 1.0f, weight_.grad.data());
+  }
   for (int64_t n = 0; n < batch; ++n) {
     const float* go = grad_out.data() + n * out_dim_;
     for (int64_t j = 0; j < out_dim_; ++j) bias_.grad[j] += go[j];
   }
+  if (!needs_input_grad_) return Tensor();
   // dX = dY @ W
   Tensor grad_in({batch, in_dim_});
   gemm(batch, in_dim_, out_dim_, 1.0f, grad_out.data(), weight_.value.data(),

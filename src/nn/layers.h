@@ -19,6 +19,7 @@ class Conv2d : public Layer {
          bool init = true);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_gather(const GatherBatch& gb, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::string name() const override { return "Conv2d"; }
@@ -29,12 +30,24 @@ class Conv2d : public Layer {
   int64_t out_channels() const { return out_c_; }
 
  private:
+  // Base pointer of cached sample n for the backward pass: a row pointer
+  // after a gathered train forward, a slice of the cached tensor otherwise.
+  const float* cached_sample(int64_t n) const;
+  int64_t cached_batch() const;
+
   ConvGeometry geo_;
   int64_t out_c_;
   bool has_bias_;
   Param weight_;  // out_c x (in_c*k*k)
   Param bias_;    // out_c
   Tensor cached_input_;
+  // Train-mode forward_gather caches the caller's row pointers instead of
+  // deep-copying the batch; the caller keeps rows valid through backward.
+  std::vector<const float*> cached_rows_;
+  bool cached_gather_ = false;
+  // Column-pointer scratch of the gathered pointwise forward (capacity is
+  // reused across steps, so the steady state allocates nothing).
+  std::vector<const float*> colptr_scratch_;
 };
 
 // Depthwise convolution: one k x k filter per channel.
@@ -44,6 +57,7 @@ class DepthwiseConv2d : public Layer {
                   int64_t stride, int64_t pad, Rng& rng, bool init = true);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_gather(const GatherBatch& gb, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_}; }
   std::string name() const override { return "DepthwiseConv2d"; }
@@ -53,9 +67,14 @@ class DepthwiseConv2d : public Layer {
   const ConvGeometry& geometry() const { return geo_; }
 
  private:
+  const float* cached_sample(int64_t n) const;
+  int64_t cached_batch() const;
+
   ConvGeometry geo_;  // in_c == channels
   Param weight_;      // channels x k x k (stored flat channels x k*k)
   Tensor cached_input_;
+  std::vector<const float*> cached_rows_;
+  bool cached_gather_ = false;
 };
 
 // Batch normalisation over channels of an NCHW tensor.
@@ -111,6 +130,7 @@ class ReLU : public Layer {
 class GlobalAvgPool : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_gather(const GatherBatch& gb, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "GlobalAvgPool"; }
 
@@ -124,6 +144,7 @@ class Linear : public Layer {
   Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool init = true);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_gather(const GatherBatch& gb, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
@@ -138,6 +159,8 @@ class Linear : public Layer {
   Param weight_;  // out x in
   Param bias_;    // out
   Tensor cached_input_;
+  std::vector<const float*> cached_rows_;
+  bool cached_gather_ = false;
 };
 
 }  // namespace cham::nn

@@ -16,8 +16,24 @@ class Sequential : public Layer {
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
 
   Tensor forward(const Tensor& x, bool train) override {
-    Tensor cur = x;
-    for (auto& l : layers_) cur = l->forward(cur, train);
+    if (layers_.empty()) return x;
+    // The first layer reads the caller's tensor in place; copying x into a
+    // local first was a full batch deep copy per forward.
+    Tensor cur = layers_.front()->forward(x, train);
+    for (size_t i = 1; i < layers_.size(); ++i) {
+      cur = layers_[i]->forward(cur, train);
+    }
+    return cur;
+  }
+
+  // Gathered entry: the first layer packs directly from the gathered rows,
+  // the rest of the pipeline runs on its dense output as usual.
+  Tensor forward_gather(const GatherBatch& gb, bool train) override {
+    if (layers_.empty()) return Layer::forward_gather(gb, train);
+    Tensor cur = layers_.front()->forward_gather(gb, train);
+    for (size_t i = 1; i < layers_.size(); ++i) {
+      cur = layers_[i]->forward(cur, train);
+    }
     return cur;
   }
 
@@ -26,6 +42,8 @@ class Sequential : public Layer {
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       cur = (*it)->backward(cur);
     }
+    // When the first layer elides its input gradient, `cur` is empty here;
+    // the pipeline's own caller sees the same contract as a single layer.
     return cur;
   }
 
@@ -43,6 +61,19 @@ class Sequential : public Layer {
     int64_t total = 0;
     for (const auto& l : layers_) total += l->macs_per_sample();
     return total;
+  }
+
+  int64_t backward_macs_per_sample() const override {
+    int64_t total = 0;
+    for (const auto& l : layers_) total += l->backward_macs_per_sample();
+    return total;
+  }
+
+  // Applies to the pipeline's own input, i.e. the first layer (which may
+  // itself be a Sequential — the setting recurses to the real leaf).
+  void set_needs_input_grad(bool v) override {
+    needs_input_grad_ = v;
+    if (!layers_.empty()) layers_.front()->set_needs_input_grad(v);
   }
 
   int64_t size() const { return static_cast<int64_t>(layers_.size()); }

@@ -3,10 +3,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "replay/sample.h"
 #include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+#include "util/check.h"
 
 namespace cham::replay {
 
@@ -71,6 +75,119 @@ class ReplayBuffer {
   int64_t capacity_;
   int64_t seen_ = 0;
   std::vector<ReplaySample> items_;
+};
+
+// Slot-stable short-term store backed by ONE contiguous slab: slot i's
+// latent is the row_numel() floats at row(i), at a fixed offset for the
+// store's whole lifetime. This is what makes the replay path zero-copy —
+// the training gather packs GEMM panels straight out of the slab (rows are
+// unit-stride), and checkpointing range-copies [row(0), row(size())) in a
+// single memcpy instead of walking per-slot tensors.
+//
+// Insertion follows ReplayBuffer::random_replace_add exactly (append while
+// below capacity, then overwrite a uniformly random slot) with the same
+// RNG draw sequence, so a SlotStore-backed ShortTermMemory is bit-identical
+// to the per-tensor buffer it replaces.
+//
+// Row geometry is configured by the first insertion and fixed thereafter
+// (every ST latent shares the backbone's latent shape); the slab is
+// allocated once at configure time through the workspace pool.
+class SlotStore {
+ public:
+  explicit SlotStore(int64_t capacity) : capacity_(capacity) {}
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return size_; }
+  bool full() const { return size_ >= capacity_; }
+  int64_t seen() const { return seen_; }
+  bool configured() const { return row_numel_ > 0; }
+  const Shape& row_shape() const { return row_shape_; }
+  int64_t row_numel() const { return row_numel_; }
+
+  const data::ImageKey& key(int64_t i) const {
+    return keys_[static_cast<size_t>(i)];
+  }
+  int64_t label(int64_t i) const { return labels_[static_cast<size_t>(i)]; }
+  const float* row(int64_t i) const {
+    CHAM_DCHECK(i >= 0 && i < size_, "SlotStore row " + std::to_string(i) +
+                                         " of " + std::to_string(size_));
+    return slab_.data() + i * row_numel_;
+  }
+  float* mutable_row(int64_t i) {
+    return const_cast<float*>(static_cast<const SlotStore*>(this)->row(i));
+  }
+  // Base of the contiguous occupied range [rows(), rows() + size() *
+  // row_numel()); what checkpointing serialises with one range write.
+  const float* rows() const { return slab_.data(); }
+
+  // Materialises slot i as a Tensor (row_shape()); off the steady path —
+  // used by the LT promotion block and tests.
+  Tensor latent_copy(int64_t i) const {
+    Tensor t(row_shape_);
+    std::memcpy(t.data(), row(i),
+                static_cast<size_t>(row_numel_) * sizeof(float));
+    return t;
+  }
+
+  // Fixes the row geometry and allocates the slab (idempotent; the shape
+  // must match once set).
+  void configure(const Shape& shape) {
+    if (configured()) {
+      CHAM_CHECK(shape == row_shape_,
+                 "SlotStore row shape " + shape.to_string() +
+                     " differs from configured " + row_shape_.to_string());
+      return;
+    }
+    CHAM_CHECK(shape.numel() > 0, "SlotStore: empty row shape");
+    row_shape_ = shape;
+    row_numel_ = shape.numel();
+    slab_.resize(static_cast<size_t>(capacity_ * row_numel_));
+    keys_.resize(static_cast<size_t>(capacity_));
+    labels_.resize(static_cast<size_t>(capacity_));
+  }
+
+  // Appends while not full, then overwrites a uniformly random slot. Same
+  // policy and RNG consumption as ReplayBuffer::random_replace_add: one
+  // uniform_int(capacity) draw if and only if the store is full.
+  int64_t random_replace_add(const data::ImageKey& key, int64_t label,
+                             const Shape& shape, const float* src, Rng& rng) {
+    configure(shape);
+    ++seen_;
+    int64_t slot;
+    if (!full()) {
+      slot = size_++;
+    } else {
+      slot = rng.uniform_int(capacity_);
+    }
+    std::memcpy(slab_.data() + slot * row_numel_, src,
+                static_cast<size_t>(row_numel_) * sizeof(float));
+    keys_[static_cast<size_t>(slot)] = key;
+    labels_[static_cast<size_t>(slot)] = label;
+    return slot;
+  }
+  int64_t random_replace_add(const data::ImageKey& key, int64_t label,
+                             const Tensor& latent, Rng& rng) {
+    return random_replace_add(key, label, latent.shape(), latent.data(), rng);
+  }
+
+  void clear() {
+    size_ = 0;
+    seen_ = 0;
+  }
+
+  // Restores the stream counter after deserialisation so future insertion
+  // probabilities continue from the checkpointed position.
+  void set_seen(int64_t seen) { seen_ = seen; }
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  int64_t size_ = 0;
+  Shape row_shape_;
+  int64_t row_numel_ = 0;
+  ws::FloatBuffer slab_;
+  std::vector<data::ImageKey> keys_;
+  std::vector<int64_t> labels_;
 };
 
 }  // namespace cham::replay

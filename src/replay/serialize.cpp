@@ -11,6 +11,10 @@ constexpr uint32_t kVersion = 1;
 // Precision-tagged buffer framing (save_buffer_q / load_buffer_q): every
 // tensor payload carries a quant::Precision byte.
 constexpr uint32_t kVersionQ = 2;
+// Slab-backed slot-store framing (save_slot_store_q / load_slot_store_q):
+// one shared row shape, keys/labels table, then the latent payload — a
+// single fp32 range or per-row quant payloads.
+constexpr uint32_t kVersionSlab = 3;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -285,6 +289,122 @@ bool load_buffer_q(ReplayBuffer& buffer, std::istream& is) {
   }
   buffer = std::move(loaded);
   buffer.set_seen(seen);
+  return true;
+}
+
+bool save_slot_store_q(const SlotStore& store, std::ostream& os,
+                       quant::Precision precision) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersionSlab);
+  write_pod(os, static_cast<int64_t>(store.capacity()));
+  write_pod(os, static_cast<int64_t>(store.seen()));
+  write_pod(os, static_cast<int64_t>(store.size()));
+  const uint32_t rank =
+      store.configured() ? static_cast<uint32_t>(store.row_shape().rank()) : 0;
+  write_pod(os, rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    write_pod(os, static_cast<int64_t>(store.row_shape()[d]));
+  }
+  for (int64_t i = 0; i < store.size(); ++i) {
+    const auto& k = store.key(i);
+    write_pod(os, k.class_id);
+    write_pod(os, k.domain_id);
+    write_pod(os, k.instance_id);
+    write_pod(os, static_cast<uint8_t>(k.test));
+    write_pod(os, static_cast<int64_t>(store.label(i)));
+  }
+  write_pod(os, static_cast<uint8_t>(precision));
+  if (store.size() == 0) return os.good();
+  if (precision == quant::Precision::kFp32) {
+    // The whole occupied range in one write — the slab is contiguous.
+    os.write(reinterpret_cast<const char*>(store.rows()),
+             static_cast<std::streamsize>(store.size() * store.row_numel() *
+                                          sizeof(float)));
+    return os.good();
+  }
+  Tensor row_scratch(store.row_shape());
+  for (int64_t i = 0; i < store.size(); ++i) {
+    std::memcpy(row_scratch.data(), store.row(i),
+                static_cast<size_t>(store.row_numel()) * sizeof(float));
+    const quant::EncodedTensor enc = quant::encode(row_scratch, precision);
+    write_pod(os, static_cast<int64_t>(enc.bytes.size()));
+    os.write(reinterpret_cast<const char*>(enc.bytes.data()),
+             static_cast<std::streamsize>(enc.bytes.size()));
+  }
+  return os.good();
+}
+
+bool load_slot_store_q(SlotStore& store, std::istream& is) {
+  uint32_t magic = 0, version = 0, rank = 0;
+  int64_t capacity = 0, seen = 0, count = 0;
+  if (!read_pod(is, magic) || magic != kMagic) return false;
+  if (!read_pod(is, version) || version != kVersionSlab) return false;
+  if (!read_pod(is, capacity) || capacity <= 0) return false;
+  if (!read_pod(is, seen) || seen < 0) return false;
+  if (!read_pod(is, count) || count < 0 || count > capacity) return false;
+  if (!read_pod(is, rank) || rank > 8) return false;
+  if (count > 0 && rank == 0) return false;
+  std::vector<int64_t> dims(rank);
+  int64_t row_numel = 1;
+  for (auto& d : dims) {
+    if (!read_pod(is, d) || d <= 0 || d > (int64_t{1} << 32)) return false;
+    row_numel *= d;
+  }
+  if (row_numel > (int64_t{1} << 32)) return false;
+
+  SlotStore loaded(capacity);
+  struct KeyRow {
+    data::ImageKey key;
+    int64_t label;
+  };
+  std::vector<KeyRow> table(static_cast<size_t>(count));
+  for (auto& r : table) {
+    uint8_t test = 0;
+    if (!read_pod(is, r.key.class_id)) return false;
+    if (!read_pod(is, r.key.domain_id)) return false;
+    if (!read_pod(is, r.key.instance_id)) return false;
+    if (!read_pod(is, test)) return false;
+    r.key.test = test != 0;
+    if (!read_pod(is, r.label) || r.label < 0) return false;
+  }
+  uint8_t precision_byte = 0;
+  if (!read_pod(is, precision_byte) ||
+      precision_byte > static_cast<uint8_t>(quant::Precision::kInt8)) {
+    return false;
+  }
+  const auto precision = static_cast<quant::Precision>(precision_byte);
+  if (count > 0) {
+    const Shape row_shape{std::span<const int64_t>(dims)};
+    Rng fill_rng(0);  // store below capacity: appends, rng unused
+    if (precision == quant::Precision::kFp32) {
+      Tensor row_scratch(row_shape);
+      for (int64_t i = 0; i < count; ++i) {
+        is.read(reinterpret_cast<char*>(row_scratch.data()),
+                static_cast<std::streamsize>(row_numel * sizeof(float)));
+        if (!is.good()) return false;
+        const auto& r = table[static_cast<size_t>(i)];
+        loaded.random_replace_add(r.key, r.label, row_scratch, fill_rng);
+      }
+    } else {
+      const int64_t expect_bytes = quant::storage_bytes(precision, row_numel);
+      for (int64_t i = 0; i < count; ++i) {
+        int64_t nbytes = 0;
+        if (!read_pod(is, nbytes) || nbytes != expect_bytes) return false;
+        quant::EncodedTensor enc;
+        enc.precision = precision;
+        enc.shape = row_shape;
+        enc.bytes.resize(static_cast<size_t>(nbytes));
+        is.read(reinterpret_cast<char*>(enc.bytes.data()),
+                static_cast<std::streamsize>(nbytes));
+        if (!is.good()) return false;
+        const Tensor row = quant::decode(enc);
+        const auto& r = table[static_cast<size_t>(i)];
+        loaded.random_replace_add(r.key, r.label, row, fill_rng);
+      }
+    }
+  }
+  store = std::move(loaded);
+  store.set_seen(seen);
   return true;
 }
 

@@ -57,4 +57,14 @@ bool save_buffer_q(const ReplayBuffer& buffer, std::ostream& os,
                    quant::Precision precision);
 bool load_buffer_q(ReplayBuffer& buffer, std::istream& is);
 
+// Slab-backed slot stores (version-3 framing). The ST latents live in one
+// contiguous slab with a single shared row shape, so the fp32 payload is
+// ONE range write of count * row_numel floats straight out of the slab —
+// no per-slot tensor walk. Reduced precisions store one length-prefixed
+// quant payload per row. kFp32 round-trips bit-exactly; the store's slot
+// order, keys, labels, capacity and stream counter are all preserved.
+bool save_slot_store_q(const SlotStore& store, std::ostream& os,
+                       quant::Precision precision);
+bool load_slot_store_q(SlotStore& store, std::istream& is);
+
 }  // namespace cham::replay

@@ -179,14 +179,21 @@ void WriteBehind::flush_one(Snapshot snap) {
   enum class Form { kFull, kChunk, kOpLog };
   Form form = Form::kFull;
   core::ByteBuf frame;
+  uint64_t next_hash = 0;  // hash of `blob`, computed at most once
+  bool have_next_hash = false;
   if (cfg_.delta && !snap.force_full && has_base &&
       deltas < cfg_.compact_every) {
-    const uint64_t next_hash = core::blob_hash(blob.data(), blob.size());
+    next_hash = core::blob_hash(blob.data(), blob.size());
+    have_next_hash = true;
     core::ByteBuf chunk_frame;
     if (base) {  // base bytes may have been dropped under cache pressure
+      // base_hash/base_len in meta are blob_hash() of exactly these base
+      // bytes (both are set together on every full save), so the encode
+      // does not need to rehash either blob.
       chunk_frame = core::encode_chunk_delta(base->data(), base->size(),
                                              blob.data(), blob.size(),
-                                             cfg_.chunk_bytes);
+                                             cfg_.chunk_bytes, base_hash,
+                                             next_hash);
     }
     core::ByteBuf oplog_frame;
     if (ops_ok && static_cast<int64_t>(ops.size()) <= cfg_.max_replay_ops) {
@@ -228,7 +235,9 @@ void WriteBehind::flush_one(Snapshot snap) {
       stats_.flush_ms_max = std::max(stats_.flush_ms_max, flush_ms);
       if (form == Form::kFull) {
         m.base = snap.blob;
-        m.base_hash = core::blob_hash(blob.data(), blob.size());
+        m.base_hash = have_next_hash
+                          ? next_hash
+                          : core::blob_hash(blob.data(), blob.size());
         m.base_len = blob.size();
         m.has_base = true;
         m.deltas_since_full = 0;

@@ -128,6 +128,100 @@ void pack_b_panel(const float* CHAM_RESTRICT b, int64_t ldb, int64_t pc,
   }
 }
 
+// Operand source descriptors. The packed core is templated on how each
+// logical operand element is addressed, not on a single (base, ld) pair:
+// dense sources wrap the original packers, gather sources read through a
+// caller-owned pointer array. Pack order, zero padding, and alpha folding
+// are identical for every source, and everything downstream of the pack
+// (micro-kernels, strip/row partition, fma chains) is shared — so gathered
+// operands are bit-identical to packing a pre-stacked dense copy.
+template <bool kTrans>
+struct ADense {
+  const float* a;
+  int64_t lda;
+  template <int MR>
+  void pack_tile(int64_t row0, int64_t rows, int64_t pc, int64_t depth,
+                 float alpha, float* dst) const {
+    pack_a_tile<kTrans, MR>(a, lda, row0, rows, pc, depth, alpha, dst);
+  }
+};
+
+// Row-gathered A: logical row i is the k contiguous floats at rows[i].
+// Backs the replay path, where each row lives in a different latent slab /
+// cache entry and is packed in place instead of being stacked first.
+struct AGatherRows {
+  const float* const* rows;
+  template <int MR>
+  void pack_tile(int64_t row0, int64_t nrows, int64_t pc, int64_t depth,
+                 float alpha, float* CHAM_RESTRICT dst) const {
+    for (int64_t p = 0; p < depth; ++p) {
+      float* d = dst + p * MR;
+      if (alpha == 1.0f) {
+        for (int64_t r = 0; r < nrows; ++r) d[r] = rows[row0 + r][pc + p];
+      } else {
+        for (int64_t r = 0; r < nrows; ++r) {
+          d[r] = alpha * rows[row0 + r][pc + p];
+        }
+      }
+      for (int64_t r = nrows; r < MR; ++r) d[r] = 0.0f;
+    }
+  }
+};
+
+template <bool kTrans>
+struct BDense {
+  const float* b;
+  int64_t ldb;
+  template <int NR>
+  void pack_panel(int64_t pc, int64_t depth, int64_t n, float* dst) const {
+    pack_b_panel<kTrans, NR>(b, ldb, pc, depth, n, dst);
+  }
+};
+
+// Row-gathered B: logical row p is the n contiguous floats at rows[p].
+// Backs Linear's weight gradient over gathered samples (gemm_at_b with
+// B = the gathered input batch).
+struct BGatherRows {
+  const float* const* rows;
+  template <int NR>
+  void pack_panel(int64_t pc, int64_t depth, int64_t n,
+                  float* CHAM_RESTRICT dst) const {
+    for (int64_t jb = 0; jb < n; jb += NR) {
+      float* blk = dst + (jb / NR) * depth * NR;
+      const int64_t ncols = std::min<int64_t>(NR, n - jb);
+      for (int64_t p = 0; p < depth; ++p) {
+        float* d = blk + p * NR;
+        const float* s = rows[pc + p] + jb;
+        for (int64_t jj = 0; jj < ncols; ++jj) d[jj] = s[jj];
+        for (int64_t jj = ncols; jj < NR; ++jj) d[jj] = 0.0f;
+      }
+    }
+  }
+};
+
+// Column-gathered B: logical element (p, j) is cols[j][p * stride]. Backs
+// the pointwise-conv forward over gathered samples: column (n, pix) of the
+// flattened batch reads sample n's latent plane directly (cols[j] =
+// rows[n] + pix, stride = pixels per channel) with no xcat staging copy.
+struct BGatherCols {
+  const float* const* cols;
+  int64_t stride;
+  template <int NR>
+  void pack_panel(int64_t pc, int64_t depth, int64_t n,
+                  float* CHAM_RESTRICT dst) const {
+    for (int64_t jb = 0; jb < n; jb += NR) {
+      float* blk = dst + (jb / NR) * depth * NR;
+      const int64_t ncols = std::min<int64_t>(NR, n - jb);
+      for (int64_t p = 0; p < depth; ++p) {
+        float* d = blk + p * NR;
+        const int64_t off = (pc + p) * stride;
+        for (int64_t jj = 0; jj < ncols; ++jj) d[jj] = cols[jb + jj][off];
+        for (int64_t jj = ncols; jj < NR; ++jj) d[jj] = 0.0f;
+      }
+    }
+  }
+};
+
 // Scalar micro-kernel over packed panels: a full MR x NR accumulator tile
 // held in registers, no data-dependent branches. Valid lanes load C (which
 // chains the fma sequence exactly across K strips through the C slot);
@@ -342,15 +436,15 @@ void micro_kernel(int64_t rows, int64_t cols, int64_t depth,
 // of A through the micro-kernel against the strip's shared packed B panel.
 // A-tile scratch comes from the worker's own arena, so repeat calls never
 // touch the heap.
-template <bool kATrans, int MR, int NR>
+template <class ASrc, int MR, int NR>
 void run_rows(int64_t i0, int64_t i1, int64_t n, int64_t pc, int64_t depth,
-              float alpha, const float* a, int64_t lda,
+              float alpha, const ASrc& asrc,
               const float* CHAM_RESTRICT b_pack, float* c) {
   ws::ArenaScope scratch;
   float* a_pack = scratch.floats(static_cast<size_t>(kKc * MR));
   for (int64_t ic = i0; ic < i1; ic += MR) {
     const int64_t rows = std::min<int64_t>(MR, i1 - ic);
-    pack_a_tile<kATrans, MR>(a, lda, ic, rows, pc, depth, alpha, a_pack);
+    asrc.template pack_tile<MR>(ic, rows, pc, depth, alpha, a_pack);
     for (int64_t jb = 0; jb < n; jb += NR) {
       const int64_t cols = std::min<int64_t>(NR, n - jb);
       micro_kernel<MR, NR>(rows, cols, depth, a_pack,
@@ -380,23 +474,22 @@ void scale_c(float* c, int64_t count, float beta) {
 // fma chain across ascending strips) is untouched, and tile grouping never
 // mixes rows or columns — so bits remain independent of both thread count
 // and the strip barriers.
-template <bool kATrans, bool kBTrans, int MR, int NR>
-void run_strips(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                int64_t lda, const float* b, int64_t ldb, float beta,
-                float* c) {
+template <class ASrc, class BSrc, int MR, int NR>
+void run_strips(int64_t m, int64_t n, int64_t k, float alpha, const ASrc& asrc,
+                const BSrc& bsrc, float beta, float* c) {
   ws::ArenaScope scratch;
   const int64_t jblocks = (n + NR - 1) / NR;
   float* b_pack = scratch.floats(static_cast<size_t>(jblocks * kKc * NR));
   const int64_t grain = gemm_grain(n, k);
   for (int64_t pc = 0; pc < k; pc += kKc) {
     const int64_t depth = std::min(kKc, k - pc);
-    pack_b_panel<kBTrans, NR>(b, ldb, pc, depth, n, b_pack);
+    bsrc.template pack_panel<NR>(pc, depth, n, b_pack);
     parallel_for(
         0, m,
         [&](int64_t i0, int64_t i1) {
           if (pc == 0) scale_c(c + i0 * n, (i1 - i0) * n, beta);
-          run_rows<kATrans, MR, NR>(i0, i1, n, pc, depth, alpha, a, lda,
-                                    b_pack, c);
+          run_rows<ASrc, MR, NR>(i0, i1, n, pc, depth, alpha, asrc, b_pack,
+                                 c);
         },
         grain);
   }
@@ -406,10 +499,9 @@ void run_strips(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 // then K-strip accumulation. Per element the operations (and their order)
 // are the same for any partition, so results are bit-identical for every
 // thread count.
-template <bool kATrans, bool kBTrans>
-void gemm_driver(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float beta,
-                 float* c) {
+template <class ASrc, class BSrc>
+void gemm_driver(int64_t m, int64_t n, int64_t k, float alpha,
+                 const ASrc& asrc, const BSrc& bsrc, float beta, float* c) {
   if (alpha == 0.0f || k == 0) {
     parallel_for(
         0, m,
@@ -420,11 +512,11 @@ void gemm_driver(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
     return;
   }
   if (n <= kNarrowCutoff) {
-    run_strips<kATrans, kBTrans, kNarrowMr, kNarrowNr>(m, n, k, alpha, a, lda,
-                                                       b, ldb, beta, c);
+    run_strips<ASrc, BSrc, kNarrowMr, kNarrowNr>(m, n, k, alpha, asrc, bsrc,
+                                                 beta, c);
   } else {
-    run_strips<kATrans, kBTrans, kWideMr, kWideNr>(m, n, k, alpha, a, lda, b,
-                                                   ldb, beta, c);
+    run_strips<ASrc, BSrc, kWideMr, kWideNr>(m, n, k, alpha, asrc, bsrc,
+                                             beta, c);
   }
 }
 
@@ -456,9 +548,32 @@ void check_gemm_args(const char* name, int64_t m, int64_t n, int64_t k,
                  !ranges_overlap(b, b_elems, c, m * n),
              std::string(name) + ": C aliases an input panel");
 }
+
+// Entry contract of the gather kernels: the pointer array itself must be
+// present, every gathered pointer must be non-null, and none of the gathered
+// spans may alias C (the core streams gathered panels while writing C in
+// place). The per-pointer scan is O(m) on an O(k)-per-row operand, so it
+// stays in the always-on tier.
+void check_gather_ptrs(const char* name, const float* const* ptrs,
+                       int64_t count, int64_t span, const float* c,
+                       int64_t c_elems) {
+  CHAM_CHECK(ptrs != nullptr || count == 0 || c_elems == 0,
+             std::string(name) + ": null gather pointer array");
+  if (ptrs == nullptr) return;
+  for (int64_t i = 0; i < count; ++i) {
+    CHAM_CHECK(ptrs[i] != nullptr,
+               std::string(name) + ": null gathered pointer at index " +
+                   std::to_string(i));
+    CHAM_CHECK(!ranges_overlap(ptrs[i], span, c, c_elems),
+               std::string(name) + ": C aliases gathered span " +
+                   std::to_string(i));
+  }
+}
 #define CHAM_GEMM_CHECK(...) check_gemm_args(__VA_ARGS__)
+#define CHAM_GEMM_GATHER_CHECK(...) check_gather_ptrs(__VA_ARGS__)
 #else
 #define CHAM_GEMM_CHECK(...) ((void)0)
+#define CHAM_GEMM_GATHER_CHECK(...) ((void)0)
 #endif
 
 }  // namespace
@@ -477,7 +592,8 @@ void gemm(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
           const float* b, float beta, float* c) {
   CHAM_GEMM_CHECK("gemm", m, n, k, a, b, c, m * k, k * n);
   if (m <= 0 || n <= 0) return;
-  gemm_driver<false, false>(m, n, k, alpha, a, k, b, n, beta, c);
+  gemm_driver(m, n, k, alpha, ADense<false>{a, k}, BDense<false>{b, n}, beta,
+              c);
 }
 
 void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
@@ -486,7 +602,8 @@ void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   if (m <= 0 || n <= 0) return;
   // C[i][j] += sum_p A[p][i] * B[p][j]: the transposed A pack reads column
   // i of the KxM operand; everything downstream is the shared core.
-  gemm_driver<true, false>(m, n, k, alpha, a, m, b, n, beta, c);
+  gemm_driver(m, n, k, alpha, ADense<true>{a, m}, BDense<false>{b, n}, beta,
+              c);
 }
 
 void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
@@ -497,7 +614,47 @@ void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   // the NxK operand. Accumulation is the same p-ascending float fma chain
   // as the other kernels (this used to be a per-element double dot, which
   // made the three kernels disagree in precision and resisted blocking).
-  gemm_driver<false, true>(m, n, k, alpha, a, k, b, k, beta, c);
+  gemm_driver(m, n, k, alpha, ADense<false>{a, k}, BDense<true>{b, k}, beta,
+              c);
+}
+
+void gemm_gather_a_bt(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* const* a_rows, const float* b, float beta,
+                      float* c) {
+  CHAM_GEMM_CHECK("gemm_gather_a_bt", m, n, k, b, b, c, n * k, n * k);
+  CHAM_GEMM_GATHER_CHECK("gemm_gather_a_bt", a_rows, m, k, c, m * n);
+  if (m <= 0 || n <= 0) return;
+  // gemm_a_bt with logical A row i gathered from a_rows[i]: only the pack's
+  // load addresses differ from the dense kernel, so the result is
+  // bit-identical to stacking the rows first.
+  gemm_driver(m, n, k, alpha, AGatherRows{a_rows}, BDense<true>{b, k}, beta,
+              c);
+}
+
+void gemm_at_b_gather_b(int64_t m, int64_t n, int64_t k, float alpha,
+                        const float* a, const float* const* b_rows,
+                        float beta, float* c) {
+  CHAM_GEMM_CHECK("gemm_at_b_gather_b", m, n, k, a, a, c, k * m, k * m);
+  CHAM_GEMM_GATHER_CHECK("gemm_at_b_gather_b", b_rows, k, n, c, m * n);
+  if (m <= 0 || n <= 0) return;
+  // gemm_at_b with logical B row p gathered from b_rows[p].
+  gemm_driver(m, n, k, alpha, ADense<true>{a, m}, BGatherRows{b_rows}, beta,
+              c);
+}
+
+void gemm_gather_cols(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* a, const float* const* b_cols,
+                      int64_t b_col_stride, float beta, float* c) {
+  CHAM_GEMM_CHECK("gemm_gather_cols", m, n, k, a, a, c, m * k, m * k);
+  CHAM_CHECK(b_col_stride >= 1, "gemm_gather_cols: column stride must be >= 1");
+  CHAM_GEMM_GATHER_CHECK("gemm_gather_cols", b_cols, n,
+                         k > 0 ? (k - 1) * b_col_stride + 1 : 0, c, m * n);
+  if (m <= 0 || n <= 0) return;
+  // gemm with logical B element (p, j) gathered from b_cols[j][p * stride]:
+  // serves the pointwise-conv forward straight from per-sample latent
+  // storage with no xcat staging buffer.
+  gemm_driver(m, n, k, alpha, ADense<false>{a, k},
+              BGatherCols{b_cols, b_col_stride}, beta, c);
 }
 
 namespace ref {

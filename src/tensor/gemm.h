@@ -38,6 +38,35 @@ void gemm_at_b(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 void gemm_a_bt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
                const float* b, float beta, float* c);
 
+// Gather-source kernels. Same packed core, same pack order, same fma
+// chains — only the pack's load addresses differ — so results are
+// bit-identical to stacking the gathered operand into a dense panel and
+// calling the plain kernel. The caller owns the pointer arrays and the
+// gathered storage; both must stay valid for the duration of the call
+// (worker threads read them inside parallel_for).
+//
+// gemm_a_bt with a row-gathered A: logical row i of A is the k contiguous
+// floats at a_rows[i]. Backs Linear::forward over replay rows gathered
+// from ST/LT/incoming latent storage.
+void gemm_gather_a_bt(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* const* a_rows, const float* b, float beta,
+                      float* c);
+
+// gemm_at_b with a row-gathered B: logical row p of B is the n contiguous
+// floats at b_rows[p]. Backs Linear's weight gradient over gathered
+// samples.
+void gemm_at_b_gather_b(int64_t m, int64_t n, int64_t k, float alpha,
+                        const float* a, const float* const* b_rows,
+                        float beta, float* c);
+
+// gemm with a column-gathered B: logical element (p, j) of B is
+// b_cols[j][p * b_col_stride]. Backs the im2col-free pointwise-conv
+// forward over gathered samples (column (sample, pixel) reads the sample's
+// latent plane in place, stride = pixels per channel).
+void gemm_gather_cols(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* a, const float* const* b_cols,
+                      int64_t b_col_stride, float beta, float* c);
+
 // Convenience wrappers on Tensors (2-D only, shapes asserted).
 Tensor matmul(const Tensor& a, const Tensor& b);
 

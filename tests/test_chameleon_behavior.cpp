@@ -184,7 +184,7 @@ TEST(ChameleonBehavior, StagedLtBurstChargedOnceAndConsumedPerBatch) {
       // plus the promotion of one ST sample per class present in ST.
       std::set<int64_t> st_classes;
       for (int64_t i = 0; i < learner.short_term().size(); ++i) {
-        st_classes.insert(learner.short_term().buffer().item(i).label);
+        st_classes.insert(learner.short_term().store().label(i));
       }
       const int64_t expected = (6 + static_cast<int64_t>(st_classes.size())) *
                                latent_sz;
@@ -324,9 +324,10 @@ TEST(ChameleonBehavior, Fp16PrecisionRoundsBufferedLatents) {
   learner.observe(env.make_batch({0, 1, 2}));
   ASSERT_GT(learner.short_term().size(), 0);
   // Every buffered latent value must be exactly representable in fp16.
-  const auto& s = learner.short_term().buffer().item(0);
-  for (int64_t i = 0; i < s.latent.numel(); ++i) {
-    EXPECT_EQ(s.latent[i], quant::fp16_round_trip(s.latent[i]));
+  const auto& store = learner.short_term().store();
+  const float* row = store.row(0);
+  for (int64_t i = 0; i < store.row_numel(); ++i) {
+    EXPECT_EQ(row[i], quant::fp16_round_trip(row[i]));
   }
 }
 

@@ -139,11 +139,11 @@ TEST_F(CheckpointSuite, MidStreamResumeViaSessionStoreIsBitIdentical) {
   }
   ASSERT_EQ(resumed.short_term().size(), uninterrupted.short_term().size());
   for (int64_t i = 0; i < resumed.short_term().size(); ++i) {
-    const auto& sa = uninterrupted.short_term().buffer().item(i);
-    const auto& sb = resumed.short_term().buffer().item(i);
-    EXPECT_EQ(sa.label, sb.label);
-    EXPECT_EQ(std::memcmp(sa.latent.data(), sb.latent.data(),
-                          static_cast<size_t>(sa.latent.numel()) *
+    const auto& sta = uninterrupted.short_term().store();
+    const auto& stb = resumed.short_term().store();
+    EXPECT_EQ(sta.label(i), stb.label(i));
+    EXPECT_EQ(std::memcmp(sta.row(i), stb.row(i),
+                          static_cast<size_t>(sta.row_numel()) *
                               sizeof(float)),
               0)
         << "ST slot " << i << " diverged after resume";
@@ -195,8 +195,8 @@ TEST_F(CheckpointSuite, QuantizedBlobIsSmallerAndLoads) {
   EXPECT_EQ(restored.steps_observed(), learner.steps_observed());
   ASSERT_EQ(restored.short_term().size(), learner.short_term().size());
   for (int64_t i = 0; i < restored.short_term().size(); ++i) {
-    EXPECT_EQ(restored.short_term().buffer().item(i).label,
-              learner.short_term().buffer().item(i).label);
+    EXPECT_EQ(restored.short_term().store().label(i),
+              learner.short_term().store().label(i));
   }
   EXPECT_EQ(restored.long_term().size(), learner.long_term().size());
   // Head weights are fp32 always, quantization applies to latents only.

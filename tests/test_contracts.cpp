@@ -140,19 +140,33 @@ TEST(Contracts, LongTermInsertKeepsAuditStateThroughReplacement) {
   EXPECT_TRUE(lt.check_invariants().ok()) << lt.check_invariants().to_string();
 }
 
-TEST(Contracts, ShortTermAuditDetectsDanglingLatent) {
+TEST(Contracts, ShortTermAuditDetectsCorruptStore) {
   core::ShortTermMemory st(/*capacity=*/4, core::StSamplingConfig{});
   Rng rng(5);
-  st.buffer().random_replace_add(make_sample(0, 1.0f), rng);
-  st.buffer().random_replace_add(make_sample(1, 2.0f), rng);
+  const auto s0 = make_sample(0, 1.0f);
+  const auto s1 = make_sample(1, 2.0f);
+  st.store().random_replace_add(s0.key, s0.label, s0.latent, rng);
+  st.store().random_replace_add(s1.key, s1.label, s1.latent, rng);
   ASSERT_TRUE(st.check_invariants().ok())
       << st.check_invariants().to_string();
 
-  st.buffer().item(1).latent = Tensor();  // dangle one stored latent
-  const util::AuditReport report = st.check_invariants();
-  EXPECT_FALSE(report.ok());
-  EXPECT_TRUE(report.mentions("dangling latent in slot 1"))
-      << report.to_string();
+  // A stream counter below the occupancy means some path bypassed the
+  // insert funnel (the slab design makes dangling per-slot latents
+  // structurally impossible, so the counters and labels are the remaining
+  // corruption surface).
+  st.store().set_seen(1);
+  const util::AuditReport seen_report = st.check_invariants();
+  EXPECT_FALSE(seen_report.ok());
+  EXPECT_TRUE(seen_report.mentions("below occupancy"))
+      << seen_report.to_string();
+  st.store().set_seen(2);
+
+  const auto bad = make_sample(-3, 4.0f);
+  st.store().random_replace_add(bad.key, bad.label, bad.latent, rng);
+  const util::AuditReport label_report = st.check_invariants();
+  EXPECT_FALSE(label_report.ok());
+  EXPECT_TRUE(label_report.mentions("negative label"))
+      << label_report.to_string();
 }
 
 TEST(Contracts, PreferenceTrackerAuditCleanOnDrivenStream) {

@@ -4,6 +4,7 @@
 // against the im2col lowering it replaced.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 #include <vector>
 
@@ -74,6 +75,89 @@ TEST_P(GemmShapes, ABtMatchesNaive) {
     for (int64_t j = 0; j < k; ++j) b.at(j, i) = bt.at(i, j);
   naive_gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, ref.data());
   EXPECT_LT(ops::max_abs_diff(c, ref), 1e-3);
+}
+
+// Gather kernels vs their dense counterparts: BIT identity, not tolerance.
+// The gather pack reads the same values in the same order through pointer
+// indirection, so every C element must come out with identical bits. The
+// gathered rows live in per-row heap blocks (scattered addresses) to make
+// sure nothing silently assumes contiguity between logical rows.
+TEST_P(GemmShapes, GatherABtBitIdenticalToDense) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(uint64_t(m * 29 + n * 31 + k * 37));
+  Tensor a({m, k}), bt({n, k}), dense({m, n}), gathered({m, n});
+  ops::fill_normal(a, rng, 0.0f, 1.0f);
+  ops::fill_normal(bt, rng, 0.0f, 1.0f);
+  ops::fill_normal(dense, rng, 0.0f, 1.0f);
+  gathered = dense;
+
+  std::vector<std::vector<float>> scattered(static_cast<size_t>(m));
+  std::vector<const float*> rows(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    scattered[size_t(i)].assign(a.data() + i * k, a.data() + (i + 1) * k);
+    rows[size_t(i)] = scattered[size_t(i)].data();
+  }
+
+  gemm_a_bt(m, n, k, 1.25f, a.data(), bt.data(), 0.5f, dense.data());
+  gemm_gather_a_bt(m, n, k, 1.25f, rows.data(), bt.data(), 0.5f,
+                   gathered.data());
+  EXPECT_EQ(std::memcmp(dense.data(), gathered.data(),
+                        size_t(m * n) * sizeof(float)),
+            0);
+}
+
+TEST_P(GemmShapes, GatherAtBGatherBBitIdenticalToDense) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(uint64_t(m * 41 + n * 43 + k * 47));
+  Tensor at({k, m}), b({k, n}), dense({m, n}), gathered({m, n});
+  ops::fill_normal(at, rng, 0.0f, 1.0f);
+  ops::fill_normal(b, rng, 0.0f, 1.0f);
+  ops::fill_normal(dense, rng, 0.0f, 1.0f);
+  gathered = dense;
+
+  std::vector<std::vector<float>> scattered(static_cast<size_t>(k));
+  std::vector<const float*> rows(static_cast<size_t>(k));
+  for (int64_t p = 0; p < k; ++p) {
+    scattered[size_t(p)].assign(b.data() + p * n, b.data() + (p + 1) * n);
+    rows[size_t(p)] = scattered[size_t(p)].data();
+  }
+
+  gemm_at_b(m, n, k, 1.0f, at.data(), b.data(), 1.0f, dense.data());
+  gemm_at_b_gather_b(m, n, k, 1.0f, at.data(), rows.data(), 1.0f,
+                     gathered.data());
+  EXPECT_EQ(std::memcmp(dense.data(), gathered.data(),
+                        size_t(m * n) * sizeof(float)),
+            0);
+}
+
+TEST_P(GemmShapes, GatherColsBitIdenticalToDense) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(uint64_t(m * 53 + n * 59 + k * 61));
+  // Column j of B lives strided inside its own sample block, the pointwise
+  // conv layout: b_cols[j][p * stride].
+  const int64_t stride = 3;
+  Tensor a({m, k}), dense_b({k, n}), dense({m, n}), gathered({m, n});
+  ops::fill_normal(a, rng, 0.0f, 1.0f);
+  ops::fill_normal(dense, rng, 0.0f, 1.0f);
+  gathered = dense;
+
+  std::vector<std::vector<float>> blocks(static_cast<size_t>(n));
+  std::vector<const float*> cols(static_cast<size_t>(n));
+  Rng fill(uint64_t(m + n + k));
+  for (int64_t j = 0; j < n; ++j) {
+    auto& blk = blocks[size_t(j)];
+    blk.resize(size_t(std::max<int64_t>(1, k * stride)));
+    for (auto& v : blk) v = fill.normal_f(0.0f, 1.0f);
+    cols[size_t(j)] = blk.data();
+    for (int64_t p = 0; p < k; ++p) dense_b.at(p, j) = blk[size_t(p * stride)];
+  }
+
+  gemm(m, n, k, 0.75f, a.data(), dense_b.data(), 1.0f, dense.data());
+  gemm_gather_cols(m, n, k, 0.75f, a.data(), cols.data(), stride, 1.0f,
+                   gathered.data());
+  EXPECT_EQ(std::memcmp(dense.data(), gathered.data(),
+                        size_t(m * n) * sizeof(float)),
+            0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -99,12 +99,12 @@ class ServeSuite : public ::testing::Test {
     // Short-term store contents.
     ASSERT_EQ(a.short_term().size(), b.short_term().size());
     for (int64_t i = 0; i < a.short_term().size(); ++i) {
-      const auto& sa = a.short_term().buffer().item(i);
-      const auto& sb = b.short_term().buffer().item(i);
-      EXPECT_EQ(sa.label, sb.label) << "ST slot " << i;
-      ASSERT_EQ(sa.latent.numel(), sb.latent.numel());
-      EXPECT_EQ(std::memcmp(sa.latent.data(), sb.latent.data(),
-                            static_cast<size_t>(sa.latent.numel()) *
+      const auto& sta = a.short_term().store();
+      const auto& stb = b.short_term().store();
+      EXPECT_EQ(sta.label(i), stb.label(i)) << "ST slot " << i;
+      ASSERT_EQ(sta.row_numel(), stb.row_numel());
+      EXPECT_EQ(std::memcmp(sta.row(i), stb.row(i),
+                            static_cast<size_t>(sta.row_numel()) *
                                 sizeof(float)),
                 0)
           << "ST latent " << i << " differs";

@@ -282,6 +282,92 @@ TEST_F(ServeRaceSuite, BatchPlanCoalesceStress) {
   EXPECT_GT(s.predict_batches, 0) << "planner never merged a window";
 }
 
+// Zero-copy gather sources under concurrency: the gathered train/eval path
+// packs GEMM panels from row pointers into (a) the shared latent cache and
+// (b) each learner's ST slab / LT slots. (a) must stay valid while OTHER
+// worker threads concurrently miss-insert new latents into the same cache
+// (the unbounded cache's stable-reference contract); (b) must stay valid
+// across the evict/serialize/restore cycle that destroys and rebuilds the
+// slab. This stress drives all of it at once: wide key coverage forces
+// concurrent cache inserts mid-gather, and max_resident << sessions keeps
+// slabs being torn down and rebuilt while observes and predict bursts run.
+TEST_F(ServeRaceSuite, GatherSourcesStableAcrossEvictRestore) {
+  constexpr int64_t kSessions = 10;
+  constexpr int kSubmitters = 4;
+  constexpr auto kDuration = std::chrono::milliseconds(1500);
+
+  serve::ServeConfig sc;
+  sc.num_shards = 4;
+  sc.max_resident = 4;  // << kSessions: slabs constantly destroyed/rebuilt
+  sc.queue_capacity = 16;
+  sc.store_dir = "/tmp/cham_serve_race_gather";
+  sc.base_seed = 31;
+  sc.mode = serve::ServeMode::kThreaded;
+  serve::SessionStore(sc.store_dir).clear();
+
+  data::StreamConfig stream_cfg = exp_->config().stream;
+  stream_cfg.seed = 1313;
+  data::DomainIncrementalStream stream(exp_->config().data, stream_cfg);
+  // Deliberately NO warm_latents: the first gather over each key races the
+  // cache-miss insert path of every other worker.
+  const std::vector<data::Batch> batches = stream.batches();
+  ASSERT_FALSE(batches.empty());
+
+  serve::SessionManager mgr(sc, factory());
+  const auto deadline = Clock::now() + kDuration;
+  std::atomic<int64_t> observes_accepted{0};
+  std::atomic<int64_t> empty_results{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t step = static_cast<uint64_t>(t) * 7919;
+      std::vector<std::future<std::vector<int64_t>>> pending;
+      while (Clock::now() < deadline) {
+        const uint64_t sid = step % kSessions;
+        // Stride the batch stream differently per thread so distinct keys
+        // are being gathered and inserted concurrently.
+        const data::Batch& b =
+            batches[(step * (static_cast<uint64_t>(t) + 1)) % batches.size()];
+        if (step % 4 == 3) {
+          std::future<std::vector<int64_t>> f;
+          if (mgr.submit_predict(sid, b.keys, &f).accepted) {
+            pending.push_back(std::move(f));
+          }
+        } else if (mgr.submit_observe(sid, b).accepted) {
+          observes_accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+        if (pending.size() >= 32) {
+          for (auto& f : pending) {
+            if (f.get().empty()) {
+              empty_results.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          pending.clear();
+        }
+        ++step;
+      }
+      for (auto& f : pending) {
+        if (f.get().empty()) {
+          empty_results.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  mgr.drain();
+  mgr.flush();
+  const serve::ServeStats s = mgr.stats();
+  EXPECT_EQ(s.observes, observes_accepted.load());
+  EXPECT_EQ(s.dispatch_errors, 0);
+  EXPECT_EQ(empty_results.load(), 0) << "a predict future resolved empty";
+  EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
+  EXPECT_GT(s.restores, 0) << "stress never restored; raise the load";
+}
+
 TEST(WorkspaceRace, StatsPolledDuringOwnerAllocation) {
   constexpr auto kDuration = std::chrono::milliseconds(500);
   const auto deadline = Clock::now() + kDuration;

@@ -316,6 +316,40 @@ TEST(SteadyState, ObserveAllocatesNothingOffCycle) {
 #endif
 }
 
+// The chunked predict path rides the same gather machinery as training:
+// latent rows are read in place out of the cache and the first layer packs
+// GEMM panels straight from them, so a warm predict_batch makes no stacked
+// batch copy and touches the heap only for its returned prediction vector.
+TEST(SteadyState, ChunkedPredictStaysOffTheHeap) {
+#if CHAM_CHECKS_LEVEL >= 2
+  GTEST_SKIP() << "full-checks tier audits allocate inside the layers";
+#else
+  TinyEnv env;
+  core::ChameleonConfig cc;
+  core::ChameleonLearner learner(env.env, cc, /*seed=*/11);
+
+  std::vector<data::ImageKey> keys;
+  for (int32_t i = 0; i < 24; ++i) {
+    keys.push_back(TinyEnv::key(i % 6, i % 4));
+  }
+  // Warm: latent cache filled, scratch vectors at capacity, pool classes
+  // populated.
+  (void)learner.predict(keys);
+  (void)learner.predict(keys);
+
+  long long worst = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const long long before = g_allocs.load(std::memory_order_relaxed);
+    const auto preds = learner.predict(keys);
+    const long long d = g_allocs.load(std::memory_order_relaxed) - before;
+    ASSERT_EQ(preds.size(), keys.size());
+    worst = std::max(worst, d);
+  }
+  // The returned vector<int64_t> is the only permitted allocation.
+  EXPECT_LE(worst, 1) << "chunked predict allocated beyond its result";
+#endif
+}
+
 // The OpStats mirror: after any observe() the ledger carries the workspace
 // gauges, and they merge by max across learners.
 TEST(SteadyState, OpStatsCarriesWorkspaceGauges) {

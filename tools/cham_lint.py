@@ -118,6 +118,10 @@ RULES = {
     "unguarded-shared-member": "member written inside a lock-held marker "
     "region but not declared CHAM_GUARDED_BY; annotate the declaration so "
     "the thread-safety analysis can check it",
+    "hot-path-stacking": "stack_latents() inside a hot_path marker region; "
+    "the replay hot loop is zero-copy — pack a GatherBatch of row pointers "
+    "and use forward_gather / the gather GEMM kernels instead of stacking "
+    "latents into a batch tensor",
 }
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -143,16 +147,22 @@ ALLOC_RE = re.compile(
     r"|(?:std\s*::\s*)?vector\s*<"
     r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|assign)\s*\("
 )
-# Critical sections are delimited by marker comments; markers live in
+# Marked regions are delimited by marker comments; markers live in
 # comments so they are matched on the raw source, while the rules below run
-# on the stripped code. Two marked region kinds exist: `dispatch` (shard
-# queue mutex) and `sessions_mu` (global residency lock).
+# on the stripped code. Region kinds: `dispatch` (shard queue mutex),
+# `sessions_mu` (global residency lock), `batch_plan` (shard queue mutex
+# during plan formation) and `hot_path` (zero-copy replay loops).
 DISPATCH_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(dispatch\)")
 DISPATCH_END_RE = re.compile(r"cham-lint:\s*end\(dispatch\)")
 SESSIONS_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(sessions_mu\)")
 SESSIONS_END_RE = re.compile(r"cham-lint:\s*end\(sessions_mu\)")
 BATCH_PLAN_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(batch_plan\)")
 BATCH_PLAN_END_RE = re.compile(r"cham-lint:\s*end\(batch_plan\)")
+HOT_PATH_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(hot_path\)")
+HOT_PATH_END_RE = re.compile(r"cham-lint:\s*end\(hot_path\)")
+# Batched-copy entry point banned from hot paths (the steady-state replay
+# loop packs GEMM panels straight from latent/slab/LT row pointers).
+STACK_LATENTS_RE = re.compile(r"(?<![_A-Za-z0-9])stack_latents\s*\(")
 # Learner dispatch / residency calls: a batch-plan region may only move
 # queued requests, never evaluate, admit, or evict.
 PLAN_DISPATCH_RE = re.compile(
@@ -343,6 +353,12 @@ def lint_file(path, raw):
                           SERIALIZE_RE.search(line) or
                           DISPATCH_ALLOC_RE.search(line) or
                           PLAN_DISPATCH_RE.search(line)))
+    # hot_path sections are the zero-copy replay loops (observe training,
+    # chunked predict): latents must be gathered by pointer, never stacked
+    # into a batch tensor.
+    check_region(
+        HOT_PATH_BEGIN_RE, HOT_PATH_END_RE, "hot-path-stacking",
+        lambda line: bool(STACK_LATENTS_RE.search(line)))
 
     # Condition-variable waits must pass a predicate: exactly one top-level
     # argument (just the lock) is the lost-wakeup-prone form. Zero arguments
@@ -377,10 +393,14 @@ def lint_file(path, raw):
                         strip_comments_and_strings(fh.read())))
     region_depth = 0
     for lineno, raw_line in enumerate(raw_lines, start=1):
-        if REGION_BEGIN_RE.search(raw_line):
+        # hot_path marks a zero-copy loop, not a lock-held section; member
+        # writes there are single-owner and carry no guard obligation.
+        m = REGION_BEGIN_RE.search(raw_line)
+        if m and m.group(1) != "hot_path":
             region_depth += 1
             continue
-        if REGION_END_RE.search(raw_line):
+        m = REGION_END_RE.search(raw_line)
+        if m and m.group(1) != "hot_path":
             region_depth = max(0, region_depth - 1)
             continue
         if region_depth == 0 or lineno > len(code_lines):

@@ -180,6 +180,45 @@ def main():
               "l->predict(k);  // cham-lint: allow(blocking-in-batch-plan)\n"
               "// cham-lint: end(batch_plan)\n")) == [])
 
+    print("rule: hot-path-stacking")
+    check("flags stack_latents inside hot_path region",
+          "hot-path-stacking" in rules_of(lint_src(
+              "// cham-lint: begin(hot_path)\n"
+              "const Tensor x = data::stack_latents(rows);\n"
+              "// cham-lint: end(hot_path)\n")))
+    check("flags unqualified stack_latents call",
+          "hot-path-stacking" in rules_of(lint_src(
+              "// cham-lint: begin(hot_path)\n"
+              "auto x = stack_latents(rows);\n"
+              "// cham-lint: end(hot_path)\n")))
+    check("stack_latents outside the region is clean",
+          rules_of(lint_src(
+              "const Tensor x = data::stack_latents(rows);\n"
+              "// cham-lint: begin(hot_path)\n"
+              "g_->forward_gather(gb, true);\n"
+              "// cham-lint: end(hot_path)\n")) == [])
+    check("identifier suffix does not match (my_stack_latents)",
+          rules_of(lint_src(
+              "// cham-lint: begin(hot_path)\n"
+              "auto x = my_stack_latents(rows);\n"
+              "// cham-lint: end(hot_path)\n")) == [])
+    check("mention in a comment is clean",
+          rules_of(lint_src(
+              "// cham-lint: begin(hot_path)\n"
+              "// replaced stack_latents(rows) with a GatherBatch\n"
+              "// cham-lint: end(hot_path)\n")) == [])
+    check("suppressed by allow()",
+          rules_of(lint_src(
+              "// cham-lint: begin(hot_path)\n"
+              "auto x = stack_latents(r);  // cham-lint: allow(hot-path-stacking)\n"
+              "// cham-lint: end(hot_path)\n")) == [])
+    check("hot_path is not a lock region (member writes need no guard)",
+          rules_of(lint_src(
+              "// cham-lint: begin(hot_path)\n"
+              "step_ += 1;\n"
+              "staged_pos_ = 0;\n"
+              "// cham-lint: end(hot_path)\n")) == [])
+
     print("pre-existing rules still fire (no regression)")
     check("io-in-sessions-mu",
           "io-in-sessions-mu" in rules_of(lint_src(
