@@ -1,0 +1,527 @@
+// Socket front-end report (writes BENCH_net.json): the wire protocol and
+// NetServer measured end to end against the same SessionManager the
+// in-process benches drive.
+//
+// Gates recorded in the JSON artefact:
+//   * codec_zero_alloc — encode/decode round-trips of every data-path frame
+//     type (OBSERVE, PREDICT, PREDICT_RESULT, PREDICT_BATCH, ERROR) through
+//     warm caller-owned buffers perform ZERO heap allocations, measured by
+//     the same counting global operator new bench_observe uses. This is the
+//     protocol.h steady-state contract: capacity survives clear(), decoders
+//     resize into existing storage.
+//   * wire_bit_exact  — a Zipf observe/predict schedule submitted through a
+//     NetClient over a Unix-domain socket produces bit-identical predictions
+//     to the identical schedule submitted in-process (submit_observe /
+//     submit_predict against a twin manager with the same seeds). The wire
+//     layer is a request source, not an execution path: eviction pressure is
+//     on (max_resident << sessions) so restores ride the comparison too.
+//   * throughput_ok   — steady-state wire throughput (admitted events/s
+//     through the socket, N concurrent client connections, threaded-mode
+//     manager) stays above a conservative floor, best-of-3 like
+//     bench_serve's wall-clock gates (retries only when the first run
+//     misses; a shared box is noisy).
+//
+//   ./build/bench/bench_net [--events N] [--sessions N] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chameleon.h"
+#include "metrics/experiment.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "serve/session_store.h"
+
+namespace {
+
+std::atomic<long long> g_heap_allocs{0};
+std::atomic<long long> g_heap_bytes{0};
+
+struct HeapSnapshot {
+  long long allocs = 0;
+  long long bytes = 0;
+};
+
+HeapSnapshot heap_now() {
+  return {g_heap_allocs.load(std::memory_order_relaxed),
+          g_heap_bytes.load(std::memory_order_relaxed)};
+}
+
+HeapSnapshot heap_delta(const HeapSnapshot& from) {
+  const HeapSnapshot now = heap_now();
+  return {now.allocs - from.allocs, now.bytes - from.bytes};
+}
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_heap_bytes.fetch_add(static_cast<long long>(n),
+                         std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_heap_bytes.fetch_add(static_cast<long long>(n),
+                         std::memory_order_relaxed);
+  const std::size_t rounded = ((n ? n : 1) + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace cham;
+using core::ChameleonConfig;
+using core::ChameleonLearner;
+
+ChameleonConfig learner_config() {
+  ChameleonConfig cc;
+  cc.lt_capacity = 18;
+  return cc;
+}
+
+// --- Codec phase: zero steady-state allocations. ------------------------
+// One "round" encodes every data-path frame type into a warm WireBuf and
+// decodes each back into warm caller-owned outputs, CRC checks included —
+// the exact per-frame work NetServer/NetClient do once their buffers have
+// seen a frame of each shape.
+struct CodecReport {
+  long long rounds = 0;
+  long long steady_allocs = 0;
+  long long steady_bytes = 0;
+  double ns_per_round = 0;
+};
+
+CodecReport run_codec_phase() {
+  data::Batch batch;
+  batch.domain = 1;
+  for (int i = 0; i < 8; ++i) {
+    batch.keys.push_back({static_cast<int32_t>(i % 6), 0,
+                          static_cast<int32_t>(i % 4), false});
+    batch.labels.push_back(i % 6);
+  }
+  std::vector<data::ImageKey> keys = batch.keys;
+  std::vector<std::vector<data::ImageKey>> pages = {keys, keys};
+  std::vector<int64_t> preds = {0, 1, 2, 3, 4, 5, 0, 1};
+
+  net::WireBuf buf;
+  data::Batch dec_batch;
+  std::vector<data::ImageKey> dec_keys;
+  std::vector<std::vector<data::ImageKey>> dec_pages;
+  std::vector<int64_t> dec_preds;
+  net::ErrorInfo dec_err;
+
+  auto round = [&](uint64_t salt) {
+    buf.clear();  // capacity survives: this is the contract under test
+    net::encode_observe(buf, 7, salt, batch);
+    net::encode_predict(buf, 7, salt + 1, keys);
+    net::encode_predict_result(buf, 7, salt + 1, preds);
+    net::encode_predict_batch(buf, 7, salt + 2, pages);
+    // Short message: fits std::string's inline storage on decode, like the
+    // fixed server-side backpressure/shutdown strings.
+    net::encode_error(buf, 7, salt + 3, net::ErrCode::kBackpressure, 5,
+                      "busy");
+    std::size_t off = 0;
+    bool ok = true;
+    while (off + net::kHeaderBytes <= buf.size()) {
+      net::FrameHeader h;
+      ok = ok && net::read_header(buf.data() + off, buf.size() - off, h);
+      ok = ok && net::header_error(h, net::kDefaultMaxPayload) ==
+                     net::kHeaderOk;
+      const uint8_t* payload = buf.data() + off + net::kHeaderBytes;
+      ok = ok && net::crc32(payload, h.payload_len) == h.payload_crc;
+      switch (h.type) {
+        case net::MsgType::kObserve:
+          ok = ok && net::decode_observe(payload, h.payload_len, dec_batch);
+          break;
+        case net::MsgType::kPredict:
+          ok = ok && net::decode_predict(payload, h.payload_len, dec_keys);
+          break;
+        case net::MsgType::kPredictResult:
+          ok = ok &&
+               net::decode_predict_result(payload, h.payload_len, dec_preds);
+          break;
+        case net::MsgType::kPredictBatch:
+          ok = ok &&
+               net::decode_predict_batch(payload, h.payload_len, dec_pages);
+          break;
+        case net::MsgType::kError:
+          ok = ok && net::decode_error(payload, h.payload_len, dec_err);
+          break;
+        default:
+          ok = false;
+      }
+      off += net::kHeaderBytes + h.payload_len;
+    }
+    return ok && off == buf.size();
+  };
+
+  CodecReport r;
+  for (uint64_t w = 0; w < 32; ++w) {
+    if (!round(w * 16)) {
+      r.steady_allocs = -1;  // decode failure: fail the gate loudly
+      return r;
+    }
+  }
+  constexpr long long kRounds = 4096;
+  const HeapSnapshot before = heap_now();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long long i = 0; i < kRounds; ++i) {
+    if (!round(static_cast<uint64_t>(1000 + i * 16))) {
+      r.steady_allocs = -1;
+      return r;
+    }
+  }
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  const HeapSnapshot d = heap_delta(before);
+  r.rounds = kRounds;
+  r.steady_allocs = d.allocs;
+  r.steady_bytes = d.bytes;
+  r.ns_per_round = ns / static_cast<double>(kRounds);
+  return r;
+}
+
+// --- Shared schedule helpers. -------------------------------------------
+const data::Batch& schedule_batch(
+    const std::vector<std::vector<data::Batch>>& streams,
+    const data::SessionEvent& ev) {
+  const auto& pool = streams[static_cast<size_t>(ev.session)];
+  return pool[static_cast<size_t>(ev.batch_index) % pool.size()];
+}
+
+// In-process reference: the identical retry-until-admitted policy the wire
+// client uses, so admission ORDER (which fixes execution order per session)
+// matches the wire run exactly. Predict futures collect after the final
+// drain; results are order-insensitive to when the drain happens because
+// each shard queue is FIFO per session.
+std::vector<std::vector<int64_t>> run_in_process(
+    serve::SessionManager& mgr,
+    const std::vector<std::vector<data::Batch>>& streams,
+    const std::vector<data::SessionEvent>& schedule,
+    const std::vector<data::ImageKey>& predict_page) {
+  std::vector<std::future<std::vector<int64_t>>> futures;
+  for (const auto& ev : schedule) {
+    const auto sid = static_cast<uint64_t>(ev.session);
+    if (ev.predict) {
+      std::future<std::vector<int64_t>> f;
+      while (!mgr.submit_predict(sid, predict_page, &f).accepted) {
+        mgr.drain();
+      }
+      futures.push_back(std::move(f));
+    } else {
+      while (!mgr.submit_observe(sid, schedule_batch(streams, ev)).accepted) {
+        mgr.drain();
+      }
+    }
+  }
+  mgr.drain();
+  std::vector<std::vector<int64_t>> preds;
+  preds.reserve(futures.size());
+  for (auto& f : futures) preds.push_back(f.get());
+  return preds;
+}
+
+// Wire run: same schedule, blocking round-trips through one NetClient (the
+// *_admitted helpers sleep the server's retry_after_ms hint and resubmit,
+// mirroring the in-process retry loop above).
+std::vector<std::vector<int64_t>> run_over_wire(
+    net::NetClient& client,
+    const std::vector<std::vector<data::Batch>>& streams,
+    const std::vector<data::SessionEvent>& schedule,
+    const std::vector<data::ImageKey>& predict_page, bool* ok) {
+  std::vector<std::vector<int64_t>> preds;
+  for (const auto& ev : schedule) {
+    const auto sid = static_cast<uint64_t>(ev.session);
+    if (ev.predict) {
+      net::Reply r = client.predict_admitted(sid, predict_page);
+      if (!r.ok()) *ok = false;
+      preds.push_back(std::move(r.preds));
+    } else if (!client.observe_admitted(sid, schedule_batch(streams, ev))
+                    .ok()) {
+      *ok = false;
+    }
+  }
+  return preds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t events = 160;
+  int64_t sessions = 10;
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
+      events = std::atoll(argv[++i]);
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
+      sessions = std::atoll(argv[++i]);
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  // Codec phase first: single-threaded, before any server exists, so the
+  // counting operator new sees only the codec's own traffic.
+  const CodecReport codec = run_codec_phase();
+  const bool codec_zero_alloc = codec.steady_allocs == 0;
+  std::printf(
+      "bench_net: codec %lld rounds (5 frames each), %.0f ns/round, "
+      "steady-state allocs %lld (%lld B) -> %s\n",
+      codec.rounds, codec.ns_per_round, codec.steady_allocs,
+      codec.steady_bytes, codec_zero_alloc ? "PASS" : "FAIL");
+
+  // Same small CORe50-shaped pool as bench_serve / the serve test fixtures
+  // (shared pretrain cache).
+  metrics::ExperimentConfig cfg = metrics::core50_experiment();
+  cfg.data.num_classes = 6;
+  cfg.data.num_domains = 2;
+  cfg.data.train_instances = 5;
+  cfg.pretrain_num_classes = 12;
+  cfg.pretrain_epochs = 4;
+  cfg.learner_lr = 0.02f;
+  metrics::Experiment exp(cfg);
+
+  std::vector<std::vector<data::Batch>> streams;
+  for (int64_t s = 0; s < sessions; ++s) {
+    data::StreamConfig sc = cfg.stream;
+    sc.seed = 5000 + static_cast<uint64_t>(s) * 7919;
+    data::DomainIncrementalStream stream(cfg.data, sc);
+    exp.warm_latents(stream);
+    streams.push_back(stream.batches());
+  }
+  auto factory = [&exp](uint64_t /*session_id*/, uint64_t seed) {
+    return std::make_unique<ChameleonLearner>(exp.env(), learner_config(),
+                                              seed);
+  };
+  const auto test_keys = data::all_test_keys(cfg.data);
+  const std::vector<data::ImageKey> predict_page(
+      test_keys.begin(), test_keys.begin() + test_keys.size() / 2);
+
+  data::MultiUserConfig mc;
+  mc.num_sessions = sessions;
+  mc.events = events;
+  mc.zipf_s = 1.1;
+  mc.seed = 13;
+  mc.predict_fraction = 0.25;
+  const auto schedule = data::make_zipf_schedule(mc);
+
+  serve::ServeConfig base_sc;
+  base_sc.num_shards = 2;
+  base_sc.max_resident = 4;  // << sessions: restores ride the comparison
+  base_sc.queue_capacity = 16;
+  base_sc.base_seed = 97;
+  base_sc.mode = serve::ServeMode::kDeterministic;
+
+  // --- Bit-exactness: in-process twin vs the wire. ----------------------
+  std::printf("bench_net: %lld events over %lld sessions (25%% predicts), "
+              "bit-exactness leg...\n",
+              static_cast<long long>(events),
+              static_cast<long long>(sessions));
+  std::vector<std::vector<int64_t>> ref_preds;
+  {
+    serve::ServeConfig sc = base_sc;
+    sc.store_dir = "/tmp/cham_bench_net_ref";
+    serve::SessionStore(sc.store_dir).clear();
+    serve::SessionManager mgr(sc, factory);
+    ref_preds = run_in_process(mgr, streams, schedule, predict_page);
+    mgr.flush();
+  }
+  std::vector<std::vector<int64_t>> wire_preds;
+  bool wire_ok = true;
+  double echo_rtt_p50_us = 0, echo_rtt_p99_us = 0;
+  net::NetStats exact_ns;
+  {
+    serve::ServeConfig sc = base_sc;
+    sc.store_dir = "/tmp/cham_bench_net_wire";
+    serve::SessionStore(sc.store_dir).clear();
+    serve::SessionManager mgr(sc, factory);
+    net::NetConfig nc;
+    nc.unix_path = "/tmp/cham_bench_net.sock";
+    net::NetServer server(mgr, nc);
+    net::NetClient client({net::Transport::kUnix, nc.unix_path, 0});
+    wire_preds =
+        run_over_wire(client, streams, schedule, predict_page, &wire_ok);
+    if (!client.flush().ok()) wire_ok = false;
+    // Loopback echo while the server is still up: STATS round-trips touch
+    // no learner — encode, socket hop, decode, stats snapshot, reply — so
+    // this is the pure per-frame overhead of the wire layer. Informational
+    // (wall-clock on a shared box), not gated.
+    for (int i = 0; i < 20; ++i) (void)client.stats_json();
+    std::vector<double> rtt_us;
+    for (int i = 0; i < 200; ++i) {
+      const auto e0 = std::chrono::steady_clock::now();
+      if (!client.stats_json().ok()) wire_ok = false;
+      rtt_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - e0)
+                           .count());
+    }
+    std::sort(rtt_us.begin(), rtt_us.end());
+    echo_rtt_p50_us = rtt_us[rtt_us.size() / 2];
+    echo_rtt_p99_us = rtt_us[rtt_us.size() * 99 / 100];
+    exact_ns = server.stats();
+    server.stop();
+  }
+  const bool wire_bit_exact =
+      wire_ok && !ref_preds.empty() && ref_preds == wire_preds;
+  std::printf("  wire vs in-process: %zu predict events compared -> %s\n"
+              "  loopback echo (STATS round-trip): p50 %.0f us, p99 %.0f us\n",
+              ref_preds.size(), wire_bit_exact ? "PASS" : "FAIL",
+              echo_rtt_p50_us, echo_rtt_p99_us);
+
+  // --- Throughput: concurrent clients against a threaded-mode manager. --
+  // Conservative floor: the in-process serve path clears ~100 events/s on
+  // this box (bench_serve); the wire adds framing + socket hops + the
+  // blocking-ack observe sequencing, and the floor leaves headroom for a
+  // shared-box scheduler. Best-of-3, retries only on a miss.
+  constexpr double kThroughputFloor = 30.0;
+  constexpr int kClients = 2;
+  double best_throughput = 0.0;
+  net::NetStats tp_ns;
+  for (int attempt = 0;
+       attempt < 3 && best_throughput < kThroughputFloor; ++attempt) {
+    serve::ServeConfig sc = base_sc;
+    sc.mode = serve::ServeMode::kThreaded;
+    sc.store_dir = "/tmp/cham_bench_net_tp" + std::to_string(attempt);
+    serve::SessionStore(sc.store_dir).clear();
+    serve::SessionManager mgr(sc, factory);
+    net::NetConfig nc;
+    nc.unix_path = "/tmp/cham_bench_net_tp.sock";
+    net::NetServer server(mgr, nc);
+
+    std::atomic<long long> done_events{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        net::NetClient client({net::Transport::kUnix, nc.unix_path, 0});
+        std::vector<uint64_t> inflight;
+        for (size_t i = static_cast<size_t>(c); i < schedule.size();
+             i += kClients) {
+          const auto& ev = schedule[i];
+          const auto sid = static_cast<uint64_t>(ev.session);
+          if (ev.predict) {
+            // Pipelined: lets the BatchPlanner merge across connections.
+            inflight.push_back(client.send_predict(sid, predict_page));
+            if (inflight.size() >= 8) {
+              for (uint64_t id : inflight) {
+                if (client.await_reply(id).ok()) {
+                  done_events.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+              inflight.clear();
+            }
+          } else if (client
+                         .observe_admitted(sid, schedule_batch(streams, ev))
+                         .ok()) {
+            done_events.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        for (uint64_t id : inflight) {
+          if (client.await_reply(id).ok()) {
+            done_events.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const double tp =
+        ms > 0 ? 1000.0 * static_cast<double>(done_events.load()) / ms : 0.0;
+    std::printf("  throughput attempt %d: %lld events in %.1f ms "
+                "(%.1f events/s)\n",
+                attempt, done_events.load(), ms, tp);
+    if (tp > best_throughput) {
+      best_throughput = tp;
+      tp_ns = server.stats();
+    }
+    server.stop();
+    mgr.flush();
+  }
+  const bool throughput_ok = best_throughput >= kThroughputFloor;
+  std::printf(
+      "  gates: codec_zero_alloc %s, wire_bit_exact %s, "
+      "throughput(>=%.0f/s) %s (best %.1f)\n",
+      codec_zero_alloc ? "PASS" : "FAIL", wire_bit_exact ? "PASS" : "FAIL",
+      kThroughputFloor, throughput_ok ? "PASS" : "FAIL", best_throughput);
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"bench_net\",\n"
+               "  \"sessions\": %lld,\n  \"events\": %lld,\n"
+               "  \"zipf_s\": %.2f,\n  \"predict_fraction\": %.2f,\n"
+               "  \"clients\": %d,\n",
+               static_cast<long long>(sessions),
+               static_cast<long long>(events), mc.zipf_s,
+               mc.predict_fraction, kClients);
+  std::fprintf(json,
+               "  \"codec_rounds\": %lld,\n"
+               "  \"codec_frames_per_round\": 5,\n"
+               "  \"codec_ns_per_round\": %.1f,\n"
+               "  \"codec_steady_allocs\": %lld,\n"
+               "  \"codec_steady_bytes\": %lld,\n"
+               "  \"gate_codec_zero_alloc\": %s,\n",
+               codec.rounds, codec.ns_per_round, codec.steady_allocs,
+               codec.steady_bytes, codec_zero_alloc ? "true" : "false");
+  std::fprintf(json,
+               "  \"predict_events_compared\": %lld,\n"
+               "  \"gate_wire_bit_exact\": %s,\n"
+               "  \"echo_rtt_p50_us\": %.1f,\n"
+               "  \"echo_rtt_p99_us\": %.1f,\n"
+               "  \"exactness_net_stats\": %s,\n",
+               static_cast<long long>(ref_preds.size()),
+               wire_bit_exact ? "true" : "false", echo_rtt_p50_us,
+               echo_rtt_p99_us, exact_ns.to_json().c_str());
+  std::fprintf(json,
+               "  \"throughput_floor_events_per_s\": %.1f,\n"
+               "  \"throughput_best_events_per_s\": %.2f,\n"
+               "  \"gate_throughput_ok\": %s,\n"
+               "  \"throughput_net_stats\": %s\n}\n",
+               kThroughputFloor, best_throughput,
+               throughput_ok ? "true" : "false", tp_ns.to_json().c_str());
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+  return codec_zero_alloc && wire_bit_exact && throughput_ok ? 0 : 1;
+}

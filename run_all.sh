@@ -32,7 +32,8 @@ fi
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 # Gated benches (bench_serve: fidelity/batched-bit-exact/throughput/
 # evict-lock/delta-ratio; bench_threads: bit-identity/speedup-or-skip/
-# no-subgrain-wakeup) exit non-zero when a gate fails; record the failure
+# no-subgrain-wakeup; bench_net: codec-zero-alloc/wire-bit-exact/
+# throughput-floor) exit non-zero when a gate fails; record the failure
 # in the archive and fail the whole regeneration at the end.
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
@@ -44,7 +45,7 @@ done 2>&1 | tee /root/repo/bench_output.txt
 # artefacts into the repo root (they run with cwd = /root/repo); record them
 # next to the text outputs so the kernel/scaling/observe/serving trajectory
 # is versioned per PR.
-for j in BENCH_threads.json BENCH_kernels.json BENCH_observe.json BENCH_serve.json; do
+for j in BENCH_threads.json BENCH_kernels.json BENCH_observe.json BENCH_serve.json BENCH_net.json; do
   if [ -f "/root/repo/$j" ]; then
     echo "archived $j" >> /root/repo/bench_output.txt
   else

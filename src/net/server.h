@@ -1,0 +1,231 @@
+// Socket front-end for the serving runtime.
+//
+// NetServer turns the in-process SessionManager into a network service: it
+// listens on a Unix-domain socket (or TCP behind the same abstraction),
+// decodes protocol frames (net/protocol.h) on a poll-driven I/O thread, and
+// stages each request into the EXISTING serving pipeline — submit_observe /
+// submit_predict — so predicts arriving on different connections coalesce
+// in the same BatchPlanner plans as in-process traffic. Nothing about the
+// execution path is network-specific: the wire layer is a request source
+// and a completion sink, and every result bit matches the same schedule
+// submitted in-process (bench_net gates this end to end).
+//
+// Threading model (three kinds of threads, one lock each):
+//
+//   I/O thread      Owns every socket. poll()-driven: accepts connections,
+//                   reads and parses frames, submits decoded requests to
+//                   the SessionManager (admission is non-blocking by
+//                   design: a full shard queue REJECTS, and the typed
+//                   BACKPRESSURE error relays retry_after_ms to the remote
+//                   caller), writes queued reply frames. Never blocks on
+//                   anything but poll(); all sockets are non-blocking.
+//
+//   Responders      One per connection. The completion scatter: pops that
+//                   connection's pending predicts in submission order,
+//                   blocks on each future, encodes the reply and hands it
+//                   to the connection's bounded outbox. Per-connection
+//                   ordering therefore holds by construction: predict
+//                   replies leave in request_id submission order (acks and
+//                   errors may overtake them — clients match on
+//                   request_id). FLUSH rides the same queue so it is
+//                   ordered behind the predicts that precede it.
+//
+//   Pump            Only when the manager runs ServeMode::kDeterministic
+//                   (no shard workers): a thread that calls mgr.drain()
+//                   whenever the I/O thread has submitted work, standing in
+//                   for the caller-driven dispatch the deterministic mode
+//                   expects. In kThreaded mode the shard workers dispatch
+//                   and the pump is not started.
+//
+// Locks: each connection has one mutex guarding its outbox + pending queue
+// (critical sections are pointer moves only — the syscall-in-net-lock lint
+// rule rejects any blocking syscall inside the begin/end(net_mu) marker
+// regions); stats_mu_ guards the NetStats block. Neither is ever held
+// across a syscall or a future wait.
+//
+// Backpressure, both directions:
+//   inbound   admission rejections become BACKPRESSURE error frames
+//             carrying the manager's EWMA retry_after_ms hint;
+//   outbound  each connection's outbox is byte-bounded. A responder with a
+//             full outbox waits (flow control, not failure); the I/O thread
+//             PAUSES READING from a connection whose outbox crosses half
+//             the bound — a client that stops reading replies stops being
+//             served, instead of growing the server without bound.
+//
+// Shutdown (stop(), the destructor, or a SHUTDOWN frame) is graceful:
+// accept stops, every already-admitted request completes and its reply is
+// flushed, then sockets close. Requests arriving DURING the drain get
+// SHUTTING_DOWN errors. A connection that will not read its replies is
+// force-closed after drain_timeout_ms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net_stats.h"
+#include "net/protocol.h"
+#include "serve/session_manager.h"
+#include "util/sync.h"
+
+namespace cham::net {
+
+struct NetConfig {
+  Transport transport = Transport::kUnix;
+  std::string unix_path = "/tmp/cham_net.sock";
+  uint16_t tcp_port = 0;
+  // Reject any frame whose payload_len exceeds this (typed OVERSIZED error;
+  // the payload is discarded from the stream, the connection survives).
+  uint32_t max_payload_bytes = kDefaultMaxPayload;
+  // Per-connection outbox bound, in bytes. Responders block for space;
+  // reading from the connection pauses above half of this.
+  int64_t outbox_limit_bytes = int64_t{1} << 20;
+  int listen_backlog = 64;
+  // Graceful-shutdown deadline: connections whose replies cannot be flushed
+  // (client stopped reading) are force-closed after this many ms.
+  int64_t drain_timeout_ms = 5000;
+  // Test hook: when > 0, SO_SNDBUF is shrunk to this on accepted sockets so
+  // reply writes go partial (exercises the short-write resume path).
+  int sndbuf_bytes = 0;
+};
+
+class NetServer {
+ public:
+  // Binds, listens and starts the I/O (and, for deterministic managers,
+  // pump) threads. Throws util::CheckError when the socket cannot be set
+  // up. The manager must outlive the server.
+  NetServer(serve::SessionManager& mgr, NetConfig cfg);
+  ~NetServer();  // stop()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Graceful shutdown: stop accepting, drain every admitted request, flush
+  // replies, close sockets, join all threads. Idempotent; safe to call
+  // while a remote SHUTDOWN frame is doing the same thing.
+  void stop();
+
+  // False once the server has shut down (stop() or a SHUTDOWN frame).
+  bool running() const;
+
+  // Resolved TCP port (ephemeral binds resolve at construction); 0 for
+  // Unix-domain servers.
+  uint16_t port() const { return port_; }
+  const NetConfig& config() const { return cfg_; }
+
+  NetStats stats() const CHAM_EXCLUDES(stats_mu_);
+
+ private:
+  // One predict (or ordered control) awaiting completion: the unit of the
+  // responder queue. PREDICT carries one future; PREDICT_BATCH one per
+  // page; FLUSH carries none and executes mgr_.flush() in queue order.
+  struct Pending {
+    MsgType type = MsgType::kPredict;
+    uint64_t session_id = 0;
+    uint64_t request_id = 0;
+    std::vector<std::future<std::vector<int64_t>>> futures;
+    // A partially-admitted PREDICT_BATCH: the I/O thread already replied
+    // BACKPRESSURE for the whole request, but the pages that WERE admitted
+    // will execute — their futures must still be consumed, silently.
+    bool discard = false;
+  };
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+
+    // --- I/O-thread-owned (no lock): read/write cursors. ---
+    std::vector<uint8_t> rdbuf;     // accumulated unparsed bytes
+    std::size_t rd_off = 0;         // parse cursor into rdbuf
+    std::size_t discard_left = 0;   // oversized payload being skipped
+    WireBuf wire;                   // frame bytes mid-write to the socket
+    std::size_t wire_off = 0;
+    bool paused = false;            // POLLIN suppressed (outbox pressure)
+    bool want_close = false;        // close once outbox + wire are flushed
+
+    // --- Shared with the responder (guarded by mu). ---
+    util::Mutex mu;
+    util::CondVar cv_space;  // outbox has room again / closed
+    util::CondVar cv_work;   // pending non-empty / stopping
+    std::deque<WireBuf> outbox CHAM_GUARDED_BY(mu);
+    int64_t outbox_bytes CHAM_GUARDED_BY(mu) = 0;
+    std::deque<Pending> pending CHAM_GUARDED_BY(mu);
+    bool closed CHAM_GUARDED_BY(mu) = false;          // fd is gone
+    bool stop_responder CHAM_GUARDED_BY(mu) = false;  // finish queue, exit
+    bool busy CHAM_GUARDED_BY(mu) = false;  // responder mid-item (drain gate)
+
+    std::thread responder;
+    std::atomic<bool> responder_done{false};  // last store before exit
+  };
+
+  void io_loop();
+  void pump_loop();
+  void responder_loop(std::shared_ptr<Connection> conn);
+
+  void accept_ready();
+  // Reads and parses; returns false when the connection must close.
+  bool read_ready(Connection& c);
+  // Parses every complete frame in c.rdbuf; false => close connection.
+  bool parse_frames(Connection& c);
+  // Dispatches one decoded frame. False => close connection (unsyncable).
+  bool handle_frame(Connection& c, const FrameHeader& h, const uint8_t* payload);
+  // Moves outbox frames into the wire buffer and writes; false => close.
+  bool flush_writes(Connection& c);
+  // Queues an encoded frame from the I/O thread (never blocks; engages
+  // read-pause flow control instead).
+  void enqueue_from_io(Connection& c, WireBuf frame);
+  // Queues from a responder: waits for outbox space; false if closed.
+  bool enqueue_from_responder(Connection& c, WireBuf frame);
+  void close_connection(Connection& c);
+  void wake_io();
+  void signal_pump();
+  std::string build_stats_json();
+
+  serve::SessionManager& mgr_;
+  NetConfig cfg_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;  // self-pipe: anyone -> I/O thread
+  int wake_wr_ = -1;
+
+  // I/O-thread-owned decode scratch: capacity reused across frames so the
+  // steady-state parse path allocates nothing.
+  data::Batch obs_batch_;
+  std::vector<data::ImageKey> keys_;
+  std::vector<std::vector<data::ImageKey>> pages_;
+
+  std::vector<std::shared_ptr<Connection>> conns_;  // I/O thread only
+  std::vector<std::shared_ptr<Connection>> dead_;   // awaiting responder join
+  uint64_t next_conn_id_ = 1;
+
+  std::thread io_thread_;
+  std::thread pump_thread_;
+
+  // Pump hand-off (deterministic managers only).
+  util::Mutex pump_mu_;
+  util::CondVar pump_cv_;
+  bool pump_work_ CHAM_GUARDED_BY(pump_mu_) = false;
+  bool pump_stop_ CHAM_GUARDED_BY(pump_mu_) = false;
+
+  // stop() may be called concurrently with a remote SHUTDOWN frame and from
+  // the destructor; joins happen exactly once under this mutex.
+  util::Mutex lifecycle_mu_;
+  bool joined_ CHAM_GUARDED_BY(lifecycle_mu_) = false;
+
+  // Shutdown request flag. Relaxed: every consumer re-checks under a mutex
+  // or via the self-pipe wakeup that follows the store (memory-ordering
+  // policy case 1, util/sync.h).
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> io_exited_{false};
+
+  mutable util::Mutex stats_mu_;
+  NetStats stats_ CHAM_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace cham::net

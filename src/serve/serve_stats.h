@@ -17,8 +17,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdio>
 #include <string>
+
+#include "util/json.h"
 
 namespace cham::serve {
 
@@ -111,57 +112,47 @@ struct ServeStats {
   }
 
   std::string to_json() const {
-    auto num = [](double v) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.4f", v);
-      return std::string(buf);
-    };
-    std::string j = "{";
-    j += "\"submitted\": " + std::to_string(submitted);
-    j += ", \"admissions\": " + std::to_string(admissions);
-    j += ", \"rejections\": " + std::to_string(rejections);
-    j += ", \"observes\": " + std::to_string(observes);
-    j += ", \"predicts\": " + std::to_string(predicts);
-    j += ", \"dispatch_errors\": " + std::to_string(dispatch_errors);
-    j += ", \"predict_batches\": " + std::to_string(predict_batches);
-    j += ", \"batched_predicts\": " + std::to_string(batched_predicts);
-    j += ", \"batch_size_max\": " + std::to_string(batch_size_max);
-    j += ", \"retry_hint_ms_avg\": " + num(retry_hint_ms_avg());
-    j += ", \"retry_hint_ms_max\": " + num(retry_hint_ms_max);
-    j += ", \"creates\": " + std::to_string(creates);
-    j += ", \"evictions\": " + std::to_string(evictions);
-    j += ", \"restores\": " + std::to_string(restores);
-    j += ", \"pending_restores\": " + std::to_string(pending_restores);
-    j += ", \"cache_restores\": " + std::to_string(cache_restores);
-    j += ", \"disk_restores\": " + std::to_string(disk_restores);
-    j += ", \"replayed_ops\": " + std::to_string(replayed_ops);
-    j += ", \"resident_high_water\": " + std::to_string(resident_high_water);
-    j += ", \"queue_depth_high_water\": " +
-         std::to_string(queue_depth_high_water);
-    j += ", \"save_ms_avg\": " + num(save_ms_avg());
-    j += ", \"save_ms_max\": " + num(save_ms_max);
-    j += ", \"evict_lock_ms_avg\": " +
-         num(evictions > 0
-                 ? evict_lock_ms_total / static_cast<double>(evictions)
-                 : 0.0);
-    j += ", \"evict_lock_ms_max\": " + num(evict_lock_ms_max);
-    j += ", \"restore_ms_avg\": " + num(restore_ms_avg());
-    j += ", \"restore_ms_max\": " + num(restore_ms_max);
-    j += ", \"wb_flushes\": " + std::to_string(wb_flushes);
-    j += ", \"wb_flush_errors\": " + std::to_string(wb_flush_errors);
-    j += ", \"wb_full_saves\": " + std::to_string(wb_full_saves);
-    j += ", \"wb_chunk_saves\": " + std::to_string(wb_chunk_saves);
-    j += ", \"wb_oplog_saves\": " + std::to_string(wb_oplog_saves);
-    j += ", \"wb_full_bytes\": " + std::to_string(wb_full_bytes);
-    j += ", \"wb_delta_bytes\": " + std::to_string(wb_delta_bytes);
-    j += ", \"wb_compactions\": " + std::to_string(wb_compactions);
-    j += ", \"wb_queue_depth_high_water\": " +
-         std::to_string(wb_queue_depth_high_water);
-    j += ", \"wb_cache_bytes_high_water\": " +
-         std::to_string(wb_cache_bytes_high_water);
-    j += ", \"flush_ms_max\": " + num(flush_ms_max);
-    j += "}";
-    return j;
+    util::JsonWriter j;
+    j.field("submitted", submitted);
+    j.field("admissions", admissions);
+    j.field("rejections", rejections);
+    j.field("observes", observes);
+    j.field("predicts", predicts);
+    j.field("dispatch_errors", dispatch_errors);
+    j.field("predict_batches", predict_batches);
+    j.field("batched_predicts", batched_predicts);
+    j.field("batch_size_max", batch_size_max);
+    j.field("retry_hint_ms_avg", retry_hint_ms_avg());
+    j.field("retry_hint_ms_max", retry_hint_ms_max);
+    j.field("creates", creates);
+    j.field("evictions", evictions);
+    j.field("restores", restores);
+    j.field("pending_restores", pending_restores);
+    j.field("cache_restores", cache_restores);
+    j.field("disk_restores", disk_restores);
+    j.field("replayed_ops", replayed_ops);
+    j.field("resident_high_water", resident_high_water);
+    j.field("queue_depth_high_water", queue_depth_high_water);
+    j.field("save_ms_avg", save_ms_avg());
+    j.field("save_ms_max", save_ms_max);
+    j.field("evict_lock_ms_avg",
+            evictions > 0 ? evict_lock_ms_total / static_cast<double>(evictions)
+                          : 0.0);
+    j.field("evict_lock_ms_max", evict_lock_ms_max);
+    j.field("restore_ms_avg", restore_ms_avg());
+    j.field("restore_ms_max", restore_ms_max);
+    j.field("wb_flushes", wb_flushes);
+    j.field("wb_flush_errors", wb_flush_errors);
+    j.field("wb_full_saves", wb_full_saves);
+    j.field("wb_chunk_saves", wb_chunk_saves);
+    j.field("wb_oplog_saves", wb_oplog_saves);
+    j.field("wb_full_bytes", wb_full_bytes);
+    j.field("wb_delta_bytes", wb_delta_bytes);
+    j.field("wb_compactions", wb_compactions);
+    j.field("wb_queue_depth_high_water", wb_queue_depth_high_water);
+    j.field("wb_cache_bytes_high_water", wb_cache_bytes_high_water);
+    j.field("flush_ms_max", flush_ms_max);
+    return j.str();
   }
 };
 

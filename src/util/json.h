@@ -1,0 +1,116 @@
+// Minimal JSON emission, shared by every stats block that prints itself.
+//
+// ServeStats, NetStats and the bench artefact writers all emit flat-ish JSON
+// objects; before this header each hand-rolled its own quoting and number
+// formatting, which is exactly how a stray `"` in a message field or a
+// locale-dependent %f turns a machine-parsed artefact into a parse error.
+// JsonWriter centralises the three things that can go wrong:
+//
+//   * string escaping — the full JSON set (quote, backslash, control chars
+//     as \u00XX) so any message text is safe to embed;
+//   * number formatting — integers verbatim, doubles with %.4f (the format
+//     the bench trend gate has always parsed), never inf/nan (emitted as 0,
+//     JSON has no spelling for them);
+//   * structure — fields are comma-separated exactly once, objects nest via
+//     raw() with a pre-rendered sub-object.
+//
+// Header-only and allocation-light (one growing string); not a JSON parser —
+// tests that need to re-read emitted JSON carry their own tiny reader.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+
+namespace cham::util {
+
+// Escapes `s` for embedding inside a JSON string literal (no surrounding
+// quotes added).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Builds one JSON object, field by field, in insertion order.
+//
+//   JsonWriter j;
+//   j.field("observes", observes);
+//   j.field("retry_hint_ms_avg", hint_avg);
+//   j.raw("net", net_stats.to_json());   // nested, pre-rendered
+//   return j.str();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void field(std::string_view key, int64_t v) {
+    emit_key(key);
+    body_ += std::to_string(v);
+  }
+  void field(std::string_view key, bool v) {
+    emit_key(key);
+    body_ += v ? "true" : "false";
+  }
+  // Doubles use the fixed %.4f the bench artefacts have always carried;
+  // non-finite values (which JSON cannot represent) emit as 0.
+  void field(std::string_view key, double v) {
+    emit_key(key);
+    if (!std::isfinite(v)) {
+      body_ += "0";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    body_ += buf;
+  }
+  void field(std::string_view key, std::string_view s) {
+    emit_key(key);
+    body_ += '"';
+    body_ += json_escape(s);
+    body_ += '"';
+  }
+  void field(std::string_view key, const char* s) {
+    field(key, std::string_view(s));
+  }
+  // Pre-rendered JSON value (nested object / array), inserted verbatim.
+  void raw(std::string_view key, std::string_view rendered) {
+    emit_key(key);
+    body_ += rendered;
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void emit_key(std::string_view key) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += '"';
+    body_ += json_escape(key);
+    body_ += "\": ";
+  }
+
+  std::string body_;
+};
+
+}  // namespace cham::util

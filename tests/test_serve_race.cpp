@@ -18,6 +18,13 @@
 //       coalesce under the bounded max_wait_us window and evictions recycle
 //       the residency pool. Exercises take_eligible under the shard mutex,
 //       plan dispatch racing eviction, and the wait_for coalescing wakeup.
+//   ServeRaceSuite.NetMultiConnectionStress
+//       The socket front-end: several NetClient threads hammering one
+//       NetServer (pipelined predict bursts, blocking observes, STATS
+//       frames) while a churn thread connects, pipelines a predict, and
+//       disconnects with it still in flight — racing accept, responder
+//       spawn/reap, outbox flow control (shrunken SO_SNDBUF forces partial
+//       writes) and the dead-connection cleanup, then a graceful stop().
 //   WorkspaceRace.StatsPolledDuringOwnerAllocation
 //       Regression for the PR 7 audit finding: ws::stats() used to walk
 //       every arena's chunk vector cross-thread while owner threads were
@@ -34,6 +41,8 @@
 #include <vector>
 
 #include "metrics/experiment.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/session_manager.h"
 #include "serve/session_store.h"
 #include "tensor/thread_pool.h"
@@ -366,6 +375,128 @@ TEST_F(ServeRaceSuite, GatherSourcesStableAcrossEvictRestore) {
   EXPECT_EQ(empty_results.load(), 0) << "a predict future resolved empty";
   EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
   EXPECT_GT(s.restores, 0) << "stress never restored; raise the load";
+}
+
+// Socket front-end under concurrency. The server-side raced surfaces are
+// the per-connection mutexes (I/O thread enqueues acks while responders
+// enqueue predict replies and wait for outbox space), the accept /
+// responder-spawn / dead-reap lifecycle, and the read-pause flow control.
+// A deliberately tiny SO_SNDBUF makes every sizeable reply go partial so
+// the wire-buffer resume path runs constantly, and a churn thread keeps
+// disconnecting with a predict still in flight (the responder must consume
+// the orphaned future and the I/O thread must reap it without leaking).
+TEST_F(ServeRaceSuite, NetMultiConnectionStress) {
+  constexpr int kClients = 3;
+  constexpr int64_t kSessions = 8;
+  constexpr auto kDuration = std::chrono::milliseconds(1500);
+
+  serve::ServeConfig sc;
+  sc.num_shards = 4;
+  sc.max_resident = 4;  // evictions/restores race the wire traffic
+  sc.queue_capacity = 16;
+  sc.store_dir = "/tmp/cham_serve_race_net";
+  sc.base_seed = 47;
+  sc.mode = serve::ServeMode::kThreaded;
+  sc.max_batch = 8;
+  sc.max_wait_us = 2000;  // cross-connection predicts coalesce
+  serve::SessionStore(sc.store_dir).clear();
+
+  data::StreamConfig stream_cfg = exp_->config().stream;
+  stream_cfg.seed = 2121;
+  data::DomainIncrementalStream stream(exp_->config().data, stream_cfg);
+  exp_->warm_latents(stream);
+  const std::vector<data::Batch> batches = stream.batches();
+  ASSERT_FALSE(batches.empty());
+
+  serve::SessionManager mgr(sc, factory());
+  net::NetConfig nc;
+  nc.unix_path = "/tmp/cham_serve_race_net.sock";
+  nc.sndbuf_bytes = 4096;            // replies go partial: resume path hot
+  nc.outbox_limit_bytes = 64 << 10;  // read-pause flow control engages
+  net::NetServer server(mgr, nc);
+  const net::ClientOptions copts{net::Transport::kUnix, nc.unix_path, 0};
+
+  const auto deadline = Clock::now() + kDuration;
+  std::atomic<int64_t> observes_ok{0};
+  std::atomic<int64_t> predicts_ok{0};
+  std::atomic<int64_t> empty_results{0};
+  std::vector<std::thread> threads;
+
+  // Steady clients: pipelined predict bursts + sequenced observes + STATS.
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      net::NetClient client(copts);
+      uint64_t step = static_cast<uint64_t>(t) * 104729;
+      std::vector<uint64_t> ids;
+      while (Clock::now() < deadline) {
+        const uint64_t sid = step % kSessions;
+        const data::Batch& b = batches[step % batches.size()];
+        if (step % 3 != 0) {
+          const int burst = 2 + static_cast<int>(step % 3);
+          ids.clear();
+          for (int i = 0; i < burst; ++i) {
+            ids.push_back(client.send_predict(sid, b.keys));
+          }
+          for (uint64_t id : ids) {
+            net::Reply r = client.await_reply(id);
+            if (r.ok()) {
+              predicts_ok.fetch_add(1, std::memory_order_relaxed);
+              if (r.preds.empty()) {
+                empty_results.fetch_add(1, std::memory_order_relaxed);
+              }
+            } else {
+              EXPECT_TRUE(r.backpressured())
+                  << net::err_code_name(r.error.code);
+            }
+          }
+        } else if (step % 24 == 12) {
+          net::Reply r = client.stats_json();
+          EXPECT_TRUE(r.ok());
+          EXPECT_FALSE(r.json.empty());
+        } else {
+          net::Reply r = client.observe(sid, b);
+          if (r.ok()) {
+            observes_ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            EXPECT_TRUE(r.backpressured()) << net::err_code_name(r.error.code);
+            std::this_thread::yield();
+          }
+        }
+        ++step;
+      }
+    });
+  }
+
+  // Churn: connect, pipeline a predict, disconnect with it in flight. The
+  // responder consumes the orphaned future; the I/O thread reaps the dead
+  // connection while the steady clients keep it busy.
+  threads.emplace_back([&] {
+    uint64_t step = 1;
+    while (Clock::now() < deadline) {
+      net::NetClient brief(copts);
+      (void)brief.send_predict(step % kSessions,
+                               batches[step % batches.size()].keys);
+      // Destructor closes the socket with the reply (probably) unsent.
+      ++step;
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  for (auto& t : threads) t.join();
+  server.stop();  // graceful drain with zero clients left
+
+  const serve::ServeStats s = mgr.stats();
+  const net::NetStats ns = server.stats();
+  EXPECT_EQ(s.dispatch_errors, 0);
+  EXPECT_EQ(empty_results.load(), 0) << "a predict reply arrived empty";
+  EXPECT_EQ(s.observes, observes_ok.load());
+  EXPECT_GE(s.predicts, predicts_ok.load());  // churn predicts also admitted
+  EXPECT_EQ(ns.connections_accepted, ns.connections_closed);
+  EXPECT_GT(ns.connections_accepted, kClients);  // churn reconnected
+  EXPECT_EQ(ns.err_malformed, 0);
+  EXPECT_EQ(ns.err_bad_crc, 0);
+  EXPECT_EQ(ns.err_dispatch, 0);
+  EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
 }
 
 TEST(WorkspaceRace, StatsPolledDuringOwnerAllocation) {

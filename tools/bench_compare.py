@@ -49,6 +49,11 @@ METRICS = [
     ("BENCH_observe.json", "observe_p50_ms", "lower", True),
     ("BENCH_observe.json", "observe_p99_ms", "lower", False),
     ("BENCH_observe.json", "bwd_over_fwd_ratio", "lower", False),
+    # Socket front-end: wire throughput gates (best-of-N); the codec
+    # nanoseconds are wall-clock noise on a shared box, informational only.
+    ("BENCH_net.json", "throughput_best_events_per_s", "higher", True),
+    ("BENCH_net.json", "codec_ns_per_round", "lower", False),
+    ("BENCH_net.json", "echo_rtt_p50_us", "lower", False),
     # Thread scaling: informational (gated natively by bench_threads).
     ("BENCH_threads.json", "speedup_floor_4_vs_1", "higher", False),
 ]

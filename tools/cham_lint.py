@@ -75,6 +75,17 @@ are about *this* codebase's contracts:
                       must be the predicate form wait(lock, pred)
                       (zero-argument waits, e.g. std::future::wait(), are
                       fine; so are wait_for / wait_until).
+  syscall-in-net-lock Blocking syscalls (read/write/poll/accept/send/recv
+                      and friends) or other blocking calls inside a
+                      connection-mutex critical section — the code between
+                      `// cham-lint: begin(net_mu)` and
+                      `// cham-lint: end(net_mu)` markers. The socket
+                      front-end (src/net/server.cpp) holds a connection's
+                      mutex only to move frames between queues; a syscall
+                      held under it stalls the responder (or the whole I/O
+                      thread) behind a peer's socket buffer. Syscalls belong
+                      outside the markers, on buffers the lock no longer
+                      protects.
   unguarded-shared-member
                       A write to a `name_` member inside a
                       `// cham-lint: begin(...)` / `end(...)` marker region
@@ -115,6 +126,9 @@ RULES = {
     "annotated cham::util::Mutex / MutexLock / CondVar (util/sync.h)",
     "naked-cv-wait": "condition-variable wait without a predicate; use "
     "wait(lock, pred) so spurious wakeups re-check the condition",
+    "syscall-in-net-lock": "blocking syscall inside a net_mu critical "
+    "section (the socket front-end holds connection mutexes only to move "
+    "frames between queues); do socket I/O with the lock released",
     "unguarded-shared-member": "member written inside a lock-held marker "
     "region but not declared CHAM_GUARDED_BY; annotate the declaration so "
     "the thread-safety analysis can check it",
@@ -160,6 +174,16 @@ BATCH_PLAN_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(batch_plan\)")
 BATCH_PLAN_END_RE = re.compile(r"cham-lint:\s*end\(batch_plan\)")
 HOT_PATH_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(hot_path\)")
 HOT_PATH_END_RE = re.compile(r"cham-lint:\s*end\(hot_path\)")
+NET_MU_BEGIN_RE = re.compile(r"cham-lint:\s*begin\(net_mu\)")
+NET_MU_END_RE = re.compile(r"cham-lint:\s*end\(net_mu\)")
+# Blocking I/O syscalls (optionally `::`-qualified). Derived names like
+# read_header / fwrite do not match (identifier-char guards on both sides).
+SYSCALL_RE = re.compile(
+    r"(?<![_A-Za-z0-9:])(?:::\s*)?"
+    r"(?:read|write|pread|pwrite|readv|writev|recv|recvmsg|recvfrom|"
+    r"send|sendmsg|sendto|poll|ppoll|epoll_wait|epoll_pwait|select|pselect|"
+    r"accept4?|connect|fsync|fdatasync)\s*\("
+)
 # Batched-copy entry point banned from hot paths (the steady-state replay
 # loop packs GEMM panels straight from latent/slab/LT row pointers).
 STACK_LATENTS_RE = re.compile(r"(?<![_A-Za-z0-9])stack_latents\s*\(")
@@ -353,6 +377,13 @@ def lint_file(path, raw):
                           SERIALIZE_RE.search(line) or
                           DISPATCH_ALLOC_RE.search(line) or
                           PLAN_DISPATCH_RE.search(line)))
+    # net_mu sections hold a connection's mutex purely to move frames
+    # between queues: no socket syscalls, no file/stream I/O, no sleeps.
+    # (cv waits are the sanctioned blocking — flow control needs them.)
+    check_region(
+        NET_MU_BEGIN_RE, NET_MU_END_RE, "syscall-in-net-lock",
+        lambda line: bool(SYSCALL_RE.search(line) or
+                          BLOCKING_RE.search(line)))
     # hot_path sections are the zero-copy replay loops (observe training,
     # chunked predict): latents must be gathered by pointer, never stacked
     # into a batch tensor.

@@ -219,6 +219,60 @@ def main():
               "staged_pos_ = 0;\n"
               "// cham-lint: end(hot_path)\n")) == [])
 
+    print("rule: syscall-in-net-lock")
+    check("flags write() inside net_mu region",
+          "syscall-in-net-lock" in rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "ssize_t n = write(c.fd, buf, len);\n"
+              "// cham-lint: end(net_mu)\n")))
+    check("flags ::-qualified recv inside net_mu region",
+          "syscall-in-net-lock" in rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "ssize_t n = ::recv(fd, p, n, 0);\n"
+              "// cham-lint: end(net_mu)\n")))
+    check("flags poll / accept inside net_mu region",
+          rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "poll(fds.data(), fds.size(), -1);\n"
+              "int cfd = accept(listen_fd_, nullptr, nullptr);\n"
+              "// cham-lint: end(net_mu)\n")) ==
+          ["syscall-in-net-lock"] * 2)
+    check("flags sleep_for inside net_mu region (BLOCKING_RE reuse)",
+          "syscall-in-net-lock" in rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "std::this_thread::sleep_for(1ms);\n"
+              "// cham-lint: end(net_mu)\n")))
+    check("queue moves inside the region are clean",
+          rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "c.outbox.push_back(std::move(frame));\n"
+              "c.outbox_bytes += sz;\n"
+              "// cham-lint: end(net_mu)\n")) == [])
+    check("derived identifiers do not match (read_header, fwrite_count)",
+          rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "bool ok = read_header(p, n, h);\n"
+              "fwrite_count += 1;\n"
+              "// cham-lint: end(net_mu)\n")) == [])
+    check("syscall outside the region is clean",
+          rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "c.outbox.pop_front();\n"
+              "// cham-lint: end(net_mu)\n"
+              "ssize_t n = write(c.fd, buf, len);\n")) == [])
+    check("cv wait with predicate inside the region is clean",
+          rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "c.cv_space.wait(lock, [&]() CHAM_REQUIRES(c.mu) {\n"
+              "  return c.closed || c.outbox_bytes + sz <= limit;\n"
+              "});\n"
+              "// cham-lint: end(net_mu)\n")) == [])
+    check("suppressed by allow()",
+          rules_of(lint_src(
+              "// cham-lint: begin(net_mu)\n"
+              "poll(f, 1, 0);  // cham-lint: allow(syscall-in-net-lock)\n"
+              "// cham-lint: end(net_mu)\n")) == [])
+
     print("pre-existing rules still fire (no regression)")
     check("io-in-sessions-mu",
           "io-in-sessions-mu" in rules_of(lint_src(
