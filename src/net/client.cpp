@@ -15,7 +15,8 @@
 
 namespace cham::net {
 
-NetClient::NetClient(ClientOptions opts) {
+NetClient::NetClient(ClientOptions opts)
+    : max_payload_bytes_(opts.max_payload_bytes) {
   if (opts.transport == Transport::kUnix) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     CHAM_CHECK(fd_ >= 0, "socket(AF_UNIX) failed");
@@ -114,6 +115,10 @@ bool NetClient::read_reply(Reply& out) {
   CHAM_CHECK(read_header(hdr, kHeaderBytes, h), "short reply header");
   CHAM_CHECK(h.magic == kWireMagic && h.version == kWireVersion,
              "reply frame failed validation (magic/version)");
+  // Bound the allocation the header can demand before trusting payload_len.
+  CHAM_CHECK(h.payload_len <= max_payload_bytes_,
+             "reply payload_len " + std::to_string(h.payload_len) +
+                 " exceeds client limit " + std::to_string(max_payload_bytes_));
   recv_buf_.resize(h.payload_len);
   off = 0;
   while (off < h.payload_len) {

@@ -58,6 +58,11 @@ struct ClientOptions {
   Transport transport = Transport::kUnix;
   std::string unix_path = "/tmp/cham_net.sock";
   uint16_t tcp_port = 0;  // kTcp: connect to 127.0.0.1:tcp_port
+  // Reply frames announcing a larger payload_len are treated as a protocol
+  // violation (util::CheckError) BEFORE any buffer is sized to them — the
+  // header field alone must not be able to make the client allocate ~4 GiB.
+  // Mirrors the server's default inbound bound.
+  uint32_t max_payload_bytes = kDefaultMaxPayload;
 };
 
 class NetClient {
@@ -126,6 +131,7 @@ class NetClient {
   bool read_reply(Reply& out);
 
   int fd_ = -1;
+  uint32_t max_payload_bytes_ = kDefaultMaxPayload;
   uint64_t next_req_ = 1;
   WireBuf send_buf_;
   std::vector<uint8_t> recv_buf_;

@@ -51,6 +51,7 @@ struct NetStats {
   int64_t err_oversized = 0;
   int64_t err_dispatch = 0;      // learner threw; exception relayed as ERROR
   int64_t err_shutting_down = 0;
+  int64_t err_unknown_type = 0;  // well-framed request with an unknown type
 
   // Flow control on the bounded write queues: how often a connection's
   // reader was paused because its outbox hit the byte bound, and the
@@ -86,6 +87,7 @@ struct NetStats {
     j.field("err_oversized", err_oversized);
     j.field("err_dispatch", err_dispatch);
     j.field("err_shutting_down", err_shutting_down);
+    j.field("err_unknown_type", err_unknown_type);
     j.field("write_stalls", write_stalls);
     j.field("outbox_high_water_bytes", outbox_high_water_bytes);
     return j.str();

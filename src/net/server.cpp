@@ -234,6 +234,10 @@ bool NetServer::flush_writes(Connection& c) {
 
 bool NetServer::read_ready(Connection& c) {
   for (;;) {
+    // A connection marked for close (unsyncable stream) answers exactly
+    // once: stop consuming input, even on a POLLHUP-driven call — the
+    // flush path closes once the error reply drains.
+    if (c.want_close) return true;
     uint8_t chunk[64 << 10];
     ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
     if (n > 0) {
@@ -243,6 +247,7 @@ bool NetServer::read_ready(Connection& c) {
       }
       c.rdbuf.insert(c.rdbuf.end(), chunk, chunk + n);
       if (!parse_frames(c)) return false;
+      if (c.want_close) return true;  // error replied; drop trailing bytes
       if (static_cast<std::size_t>(n) < sizeof(chunk)) return true;
       continue;  // more may be buffered in the kernel
     }
@@ -254,6 +259,7 @@ bool NetServer::read_ready(Connection& c) {
 }
 
 bool NetServer::parse_frames(Connection& c) {
+  if (c.want_close) return true;  // error reply already queued; one only
   for (;;) {
     // Finish skipping an oversized payload already rejected.
     if (c.discard_left > 0) {
@@ -479,7 +485,9 @@ bool NetServer::handle_frame(Connection& c, const FrameHeader& h,
     case MsgType::kFlush: {
       // Rides the responder queue: ordered behind this connection's
       // already-pending predicts, and mgr_.flush() blocks — never run it on
-      // the I/O thread.
+      // the I/O thread. Safe next to the pump: the manager serialises
+      // deterministic-mode dispatch, so the flush's drain and the pump's
+      // never interleave.
       Pending item;
       item.type = MsgType::kFlush;
       item.session_id = h.session_id;
@@ -509,7 +517,7 @@ bool NetServer::handle_frame(Connection& c, const FrameHeader& h,
                    "unknown request type");
       enqueue_from_io(c, std::move(reply));
       util::MutexLock slock(stats_mu_);
-      stats_.err_malformed += 1;
+      stats_.err_unknown_type += 1;
       return true;
     }
   }

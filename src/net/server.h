@@ -35,7 +35,12 @@
 //                   whenever the I/O thread has submitted work, standing in
 //                   for the caller-driven dispatch the deterministic mode
 //                   expects. In kThreaded mode the shard workers dispatch
-//                   and the pump is not started.
+//                   and the pump is not started. The pump may race a
+//                   responder's mgr.flush() (whose first step is drain()):
+//                   the SessionManager serialises deterministic-mode
+//                   dispatch internally (det_dispatch_mu_), so the two
+//                   drains take turns rather than interleaving pops of one
+//                   session's queue.
 //
 // Locks: each connection has one mutex guarding its outbox + pending queue
 // (critical sections are pointer moves only — the syscall-in-net-lock lint

@@ -185,6 +185,10 @@ std::optional<std::vector<int64_t>> SessionManager::predict(
 
 void SessionManager::drain() {
   if (cfg_.mode == ServeMode::kDeterministic) {
+    // Serialise caller-driven dispatch: concurrent drainers (a net pump
+    // thread racing a FLUSH responder, say) must not interleave pops of
+    // the same session's queue.
+    util::MutexLock det(det_dispatch_mu_);
     bool any = true;
     while (any) {
       any = false;
@@ -235,6 +239,7 @@ void SessionManager::drain() {
 }
 
 void SessionManager::drain_shard(int64_t shard_idx) {
+  util::MutexLock det(det_dispatch_mu_);
   Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   for (;;) {
     std::vector<Request> eligible;

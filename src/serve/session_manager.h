@@ -161,7 +161,13 @@ class SessionManager {
   // Deterministic mode: dispatches every queued request, round-robin across
   // shards, on the calling thread. Threaded mode: blocks until all queues
   // are empty and in-flight requests have finished.
-  void drain();
+  //
+  // Safe to call from several threads in either mode: deterministic-mode
+  // dispatch is serialised on det_dispatch_mu_, so concurrent drain()/
+  // flush()/predict() callers (e.g. a net pump thread racing a responder's
+  // FLUSH) take turns instead of popping and dispatching the same session's
+  // requests in parallel.
+  void drain() CHAM_EXCLUDES(det_dispatch_mu_);
 
   // Drains, then evicts every resident session to the store.
   void flush() CHAM_EXCLUDES(sessions_mu_);
@@ -226,7 +232,7 @@ class SessionManager {
   int64_t shard_of(uint64_t session_id) const;
   Admission enqueue(int64_t shard_idx, Request r);
   // Pops and dispatches until the shard queue is empty (deterministic mode).
-  void drain_shard(int64_t shard_idx);
+  void drain_shard(int64_t shard_idx) CHAM_EXCLUDES(det_dispatch_mu_);
   void worker_loop(Shard& shard);
   void dispatch(Request& r);
   // Dispatches `r` and folds its wall time into the shard's drain-rate
@@ -277,6 +283,16 @@ class SessionManager {
   SessionStore store_;
   std::unique_ptr<WriteBehind> write_behind_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Deterministic-mode dispatch token: drain() and drain_shard() pop and
+  // dispatch on the CALLING thread, so without serialisation two callers
+  // could dequeue consecutive requests of one session and run them
+  // concurrently (an observe mutating the learner while a predict reads
+  // it) — the per-session FIFO guarantee threaded mode gets from its
+  // one-worker-per-shard structure. Held across whole drain passes
+  // (dispatch included), ahead of every other serve-layer lock. Threaded
+  // mode never takes it.
+  util::Mutex det_dispatch_mu_ CHAM_ACQUIRED_BEFORE(sessions_mu_);
 
   mutable util::Mutex sessions_mu_;
   std::unordered_map<uint64_t, Session> sessions_ CHAM_GUARDED_BY(sessions_mu_);

@@ -11,6 +11,8 @@
 // in-flight requests on graceful shutdown in both scheduler modes.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -170,14 +172,14 @@ TEST(NetJson, NetStatsRoundTripsEveryField) {
         &st.shutdowns_in, &st.predict_replies, &st.observe_acks,
         &st.err_backpressure, &st.err_malformed, &st.err_bad_version,
         &st.err_bad_crc, &st.err_oversized, &st.err_dispatch,
-        &st.err_shutting_down, &st.write_stalls,
+        &st.err_shutting_down, &st.err_unknown_type, &st.write_stalls,
         &st.outbox_high_water_bytes}) {
     *f = v;
     v += 7;
   }
   std::map<std::string, std::string> fields;
   ASSERT_TRUE(json_fields(st.to_json(), fields)) << st.to_json();
-  EXPECT_EQ(fields.size(), 24u);
+  EXPECT_EQ(fields.size(), 25u);
   EXPECT_EQ(fields["connections_accepted"], "3");
   EXPECT_EQ(fields["frames_in"], std::to_string(st.frames_in));
   EXPECT_EQ(fields["err_shutting_down"], std::to_string(st.err_shutting_down));
@@ -580,25 +582,33 @@ TEST_F(NetSuite, BackpressurePropagatesRetryHintOverWire) {
 
 // A wrong-magic frame gets a typed MALFORMED reply, then the connection
 // closes (the stream cannot be re-synchronised). The server survives and
-// keeps serving new connections.
-TEST_F(NetSuite, BadMagicRepliesTypedErrorThenCloses) {
+// keeps serving new connections. The junk deliberately overflows one 64 KiB
+// read chunk: the server used to keep reading after marking the connection
+// for close, re-parse the same bad header per chunk, and emit a duplicate
+// ERROR frame each time — exactly one reply and one err_malformed count
+// must come out however much garbage follows.
+TEST_F(NetSuite, BadMagicRepliesTypedErrorOnceThenCloses) {
   serve::ServeConfig sc = serve_config("mag", serve::ServeMode::kDeterministic);
   serve::SessionManager mgr(sc, factory());
   net::NetConfig nc = net_config("mag");
   net::NetServer server(mgr, nc);
 
   net::NetClient bad(client_options(nc));
-  std::vector<uint8_t> junk(net::kHeaderBytes + 8, 0xAB);
+  // > one chunk, but well under the default AF_UNIX buffers so the blocking
+  // send completes even though the server stops reading after the header.
+  std::vector<uint8_t> junk((96 << 10) + 8, 0xAB);
   bad.send_raw(junk.data(), junk.size());
   net::Reply r = bad.await_reply(0xABABABABABABABABull);  // echoed garbage id
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.error.code, net::ErrCode::kMalformed);
-  // Connection is closed after the reply: the next await must fail.
+  // Connection is closed after the reply: the next await must fail — on
+  // EOF, not on a duplicate ERROR frame for the same garbage header.
   EXPECT_THROW(bad.await_reply(1), util::CheckError);
 
   net::NetClient good(client_options(nc));
   EXPECT_TRUE(good.observe_admitted(1, session_batches(1)[0]).ok());
   EXPECT_EQ(server.stats().err_malformed, 1);
+  EXPECT_EQ(server.stats().frames_out, server.stats().observe_acks + 1);
 }
 
 TEST_F(NetSuite, BadVersionRepliesTypedError) {
@@ -616,6 +626,30 @@ TEST_F(NetSuite, BadVersionRepliesTypedError) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.error.code, net::ErrCode::kBadVersion);
   EXPECT_EQ(server.stats().err_bad_version, 1);
+}
+
+// A well-framed request with a type the server does not speak gets a typed
+// UNKNOWN_TYPE error (counted as err_unknown_type, NOT err_malformed — the
+// wire code and the stats category must agree) and the connection survives.
+TEST_F(NetSuite, UnknownRequestTypeRepliesTypedErrorAndSurvives) {
+  serve::ServeConfig sc = serve_config("unk", serve::ServeMode::kDeterministic);
+  serve::SessionManager mgr(sc, factory());
+  net::NetConfig nc = net_config("unk");
+  net::NetServer server(mgr, nc);
+
+  net::NetClient c(client_options(nc));
+  net::WireBuf frame;
+  net::encode_control(frame, net::MsgType::kStats, 0, 11);
+  frame[6] = 0x55;  // type := 0x0055, not a message the protocol defines
+  frame[7] = 0x00;
+  c.send_raw(frame.data(), frame.size());
+  net::Reply r = c.await_reply(11);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error.code, net::ErrCode::kUnknownType);
+
+  EXPECT_TRUE(c.observe_admitted(1, session_batches(1)[0]).ok());
+  EXPECT_EQ(server.stats().err_unknown_type, 1);
+  EXPECT_EQ(server.stats().err_malformed, 0);
 }
 
 // A corrupted payload CRC is rejected per-frame; framing stays intact and
@@ -667,6 +701,42 @@ TEST_F(NetSuite, OversizedPayloadRejectedAndSkipped) {
   EXPECT_TRUE(c.observe_admitted(1, session_batches(1)[0]).ok());
   EXPECT_EQ(server.stats().err_oversized, 1);
   EXPECT_EQ(server.stats().err_malformed, 0);
+}
+
+// The client applies the same payload bound in reverse: a reply header
+// announcing a ~4 GiB payload_len (corrupt or hostile server) is a protocol
+// violation, rejected BEFORE any buffer is sized to it.
+TEST_F(NetSuite, ClientRejectsOversizedReplyHeaderBeforeAllocating) {
+  const std::string path = "/tmp/cham_net_clientcap.sock";
+  ::unlink(path.c_str());
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+
+  // Fake server: accept, send one well-formed header whose payload_len
+  // field is maxed out, hang up.
+  std::thread fake_server([lfd] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) return;
+    net::WireBuf frame;
+    net::encode_control(frame, net::MsgType::kFlushOk, 0, 1);
+    frame[24] = frame[25] = frame[26] = frame[27] = 0xFF;  // payload_len
+    [[maybe_unused]] ssize_t n = ::write(cfd, frame.data(), net::kHeaderBytes);
+    ::close(cfd);
+  });
+
+  net::ClientOptions co;
+  co.unix_path = path;
+  net::NetClient c(co);
+  EXPECT_EQ(c.send_control(net::MsgType::kFlush), 1u);
+  EXPECT_THROW(c.await_reply(1), util::CheckError);
+  fake_server.join();
+  ::close(lfd);
+  ::unlink(path.c_str());
 }
 
 // Frames split at every possible byte boundary (worst-case short reads)

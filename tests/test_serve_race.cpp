@@ -11,6 +11,12 @@
 //       (max_resident << sessions) + a pause/resume thread that freezes the
 //       write-behind IO thread so restores race their own flush, + pollers
 //       hammering every read-only stats surface for ~2 seconds.
+//   ServeRaceSuite.DeterministicDrainFlushStress
+//       Regression: deterministic-mode drain()/flush()/predict() used to
+//       dispatch unserialised, so a net pump thread's drain() racing a
+//       responder's flush() could pop and run one session's requests on
+//       two threads at once. Pins the det_dispatch_mu_ serialisation:
+//       concurrent drainers + a flusher + submitters for ~1.5 seconds.
 //   ServeRaceSuite.BatchPlanCoalesceStress
 //       The batch-planner path under contention: submitter threads issue
 //       BURSTS of async predicts (back-to-back same-session requests, the
@@ -186,6 +192,92 @@ TEST_F(ServeRaceSuite, MultiShardEvictRestoreFlushStress) {
   EXPECT_EQ(s.observes, submitted.load());
   EXPECT_GT(s.evictions, 0) << "stress never evicted; raise the load";
   EXPECT_GT(s.restores, 0) << "stress never restored; raise the load";
+  EXPECT_EQ(s.dispatch_errors, 0);
+}
+
+TEST_F(ServeRaceSuite, DeterministicDrainFlushStress) {
+  constexpr int64_t kSessions = 6;
+  constexpr int kSubmitters = 2;
+  constexpr auto kDuration = std::chrono::milliseconds(1500);
+
+  serve::ServeConfig sc;
+  sc.num_shards = 2;
+  sc.max_resident = 3;  // < kSessions: flushes and dispatch contend for slots
+  sc.queue_capacity = 8;
+  sc.store_dir = "/tmp/cham_serve_race_det";
+  sc.base_seed = 23;
+  sc.mode = serve::ServeMode::kDeterministic;
+  serve::SessionStore(sc.store_dir).clear();
+
+  data::StreamConfig stream_cfg = exp_->config().stream;
+  stream_cfg.seed = 515;
+  data::DomainIncrementalStream stream(exp_->config().data, stream_cfg);
+  exp_->warm_latents(stream);
+  const std::vector<data::Batch> batches = stream.batches();
+  ASSERT_FALSE(batches.empty());
+
+  serve::SessionManager mgr(sc, factory());
+  const auto deadline = Clock::now() + kDuration;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> submitted{0};
+  std::vector<std::thread> threads;
+
+  // Submitters: observes plus async predicts, mirroring the I/O thread's
+  // decode-and-submit role. In-flight futures are bounded so backpressure
+  // cannot stall a submitter forever.
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t step = static_cast<uint64_t>(t) * 104729;
+      std::vector<std::future<std::vector<int64_t>>> inflight;
+      while (Clock::now() < deadline) {
+        const uint64_t sid = step % kSessions;
+        const data::Batch& b = batches[step % batches.size()];
+        if (step % 4 == 3) {
+          std::future<std::vector<int64_t>> f;
+          if (mgr.submit_predict(sid, b.keys, &f).accepted) {
+            inflight.push_back(std::move(f));
+          }
+        } else if (mgr.submit_observe(sid, b).accepted) {
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();  // backpressure: let the drainers run
+        }
+        while (inflight.size() > 8) {
+          inflight.front().get();
+          inflight.erase(inflight.begin());
+        }
+        ++step;
+      }
+      for (auto& f : inflight) (void)f.get();
+    });
+  }
+
+  // The net pump stand-in: caller-driven dispatch, as fast as it can.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      mgr.drain();
+      std::this_thread::yield();
+    }
+  });
+
+  // The FLUSH responder stand-in: drain + evict-everything, concurrently
+  // with the pump's drain — the raced pair this test exists for.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      mgr.flush();
+      std::this_thread::sleep_for(std::chrono::milliseconds(17));
+    }
+  });
+
+  // Submitters share the deadline; the drain/flush threads must outlive
+  // them (they fulfil the futures the submitters block on).
+  for (int t = 0; t < kSubmitters; ++t) threads[t].join();
+  done.store(true, std::memory_order_relaxed);
+  for (size_t t = kSubmitters; t < threads.size(); ++t) threads[t].join();
+
+  mgr.flush();
+  const serve::ServeStats s = mgr.stats();
+  EXPECT_EQ(s.observes, submitted.load());
   EXPECT_EQ(s.dispatch_errors, 0);
 }
 
